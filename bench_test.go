@@ -1,0 +1,143 @@
+package sci
+
+// One benchmark per experiment in DESIGN.md's per-figure index. Each wraps
+// the deterministic harness in internal/sim so `go test -bench=.` at the
+// repository root regenerates every table/figure behaviour of the paper.
+// cmd/scibench prints the same data as tables.
+
+import (
+	"testing"
+
+	"sci/internal/sim"
+)
+
+// BenchmarkE1_OverlayVsHierarchy — Fig 1 / §3 routing claim: overlay avoids
+// the hierarchy's root bottleneck at comparable hop counts.
+func BenchmarkE1_OverlayVsHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE1([]int{64}, 500, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(float64(r.OverlayHopsP50), "overlay-hops-p50")
+		b.ReportMetric(r.OverlayRelayRatio, "overlay-max/mean-load")
+		b.ReportMetric(float64(r.TreeHopsP50), "tree-hops-p50")
+		b.ReportMetric(r.TreeRelayRatio, "tree-max/mean-load")
+	}
+}
+
+// BenchmarkE2_RangeChurn — Fig 2: registration and event throughput of one
+// Range's Context Server.
+func BenchmarkE2_RangeChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE2([]int{500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RegisterPerSec, "registrations/s")
+		b.ReportMetric(rows[0].EventsPerSec, "events/s")
+	}
+}
+
+// BenchmarkE3_Composition — Fig 3: automatic configuration building by
+// backward-chaining type matching.
+func BenchmarkE3_Composition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE3([]int{1000}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].ResolveTime.Microseconds()), "resolve-µs")
+		b.ReportMetric(float64(rows[0].ReuseHits), "cache-hits")
+	}
+}
+
+// BenchmarkE4_EventDispatch — Fig 4: delivery through the abstract CE/CAA
+// interfaces at fan-out 100.
+func BenchmarkE4_EventDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE4([]int{100}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].EventsPerSec, "deliveries/s")
+	}
+}
+
+// BenchmarkE5_Discovery — Fig 5: concurrent discovery/registration bursts.
+func BenchmarkE5_Discovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE5([]int{200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].P50.Microseconds()), "p50-µs")
+		b.ReportMetric(float64(rows[0].P99.Microseconds()), "p99-µs")
+	}
+}
+
+// BenchmarkE6_QueryModel — Fig 6: query XML encode/decode per mode.
+func BenchmarkE6_QueryModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE6(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[1].RoundTrip.Nanoseconds()), "subscribe-roundtrip-ns")
+	}
+}
+
+// BenchmarkE7_CAPA — Fig 7 / §5: the full CAPA scenario end to end.
+func BenchmarkE7_CAPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.BobCorrect || !res.JohnCorrect {
+			b.Fatalf("wrong printers: bob=%s john=%s", res.BobPrinter, res.JohnPrinter)
+		}
+		b.ReportMetric(float64(res.BobLatency.Microseconds()), "bob-µs")
+		b.ReportMetric(float64(res.JohnLatency.Microseconds()), "john-µs")
+	}
+}
+
+// BenchmarkE8_Repair — §3.2/§6 adaptivity: configuration repair latency.
+func BenchmarkE8_Repair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE8([]int{16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[0].Repaired {
+			b.Fatal("repair failed")
+		}
+		b.ReportMetric(float64(rows[0].RepairTime.Microseconds()), "repair-µs")
+	}
+}
+
+// BenchmarkE9_SemanticRebind — §2 iQueue critique: door→WLAN rebinding.
+func BenchmarkE9_SemanticRebind(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE9(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Rebound {
+			b.Fatal("rebind failed")
+		}
+		b.ReportMetric(float64(res.RebindTime.Microseconds()), "rebind-µs")
+	}
+}
+
+// BenchmarkE10_ScaleOut — §3 scalability: sharded query throughput.
+func BenchmarkE10_ScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.RunE10([]int{8}, 400, 800)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].QueriesPerSec, "queries/s")
+	}
+}

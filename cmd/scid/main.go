@@ -1,0 +1,91 @@
+// Command scid runs one Range (Context Server) on TCP, optionally seeded
+// with simulated sensors, and prints its connection details so remote
+// components (cmd/sciquery, remote CEs) can register.
+//
+//	scid -name level-10 -coverage campus/tower/f0 -printers 2 -doors 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sci/internal/entity"
+	"sci/internal/location"
+	"sci/internal/rangesvc"
+	"sci/internal/sensor"
+	"sci/internal/server"
+	"sci/internal/sim"
+	"sci/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "range", "range name")
+	coverage := flag.String("coverage", "campus/tower/f0", "hierarchical area covered")
+	printers := flag.Int("printers", 2, "simulated printers to host")
+	doors := flag.Int("doors", 4, "simulated door sensors to host")
+	flag.Parse()
+	if err := run(*name, *coverage, *printers, *doors); err != nil {
+		fmt.Fprintln(os.Stderr, "scid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, coverage string, printers, doors int) error {
+	b, err := sim.NewBuilding(1, max(printers+doors, 4))
+	if err != nil {
+		return err
+	}
+	rng := server.New(server.Config{
+		Name:     name,
+		Places:   b.Map,
+		Coverage: location.Path(coverage),
+	})
+	defer rng.Close()
+
+	net := transport.NewTCP(nil)
+	defer net.Close()
+	host, err := rangesvc.NewHost(rng, net, nil)
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+
+	obj := entity.NewObjLocationCE(b.Map, nil)
+	if err := rng.AddEntity(obj); err != nil {
+		return err
+	}
+	for i := 0; i < doors && i < len(b.Rooms[0]); i++ {
+		room := b.Rooms[0][i]
+		ds := sensor.NewDoorSensor(b.DoorOf[room], location.AtPlace(room), nil)
+		if err := rng.AddEntity(ds); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < printers && i < len(b.Rooms[0]); i++ {
+		p := sensor.NewPrinter(fmt.Sprintf("P%d", i+1), location.AtPlace(b.Rooms[0][i]), nil)
+		if err := rng.AddEntity(p); err != nil {
+			return err
+		}
+	}
+
+	addr, _ := net.Directory().Lookup(rng.ServerID())
+	fmt.Printf("range %q up\n  server id: %s\n  address:   %s\n  coverage:  %s\n  entities:  %d\n",
+		name, rng.ServerID(), addr, coverage, rng.Registrar().Len())
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,99 @@
+// Command sciquery submits a query (compact text form) to a Context Server
+// reachable over TCP and prints the results. For subscription modes it
+// keeps listening and prints each delivered event.
+//
+//	sciquery -server <guid> -addr 127.0.0.1:7000 \
+//	    "what=pattern:printer.status which=closest mode=profile"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/rangesvc"
+	"sci/internal/transport"
+)
+
+func main() {
+	serverID := flag.String("server", "", "context server GUID (from scid output)")
+	addr := flag.String("addr", "", "context server TCP address")
+	flag.Parse()
+	if flag.NArg() != 1 || *serverID == "" || *addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: sciquery -server <guid> -addr <host:port> \"<query text>\"")
+		os.Exit(2)
+	}
+	if err := run(*serverID, *addr, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "sciquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(serverStr, addr, text string) error {
+	srv, err := guid.Parse(serverStr)
+	if err != nil {
+		return fmt.Errorf("bad server guid: %w", err)
+	}
+	dir := &transport.Directory{}
+	dir.Register(srv, addr)
+	net := transport.NewTCP(dir)
+	defer net.Close()
+
+	id := guid.New(guid.KindApplication)
+	events := make(chan event.Event, 64)
+	conn, err := rangesvc.NewConnector(id, "sciquery", net, func(e event.Event) {
+		select {
+		case events <- e:
+		default:
+		}
+	}, nil)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	if err := conn.Register(srv, profileFor(id), true); err != nil {
+		return err
+	}
+	q, err := query.ParseText(id, text)
+	if err != nil {
+		return err
+	}
+	res, err := conn.Submit(q)
+	if err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(res, "", "  ")
+	fmt.Println(string(out))
+
+	if q.Mode != query.ModeSubscribe && q.Mode != query.ModeOnce {
+		return nil
+	}
+	fmt.Println("listening for events (Ctrl-C to stop)...")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case e := <-events:
+			line, _ := json.Marshal(e)
+			fmt.Println(string(line))
+			if q.Mode == query.ModeOnce {
+				return nil
+			}
+		case <-sig:
+			return nil
+		}
+	}
+}
+
+// profileFor builds the minimal CAA profile for registration.
+func profileFor(id guid.GUID) profile.Profile {
+	return profile.Profile{Entity: id, Name: "sciquery"}
+}

@@ -1,0 +1,125 @@
+// Mobility: two Ranges joined into a SCINET; a visitor's application in the
+// lobby Range subscribes to positions on another floor, the query is
+// forwarded across the overlay (the paper's CAPA forwarding hop), and the
+// infrastructure repairs the configuration when the bound door sensor dies.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sci"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mobility:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := sci.NewMemoryNetwork()
+	defer net.Close()
+
+	b, err := sci.NewBuilding(1, 4)
+	if err != nil {
+		return err
+	}
+	lobby := sci.NewRange(sci.RangeConfig{Name: "lift-lobby", Coverage: "campus/lobby"})
+	defer lobby.Close()
+	floor := sci.NewRange(sci.RangeConfig{Name: "floor-0", Places: b.Map, Coverage: "campus/tower/f0"})
+	defer floor.Close()
+
+	fLobby, err := sci.NewFabric(lobby, net, nil)
+	if err != nil {
+		return err
+	}
+	defer fLobby.Close()
+	fFloor, err := sci.NewFabric(floor, net, nil)
+	if err != nil {
+		return err
+	}
+	defer fFloor.Close()
+	if err := fFloor.Join(fLobby.NodeID()); err != nil {
+		return err
+	}
+
+	// Floor-0 sensors: two equivalent door sensors plus a WLAN basestation
+	// (semantic fallback), and the objLocation interpreter.
+	room := b.Rooms[0][0]
+	dsA := sci.NewDoorSensor(b.DoorOf[room], sci.AtPlace(room), nil)
+	dsB := sci.NewDoorSensor(b.DoorOf[b.Rooms[0][1]], sci.AtPlace(b.Rooms[0][1]), nil)
+	bs := sci.NewBaseStation("f0-cell", []sci.PlaceID{room, b.Corridors[0]}, sci.AtPlace(b.Corridors[0]), nil)
+	obj := sci.NewObjLocationCE(b.Map, nil)
+	for _, ce := range []sci.CE{dsA, dsB, bs, obj} {
+		if err := floor.AddEntity(ce); err != nil {
+			return err
+		}
+	}
+
+	// The visitor's app registers in the LOBBY but asks about floor 0: the
+	// query crosses the SCINET.
+	got := make(chan sci.Event, 16)
+	app := sci.NewCAA("visitor-app", func(e sci.Event) { got <- e }, nil)
+	if err := lobby.AddApplication(app); err != nil {
+		return err
+	}
+	// Wait for coverage gossip.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, ok := fLobby.CoveringNode("campus/tower/f0"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("coverage never propagated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q := sci.NewQuery(app.ID(), sci.What{Pattern: sci.LocationPosition}, sci.ModeSubscribe)
+	q.Where.Explicit = sci.AtPath("campus/tower/f0")
+	if _, err := fLobby.Submit(q, app); err != nil {
+		return err
+	}
+	fmt.Println("query forwarded lobby → floor-0 across the SCINET")
+
+	visitor := sci.NewGUID(sci.KindPerson)
+	mustSight := func(label string) error {
+		for _, ds := range []*sci.DoorSensor{dsA, dsB} {
+			if err := ds.Sight(visitor, room); err != nil {
+				return err
+			}
+		}
+		select {
+		case e := <-got:
+			fmt.Printf("%s: position update for %s at %v\n", label, e.Subject.Short(), e.Payload["place"])
+			return nil
+		case <-time.After(3 * time.Second):
+			return fmt.Errorf("%s: no update", label)
+		}
+	}
+	if err := mustSight("before failure"); err != nil {
+		return err
+	}
+
+	// Kill both door sensors: the configuration runtime rebinds to the
+	// semantically equivalent WLAN basestation (the paper's adaptivity).
+	for _, ds := range []*sci.DoorSensor{dsA, dsB} {
+		if err := floor.RemoveEntity(ds.ID()); err != nil {
+			return err
+		}
+	}
+	fmt.Println("both door sensors failed; configuration repaired onto the basestation")
+	if err := bs.Observe(sci.NewGUID(sci.KindDevice), room); err != nil {
+		return err
+	}
+	select {
+	case e := <-got:
+		fmt.Printf("after repair: position update at %v (source %s)\n", e.Payload["place"], e.Source.Short())
+	case <-time.After(3 * time.Second):
+		return fmt.Errorf("no update after repair")
+	}
+	fmt.Println("mobility example complete")
+	return nil
+}

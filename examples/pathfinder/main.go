@@ -1,0 +1,103 @@
+// Pathfinder: the paper's Section 3.2 composition example. A mobile map
+// application asks for the Path between Bob and John; the Query Resolver
+// composes pathApp ← pathCE ← objLocationCE ← doorSensorCEs automatically,
+// and every door crossing updates the displayed path.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sci"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pathfinder:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	b, err := sci.NewBuilding(1, 6)
+	if err != nil {
+		return err
+	}
+	rng := sci.NewRange(sci.RangeConfig{Name: "floor-0", Places: b.Map})
+	defer rng.Close()
+
+	// Door sensors on every room plus the interpreters of §3.2.
+	world := sci.NewWorld(b.Map)
+	for room, door := range b.DoorOf {
+		ds := sci.NewDoorSensor(door, sci.AtPlace(room), nil)
+		if err := rng.AddEntity(ds); err != nil {
+			return err
+		}
+		world.AttachDoorSensor(ds)
+	}
+	obj := sci.NewObjLocationCE(b.Map, nil)
+	if err := rng.AddEntity(obj); err != nil {
+		return err
+	}
+	pathCE := sci.NewPathCE(b.Map, nil)
+	if err := rng.AddEntity(pathCE); err != nil {
+		return err
+	}
+
+	bob := sci.NewGUID(sci.KindPerson)
+	john := sci.NewGUID(sci.KindPerson)
+	if err := world.AddActor(sci.Actor{ID: bob, Name: "bob", Badge: true}, b.Lobbies[0]); err != nil {
+		return err
+	}
+	if err := world.AddActor(sci.Actor{ID: john, Name: "john", Badge: true}, b.Lobbies[0]); err != nil {
+		return err
+	}
+	pathCE.Watch(bob, john)
+
+	// The path application: print each updated path.
+	updates := make(chan sci.Event, 16)
+	app := sci.NewCAA("pathApp", func(e sci.Event) { updates <- e }, nil)
+	if err := rng.AddApplication(app); err != nil {
+		return err
+	}
+	q := sci.NewQuery(app.ID(), sci.What{Pattern: sci.PathRoute}, sci.ModeSubscribe)
+	if _, err := rng.Submit(q); err != nil {
+		return err
+	}
+
+	// Bob and John walk to opposite rooms; every door crossing refreshes
+	// the path.
+	if _, err := world.MoveTo(bob, b.Rooms[0][0]); err != nil {
+		return err
+	}
+	if _, err := world.MoveTo(john, b.Rooms[0][5]); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case e := <-updates:
+			fmt.Printf("path update: %v (length %.1f m)\n", e.Payload["places"], num(e, "length"))
+		case <-time.After(3 * time.Second):
+			return fmt.Errorf("no path update %d", i)
+		}
+	}
+	// John walks toward Bob: the path shrinks, demonstrating the live
+	// subscription graph of §3.2.
+	if _, err := world.MoveTo(john, b.Rooms[0][1]); err != nil {
+		return err
+	}
+	select {
+	case e := <-updates:
+		fmt.Printf("after John moved: %v (length %.1f m)\n", e.Payload["places"], num(e, "length"))
+	case <-time.After(3 * time.Second):
+		return fmt.Errorf("no update after movement")
+	}
+	fmt.Println("pathfinder complete")
+	return nil
+}
+
+func num(e sci.Event, key string) float64 {
+	v, _ := e.Float(key)
+	return v
+}

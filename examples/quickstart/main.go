@@ -1,0 +1,63 @@
+// Quickstart: one Range, a temperature sensor, an interpreter and a
+// dashboard application — the smallest complete SCI pipeline.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sci"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	types := sci.NewTypeRegistry()
+	rng := sci.NewRange(sci.RangeConfig{Name: "lab", Types: types})
+	defer rng.Close()
+
+	// A Kelvin probe and the Kelvin→Celsius interpreter CE.
+	thermo := sci.NewTemperatureSensor("lab-probe", sci.Ref{}, 294, 2, 1, nil)
+	if err := rng.AddEntity(thermo); err != nil {
+		return err
+	}
+	k2c := sci.NewInterpreterCE("k2c", types, sci.TemperatureKelvin, sci.TemperatureCelsius, nil)
+	if err := rng.AddEntity(k2c); err != nil {
+		return err
+	}
+
+	// The dashboard subscribes to Celsius readings; the Query Resolver
+	// composes probe → interpreter → dashboard automatically.
+	done := make(chan struct{}, 8)
+	app := sci.NewCAA("dashboard", func(e sci.Event) {
+		v, _ := e.Float("value")
+		fmt.Printf("lab temperature: %.2f °C (event %s)\n", v, e.ID.Short())
+		done <- struct{}{}
+	}, nil)
+	if err := rng.AddApplication(app); err != nil {
+		return err
+	}
+	q := sci.NewQuery(app.ID(), sci.What{Pattern: sci.TemperatureCelsius}, sci.ModeSubscribe)
+	if _, err := rng.Submit(q); err != nil {
+		return err
+	}
+
+	for i := 0; i < 5; i++ {
+		if err := thermo.Tick(); err != nil {
+			return err
+		}
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			return fmt.Errorf("no reading delivered")
+		}
+	}
+	fmt.Println("quickstart complete")
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package clock abstracts time for the SCI infrastructure.
+//
+// Leases in the Registrar, heartbeats in the overlay, temporal (When)
+// clauses of queries and the simulated world all consume time through the
+// Clock interface so that unit tests and the benchmark harness can run with
+// a manually stepped clock and remain fully deterministic, while deployments
+// use the system clock.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the infrastructure.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d has
+	// elapsed. The channel has capacity one and is never closed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run once d has elapsed, returning a handle
+	// that can cancel it.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+// Timer is a cancelable pending callback.
+type Timer interface {
+	// Stop cancels the timer; it reports whether the call prevented the
+	// callback from firing.
+	Stop() bool
+}
+
+// Real returns the system clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }
+
+// Manual is a deterministic, manually advanced clock for tests and
+// simulation. The zero value is not usable; construct with NewManual.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	pending pendingHeap
+	seq     int64 // tiebreak so equal deadlines fire in schedule order
+}
+
+// NewManual returns a Manual clock starting at the given instant.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.schedule(d, func(t time.Time) { ch <- t })
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
+	return m.schedule(d, func(time.Time) { f() })
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	<-m.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline is
+// reached, in deadline order. Callbacks run on the calling goroutine with no
+// locks held, so they may schedule further timers.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for {
+		if len(m.pending) == 0 || m.pending[0].when.After(target) {
+			break
+		}
+		p := heap.Pop(&m.pending).(*pendingTimer)
+		if p.stopped {
+			continue
+		}
+		m.now = p.when
+		fn := p.fn
+		when := p.when
+		m.mu.Unlock()
+		fn(when)
+		m.mu.Lock()
+	}
+	m.now = target
+	m.mu.Unlock()
+}
+
+// PendingCount returns the number of timers not yet fired or stopped; useful
+// for test assertions.
+func (m *Manual) PendingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.pending {
+		if !p.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Manual) schedule(d time.Duration, fn func(time.Time)) *pendingTimer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	p := &pendingTimer{
+		when: m.now.Add(d),
+		fn:   fn,
+		m:    m,
+		seq:  m.seq,
+	}
+	m.seq++
+	heap.Push(&m.pending, p)
+	return p
+}
+
+type pendingTimer struct {
+	when    time.Time
+	fn      func(time.Time)
+	m       *Manual
+	seq     int64
+	index   int
+	stopped bool
+}
+
+// Stop implements Timer.
+func (p *pendingTimer) Stop() bool {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	if p.stopped || p.index == -1 {
+		return false
+	}
+	p.stopped = true
+	return true
+}
+
+type pendingHeap []*pendingTimer
+
+func (h pendingHeap) Len() int { return len(h) }
+
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+
+func (h pendingHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *pendingHeap) Push(x any) {
+	p := x.(*pendingTimer)
+	p.index = len(*h)
+	*h = append(*h, p)
+}
+
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.index = -1
+	*h = old[:n-1]
+	return p
+}
+
+var (
+	_ Clock = realClock{}
+	_ Clock = (*Manual)(nil)
+	_ Timer = realTimer{}
+	_ Timer = (*pendingTimer)(nil)
+)

@@ -1,0 +1,173 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC) // workshop day
+
+func TestManualNowAdvance(t *testing.T) {
+	m := NewManual(epoch)
+	if !m.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", m.Now(), epoch)
+	}
+	m.Advance(90 * time.Second)
+	if want := epoch.Add(90 * time.Second); !m.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestManualAfter(t *testing.T) {
+	m := NewManual(epoch)
+	ch := m.After(time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("After fired before advance")
+	default:
+	}
+	m.Advance(59 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if want := epoch.Add(time.Minute); !got.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestManualAfterFuncOrderAndStop(t *testing.T) {
+	m := NewManual(epoch)
+	var order []int
+	m.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	m.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	t2 := m.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	if !t2.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if t2.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	m.Advance(5 * time.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("fire order = %v, want [1 3]", order)
+	}
+}
+
+func TestManualEqualDeadlinesFireInScheduleOrder(t *testing.T) {
+	m := NewManual(epoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		m.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	m.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestManualCallbackSchedulesMore(t *testing.T) {
+	m := NewManual(epoch)
+	var fired []string
+	m.AfterFunc(time.Second, func() {
+		fired = append(fired, "first")
+		m.AfterFunc(time.Second, func() { fired = append(fired, "second") })
+	})
+	m.Advance(3 * time.Second)
+	if len(fired) != 2 || fired[1] != "second" {
+		t.Fatalf("fired = %v", fired)
+	}
+	// The chained timer must have fired at epoch+2s, i.e. during the same
+	// Advance window.
+	if m.PendingCount() != 0 {
+		t.Fatalf("PendingCount = %d, want 0", m.PendingCount())
+	}
+}
+
+func TestManualSleepUnblocksOnAdvance(t *testing.T) {
+	m := NewManual(epoch)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait until the sleeper has registered its timer.
+	for i := 0; i < 1000; i++ {
+		if m.PendingCount() == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not unblock")
+	}
+	wg.Wait()
+}
+
+func TestManualNegativeDurationFiresImmediatelyOnAdvance(t *testing.T) {
+	m := NewManual(epoch)
+	fired := false
+	m.AfterFunc(-time.Second, func() { fired = true })
+	m.Advance(0)
+	if !fired {
+		t.Fatal("negative-duration timer did not fire on zero advance")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	t0 := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	if !c.Now().After(t0) {
+		t.Fatal("real clock did not advance")
+	}
+	fired := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real AfterFunc did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("real After did not fire")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	m := NewManual(epoch)
+	a := m.AfterFunc(time.Second, func() {})
+	m.AfterFunc(2*time.Second, func() {})
+	if got := m.PendingCount(); got != 2 {
+		t.Fatalf("PendingCount = %d, want 2", got)
+	}
+	a.Stop()
+	if got := m.PendingCount(); got != 1 {
+		t.Fatalf("PendingCount after stop = %d, want 1", got)
+	}
+	m.Advance(2 * time.Second)
+	if got := m.PendingCount(); got != 0 {
+		t.Fatalf("PendingCount after advance = %d, want 0", got)
+	}
+}

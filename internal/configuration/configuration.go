@@ -1,0 +1,387 @@
+// Package configuration implements the configuration runtime: it turns the
+// Query Resolver's subscription graphs into live event plumbing through the
+// Event Mediator, monitors the providers involved, and repairs the graph
+// when a provider departs or fails.
+//
+// This is the paper's adaptivity requirement made concrete: "It will also
+// adjust the composition of these components dynamically in the case of
+// environment changes, thus improving service and fault tolerance while
+// minimising user intervention" (Section 6). Repair re-runs resolution for
+// the broken sub-graph only, preferring semantically equivalent providers
+// (a dead door sensor's duties can fall to a W-LAN base station), and is
+// bounded by a per-configuration repair budget — the paper's future-work
+// item 3 asks for exactly such "bounds on acceptable adaptation".
+package configuration
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/mediator"
+	"sci/internal/metrics"
+	"sci/internal/query"
+	"sci/internal/resolver"
+)
+
+// Components resolves local component GUIDs to their CE implementations so
+// the runtime can deliver edge events into CE inputs. A Range's Context
+// Server provides this.
+type Components interface {
+	Component(guid.GUID) (entity.CE, bool)
+}
+
+// ComponentsFunc adapts a func to Components.
+type ComponentsFunc func(guid.GUID) (entity.CE, bool)
+
+// Component implements Components.
+func (f ComponentsFunc) Component(g guid.GUID) (entity.CE, bool) { return f(g) }
+
+// DeliverFunc receives the configuration's root output events (bound for
+// the querying CAA).
+type DeliverFunc func(event.Event)
+
+// Primer is implemented by source CEs that can re-emit their current state
+// on demand. After instantiating a configuration the runtime primes its
+// sources so subscribers receive an immediate snapshot instead of waiting
+// for the next state change (initial-value semantics; CAPA's printer
+// selection depends on it).
+type Primer interface {
+	Prime()
+}
+
+// Status describes an active configuration.
+type Status struct {
+	// ID is the configuration id.
+	ID guid.GUID
+	// Providers are the entities currently bound.
+	Providers []guid.GUID
+	// Repairs counts successful repairs so far.
+	Repairs int
+	// Subscriptions counts live mediator subscriptions.
+	Subscriptions int
+}
+
+// Runtime instantiates, monitors and repairs configurations. Construct with
+// New.
+type Runtime struct {
+	med   *mediator.Mediator
+	res   *resolver.Resolver
+	comps Components
+
+	// MaxRepairs bounds adaptation per configuration (stability control);
+	// default 8.
+	maxRepairs int
+
+	mu     sync.Mutex
+	active map[guid.GUID]*activeCfg
+	byProv map[guid.GUID]guid.Set // provider → configurations using it
+
+	// RepairLatency records time from failure report to repaired plumbing
+	// (experiment E8); Repairs/RepairFailures count outcomes.
+	RepairLatency  metrics.Histogram
+	Repairs        metrics.Counter
+	RepairFailures metrics.Counter
+}
+
+type activeCfg struct {
+	cfg     *resolver.Configuration
+	deliver DeliverFunc
+	rctx    resolver.Context
+	repairs int
+	dead    bool
+}
+
+// edgeQueueLen is the per-subscription queue capacity for configuration
+// plumbing: generous enough to absorb sensor bursts without dropping
+// context updates (freshest-wins drop still applies beyond it).
+const edgeQueueLen = 1024
+
+// Errors.
+var (
+	ErrUnknownConfiguration = errors.New("configuration: unknown configuration")
+	ErrRepairBudget         = errors.New("configuration: repair budget exhausted")
+)
+
+// New builds a Runtime.
+func New(med *mediator.Mediator, res *resolver.Resolver, comps Components, maxRepairs int) *Runtime {
+	if maxRepairs <= 0 {
+		maxRepairs = 8
+	}
+	return &Runtime{
+		med:        med,
+		res:        res,
+		comps:      comps,
+		maxRepairs: maxRepairs,
+		active:     make(map[guid.GUID]*activeCfg),
+		byProv:     make(map[guid.GUID]guid.Set),
+	}
+}
+
+// Instantiate wires cfg into the mediator: one subscription per edge
+// delivering into the consumer CE's HandleInput, plus the root subscription
+// delivering to the querying application. rctx is remembered for repairs.
+func (r *Runtime) Instantiate(cfg *resolver.Configuration, rctx resolver.Context, deliver DeliverFunc) error {
+	if cfg == nil || cfg.Root == nil {
+		return errors.New("configuration: nil configuration")
+	}
+	ac := &activeCfg{cfg: cfg, deliver: deliver, rctx: rctx}
+	if err := r.wire(ac); err != nil {
+		r.med.CancelConfiguration(cfg.ID)
+		return err
+	}
+	r.mu.Lock()
+	r.active[cfg.ID] = ac
+	r.indexProvidersLocked(cfg)
+	r.mu.Unlock()
+	r.primeSources(cfg.Root)
+	return nil
+}
+
+// primeSources asks every leaf provider that supports it to re-emit its
+// current state.
+func (r *Runtime) primeSources(b *resolver.Binding) {
+	if b == nil {
+		return
+	}
+	if len(b.Inputs) == 0 {
+		if ce, ok := r.comps.Component(b.Provider); ok {
+			if p, ok := ce.(Primer); ok {
+				p.Prime()
+			}
+		}
+		return
+	}
+	for _, in := range b.Inputs {
+		r.primeSources(in)
+	}
+}
+
+// wire establishes all subscriptions for the configuration's current graph.
+func (r *Runtime) wire(ac *activeCfg) error {
+	cfg := ac.cfg
+	for _, e := range cfg.Edges {
+		consumer, ok := r.comps.Component(e.Consumer)
+		if !ok {
+			return fmt.Errorf("configuration: consumer %s not local", e.Consumer.Short())
+		}
+		filter := event.Filter{Type: e.Type, Source: e.Producer}
+		ce := consumer
+		if _, err := r.med.Subscribe(e.Consumer, filter, func(ev event.Event) {
+			ce.HandleInput(ev)
+		}, mediator.SubOptions{Configuration: cfg.ID, QueueLen: edgeQueueLen}); err != nil {
+			return err
+		}
+	}
+	// Root delivery to the querying application.
+	if ac.deliver != nil {
+		rootFilter := event.Filter{Type: cfg.Root.Output, Source: cfg.Root.Provider}
+		opts := mediator.SubOptions{
+			Configuration: cfg.ID,
+			OneShot:       cfg.Query.Mode == query.ModeOnce,
+			QueueLen:      edgeQueueLen,
+		}
+		if _, err := r.med.Subscribe(cfg.Query.Owner, rootFilter, func(ev event.Event) {
+			ac.deliver(ev)
+		}, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Teardown removes the configuration and its subscriptions.
+func (r *Runtime) Teardown(id guid.GUID) error {
+	r.mu.Lock()
+	ac, ok := r.active[id]
+	if ok {
+		delete(r.active, id)
+		r.unindexProvidersLocked(ac.cfg)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConfiguration, id.Short())
+	}
+	r.med.CancelConfiguration(id)
+	return nil
+}
+
+// Active returns the status of every live configuration, ordered by id.
+func (r *Runtime) Active() []Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Status, 0, len(r.active))
+	for id, ac := range r.active {
+		out = append(out, Status{
+			ID:            id,
+			Providers:     ac.cfg.Providers(),
+			Repairs:       ac.repairs,
+			Subscriptions: len(r.med.ForConfiguration(id)),
+		})
+	}
+	// Sort by id for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && guid.Less(out[j].ID, out[j-1].ID); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Uses reports whether any active configuration is bound to the provider.
+func (r *Runtime) Uses(provider guid.GUID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byProv[provider]) > 0
+}
+
+// HandleDeparture repairs every configuration bound to the departed
+// provider. It is the hook the Registrar watcher calls. Returns the number
+// of configurations repaired (configurations whose repair fails are torn
+// down).
+func (r *Runtime) HandleDeparture(provider guid.GUID) int {
+	r.mu.Lock()
+	affectedSet := r.byProv[provider]
+	affected := make([]guid.GUID, 0, len(affectedSet))
+	for id := range affectedSet {
+		affected = append(affected, id)
+	}
+	r.mu.Unlock()
+	guid.Sort(affected)
+
+	repaired := 0
+	for _, id := range affected {
+		if err := r.Repair(id, provider); err == nil {
+			repaired++
+		} else {
+			// A configuration that cannot be repaired is torn down: the
+			// application sees the stream stop rather than silently stall.
+			_ = r.Teardown(id)
+			r.RepairFailures.Inc()
+		}
+	}
+	return repaired
+}
+
+// Repair rebinds the parts of configuration id that depended on the failed
+// provider, then rewires its subscriptions. Subscription churn during
+// repair can drop in-flight events; consumers detect the gap via sequence
+// numbers.
+func (r *Runtime) Repair(id, failed guid.GUID) error {
+	start := nowMonotonic()
+	r.mu.Lock()
+	ac, ok := r.active[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownConfiguration, id.Short())
+	}
+	if ac.repairs >= r.maxRepairs {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrRepairBudget, r.maxRepairs)
+	}
+	r.unindexProvidersLocked(ac.cfg)
+	r.mu.Unlock()
+
+	rctx := ac.rctx
+	if rctx.Exclude == nil {
+		rctx.Exclude = guid.NewSet()
+	}
+	rctx.Exclude.Add(failed)
+
+	newRoot, err := r.repairBinding(ac.cfg.Root, ac.cfg.Query, failed, rctx)
+	if err != nil {
+		// Restore indexing so a later retry can find the configuration.
+		r.mu.Lock()
+		r.indexProvidersLocked(ac.cfg)
+		r.mu.Unlock()
+		return err
+	}
+	ac.cfg.Root = newRoot
+	ac.cfg.Edges = resolver.Flatten(newRoot)
+
+	// Rewire: drop all old subscriptions, then create the new set.
+	r.med.CancelConfiguration(id)
+	if err := r.wire(ac); err != nil {
+		r.med.CancelConfiguration(id)
+		return err
+	}
+
+	r.mu.Lock()
+	ac.repairs++
+	r.indexProvidersLocked(ac.cfg)
+	r.mu.Unlock()
+
+	r.Repairs.Inc()
+	r.RepairLatency.Record(nowMonotonic() - start)
+	return nil
+}
+
+// repairBinding returns a binding tree equal to b but with every subtree
+// rooted at the failed provider re-resolved.
+func (r *Runtime) repairBinding(b *resolver.Binding, q query.Query, failed guid.GUID, rctx resolver.Context) (*resolver.Binding, error) {
+	if b == nil {
+		return nil, nil
+	}
+	if b.Provider == failed {
+		return r.res.ResolveReplacement(q, b.Want, failed, rctx)
+	}
+	out := &resolver.Binding{
+		Provider: b.Provider,
+		Want:     b.Want,
+		Output:   b.Output,
+	}
+	for _, in := range b.Inputs {
+		sub, err := r.repairBinding(in, q, failed, rctx)
+		if err != nil {
+			return nil, err
+		}
+		out.Inputs = append(out.Inputs, sub)
+	}
+	return out, nil
+}
+
+func (r *Runtime) indexProvidersLocked(cfg *resolver.Configuration) {
+	for _, p := range cfg.Providers() {
+		set, ok := r.byProv[p]
+		if !ok {
+			set = guid.NewSet()
+			r.byProv[p] = set
+		}
+		set.Add(cfg.ID)
+	}
+}
+
+func (r *Runtime) unindexProvidersLocked(cfg *resolver.Configuration) {
+	for _, p := range cfg.Providers() {
+		if set, ok := r.byProv[p]; ok {
+			set.Remove(cfg.ID)
+			if len(set) == 0 {
+				delete(r.byProv, p)
+			}
+		}
+	}
+}
+
+// nowMonotonic returns a monotonic nanosecond reading for latency metrics.
+func nowMonotonic() int64 { return int64(time.Since(processStart)) }
+
+var processStart = time.Now()
+
+// RootFilter returns the filter an application needs to receive the
+// configuration's answers directly (diagnostics).
+func RootFilter(cfg *resolver.Configuration) event.Filter {
+	return event.Filter{Type: cfg.Root.Output, Source: cfg.Root.Provider}
+}
+
+// OutputType returns the root output type, or wildcard when unknown.
+func OutputType(cfg *resolver.Configuration) ctxtype.Type {
+	if cfg == nil || cfg.Root == nil {
+		return ctxtype.Wildcard
+	}
+	return cfg.Root.Output
+}

@@ -1,0 +1,411 @@
+package configuration
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/mediator"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/resolver"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// rig assembles a full local pipeline: sensor CEs → interpreter CE → CAA,
+// with mediator, resolver and runtime.
+type rig struct {
+	med      *mediator.Mediator
+	profiles *profile.Manager
+	types    *ctxtype.Registry
+	res      *resolver.Resolver
+	rt       *Runtime
+	clk      *clock.Manual
+
+	comps map[guid.GUID]entity.CE
+
+	doors  []*sensorCE
+	wlan   *sensorCE
+	objLoc *entity.ObjLocationCE
+}
+
+// sensorCE is a minimal source CE emitting sightings on demand.
+type sensorCE struct {
+	*entity.Base
+}
+
+func newSensorCE(name string, out ctxtype.Type, quality float64, clk *clock.Manual) *sensorCE {
+	s := &sensorCE{}
+	s.Base = entity.NewBase(guid.KindDevice, profile.Profile{
+		Name:    name,
+		Outputs: []ctxtype.Type{out},
+		Quality: quality,
+	}, clk)
+	return s
+}
+
+func (s *sensorCE) sight(subject guid.GUID, place string) error {
+	return s.Emit(s.Profile().Outputs[0], subject, map[string]any{"place": place})
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	r := &rig{
+		profiles: &profile.Manager{},
+		types:    ctxtype.NewRegistry(),
+		clk:      clock.NewManual(epoch),
+		comps:    make(map[guid.GUID]entity.CE),
+	}
+	r.med = mediator.New(r.types)
+	r.res = resolver.New(r.profiles, r.types, nil)
+	r.rt = New(r.med, r.res, ComponentsFunc(func(g guid.GUID) (entity.CE, bool) {
+		ce, ok := r.comps[g]
+		return ce, ok
+	}), 4)
+
+	add := func(ce entity.CE) {
+		ce.Attach(r.med)
+		r.comps[ce.ID()] = ce
+		if err := r.profiles.Put(ce.Profile()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		d := newSensorCE(fmt.Sprintf("door-%d", i), ctxtype.LocationSightingDoor, 0.9, r.clk)
+		r.doors = append(r.doors, d)
+		add(d)
+	}
+	r.wlan = newSensorCE("basestation", ctxtype.LocationSightingWLAN, 0.6, r.clk)
+	add(r.wlan)
+	r.objLoc = entity.NewObjLocationCE(nil, r.clk)
+	add(r.objLoc)
+	return r
+}
+
+func (r *rig) close() {
+	r.med.Close()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func positionQuery(owner guid.GUID) query.Query {
+	return query.New(owner, query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+}
+
+func TestInstantiateDeliversEndToEnd(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	owner := guid.New(guid.KindApplication)
+	q := positionQuery(owner)
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []event.Event
+	if err := r.rt.Instantiate(cfg, resolver.Context{}, func(e event.Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A door sighting flows: door → objLoc → CAA as location.position.
+	bob := guid.New(guid.KindPerson)
+	boundDoor := cfg.Root.Inputs[0].Provider
+	var src *sensorCE
+	for _, d := range r.doors {
+		if d.ID() == boundDoor {
+			src = d
+		}
+	}
+	if src == nil {
+		t.Fatalf("bound provider %s is not a door", boundDoor.Short())
+	}
+	if err := src.sight(bob, "l10.01"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	e := got[0]
+	mu.Unlock()
+	if e.Type != ctxtype.LocationPosition || e.Subject != bob {
+		t.Fatalf("delivered = %+v", e)
+	}
+	// Status bookkeeping.
+	sts := r.rt.Active()
+	if len(sts) != 1 || sts[0].ID != cfg.ID || sts[0].Repairs != 0 {
+		t.Fatalf("status = %+v", sts)
+	}
+	if sts[0].Subscriptions != 3 { // objLoc←door ×2 (fan-in) + root
+		t.Fatalf("subscriptions = %d", sts[0].Subscriptions)
+	}
+	if !r.rt.Uses(boundDoor) {
+		t.Fatal("Uses(boundDoor) false")
+	}
+}
+
+func TestInstantiateValidation(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	if err := r.rt.Instantiate(nil, resolver.Context{}, nil); err == nil {
+		t.Fatal("nil configuration accepted")
+	}
+	// Configuration with a non-local consumer fails and cleans up.
+	q := positionQuery(guid.New(guid.KindApplication))
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(r.comps, r.objLoc.ID())
+	if err := r.rt.Instantiate(cfg, resolver.Context{}, nil); err == nil {
+		t.Fatal("missing consumer accepted")
+	}
+	if r.med.Len() != 0 {
+		t.Fatal("failed instantiate leaked subscriptions")
+	}
+}
+
+func TestTeardown(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	q := positionQuery(guid.New(guid.KindApplication))
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rt.Instantiate(cfg, resolver.Context{}, func(event.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rt.Teardown(cfg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rt.Teardown(cfg.ID); !errors.Is(err, ErrUnknownConfiguration) {
+		t.Fatalf("double teardown: %v", err)
+	}
+	if r.med.Len() != 0 {
+		t.Fatal("teardown leaked subscriptions")
+	}
+	if len(r.rt.Active()) != 0 {
+		t.Fatal("still active")
+	}
+	if r.rt.Uses(cfg.Root.Provider) {
+		t.Fatal("Uses after teardown")
+	}
+}
+
+func TestRepairRebindsToEquivalentProvider(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	owner := guid.New(guid.KindApplication)
+	q := positionQuery(owner)
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []event.Event
+	if err := r.rt.Instantiate(cfg, resolver.Context{}, func(e event.Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill BOTH door sensors: remove their profiles, then report failure of
+	// the bound one. The repair must rebind to the semantically equivalent
+	// WLAN source.
+	bound := cfg.Root.Inputs[0].Provider
+	for _, d := range r.doors {
+		r.profiles.Remove(d.ID())
+	}
+	if n := r.rt.HandleDeparture(bound); n != 1 {
+		t.Fatalf("HandleDeparture repaired %d", n)
+	}
+	// The repaired graph must use the WLAN station.
+	sts := r.rt.Active()
+	if len(sts) != 1 || sts[0].Repairs != 1 {
+		t.Fatalf("status = %+v", sts)
+	}
+	found := false
+	for _, p := range sts[0].Providers {
+		if p == r.wlan.ID() {
+			found = true
+		}
+		if p == bound {
+			t.Fatal("failed provider still bound")
+		}
+	}
+	if !found {
+		t.Fatal("wlan not bound after repair")
+	}
+	// Updated information keeps flowing (the paper's §3.2 promise).
+	bob := guid.New(guid.KindPerson)
+	if err := r.wlan.sight(bob, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	})
+	if r.rt.Repairs.Value() != 1 || r.rt.RepairLatency.Count() != 1 {
+		t.Fatal("repair metrics not recorded")
+	}
+}
+
+func TestRepairFailureTearsDown(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	q := positionQuery(guid.New(guid.KindApplication))
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rt.Instantiate(cfg, resolver.Context{}, func(event.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove every sighting source; repair has nothing to rebind to.
+	for _, d := range r.doors {
+		r.profiles.Remove(d.ID())
+	}
+	r.profiles.Remove(r.wlan.ID())
+	bound := cfg.Root.Inputs[0].Provider
+	if n := r.rt.HandleDeparture(bound); n != 0 {
+		t.Fatalf("repaired %d, want 0", n)
+	}
+	if len(r.rt.Active()) != 0 {
+		t.Fatal("unrepairable configuration not torn down")
+	}
+	if r.rt.RepairFailures.Value() != 1 {
+		t.Fatal("failure not counted")
+	}
+	if r.med.Len() != 0 {
+		t.Fatal("teardown leaked subscriptions")
+	}
+}
+
+func TestRepairBudgetExhaustion(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	// Runtime with budget 1.
+	rt := New(r.med, r.res, ComponentsFunc(func(g guid.GUID) (entity.CE, bool) {
+		ce, ok := r.comps[g]
+		return ce, ok
+	}), 1)
+	q := positionQuery(guid.New(guid.KindApplication))
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Instantiate(cfg, resolver.Context{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := cfg.Root.Inputs[0].Provider
+	if err := rt.Repair(cfg.ID, first); err != nil {
+		t.Fatal(err)
+	}
+	second := cfg.Root.Inputs[0].Provider
+	if err := rt.Repair(cfg.ID, second); !errors.Is(err, ErrRepairBudget) {
+		t.Fatalf("budget not enforced: %v", err)
+	}
+}
+
+func TestRepairUnknownConfiguration(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	err := r.rt.Repair(guid.New(guid.KindConfiguration), guid.New(guid.KindDevice))
+	if !errors.Is(err, ErrUnknownConfiguration) {
+		t.Fatalf("unknown configuration: %v", err)
+	}
+	if n := r.rt.HandleDeparture(guid.New(guid.KindDevice)); n != 0 {
+		t.Fatal("departure of unused provider repaired something")
+	}
+}
+
+func TestOneShotModeDeliversOnce(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	owner := guid.New(guid.KindApplication)
+	q := query.New(owner, query.What{Pattern: ctxtype.LocationPosition}, query.ModeOnce)
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	count := 0
+	if err := r.rt.Instantiate(cfg, resolver.Context{}, func(event.Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bound := cfg.Root.Inputs[0].Provider
+	var src *sensorCE
+	for _, d := range r.doors {
+		if d.ID() == bound {
+			src = d
+		}
+	}
+	bob := guid.New(guid.KindPerson)
+	for i := 0; i < 3; i++ {
+		if err := src.sight(bob, "l10.01"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return count >= 1
+	})
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("one-shot delivered %d times", count)
+	}
+}
+
+func TestRootFilterAndOutputType(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	q := positionQuery(guid.New(guid.KindApplication))
+	cfg, err := r.res.Resolve(q, resolver.Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := RootFilter(cfg)
+	if f.Type != ctxtype.LocationPosition || f.Source != cfg.Root.Provider {
+		t.Fatalf("filter = %+v", f)
+	}
+	if OutputType(cfg) != ctxtype.LocationPosition {
+		t.Fatal("OutputType wrong")
+	}
+	if OutputType(nil) != ctxtype.Wildcard {
+		t.Fatal("OutputType(nil) wrong")
+	}
+}

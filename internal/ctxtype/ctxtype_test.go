@@ -1,0 +1,259 @@
+package ctxtype
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Type{"a", "a.b", "location.sighting.door", "x-1.y2", Wildcard}
+	for _, ty := range good {
+		if err := ty.Validate(); err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", ty, err)
+		}
+	}
+	bad := []Type{"", ".", "a.", ".a", "a..b", "A.b", "a b", "a.B", "日本"}
+	for _, ty := range bad {
+		if err := ty.Validate(); err == nil {
+			t.Errorf("Validate(%q) = nil, want error", ty)
+		} else if !errors.Is(err, ErrBadType) {
+			t.Errorf("Validate(%q) error not ErrBadType: %v", ty, err)
+		}
+	}
+}
+
+func TestParentDepthAncestor(t *testing.T) {
+	ty := Type("location.sighting.door")
+	if ty.Parent() != "location.sighting" {
+		t.Fatalf("Parent = %q", ty.Parent())
+	}
+	if Type("location").Parent() != "" {
+		t.Fatal("root parent should be empty")
+	}
+	if ty.Depth() != 3 || Type("").Depth() != 0 {
+		t.Fatal("Depth broken")
+	}
+	if !ty.HasAncestor("location") || !ty.HasAncestor("location.sighting") || !ty.HasAncestor(ty) {
+		t.Fatal("HasAncestor false negatives")
+	}
+	if ty.HasAncestor("loc") || ty.HasAncestor("location.sight") {
+		t.Fatal("HasAncestor must match whole segments")
+	}
+	if !ty.HasAncestor(Wildcard) {
+		t.Fatal("wildcard is ancestor of everything")
+	}
+}
+
+func TestRegistryRegisterKnown(t *testing.T) {
+	var r Registry // zero value usable
+	if r.Known("foo.bar") {
+		t.Fatal("empty registry knows types")
+	}
+	if err := r.Register("foo.bar"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Known("foo.bar") {
+		t.Fatal("Register did not take")
+	}
+	if err := r.Register("BAD NAME"); err == nil {
+		t.Fatal("Register accepted malformed name")
+	}
+}
+
+func TestNewRegistryCoreVocabulary(t *testing.T) {
+	r := NewRegistry()
+	for _, ty := range []Type{LocationPosition, PathRoute, PrinterStatus, EntityArrival} {
+		if !r.Known(ty) {
+			t.Errorf("core type %q not registered", ty)
+		}
+	}
+	if len(r.Types()) < 10 {
+		t.Fatalf("core vocabulary too small: %v", r.Types())
+	}
+	// Types() sorted.
+	ts := r.Types()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatal("Types not sorted")
+		}
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	r := NewRegistry()
+	if !r.Equivalent(LocationSightingDoor, LocationSightingWLAN) {
+		t.Fatal("door and wlan sightings should be equivalent (core registry)")
+	}
+	if !r.Equivalent(LocationSightingDoor, LocationSightingDoor) {
+		t.Fatal("equivalence must be reflexive")
+	}
+	if r.Equivalent(LocationSightingDoor, PrinterStatus) {
+		t.Fatal("unrelated types equivalent")
+	}
+	// Transitivity via a chain.
+	if err := r.Register("location.sighting.bluetooth"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DeclareEquivalent("location.sighting.bluetooth", LocationSightingWLAN); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equivalent("location.sighting.bluetooth", LocationSightingDoor) {
+		t.Fatal("equivalence must be transitive")
+	}
+	class := r.ClassOf(LocationSightingDoor)
+	if len(class) != 3 {
+		t.Fatalf("ClassOf = %v, want 3 members", class)
+	}
+}
+
+func TestDeclareEquivalentValidates(t *testing.T) {
+	var r Registry
+	if err := r.DeclareEquivalent("ok", "NOT OK"); err == nil {
+		t.Fatal("DeclareEquivalent accepted bad name")
+	}
+}
+
+func TestSatisfiesAndScore(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		got, want Type
+		satisfies bool
+		score     int
+	}{
+		{LocationPosition, LocationPosition, true, 3},
+		{LocationSightingDoor, LocationSighting, true, 2}, // subsumption
+		{LocationSightingDoor, LocationSightingWLAN, true, 1},
+		{PrinterStatus, LocationPosition, false, 0},
+		{LocationSighting, LocationSightingDoor, false, 0}, // ancestor does NOT satisfy descendant
+		{PrinterQueue, Wildcard, true, 3},
+	}
+	for _, c := range cases {
+		if got := r.Satisfies(c.got, c.want); got != c.satisfies {
+			t.Errorf("Satisfies(%q,%q) = %v, want %v", c.got, c.want, got, c.satisfies)
+		}
+		if got := r.MatchScore(c.got, c.want); got != c.score {
+			t.Errorf("MatchScore(%q,%q) = %d, want %d", c.got, c.want, got, c.score)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	r := NewRegistry()
+	out, err := r.Convert(TemperatureKelvin, TemperatureCelsius, map[string]any{"value": 300.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := out["value"].(float64); v < 26.84 || v > 26.86 {
+		t.Fatalf("300K = %v °C, want ≈26.85", v)
+	}
+	// Identity.
+	p := map[string]any{"x": 1}
+	same, err := r.Convert(PrinterQueue, PrinterQueue, p)
+	if err != nil || same["x"] != 1 {
+		t.Fatal("identity conversion broken")
+	}
+	// Missing.
+	if _, err := r.Convert(PrinterQueue, PathRoute, p); !errors.Is(err, ErrNoConversion) {
+		t.Fatalf("want ErrNoConversion, got %v", err)
+	}
+	// Converter error path.
+	if _, err := r.Convert(TemperatureKelvin, TemperatureCelsius, map[string]any{}); err == nil {
+		t.Fatal("converter should reject missing value")
+	}
+}
+
+func TestRegisterConverterValidation(t *testing.T) {
+	var r Registry
+	if err := r.RegisterConverter("a", "b", nil); err == nil {
+		t.Fatal("nil converter accepted")
+	}
+	if err := r.RegisterConverter("BAD NAME", "b", func(p map[string]any) (map[string]any, error) { return p, nil }); err == nil {
+		t.Fatal("bad from-type accepted")
+	}
+	if err := r.RegisterConverter("a", "b", func(p map[string]any) (map[string]any, error) { return p, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Known("a") || !r.Known("b") {
+		t.Fatal("RegisterConverter should register both endpoint types")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	r := NewRegistry()
+	if r.Quality(LocationSightingDoor) <= r.Quality(LocationSightingWLAN) {
+		t.Fatal("door sighting should outrank wlan sighting")
+	}
+	if q := r.Quality("never.seen"); q != 0.5 {
+		t.Fatalf("default quality = %v, want 0.5", q)
+	}
+	r.SetQuality("never.seen", 0.99)
+	if q := r.Quality("never.seen"); q != 0.99 {
+		t.Fatalf("SetQuality did not take: %v", q)
+	}
+}
+
+// Property: equivalence is symmetric and transitive over random declarations.
+func TestPropEquivalenceClosure(t *testing.T) {
+	names := []Type{"t.a", "t.b", "t.c", "t.d", "t.e", "t.f"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := &Registry{}
+		for _, n := range names {
+			if err := r.Register(n); err != nil {
+				return false
+			}
+		}
+		// Declare random pairs equivalent; track ground truth with a naive
+		// union-find over indices.
+		parent := make([]int, len(names))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(i int) int {
+			for parent[i] != i {
+				i = parent[i]
+			}
+			return i
+		}
+		for k := 0; k < 8; k++ {
+			i, j := rng.Intn(len(names)), rng.Intn(len(names))
+			if err := r.DeclareEquivalent(names[i], names[j]); err != nil {
+				return false
+			}
+			parent[find(i)] = find(j)
+		}
+		for i := range names {
+			for j := range names {
+				want := find(i) == find(j)
+				if r.Equivalent(names[i], names[j]) != want {
+					return false
+				}
+				// Symmetry.
+				if r.Equivalent(names[i], names[j]) != r.Equivalent(names[j], names[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Satisfies is implied by MatchScore > 0 and vice versa.
+func TestPropSatisfiesIffScorePositive(t *testing.T) {
+	r := NewRegistry()
+	all := r.Types()
+	f := func(i, j uint8) bool {
+		got := all[int(i)%len(all)]
+		want := all[int(j)%len(all)]
+		return r.Satisfies(got, want) == (r.MatchScore(got, want) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

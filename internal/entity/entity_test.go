@@ -1,0 +1,369 @@
+package entity
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/profile"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// capture is a Publisher that records published events.
+type capture struct {
+	mu  sync.Mutex
+	evs []event.Event
+}
+
+func (c *capture) Publish(e event.Event) error {
+	c.mu.Lock()
+	c.evs = append(c.evs, e)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *capture) all() []event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]event.Event, len(c.evs))
+	copy(out, c.evs)
+	return out
+}
+
+func testMap(t testing.TB) *location.Map {
+	t.Helper()
+	places := []location.Place{
+		{ID: "lobby", Path: "b/f/lobby", Centroid: location.Point{Frame: "F", X: 0, Y: 0}},
+		{ID: "corr", Path: "b/f/corr", Centroid: location.Point{Frame: "F", X: 10, Y: 0}},
+		{ID: "r1", Path: "b/f/r1", Centroid: location.Point{Frame: "F", X: 20, Y: 0}},
+		{ID: "r2", Path: "b/f/r2", Centroid: location.Point{Frame: "F", X: 30, Y: 0}},
+	}
+	links := []location.Link{
+		{A: "lobby", B: "corr"}, {A: "corr", B: "r1"}, {A: "corr", B: "r2"},
+	}
+	m, err := location.NewMap(places, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBaseIdentityAndProfile(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	b := NewBase(guid.KindEntity, profile.Profile{Name: "x"}, clk)
+	if b.ID().Kind() != guid.KindEntity {
+		t.Fatal("kind wrong")
+	}
+	p := b.Profile()
+	if p.Entity != b.ID() || p.Name != "x" {
+		t.Fatalf("profile = %+v", p)
+	}
+	// Profile copies are isolated.
+	p.Name = "mutated"
+	if b.Profile().Name != "x" {
+		t.Fatal("Profile returned shared storage")
+	}
+	b.UpdateProfile(func(p *profile.Profile) {
+		p.Name = "y"
+		p.Entity = guid.New(guid.KindEntity) // must be forced back
+	})
+	if got := b.Profile(); got.Name != "y" || got.Entity != b.ID() {
+		t.Fatalf("UpdateProfile result = %+v", got)
+	}
+}
+
+func TestBaseEmitLifecycle(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	b := NewBase(guid.KindEntity, profile.Profile{Name: "x", Quality: 0.8}, clk)
+	if err := b.Emit(ctxtype.TemperatureCelsius, guid.Nil, nil); !errors.Is(err, ErrDetached) {
+		t.Fatalf("emit while detached: %v", err)
+	}
+	var pub capture
+	rng := guid.New(guid.KindRange)
+	b.Attach(&pub)
+	b.SetRange(rng)
+	if !b.Attached() {
+		t.Fatal("not attached")
+	}
+	subj := guid.New(guid.KindPerson)
+	for i := 0; i < 3; i++ {
+		if err := b.Emit(ctxtype.TemperatureCelsius, subj, map[string]any{"value": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := pub.all()
+	if len(evs) != 3 {
+		t.Fatalf("published %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+		if e.Source != b.ID() || e.Subject != subj || e.Range != rng {
+			t.Fatalf("event fields wrong: %+v", e)
+		}
+		if e.Quality != 0.8 {
+			t.Fatalf("quality = %v", e.Quality)
+		}
+		if !e.Time.Equal(epoch) {
+			t.Fatal("event time should come from the injected clock")
+		}
+	}
+	if b.Sequenced() != 3 {
+		t.Fatal("sequence counter wrong")
+	}
+	b.Detach()
+	if b.Attached() {
+		t.Fatal("still attached")
+	}
+	if err := b.Emit(ctxtype.TemperatureCelsius, guid.Nil, nil); !errors.Is(err, ErrDetached) {
+		t.Fatal("emit after detach succeeded")
+	}
+	// Base has no service.
+	if _, err := b.Serve("anything", nil); !errors.Is(err, ErrNoService) {
+		t.Fatalf("Serve = %v", err)
+	}
+}
+
+func TestCAAConsumeHandlerAndInbox(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	var mu sync.Mutex
+	var got []event.Event
+	caa := NewCAA("app", func(e event.Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}, clk)
+	e := event.New(ctxtype.PrinterStatus, guid.New(guid.KindDevice), 1, epoch, nil)
+	caa.Consume(e)
+	mu.Lock()
+	if len(got) != 1 {
+		t.Fatal("handler not invoked")
+	}
+	mu.Unlock()
+	if caa.PendingEvents() != 0 {
+		t.Fatal("handler CAA should not queue")
+	}
+
+	inboxCAA := NewCAA("app2", nil, clk)
+	inboxCAA.Consume(e)
+	inboxCAA.Consume(e)
+	if inboxCAA.PendingEvents() != 2 {
+		t.Fatal("inbox not filled")
+	}
+	if evs := inboxCAA.TakeEvents(); len(evs) != 2 {
+		t.Fatal("TakeEvents wrong")
+	}
+	if inboxCAA.PendingEvents() != 0 {
+		t.Fatal("TakeEvents did not drain")
+	}
+}
+
+func TestFuncCE(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	prof := profile.Profile{
+		Name:    "doubler",
+		Inputs:  []ctxtype.Type{ctxtype.TemperatureCelsius},
+		Outputs: []ctxtype.Type{ctxtype.TemperatureCelsius},
+	}
+	ce := NewFuncCE(prof, clk, func(ce *FuncCE, e event.Event) {
+		v, _ := e.Float("value")
+		_ = ce.Emit(ctxtype.TemperatureCelsius, e.Subject, map[string]any{"value": v * 2})
+	})
+	var pub capture
+	ce.Attach(&pub)
+	ce.HandleInput(event.New(ctxtype.TemperatureCelsius, guid.New(guid.KindDevice), 1, epoch,
+		map[string]any{"value": 21.0}))
+	evs := pub.all()
+	if len(evs) != 1 {
+		t.Fatal("no output")
+	}
+	if v, _ := evs[0].Float("value"); v != 42 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestObjLocationCE(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	m := testMap(t)
+	ce := NewObjLocationCE(m, clk)
+	var pub capture
+	ce.Attach(&pub)
+
+	bob := guid.New(guid.KindPerson)
+	sensor := guid.New(guid.KindDevice)
+
+	// A sighting with a place reference becomes an interpreted position.
+	sighting := event.New(ctxtype.LocationSightingDoor, sensor, 1, epoch,
+		map[string]any{"place": "r1"}).WithSubject(bob)
+	ce.HandleInput(sighting)
+
+	evs := pub.all()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	out := evs[0]
+	if out.Type != ctxtype.LocationPosition || out.Subject != bob {
+		t.Fatalf("output = %+v", out)
+	}
+	if p, _ := out.Str("place"); p != "r1" {
+		t.Fatal("place lost")
+	}
+	if p, _ := out.Str("path"); p != "b/f/r1" {
+		t.Fatal("resolution did not fill hierarchical path")
+	}
+	ref, ok := ce.LastPosition(bob)
+	if !ok || ref.Place != "r1" {
+		t.Fatal("LastPosition wrong")
+	}
+
+	// Sightings without a subject or without a place are ignored.
+	ce.HandleInput(event.New(ctxtype.LocationSightingDoor, sensor, 2, epoch, map[string]any{"place": "r1"}))
+	ce.HandleInput(event.New(ctxtype.LocationSightingDoor, sensor, 3, epoch, nil).WithSubject(bob))
+	if len(pub.all()) != 1 {
+		t.Fatal("degenerate sightings produced output")
+	}
+
+	// Serve: locate.
+	res, err := ce.Serve("locate", map[string]any{"subject": bob.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["place"] != "r1" {
+		t.Fatalf("locate = %v", res)
+	}
+	if _, err := ce.Serve("locate", map[string]any{"subject": guid.New(guid.KindPerson).String()}); err == nil {
+		t.Fatal("locate unknown subject succeeded")
+	}
+	if _, err := ce.Serve("bogus", nil); !errors.Is(err, ErrNoService) {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestPathCE(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	m := testMap(t)
+	ce := NewPathCE(m, clk)
+	var pub capture
+	ce.Attach(&pub)
+
+	bob := guid.New(guid.KindPerson)
+	john := guid.New(guid.KindPerson)
+	if _, err := ce.Serve("watch", map[string]any{"a": bob.String(), "b": john.String()}); err != nil {
+		t.Fatal(err)
+	}
+	src := guid.New(guid.KindEntity)
+
+	// Only one position known: no path yet.
+	ce.HandleInput(event.New(ctxtype.LocationPosition, src, 1, epoch,
+		map[string]any{"place": "r1"}).WithSubject(bob))
+	if len(pub.all()) != 0 {
+		t.Fatal("path emitted with one endpoint")
+	}
+	// Second position: path r1 → corr → r2.
+	ce.HandleInput(event.New(ctxtype.LocationPosition, src, 2, epoch,
+		map[string]any{"place": "r2"}).WithSubject(john))
+	evs := pub.all()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Type != ctxtype.PathRoute {
+		t.Fatal("wrong output type")
+	}
+	places, ok := evs[0].Payload["places"].([]string)
+	if !ok || len(places) != 3 || places[0] != "r1" || places[2] != "r2" {
+		t.Fatalf("places = %v", evs[0].Payload["places"])
+	}
+	// Update: Bob moves to lobby → new path emitted.
+	ce.HandleInput(event.New(ctxtype.LocationPosition, src, 3, epoch,
+		map[string]any{"place": "lobby"}).WithSubject(bob))
+	if len(pub.all()) != 2 {
+		t.Fatal("no update after movement")
+	}
+	// Events for unrelated subjects are ignored.
+	ce.HandleInput(event.New(ctxtype.LocationPosition, src, 4, epoch,
+		map[string]any{"place": "r1"}).WithSubject(guid.New(guid.KindPerson)))
+	if len(pub.all()) != 2 {
+		t.Fatal("unrelated subject emitted path")
+	}
+	// Bad watch args.
+	if _, err := ce.Serve("watch", map[string]any{"a": "junk", "b": john.String()}); err == nil {
+		t.Fatal("bad watch args accepted")
+	}
+}
+
+func TestAggregatorCE(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	ce := NewAggregatorCE("avg-temp", ctxtype.TemperatureCelsius, ctxtype.TemperatureCelsius,
+		"value", 3, clk)
+	var pub capture
+	ce.Attach(&pub)
+	src := guid.New(guid.KindDevice)
+	for i, v := range []float64{10, 20, 30, 40} {
+		ce.HandleInput(event.New(ctxtype.TemperatureCelsius, src, uint64(i), epoch,
+			map[string]any{"value": v}))
+	}
+	evs := pub.all()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Means: 10, 15, 20, then window slides: (20+30+40)/3 = 30.
+	wantMeans := []float64{10, 15, 20, 30}
+	for i, e := range evs {
+		if v, _ := e.Float("value"); v != wantMeans[i] {
+			t.Fatalf("mean[%d] = %v, want %v", i, v, wantMeans[i])
+		}
+	}
+	// Non-numeric payloads ignored.
+	ce.HandleInput(event.New(ctxtype.TemperatureCelsius, src, 9, epoch, map[string]any{"value": "NaNsense"}))
+	if len(pub.all()) != 4 {
+		t.Fatal("non-numeric input produced output")
+	}
+}
+
+func TestInterpreterCE(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	reg := ctxtype.NewRegistry()
+	ce := NewInterpreterCE("k2c", reg, ctxtype.TemperatureKelvin, ctxtype.TemperatureCelsius, clk)
+	var pub capture
+	ce.Attach(&pub)
+	src := guid.New(guid.KindDevice)
+	ce.HandleInput(event.New(ctxtype.TemperatureKelvin, src, 1, epoch, map[string]any{"value": 300.0}))
+	evs := pub.all()
+	if len(evs) != 1 || evs[0].Type != ctxtype.TemperatureCelsius {
+		t.Fatalf("events = %+v", evs)
+	}
+	if v, _ := evs[0].Float("value"); v < 26.84 || v > 26.86 {
+		t.Fatalf("converted = %v", v)
+	}
+	// Unconvertible payload ignored.
+	ce.HandleInput(event.New(ctxtype.TemperatureKelvin, src, 2, epoch, nil))
+	if len(pub.all()) != 1 {
+		t.Fatal("bad payload converted")
+	}
+}
+
+func TestRefPayloadRoundTrip(t *testing.T) {
+	ref := location.Ref{
+		Place: "r1",
+		Path:  "b/f/r1",
+		Point: &location.Point{Frame: "F", X: 1, Y: 2},
+	}
+	back := refFromPayload(refPayload(ref))
+	if back.Place != ref.Place || back.Path != ref.Path {
+		t.Fatal("names lost")
+	}
+	if back.Point == nil || back.Point.X != 1 || back.Point.Y != 2 || back.Point.Frame != "F" {
+		t.Fatal("point lost")
+	}
+	if !refFromPayload(map[string]any{}).Empty() {
+		t.Fatal("empty payload produced non-empty ref")
+	}
+}

@@ -1,0 +1,355 @@
+package entity
+
+import (
+	"fmt"
+	"sync"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/profile"
+)
+
+// This file contains the reusable operator CEs the paper's composition
+// example (Section 3.2) is assembled from, plus the aggregator/interpreter
+// archetypes the Context Toolkit taxonomy names.
+
+// FuncCE is a generic transformer: a CE whose input handling is a supplied
+// function. It covers most ad hoc interpreters.
+type FuncCE struct {
+	*Base
+	fn func(ce *FuncCE, e event.Event)
+}
+
+// NewFuncCE builds a transformer CE. prof declares the inputs/outputs; fn
+// receives every input event and may call ce.Emit.
+func NewFuncCE(prof profile.Profile, clk clock.Clock, fn func(ce *FuncCE, e event.Event)) *FuncCE {
+	ce := &FuncCE{fn: fn}
+	ce.Base = NewBase(guid.KindEntity, prof, clk)
+	return ce
+}
+
+// HandleInput implements CE.
+func (ce *FuncCE) HandleInput(e event.Event) {
+	if ce.fn != nil {
+		ce.fn(ce, e)
+	}
+}
+
+// ObjLocationCE is the objLocationCE of Section 3.2: it consumes sighting
+// events (door or W-LAN — any location.sighting) and produces interpreted
+// location.position events for the sighted subject. It also remembers the
+// last known position of every subject, served through its advertisement
+// ("locate" operation) — the continuously-updated store a Location Service
+// consults.
+type ObjLocationCE struct {
+	*Base
+	places *location.Map
+
+	mu   sync.Mutex
+	last map[guid.GUID]location.Ref
+}
+
+// NewObjLocationCE builds the object-location interpreter. places may be
+// nil (positions then carry only what the sighting carried).
+func NewObjLocationCE(places *location.Map, clk clock.Clock) *ObjLocationCE {
+	prof := profile.Profile{
+		Name:    "objLocationCE",
+		Inputs:  []ctxtype.Type{ctxtype.LocationSighting},
+		Outputs: []ctxtype.Type{ctxtype.LocationPosition},
+		Advertisement: &profile.Advertisement{
+			Interface:  "object-location",
+			Operations: []string{"locate"},
+		},
+	}
+	ce := &ObjLocationCE{places: places, last: make(map[guid.GUID]location.Ref)}
+	ce.Base = NewBase(guid.KindEntity, prof, clk)
+	return ce
+}
+
+// HandleInput interprets a sighting into a position.
+func (ce *ObjLocationCE) HandleInput(e event.Event) {
+	if e.Subject.IsNil() {
+		return // a sighting of nobody carries no position information
+	}
+	ref := refFromPayload(e.Payload)
+	if ce.places != nil && !ref.Empty() {
+		if resolved, err := ce.places.Resolve(ref); err == nil {
+			ref = resolved
+		}
+	}
+	if ref.Empty() {
+		return
+	}
+	ce.mu.Lock()
+	ce.last[e.Subject] = ref
+	ce.mu.Unlock()
+	_ = ce.Emit(ctxtype.LocationPosition, e.Subject, refPayload(ref))
+}
+
+// LastPosition returns the last interpreted position of subject.
+func (ce *ObjLocationCE) LastPosition(subject guid.GUID) (location.Ref, bool) {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	ref, ok := ce.last[subject]
+	return ref, ok
+}
+
+// Serve implements the "object-location" advertisement: op "locate" with
+// args {"subject": "<guid>"} returns the last known position.
+func (ce *ObjLocationCE) Serve(op string, args map[string]any) (map[string]any, error) {
+	if op != "locate" {
+		return nil, fmt.Errorf("%w: %q", ErrNoService, op)
+	}
+	s, _ := args["subject"].(string)
+	subject, err := guid.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("entity: locate: bad subject: %w", err)
+	}
+	ref, ok := ce.LastPosition(subject)
+	if !ok {
+		return nil, fmt.Errorf("entity: locate: no position for %s", subject.Short())
+	}
+	return refPayload(ref), nil
+}
+
+// PathCE is the pathCE of Section 3.2: it consumes location.position events
+// for two watched subjects and emits a path.route event (the route between
+// them) whenever either moves.
+type PathCE struct {
+	*Base
+	places *location.Map
+
+	mu   sync.Mutex
+	a, b guid.GUID
+	posA location.Ref
+	posB location.Ref
+}
+
+// NewPathCE builds a path computer over the given map.
+func NewPathCE(places *location.Map, clk clock.Clock) *PathCE {
+	prof := profile.Profile{
+		Name:    "pathCE",
+		Inputs:  []ctxtype.Type{ctxtype.LocationPosition, ctxtype.LocationPosition},
+		Outputs: []ctxtype.Type{ctxtype.PathRoute},
+		Advertisement: &profile.Advertisement{
+			Interface:  "path",
+			Operations: []string{"watch"},
+		},
+	}
+	ce := &PathCE{places: places}
+	ce.Base = NewBase(guid.KindEntity, prof, clk)
+	return ce
+}
+
+// Watch sets the two subjects whose separation the CE computes.
+func (ce *PathCE) Watch(a, b guid.GUID) {
+	ce.mu.Lock()
+	ce.a, ce.b = a, b
+	ce.posA, ce.posB = location.Ref{}, location.Ref{}
+	ce.mu.Unlock()
+}
+
+// Serve implements the "path" advertisement: op "watch" with args
+// {"a": "<guid>", "b": "<guid>"}.
+func (ce *PathCE) Serve(op string, args map[string]any) (map[string]any, error) {
+	if op != "watch" {
+		return nil, fmt.Errorf("%w: %q", ErrNoService, op)
+	}
+	as, _ := args["a"].(string)
+	bs, _ := args["b"].(string)
+	a, err := guid.Parse(as)
+	if err != nil {
+		return nil, fmt.Errorf("entity: watch: bad a: %w", err)
+	}
+	b, err := guid.Parse(bs)
+	if err != nil {
+		return nil, fmt.Errorf("entity: watch: bad b: %w", err)
+	}
+	ce.Watch(a, b)
+	return map[string]any{"watching": true}, nil
+}
+
+// HandleInput updates the watched subject's position and re-emits the path.
+func (ce *PathCE) HandleInput(e event.Event) {
+	if ce.places == nil || e.Subject.IsNil() {
+		return
+	}
+	ref := refFromPayload(e.Payload)
+	if ref.Empty() {
+		return
+	}
+	ce.mu.Lock()
+	switch e.Subject {
+	case ce.a:
+		ce.posA = ref
+	case ce.b:
+		ce.posB = ref
+	default:
+		ce.mu.Unlock()
+		return
+	}
+	a, b := ce.posA, ce.posB
+	subjA, subjB := ce.a, ce.b
+	ce.mu.Unlock()
+
+	if a.Empty() || b.Empty() {
+		return
+	}
+	route, err := ce.places.ShortestRoute(a, b)
+	if err != nil {
+		return // disconnected; emit nothing rather than a wrong route
+	}
+	placeNames := make([]string, len(route.Places))
+	for i, p := range route.Places {
+		placeNames[i] = string(p)
+	}
+	_ = ce.Emit(ctxtype.PathRoute, subjA, map[string]any{
+		"from":   subjA.String(),
+		"to":     subjB.String(),
+		"places": placeNames,
+		"length": route.Length,
+		"hops":   route.Hops(),
+	})
+}
+
+// AggregatorCE averages a numeric payload field over a sliding window of
+// the last N events — the Context Toolkit "aggregator" archetype (e.g. a
+// smoothed temperature).
+type AggregatorCE struct {
+	*Base
+	field  string
+	window int
+
+	mu   sync.Mutex
+	vals []float64
+}
+
+// NewAggregatorCE builds an averaging aggregator: consumes `in`, produces
+// `out`, averaging payload[field] over `window` samples.
+func NewAggregatorCE(name string, in, out ctxtype.Type, field string, window int, clk clock.Clock) *AggregatorCE {
+	if window < 1 {
+		window = 1
+	}
+	prof := profile.Profile{
+		Name:    name,
+		Inputs:  []ctxtype.Type{in},
+		Outputs: []ctxtype.Type{out},
+	}
+	ce := &AggregatorCE{field: field, window: window}
+	ce.Base = NewBase(guid.KindEntity, prof, clk)
+	return ce
+}
+
+// HandleInput accumulates and emits the running mean.
+func (ce *AggregatorCE) HandleInput(e event.Event) {
+	v, ok := e.Float(ce.field)
+	if !ok {
+		return
+	}
+	ce.mu.Lock()
+	ce.vals = append(ce.vals, v)
+	if len(ce.vals) > ce.window {
+		ce.vals = ce.vals[len(ce.vals)-ce.window:]
+	}
+	var sum float64
+	for _, x := range ce.vals {
+		sum += x
+	}
+	mean := sum / float64(len(ce.vals))
+	n := len(ce.vals)
+	ce.mu.Unlock()
+
+	out := ce.Profile().Outputs[0]
+	_ = ce.Emit(out, e.Subject, map[string]any{
+		ce.field: mean,
+		"window": n,
+	})
+}
+
+// InterpreterCE converts events from one representation to another using
+// the type registry's converters — the Context Toolkit "interpreter"
+// archetype (e.g. Kelvin → Celsius).
+type InterpreterCE struct {
+	*Base
+	reg      *ctxtype.Registry
+	from, to ctxtype.Type
+}
+
+// NewInterpreterCE builds a converter CE for the from→to pair registered in
+// reg.
+func NewInterpreterCE(name string, reg *ctxtype.Registry, from, to ctxtype.Type, clk clock.Clock) *InterpreterCE {
+	prof := profile.Profile{
+		Name:    name,
+		Inputs:  []ctxtype.Type{from},
+		Outputs: []ctxtype.Type{to},
+	}
+	ce := &InterpreterCE{reg: reg, from: from, to: to}
+	ce.Base = NewBase(guid.KindEntity, prof, clk)
+	return ce
+}
+
+// HandleInput converts and re-emits.
+func (ce *InterpreterCE) HandleInput(e event.Event) {
+	payload, err := ce.reg.Convert(ce.from, ce.to, e.Payload)
+	if err != nil {
+		return
+	}
+	_ = ce.Emit(ce.to, e.Subject, payload)
+}
+
+// refPayload flattens a location.Ref into an event payload.
+func refPayload(r location.Ref) map[string]any {
+	p := map[string]any{}
+	if r.Place != "" {
+		p["place"] = string(r.Place)
+	}
+	if r.Path != "" {
+		p["path"] = string(r.Path)
+	}
+	if r.Point != nil {
+		p["frame"] = r.Point.Frame
+		p["x"] = r.Point.X
+		p["y"] = r.Point.Y
+	}
+	return p
+}
+
+// refFromPayload reconstructs a location.Ref from an event payload.
+func refFromPayload(p map[string]any) location.Ref {
+	var r location.Ref
+	if s, ok := p["place"].(string); ok && s != "" {
+		r.Place = location.PlaceID(s)
+	}
+	if s, ok := p["path"].(string); ok && s != "" {
+		r.Path = location.Path(s)
+	}
+	frame, okF := p["frame"].(string)
+	x, okX := toFloat(p["x"])
+	y, okY := toFloat(p["y"])
+	if okF && okX && okY {
+		r.Point = &location.Point{Frame: frame, X: x, Y: y}
+	}
+	return r
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+var (
+	_ CE = (*FuncCE)(nil)
+	_ CE = (*ObjLocationCE)(nil)
+	_ CE = (*PathCE)(nil)
+	_ CE = (*AggregatorCE)(nil)
+	_ CE = (*InterpreterCE)(nil)
+)

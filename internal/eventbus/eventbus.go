@@ -1,0 +1,371 @@
+// Package eventbus provides the in-process publish/subscribe fabric that a
+// Range's Event Mediator is built on.
+//
+// The paper's hybrid communication model (Section 4) combines distributed
+// events with point-to-point communication. Within one Range, all event
+// traffic between Context Entities and Context Aware Applications flows
+// through a Bus: producers publish typed events; subscribers receive the
+// subset matching their Filter on a bounded queue serviced by a dedicated
+// delivery goroutine, so one slow consumer can never stall producers or
+// other consumers.
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+// DropPolicy selects behaviour when a subscriber's queue is full.
+type DropPolicy int
+
+const (
+	// DropOldest discards the oldest queued event to admit the new one
+	// (default: context data is freshest-wins).
+	DropOldest DropPolicy = iota + 1
+	// DropNewest discards the incoming event.
+	DropNewest
+)
+
+// DefaultQueueLen is the per-subscription queue capacity when none is given.
+const DefaultQueueLen = 64
+
+// ErrClosed is returned when operating on a closed Bus or subscription.
+var ErrClosed = errors.New("eventbus: closed")
+
+// Handler consumes delivered events. Handlers run on the subscription's
+// delivery goroutine: they may block that subscription only.
+type Handler func(event.Event)
+
+// Stats counts bus activity; retrieved via Bus.Stats.
+type Stats struct {
+	Published uint64 // events accepted by Publish
+	Delivered uint64 // handler invocations completed
+	Dropped   uint64 // events discarded by full queues
+	Subs      int    // current live subscriptions
+}
+
+// Bus is a concurrent publish/subscribe dispatcher. Construct with New.
+type Bus struct {
+	reg *ctxtype.Registry // optional: enables semantic-equivalence matching
+
+	mu     sync.RWMutex
+	subs   map[guid.GUID]*Subscription
+	closed bool
+
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// New constructs a Bus. reg may be nil, in which case filters match on the
+// type hierarchy only.
+func New(reg *ctxtype.Registry) *Bus {
+	return &Bus{
+		reg:  reg,
+		subs: make(map[guid.GUID]*Subscription),
+	}
+}
+
+// Subscription is one consumer's registration with the bus.
+type Subscription struct {
+	id     guid.GUID
+	filter event.Filter
+	owner  guid.GUID // the subscribing entity, for bookkeeping/diagnostics
+	bus    *Bus
+
+	mu     sync.Mutex
+	queue  []event.Event // ring buffer
+	head   int
+	count  int
+	policy DropPolicy
+	wake   chan struct{}
+	closed bool
+
+	oneShot bool
+	fired   atomic.Bool
+}
+
+// SubOption configures a subscription.
+type SubOption func(*Subscription)
+
+// WithQueueLen sets the bounded queue capacity (min 1).
+func WithQueueLen(n int) SubOption {
+	return func(s *Subscription) {
+		if n < 1 {
+			n = 1
+		}
+		s.queue = make([]event.Event, n)
+	}
+}
+
+// WithPolicy sets the full-queue policy.
+func WithPolicy(p DropPolicy) SubOption {
+	return func(s *Subscription) { s.policy = p }
+}
+
+// WithOwner records the subscribing entity's GUID.
+func WithOwner(owner guid.GUID) SubOption {
+	return func(s *Subscription) { s.owner = owner }
+}
+
+// OneShot makes the subscription cancel itself after the first delivery —
+// the paper's "one-time subscription" query mode.
+func OneShot() SubOption {
+	return func(s *Subscription) { s.oneShot = true }
+}
+
+// Subscribe registers h for events matching f. The returned Subscription
+// must be Cancelled when no longer needed.
+func (b *Bus) Subscribe(f event.Filter, h Handler, opts ...SubOption) (*Subscription, error) {
+	if h == nil {
+		return nil, errors.New("eventbus: nil handler")
+	}
+	s := &Subscription{
+		id:     guid.New(guid.KindSubscription),
+		filter: f,
+		bus:    b,
+		policy: DropOldest,
+		wake:   make(chan struct{}, 1),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.queue == nil {
+		s.queue = make([]event.Event, DefaultQueueLen)
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.subs[s.id] = s
+	b.wg.Add(1)
+	b.mu.Unlock()
+
+	go func() {
+		defer b.wg.Done()
+		s.deliverLoop(h)
+	}()
+	return s, nil
+}
+
+// Publish dispatches e to every matching subscription. It never blocks on
+// slow consumers. Publish on a closed bus returns ErrClosed.
+func (b *Bus) Publish(e event.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	// Snapshot matching subs under read lock; enqueue outside per-sub locks.
+	var targets []*Subscription
+	for _, s := range b.subs {
+		if s.filter.MatchesIn(e, b.reg) {
+			targets = append(targets, s)
+		}
+	}
+	b.mu.RUnlock()
+
+	b.published.Add(1)
+	for _, s := range targets {
+		if n := s.enqueue(e); n > 0 {
+			b.dropped.Add(uint64(n))
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of bus counters.
+func (b *Bus) Stats() Stats {
+	b.mu.RLock()
+	n := len(b.subs)
+	b.mu.RUnlock()
+	return Stats{
+		Published: b.published.Load(),
+		Delivered: b.delivered.Load(),
+		Dropped:   b.dropped.Load(),
+		Subs:      n,
+	}
+}
+
+// SubscriptionIDs returns the ids of live subscriptions (sorted, for tests
+// and the registrar's diagnostics).
+func (b *Bus) SubscriptionIDs() []guid.GUID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]guid.GUID, 0, len(b.subs))
+	for id := range b.subs {
+		out = append(out, id)
+	}
+	guid.Sort(out)
+	return out
+}
+
+// CancelOwned cancels every subscription owned by the given entity; used by
+// the Mediator when an entity departs its Range (Section 3.4). It returns
+// the number cancelled.
+func (b *Bus) CancelOwned(owner guid.GUID) int {
+	b.mu.RLock()
+	var victims []*Subscription
+	for _, s := range b.subs {
+		if s.owner == owner {
+			victims = append(victims, s)
+		}
+	}
+	b.mu.RUnlock()
+	for _, s := range victims {
+		s.Cancel()
+	}
+	return len(victims)
+}
+
+// Close cancels all subscriptions and waits for delivery goroutines to exit.
+// Further Publish/Subscribe calls fail with ErrClosed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	victims := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		victims = append(victims, s)
+	}
+	b.mu.Unlock()
+	for _, s := range victims {
+		s.Cancel()
+	}
+	b.wg.Wait()
+}
+
+// ID returns the subscription identifier.
+func (s *Subscription) ID() guid.GUID { return s.id }
+
+// Owner returns the subscribing entity's GUID (may be nil).
+func (s *Subscription) Owner() guid.GUID { return s.owner }
+
+// Filter returns the subscription's filter.
+func (s *Subscription) Filter() event.Filter { return s.filter }
+
+// Cancel removes the subscription and stops its delivery goroutine. Queued
+// but undelivered events are discarded. Cancel is idempotent.
+func (s *Subscription) Cancel() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Wake the delivery loop so it observes closure.
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.bus.mu.Lock()
+	delete(s.bus.subs, s.id)
+	s.bus.mu.Unlock()
+}
+
+// enqueue adds e to the ring buffer, applying the drop policy. It returns
+// the number of events discarded by the call: 0 when e was admitted with no
+// eviction, 1 when the queue was full (either e itself under DropNewest, or
+// the evicted oldest event under DropOldest). A closed subscription admits
+// nothing and drops nothing.
+func (s *Subscription) enqueue(e event.Event) int {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	admitted := true
+	dropped := 0
+	n := len(s.queue)
+	if s.count == n {
+		dropped = 1
+		switch s.policy {
+		case DropNewest:
+			admitted = false
+		default: // DropOldest
+			s.head = (s.head + 1) % n
+			s.count--
+		}
+	}
+	if admitted {
+		s.queue[(s.head+s.count)%n] = e
+		s.count++
+	}
+	s.mu.Unlock()
+	if admitted {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return dropped
+}
+
+// dequeue removes the oldest queued event.
+func (s *Subscription) dequeue() (event.Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return event.Event{}, false
+	}
+	e := s.queue[s.head]
+	s.queue[s.head] = event.Event{}
+	s.head = (s.head + 1) % len(s.queue)
+	s.count--
+	return e, true
+}
+
+func (s *Subscription) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Subscription) deliverLoop(h Handler) {
+	for {
+		for {
+			e, ok := s.dequeue()
+			if !ok {
+				break
+			}
+			if s.oneShot {
+				if !s.fired.CompareAndSwap(false, true) {
+					return
+				}
+			}
+			h(e)
+			s.bus.delivered.Add(1)
+			if s.oneShot {
+				s.Cancel()
+				return
+			}
+		}
+		if s.isClosed() {
+			return
+		}
+		<-s.wake
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *Subscription) String() string {
+	return fmt.Sprintf("sub{%s %s}", s.id.Short(), s.filter)
+}

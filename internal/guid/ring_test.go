@@ -1,0 +1,109 @@
+package guid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubKnownValues(t *testing.T) {
+	zero := MustParse("00000000000000000000000000000000")
+	one := MustParse("00000000000000000000000000000001")
+	two := MustParse("00000000000000000000000000000002")
+	max := MustParse("ffffffffffffffffffffffffffffffff")
+
+	if got := Sub(two, one); got != one {
+		t.Fatalf("2-1 = %v", got)
+	}
+	if got := Sub(one, one); got != zero {
+		t.Fatalf("1-1 = %v", got)
+	}
+	// Wraparound: 0 - 1 = 2^128 - 1.
+	if got := Sub(zero, one); got != max {
+		t.Fatalf("0-1 = %v, want all-ff", got)
+	}
+	// Borrow propagation: 0x0100 - 0x01 = 0x00ff.
+	a := MustParse("00000000000000000000000000000100")
+	b := MustParse("000000000000000000000000000000ff")
+	if got := Sub(a, one); got != b {
+		t.Fatalf("0x100-1 = %v, want 0xff", got)
+	}
+}
+
+func TestCWDistDirectionality(t *testing.T) {
+	a := MustParse("00000000000000000000000000000010")
+	b := MustParse("00000000000000000000000000000020")
+	d1 := CWDist(a, b) // b - a = 0x10
+	d2 := CWDist(b, a) // wraps
+	if Compare(d1, d2) >= 0 {
+		t.Fatal("clockwise a→b should be shorter than b→a here")
+	}
+}
+
+func TestRingDistSymmetricAndBounded(t *testing.T) {
+	half := MustParse("80000000000000000000000000000000")
+	zero := MustParse("00000000000000000000000000000000")
+	// Antipodal points: both directions equal 2^127.
+	if got := RingDist(zero, half); got != half {
+		t.Fatalf("antipodal ring dist = %v", got)
+	}
+}
+
+func TestPropSubAddInverse(t *testing.T) {
+	// (a - b) + b == a, where addition is checked via Sub: a - (a-b) == b.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomGUID(r), randomGUID(r)
+		d := Sub(a, b)
+		return Sub(a, d) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRingDistSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomGUID(r), randomGUID(r)
+		return RingDist(a, b) == RingDist(b, a) && RingDist(a, a).IsNil()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRingDistIsMinOfDirections(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomGUID(r), randomGUID(r)
+		cw, ccw := CWDist(a, b), CWDist(b, a)
+		d := RingDist(a, b)
+		if Compare(cw, ccw) <= 0 {
+			return d == cw
+		}
+		return d == ccw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRingCloserToStrictOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tgt, a, b := randomGUID(r), randomGUID(r), randomGUID(r)
+		// Irreflexive and asymmetric.
+		if RingCloserTo(tgt, a, a) {
+			return false
+		}
+		if RingCloserTo(tgt, a, b) && RingCloserTo(tgt, b, a) {
+			return false
+		}
+		// The target itself is closest to itself.
+		return !RingCloserTo(tgt, a, tgt) || a == tgt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package mediator implements the Event Mediator Context Utility (paper,
+// Section 3.1): "manages the establishment, maintenance and removal of event
+// subscriptions between Context Entities and Context Aware Applications."
+//
+// The Mediator wraps the in-process event bus with the bookkeeping the rest
+// of a Range needs: a record of every live subscription (who subscribed, to
+// what, on whose behalf), configuration-scoped grouping so the configuration
+// runtime can tear down or rewire whole subscription graphs at once, and
+// departure handling (an entity leaving the Range takes its subscriptions
+// with it, Section 3.4).
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/eventbus"
+	"sci/internal/guid"
+)
+
+// Record describes one live subscription.
+type Record struct {
+	// ID is the subscription identifier.
+	ID guid.GUID
+	// Owner is the subscribing entity (CE or CAA).
+	Owner guid.GUID
+	// Filter selects the events delivered.
+	Filter event.Filter
+	// Configuration groups subscriptions created on behalf of one resolved
+	// configuration; nil for free-standing subscriptions.
+	Configuration guid.GUID
+	// OneShot marks one-time subscriptions.
+	OneShot bool
+}
+
+// Mediator manages a Range's event subscriptions. Construct with New.
+type Mediator struct {
+	bus *eventbus.Bus
+
+	mu   sync.Mutex
+	recs map[guid.GUID]*liveSub
+}
+
+type liveSub struct {
+	rec Record
+	sub *eventbus.Subscription
+}
+
+// ErrUnknownSubscription reports an id with no live subscription.
+var ErrUnknownSubscription = errors.New("mediator: unknown subscription")
+
+// New builds a Mediator over a fresh bus. reg may be nil (no semantic
+// equivalence in filter matching).
+func New(reg *ctxtype.Registry) *Mediator {
+	return &Mediator{
+		bus:  eventbus.New(reg),
+		recs: make(map[guid.GUID]*liveSub),
+	}
+}
+
+// SubOptions configures Subscribe.
+type SubOptions struct {
+	// Configuration groups this subscription under a configuration.
+	Configuration guid.GUID
+	// OneShot cancels the subscription after first delivery (the paper's
+	// one-time subscription query mode).
+	OneShot bool
+	// QueueLen overrides the delivery queue capacity.
+	QueueLen int
+}
+
+// Subscribe establishes a subscription for owner. The handler runs on a
+// dedicated delivery goroutine.
+func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event), opts SubOptions) (Record, error) {
+	if owner.IsNil() {
+		return Record{}, errors.New("mediator: nil owner")
+	}
+	busOpts := []eventbus.SubOption{eventbus.WithOwner(owner)}
+	if opts.OneShot {
+		busOpts = append(busOpts, eventbus.OneShot())
+	}
+	if opts.QueueLen > 0 {
+		busOpts = append(busOpts, eventbus.WithQueueLen(opts.QueueLen))
+	}
+
+	var rec Record
+	wrapped := h
+	if opts.OneShot {
+		// Drop the record as soon as the single delivery happens.
+		wrapped = func(e event.Event) {
+			h(e)
+			m.mu.Lock()
+			delete(m.recs, rec.ID)
+			m.mu.Unlock()
+		}
+	}
+	sub, err := m.bus.Subscribe(f, wrapped, busOpts...)
+	if err != nil {
+		return Record{}, fmt.Errorf("mediator: %w", err)
+	}
+	rec = Record{
+		ID:            sub.ID(),
+		Owner:         owner,
+		Filter:        f,
+		Configuration: opts.Configuration,
+		OneShot:       opts.OneShot,
+	}
+	m.mu.Lock()
+	m.recs[rec.ID] = &liveSub{rec: rec, sub: sub}
+	m.mu.Unlock()
+	return rec, nil
+}
+
+// Publish dispatches an event to all matching subscriptions.
+func (m *Mediator) Publish(e event.Event) error {
+	return m.bus.Publish(e)
+}
+
+// Cancel removes one subscription.
+func (m *Mediator) Cancel(id guid.GUID) error {
+	m.mu.Lock()
+	ls, ok := m.recs[id]
+	if ok {
+		delete(m.recs, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSubscription, id.Short())
+	}
+	ls.sub.Cancel()
+	return nil
+}
+
+// CancelOwned removes every subscription owned by entity (departure
+// handling); returns the number cancelled.
+func (m *Mediator) CancelOwned(entity guid.GUID) int {
+	victims := m.takeMatching(func(r Record) bool { return r.Owner == entity })
+	for _, ls := range victims {
+		ls.sub.Cancel()
+	}
+	return len(victims)
+}
+
+// CancelConfiguration removes every subscription belonging to a
+// configuration (teardown/rewire); returns the number cancelled.
+func (m *Mediator) CancelConfiguration(cfg guid.GUID) int {
+	if cfg.IsNil() {
+		return 0
+	}
+	victims := m.takeMatching(func(r Record) bool { return r.Configuration == cfg })
+	for _, ls := range victims {
+		ls.sub.Cancel()
+	}
+	return len(victims)
+}
+
+func (m *Mediator) takeMatching(pred func(Record) bool) []*liveSub {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*liveSub
+	for id, ls := range m.recs {
+		if pred(ls.rec) {
+			out = append(out, ls)
+			delete(m.recs, id)
+		}
+	}
+	return out
+}
+
+// Get returns the record for a live subscription.
+func (m *Mediator) Get(id guid.GUID) (Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.recs[id]
+	if !ok {
+		return Record{}, false
+	}
+	return ls.rec, true
+}
+
+// Records returns all live subscription records, ordered by id.
+func (m *Mediator) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, 0, len(m.recs))
+	for _, ls := range m.recs {
+		out = append(out, ls.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return guid.Less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// OwnedBy returns the live records owned by entity, ordered by id.
+func (m *Mediator) OwnedBy(entity guid.GUID) []Record {
+	var out []Record
+	for _, r := range m.Records() {
+		if r.Owner == entity {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ForConfiguration returns the live records in a configuration, ordered by
+// id.
+func (m *Mediator) ForConfiguration(cfg guid.GUID) []Record {
+	var out []Record
+	for _, r := range m.Records() {
+		if r.Configuration == cfg {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live subscriptions.
+func (m *Mediator) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.recs)
+}
+
+// Stats exposes the underlying bus counters.
+func (m *Mediator) Stats() eventbus.Stats {
+	return m.bus.Stats()
+}
+
+// Close tears down the bus and all subscriptions.
+func (m *Mediator) Close() {
+	m.mu.Lock()
+	m.recs = make(map[guid.GUID]*liveSub)
+	m.mu.Unlock()
+	m.bus.Close()
+}

@@ -1,0 +1,226 @@
+package mediator
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+var t0 = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func mkEvent(ty ctxtype.Type, seq uint64) event.Event {
+	return event.New(ty, guid.New(guid.KindDevice), seq, t0, nil)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestSubscribePublishCancel(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	owner := guid.New(guid.KindApplication)
+	var got atomic.Int64
+	rec, err := m.Subscribe(owner, event.Filter{Type: ctxtype.PrinterStatus},
+		func(event.Event) { got.Add(1) }, SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Owner != owner || rec.ID.IsNil() {
+		t.Fatalf("record = %+v", rec)
+	}
+	if err := m.Publish(mkEvent(ctxtype.PrinterStatus, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Publish(mkEvent(ctxtype.PathRoute, 2)) // filtered out
+	waitFor(t, func() bool { return got.Load() == 1 })
+
+	if err := m.Cancel(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(rec.ID); !errors.Is(err, ErrUnknownSubscription) {
+		t.Fatalf("double cancel: %v", err)
+	}
+	_ = m.Publish(mkEvent(ctxtype.PrinterStatus, 3))
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Fatal("delivered after cancel")
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	if _, err := m.Subscribe(guid.Nil, event.Filter{}, func(event.Event) {}, SubOptions{}); err == nil {
+		t.Fatal("nil owner accepted")
+	}
+	if _, err := m.Subscribe(guid.New(guid.KindEntity), event.Filter{}, nil, SubOptions{}); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestOneShotRemovesRecord(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	var got atomic.Int64
+	rec, err := m.Subscribe(guid.New(guid.KindApplication), event.Filter{},
+		func(event.Event) { got.Add(1) }, SubOptions{OneShot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.OneShot {
+		t.Fatal("record not marked one-shot")
+	}
+	for i := 0; i < 3; i++ {
+		_ = m.Publish(mkEvent(ctxtype.PrinterStatus, uint64(i)))
+	}
+	waitFor(t, func() bool { return got.Load() == 1 })
+	waitFor(t, func() bool { return m.Len() == 0 })
+	if _, ok := m.Get(rec.ID); ok {
+		t.Fatal("one-shot record still present")
+	}
+}
+
+func TestCancelOwned(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	bob := guid.New(guid.KindPerson)
+	john := guid.New(guid.KindPerson)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Subscribe(bob, event.Filter{}, func(event.Event) {}, SubOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Subscribe(john, event.Filter{}, func(event.Event) {}, SubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.OwnedBy(bob)) != 3 {
+		t.Fatal("OwnedBy(bob) != 3")
+	}
+	if n := m.CancelOwned(bob); n != 3 {
+		t.Fatalf("CancelOwned = %d", n)
+	}
+	if m.Len() != 1 || len(m.OwnedBy(bob)) != 0 || len(m.OwnedBy(john)) != 1 {
+		t.Fatal("ownership bookkeeping broken")
+	}
+}
+
+func TestCancelConfiguration(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	cfgX := guid.New(guid.KindConfiguration)
+	cfgY := guid.New(guid.KindConfiguration)
+	owner := guid.New(guid.KindApplication)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Subscribe(owner, event.Filter{}, func(event.Event) {}, SubOptions{Configuration: cfgX}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Subscribe(owner, event.Filter{}, func(event.Event) {}, SubOptions{Configuration: cfgY}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Subscribe(owner, event.Filter{}, func(event.Event) {}, SubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.ForConfiguration(cfgX)); got != 2 {
+		t.Fatalf("ForConfiguration = %d", got)
+	}
+	if n := m.CancelConfiguration(cfgX); n != 2 {
+		t.Fatalf("CancelConfiguration = %d", n)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after teardown", m.Len())
+	}
+	if n := m.CancelConfiguration(guid.Nil); n != 0 {
+		t.Fatal("nil configuration cancelled something")
+	}
+}
+
+func TestSemanticEquivalenceThroughMediator(t *testing.T) {
+	m := New(ctxtype.NewRegistry())
+	defer m.Close()
+	var got atomic.Int64
+	if _, err := m.Subscribe(guid.New(guid.KindApplication),
+		event.Filter{Type: ctxtype.LocationSightingDoor},
+		func(event.Event) { got.Add(1) }, SubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Publish(mkEvent(ctxtype.LocationSightingWLAN, 1))
+	waitFor(t, func() bool { return got.Load() == 1 })
+}
+
+func TestRecordsSortedAndGet(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	owner := guid.New(guid.KindApplication)
+	var ids []guid.GUID
+	for i := 0; i < 10; i++ {
+		rec, err := m.Subscribe(owner, event.Filter{}, func(event.Event) {}, SubOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	recs := m.Records()
+	if len(recs) != 10 {
+		t.Fatalf("Records len = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if !guid.Less(recs[i-1].ID, recs[i].ID) {
+			t.Fatal("Records not sorted")
+		}
+	}
+	if _, ok := m.Get(ids[0]); !ok {
+		t.Fatal("Get missed live record")
+	}
+	if _, ok := m.Get(guid.New(guid.KindSubscription)); ok {
+		t.Fatal("Get found phantom record")
+	}
+}
+
+func TestStatsAndConcurrency(t *testing.T) {
+	m := New(nil)
+	defer m.Close()
+	var delivered atomic.Int64
+	const subs = 4
+	for i := 0; i < subs; i++ {
+		if _, err := m.Subscribe(guid.New(guid.KindApplication), event.Filter{},
+			func(event.Event) { delivered.Add(1) }, SubOptions{QueueLen: 4096}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const pubs, per = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < pubs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := m.Publish(mkEvent(ctxtype.TemperatureCelsius, uint64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return delivered.Load() == subs*pubs*per })
+	st := m.Stats()
+	if st.Published != pubs*per || st.Subs != subs {
+		t.Fatalf("stats = %+v", st)
+	}
+}

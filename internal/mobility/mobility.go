@@ -1,0 +1,198 @@
+// Package mobility implements the paper's model of mobility (Section 3.4):
+// "In a dynamic environment entities will move in and between Ranges
+// throughout their lifecycle. To allow for this mobility each range
+// monitors internal activity as well as activity at its boundaries in order
+// to detect the arrival and departure of entities."
+//
+// World is the simulated ground truth: people wearing ID badges and
+// carrying W-LAN devices move through the topological place graph. Movement
+// traverses the shortest route; crossing a door with a badge triggers that
+// door's sensor, and every visited place is offered to the registered base
+// stations — exactly the two detection mechanisms the paper names ("a user
+// wearing an id tag ... walking through a door equipped with a sensor" and
+// "a user with a W-LAN equipped device ... leaving the effective operating
+// range of a wireless network").
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/sensor"
+)
+
+// Actor is a mobile person (or autonomous device) in the world.
+type Actor struct {
+	// ID is the person's GUID; their badge transmits it.
+	ID guid.GUID
+	// Name labels the actor ("bob").
+	Name string
+	// Badge reports whether the actor wears an ID badge (door sensors see
+	// badged actors only).
+	Badge bool
+	// Device is the GUID of a carried W-LAN device (nil = none).
+	Device guid.GUID
+}
+
+// World is the simulation ground truth. Construct with NewWorld. Safe for
+// concurrent use; movement is serialised.
+type World struct {
+	places *location.Map
+
+	mu       sync.Mutex
+	actors   map[guid.GUID]Actor
+	at       map[guid.GUID]location.PlaceID
+	doors    map[string][]*sensor.DoorSensor
+	stations []*sensor.BaseStation
+	moves    uint64
+}
+
+// Errors.
+var (
+	ErrUnknownActor = errors.New("mobility: unknown actor")
+	ErrNoRoute      = errors.New("mobility: no route to destination")
+)
+
+// NewWorld builds a world over the given map.
+func NewWorld(places *location.Map) *World {
+	return &World{
+		places: places,
+		actors: make(map[guid.GUID]Actor),
+		at:     make(map[guid.GUID]location.PlaceID),
+		doors:  make(map[string][]*sensor.DoorSensor),
+	}
+}
+
+// Places returns the world's map.
+func (w *World) Places() *location.Map { return w.places }
+
+// AddActor places an actor at start.
+func (w *World) AddActor(a Actor, start location.PlaceID) error {
+	if a.ID.IsNil() {
+		return errors.New("mobility: actor needs an id")
+	}
+	if _, ok := w.places.Place(start); !ok {
+		return fmt.Errorf("%w: %q", location.ErrUnknownPlace, start)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.actors[a.ID] = a
+	w.at[a.ID] = start
+	return nil
+}
+
+// AttachDoorSensor registers a door sensor to be triggered when badged
+// actors cross the named door.
+func (w *World) AttachDoorSensor(s *sensor.DoorSensor) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.doors[s.Door()] = append(w.doors[s.Door()], s)
+}
+
+// AttachBaseStation registers a base station observing device positions.
+func (w *World) AttachBaseStation(s *sensor.BaseStation) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stations = append(w.stations, s)
+}
+
+// WhereIs returns an actor's current place.
+func (w *World) WhereIs(id guid.GUID) (location.PlaceID, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p, ok := w.at[id]
+	return p, ok
+}
+
+// Actors returns all actor ids, sorted.
+func (w *World) Actors() []guid.GUID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]guid.GUID, 0, len(w.actors))
+	for id := range w.actors {
+		out = append(out, id)
+	}
+	guid.Sort(out)
+	return out
+}
+
+// Moves returns the total number of completed place-to-place steps.
+func (w *World) Moves() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.moves
+}
+
+// Teleport relocates an actor without triggering sensors (scenario setup).
+func (w *World) Teleport(id guid.GUID, to location.PlaceID) error {
+	if _, ok := w.places.Place(to); !ok {
+		return fmt.Errorf("%w: %q", location.ErrUnknownPlace, to)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.actors[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownActor, id.Short())
+	}
+	w.at[id] = to
+	return nil
+}
+
+// MoveTo walks an actor along the shortest route to dest, firing door
+// sensors at each crossed door (if badged) and offering every visited place
+// to the base stations (if carrying a device). It returns the route taken.
+func (w *World) MoveTo(id guid.GUID, dest location.PlaceID) (location.Route, error) {
+	w.mu.Lock()
+	actor, ok := w.actors[id]
+	if !ok {
+		w.mu.Unlock()
+		return location.Route{}, fmt.Errorf("%w: %s", ErrUnknownActor, id.Short())
+	}
+	from := w.at[id]
+	w.mu.Unlock()
+
+	route, err := w.places.ShortestRoute(location.AtPlace(from), location.AtPlace(dest))
+	if err != nil {
+		return location.Route{}, fmt.Errorf("%w: %v", ErrNoRoute, err)
+	}
+	for hop := 1; hop < len(route.Places); hop++ {
+		entering := route.Places[hop]
+		door := route.Doors[hop-1]
+
+		w.mu.Lock()
+		w.at[id] = entering
+		w.moves++
+		var doorSensors []*sensor.DoorSensor
+		if door != "" && actor.Badge {
+			doorSensors = append(doorSensors, w.doors[door]...)
+		}
+		stations := make([]*sensor.BaseStation, len(w.stations))
+		copy(stations, w.stations)
+		w.mu.Unlock()
+
+		for _, s := range doorSensors {
+			_ = s.Sight(actor.ID, entering)
+		}
+		if !actor.Device.IsNil() {
+			for _, s := range stations {
+				_ = s.Observe(actor.Device, entering)
+			}
+		}
+	}
+	return route, nil
+}
+
+// Doors returns the registered door names, sorted (diagnostics).
+func (w *World) Doors() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.doors))
+	for d := range w.doors {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

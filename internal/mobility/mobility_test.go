@@ -1,0 +1,207 @@
+package mobility
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/sensor"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+type capture struct {
+	mu  sync.Mutex
+	evs []event.Event
+}
+
+func (c *capture) Publish(e event.Event) error {
+	c.mu.Lock()
+	c.evs = append(c.evs, e)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *capture) byType(t ctxtype.Type) []event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []event.Event
+	for _, e := range c.evs {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func testWorld(t testing.TB) (*World, *capture, *clock.Manual) {
+	t.Helper()
+	places := []location.Place{
+		{ID: "lobby", Path: "b/f/lobby", Centroid: location.Point{Frame: "F", X: 0, Y: 0}},
+		{ID: "corr", Path: "b/f/corr", Centroid: location.Point{Frame: "F", X: 10, Y: 0}},
+		{ID: "r1", Path: "b/f/r1", Centroid: location.Point{Frame: "F", X: 20, Y: 0}},
+		{ID: "r2", Path: "b/f/r2", Centroid: location.Point{Frame: "F", X: 30, Y: 0}},
+	}
+	links := []location.Link{
+		{A: "lobby", B: "corr", Door: "d-lobby"},
+		{A: "corr", B: "r1", Door: "d-r1"},
+		{A: "corr", B: "r2", Door: "d-r2"},
+	}
+	m, err := location.NewMap(places, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewManual(epoch)
+	w := NewWorld(m)
+	var pub capture
+	for _, d := range []struct {
+		name  string
+		place location.PlaceID
+	}{{"d-lobby", "corr"}, {"d-r1", "r1"}, {"d-r2", "r2"}} {
+		s := sensor.NewDoorSensor(d.name, location.AtPlace(d.place), clk)
+		s.Attach(&pub)
+		w.AttachDoorSensor(s)
+	}
+	bs := sensor.NewBaseStation("lobby-cell", []location.PlaceID{"lobby", "corr"}, location.AtPlace("lobby"), clk)
+	bs.Attach(&pub)
+	w.AttachBaseStation(bs)
+	return w, &pub, clk
+}
+
+func TestAddActorValidation(t *testing.T) {
+	w, _, _ := testWorld(t)
+	if err := w.AddActor(Actor{}, "lobby"); err == nil {
+		t.Fatal("actor without id accepted")
+	}
+	bob := Actor{ID: guid.New(guid.KindPerson), Name: "bob", Badge: true}
+	if err := w.AddActor(bob, "nowhere"); err == nil {
+		t.Fatal("unknown start accepted")
+	}
+	if err := w.AddActor(bob, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := w.WhereIs(bob.ID); !ok || p != "lobby" {
+		t.Fatal("start place wrong")
+	}
+	if len(w.Actors()) != 1 {
+		t.Fatal("actor count wrong")
+	}
+}
+
+func TestMoveTriggersDoorSensors(t *testing.T) {
+	w, pub, _ := testWorld(t)
+	bob := Actor{ID: guid.New(guid.KindPerson), Name: "bob", Badge: true}
+	if err := w.AddActor(bob, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	route, err := w.MoveTo(bob.ID, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Hops() != 2 {
+		t.Fatalf("route hops = %d", route.Hops())
+	}
+	if p, _ := w.WhereIs(bob.ID); p != "r1" {
+		t.Fatal("actor did not arrive")
+	}
+	sightings := pub.byType(ctxtype.LocationSightingDoor)
+	if len(sightings) != 2 {
+		t.Fatalf("door sightings = %d, want 2 (d-lobby, d-r1)", len(sightings))
+	}
+	for _, e := range sightings {
+		if e.Subject != bob.ID {
+			t.Fatal("sighting subject wrong")
+		}
+	}
+	// The sighted places trace the route.
+	if p, _ := sightings[0].Str("place"); p != "corr" {
+		t.Fatalf("first sighting place = %s", p)
+	}
+	if p, _ := sightings[1].Str("place"); p != "r1" {
+		t.Fatalf("second sighting place = %s", p)
+	}
+	if w.Moves() != 2 {
+		t.Fatal("move counter wrong")
+	}
+}
+
+func TestUnbadgedActorInvisibleToDoors(t *testing.T) {
+	w, pub, _ := testWorld(t)
+	ghost := Actor{ID: guid.New(guid.KindPerson), Name: "ghost", Badge: false}
+	if err := w.AddActor(ghost, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.MoveTo(ghost.ID, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.byType(ctxtype.LocationSightingDoor)) != 0 {
+		t.Fatal("unbadged actor sighted")
+	}
+}
+
+func TestDeviceSeenByBaseStation(t *testing.T) {
+	w, pub, _ := testWorld(t)
+	dev := guid.New(guid.KindDevice)
+	bob := Actor{ID: guid.New(guid.KindPerson), Name: "bob", Badge: false, Device: dev}
+	if err := w.AddActor(bob, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	// r1 → lobby passes through corr (in cell) then lobby (in cell).
+	if _, err := w.MoveTo(bob.ID, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	wlan := pub.byType(ctxtype.LocationSightingWLAN)
+	if len(wlan) != 2 {
+		t.Fatalf("wlan sightings = %d, want 2", len(wlan))
+	}
+	if wlan[0].Subject != dev {
+		t.Fatal("wlan subject should be the device")
+	}
+	// Leaving the cell: r1 is outside → departure event.
+	if _, err := w.MoveTo(bob.ID, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	wlan = pub.byType(ctxtype.LocationSightingWLAN)
+	last := wlan[len(wlan)-1]
+	if left, _ := last.Payload["left"].(bool); !left {
+		t.Fatalf("expected departure event, got %+v", last)
+	}
+}
+
+func TestTeleportSilent(t *testing.T) {
+	w, pub, _ := testWorld(t)
+	bob := Actor{ID: guid.New(guid.KindPerson), Name: "bob", Badge: true}
+	if err := w.AddActor(bob, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Teleport(bob.ID, "r2"); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := w.WhereIs(bob.ID); p != "r2" {
+		t.Fatal("teleport failed")
+	}
+	if len(pub.byType(ctxtype.LocationSightingDoor)) != 0 {
+		t.Fatal("teleport triggered sensors")
+	}
+	if err := w.Teleport(guid.New(guid.KindPerson), "r1"); err == nil {
+		t.Fatal("teleport of unknown actor accepted")
+	}
+	if err := w.Teleport(bob.ID, "nowhere"); err == nil {
+		t.Fatal("teleport to unknown place accepted")
+	}
+}
+
+func TestMoveErrors(t *testing.T) {
+	w, _, _ := testWorld(t)
+	if _, err := w.MoveTo(guid.New(guid.KindPerson), "r1"); err == nil {
+		t.Fatal("move of unknown actor accepted")
+	}
+	if len(w.Doors()) != 3 {
+		t.Fatalf("doors = %v", w.Doors())
+	}
+}

@@ -1,0 +1,551 @@
+package overlay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/guid"
+	"sci/internal/metrics"
+	"sci/internal/transport"
+	"sci/internal/wire"
+)
+
+// Delivery is a routed application payload arriving at its destination.
+type Delivery struct {
+	// Target is the GUID the message was routed to.
+	Target guid.GUID
+	// Origin is the node that injected the message.
+	Origin guid.GUID
+	// AppKind discriminates application payloads (query, event, ...).
+	AppKind string
+	// Payload is the opaque application body.
+	Payload json.RawMessage
+	// Hops is the number of overlay forwards taken.
+	Hops int
+}
+
+// DeliverFunc consumes routed payloads at their destination.
+type DeliverFunc func(Delivery)
+
+// Router is the interface common to the structured overlay Node and the
+// hierarchical Tree baseline, so experiment E1 can drive both identically.
+type Router interface {
+	// ID returns the node identifier.
+	ID() guid.GUID
+	// Route forwards an application payload toward target.
+	Route(target guid.GUID, appKind string, payload []byte) error
+	// Relayed returns how many messages this node has forwarded on behalf
+	// of others — the per-node load measure for the bottleneck experiment.
+	Relayed() uint64
+	// Close detaches the node.
+	Close() error
+}
+
+// Config parameterises a Node.
+type Config struct {
+	// ID is the node's GUID; a fresh KindServer GUID is generated when nil.
+	ID guid.GUID
+	// Network attaches the node; required.
+	Network transport.Network
+	// Clock drives heartbeats; defaults to the real clock.
+	Clock clock.Clock
+	// HeartbeatEvery is the liveness probe period; 0 disables probing
+	// (simulation runs that don't exercise failure keep this off).
+	HeartbeatEvery time.Duration
+	// FailAfter declares a neighbour dead when no pong arrives within this
+	// window; defaults to 3×HeartbeatEvery.
+	FailAfter time.Duration
+	// Deliver receives routed payloads addressed to (or closest to) this
+	// node. May be nil for pure relay nodes.
+	Deliver DeliverFunc
+	// MaxTTL bounds forwarding; defaults to guid.Digits+8.
+	MaxTTL int
+}
+
+// Node is a structured-overlay SCINET node.
+type Node struct {
+	cfg    Config
+	id     guid.GUID
+	st     *state
+	ep     transport.Endpoint
+	clk    clock.Clock
+	maxTTL int
+
+	mu           sync.Mutex
+	waiters      map[guid.GUID]chan wire.Message // correlation → reply slot
+	announceWait map[guid.GUID]chan struct{}     // correlation → announce ack slot
+	pinged       map[guid.GUID]time.Time         // outstanding pings
+	closed       bool
+
+	hb clock.Timer
+
+	relayed   metrics.Counter
+	delivered metrics.Counter
+	// RouteHops records hop counts observed at delivery (experiment E1).
+	RouteHops metrics.Histogram
+}
+
+// Body types for overlay control messages.
+type joinBody struct {
+	Joiner guid.GUID   `json:"joiner"`
+	Nodes  []guid.GUID `json:"nodes"` // knowledge accumulated along the path (bounded)
+	// Leaves is filled only on the reply: the complete leaf set of the
+	// closest existing node. It is carried separately from Nodes so that
+	// path accumulation can never crowd it out — the joiner's own leaf-set
+	// accuracy (and hence routing correctness) depends on receiving it
+	// whole.
+	Leaves []guid.GUID `json:"leaves,omitempty"`
+}
+
+type routeBody struct {
+	Target  guid.GUID       `json:"target"`
+	Origin  guid.GUID       `json:"origin"`
+	AppKind string          `json:"app_kind"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Hops    int             `json:"hops"`
+}
+
+type gossipBody struct {
+	Nodes []guid.GUID `json:"nodes"`
+}
+
+// Errors.
+var (
+	ErrClosed      = errors.New("overlay: node closed")
+	ErrJoinTimeout = errors.New("overlay: join timed out")
+	ErrNoRoute     = errors.New("overlay: no route to target")
+)
+
+// joinTimeout bounds how long Join waits for the network's reply.
+const joinTimeout = 5 * time.Second
+
+// maxCarriedNodes bounds the knowledge piggybacked on join/gossip bodies.
+const maxCarriedNodes = 64
+
+// NewNode attaches a node to the network. The node is a one-node overlay
+// until Join is called (the first node of a SCINET simply never joins).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("overlay: Config.Network is required")
+	}
+	if cfg.ID.IsNil() {
+		cfg.ID = guid.New(guid.KindServer)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.FailAfter == 0 {
+		cfg.FailAfter = 3 * cfg.HeartbeatEvery
+	}
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = guid.Digits + 8
+	}
+	n := &Node{
+		cfg:          cfg,
+		id:           cfg.ID,
+		st:           newState(cfg.ID),
+		clk:          cfg.Clock,
+		maxTTL:       cfg.MaxTTL,
+		waiters:      make(map[guid.GUID]chan wire.Message),
+		announceWait: make(map[guid.GUID]chan struct{}),
+		pinged:       make(map[guid.GUID]time.Time),
+	}
+	ep, err := cfg.Network.Attach(n.id, n.handle)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: attach: %w", err)
+	}
+	n.ep = ep
+	if cfg.HeartbeatEvery > 0 {
+		n.scheduleHeartbeat()
+	}
+	return n, nil
+}
+
+// ID implements Router.
+func (n *Node) ID() guid.GUID { return n.id }
+
+// Relayed implements Router.
+func (n *Node) Relayed() uint64 { return n.relayed.Value() }
+
+// Delivered returns how many payloads terminated here.
+func (n *Node) Delivered() uint64 { return n.delivered.Value() }
+
+// Known returns the sorted ids of all nodes in the routing structures.
+func (n *Node) Known() []guid.GUID { return n.st.known() }
+
+// Join bootstraps the node into the overlay reachable via the bootstrap
+// node. It routes a join request toward this node's own id; every node on
+// the path contributes routing knowledge, and the numerically closest node
+// replies with the accumulated set. The joiner then announces itself to all
+// learned nodes.
+func (n *Node) Join(bootstrap guid.GUID) error {
+	if bootstrap == n.id {
+		return errors.New("overlay: cannot bootstrap from self")
+	}
+	corr := guid.New(guid.KindQuery)
+	replyCh := make(chan wire.Message, 1)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.waiters[corr] = replyCh
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.waiters, corr)
+		n.mu.Unlock()
+	}()
+
+	body := joinBody{Joiner: n.id, Nodes: []guid.GUID{bootstrap}}
+	m, err := wire.NewMessage(n.id, bootstrap, wire.KindOverlayJoin, body)
+	if err != nil {
+		return err
+	}
+	m.Corr = corr
+	m.TTL = n.maxTTL
+	if err := n.ep.Send(m); err != nil {
+		return fmt.Errorf("overlay: join send: %w", err)
+	}
+
+	select {
+	case reply := <-replyCh:
+		var jb joinBody
+		if err := reply.DecodeBody(&jb); err != nil {
+			return err
+		}
+		for _, id := range jb.Nodes {
+			n.st.consider(id)
+		}
+		for _, id := range jb.Leaves {
+			n.st.consider(id)
+		}
+		n.st.consider(reply.Src)
+		n.announce()
+		return nil
+	case <-time.After(joinTimeout):
+		return ErrJoinTimeout
+	}
+}
+
+// announce tells every known node about this node's existence, then waits
+// for their acknowledgements (pongs). Waiting matters: a node whose join
+// completes has been integrated into its ring neighbours' leaf sets, so a
+// subsequent join routed anywhere in the overlay will find it. Without the
+// wait, back-to-back joins of ring-adjacent nodes could miss each other
+// permanently (until gossip heals them).
+func (n *Node) announce() {
+	nodes := []guid.GUID{n.id}
+	peers := n.st.known()
+	waitCh := make(chan struct{}, len(peers))
+	var corrs []guid.GUID
+	for _, peer := range peers {
+		m, err := wire.NewMessage(n.id, peer, wire.KindOverlayPing, gossipBody{Nodes: nodes})
+		if err != nil {
+			continue
+		}
+		corr := guid.New(guid.KindQuery)
+		m.Corr = corr
+		n.mu.Lock()
+		n.announceWait[corr] = waitCh
+		n.mu.Unlock()
+		corrs = append(corrs, corr)
+		if err := n.ep.Send(m); err != nil {
+			n.mu.Lock()
+			delete(n.announceWait, corr)
+			n.mu.Unlock()
+			corrs = corrs[:len(corrs)-1]
+		}
+	}
+	deadline := time.After(joinTimeout)
+	for range corrs {
+		select {
+		case <-waitCh:
+		case <-deadline:
+			// Unacknowledged peers will learn of us through gossip.
+			goto cleanup
+		}
+	}
+cleanup:
+	n.mu.Lock()
+	for _, corr := range corrs {
+		delete(n.announceWait, corr)
+	}
+	n.mu.Unlock()
+}
+
+// Route implements Router. The payload travels greedily toward target; it
+// is delivered at target itself, or at the closest reachable node when the
+// target is unknown (key-based routing semantics).
+func (n *Node) Route(target guid.GUID, appKind string, payload []byte) error {
+	body := routeBody{
+		Target:  target,
+		Origin:  n.id,
+		AppKind: appKind,
+		Payload: payload,
+		Hops:    0,
+	}
+	return n.forward(body)
+}
+
+// forward advances a route body one step from this node.
+func (n *Node) forward(body routeBody) error {
+	if body.Target == n.id {
+		n.deliverLocal(body)
+		return nil
+	}
+	hop := n.st.nextHop(body.Target)
+	if hop.IsNil() {
+		// No strictly closer node known: deliver here (closest node).
+		n.deliverLocal(body)
+		return nil
+	}
+	if body.Hops >= n.maxTTL {
+		return fmt.Errorf("%w: TTL exhausted for %s", ErrNoRoute, body.Target.Short())
+	}
+	body.Hops++
+	m, err := wire.NewMessage(n.id, hop, wire.KindOverlayRoute, body)
+	if err != nil {
+		return err
+	}
+	m.TTL = n.maxTTL - body.Hops
+	if err := n.ep.Send(m); err != nil {
+		// The hop is unreachable: drop it from our tables and retry once
+		// with the next best candidate (self-healing routing).
+		n.st.forget(hop)
+		if retry := n.st.nextHop(body.Target); !retry.IsNil() {
+			m.Dst = retry
+			if err2 := n.ep.Send(m); err2 == nil {
+				return nil
+			}
+			n.st.forget(retry)
+		}
+		n.deliverLocal(body)
+		return nil
+	}
+	return nil
+}
+
+func (n *Node) deliverLocal(body routeBody) {
+	n.delivered.Inc()
+	n.RouteHops.Record(int64(body.Hops))
+	if n.cfg.Deliver != nil {
+		n.cfg.Deliver(Delivery{
+			Target:  body.Target,
+			Origin:  body.Origin,
+			AppKind: body.AppKind,
+			Payload: body.Payload,
+			Hops:    body.Hops,
+		})
+	}
+}
+
+// handle is the transport inbound dispatcher.
+func (n *Node) handle(m wire.Message) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	// Every message is evidence its sender is alive and routable.
+	n.st.consider(m.Src)
+
+	switch m.Kind {
+	case wire.KindOverlayJoin:
+		n.handleJoin(m)
+	case wire.KindOverlayJoinReply:
+		n.mu.Lock()
+		ch, ok := n.waiters[m.Corr]
+		n.mu.Unlock()
+		if ok {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	case wire.KindOverlayRoute:
+		var body routeBody
+		if err := m.DecodeBody(&body); err != nil {
+			return
+		}
+		if body.Target != n.id {
+			n.relayed.Inc()
+		}
+		_ = n.forward(body)
+	case wire.KindOverlayPing:
+		var gb gossipBody
+		if err := m.DecodeBody(&gb); err == nil {
+			for _, id := range gb.Nodes {
+				n.st.consider(id)
+			}
+		}
+		// Pong carries a sample of our knowledge back (anti-entropy).
+		reply, err := m.Reply(wire.KindOverlayPong, gossipBody{Nodes: n.sampleKnown()})
+		if err == nil {
+			_ = n.ep.Send(reply)
+		}
+	case wire.KindOverlayPong:
+		n.mu.Lock()
+		delete(n.pinged, m.Src)
+		ack, waiting := n.announceWait[m.Corr]
+		if waiting {
+			delete(n.announceWait, m.Corr)
+		}
+		n.mu.Unlock()
+		if waiting {
+			select {
+			case ack <- struct{}{}:
+			default:
+			}
+		}
+		var gb gossipBody
+		if err := m.DecodeBody(&gb); err == nil {
+			for _, id := range gb.Nodes {
+				n.st.consider(id)
+			}
+		}
+	}
+}
+
+// handleJoin advances a join request toward the joiner's id, accumulating
+// knowledge, and replies when this node is the closest.
+func (n *Node) handleJoin(m wire.Message) {
+	var jb joinBody
+	if err := m.DecodeBody(&jb); err != nil {
+		return
+	}
+	// Contribute this node's knowledge (bounded).
+	jb.Nodes = appendBounded(jb.Nodes, n.id)
+	for _, id := range n.sampleKnown() {
+		jb.Nodes = appendBounded(jb.Nodes, id)
+	}
+
+	// Pick the next hop excluding the joiner itself: handling this request
+	// (and the top-of-handle sender ingestion) has already put the joiner
+	// into our tables, but the question the join protocol asks is "who was
+	// ring-closest to this id before it existed?" — that node's leaf set is
+	// what seeds the joiner correctly, so routing must continue until it.
+	hop := n.st.nextHopAvoiding(jb.Joiner, jb.Joiner)
+	n.st.consider(jb.Joiner)
+	if hop.IsNil() || m.TTL <= 0 {
+		// This node is the closest existing node. Its leaf set contains the
+		// joiner's true ring neighbours; hand it over complete so the
+		// joiner's own leaf set starts accurate.
+		jb.Leaves = append(n.st.leafList(), n.id)
+		reply, err := wire.NewMessage(n.id, jb.Joiner, wire.KindOverlayJoinReply, jb)
+		if err != nil {
+			return
+		}
+		reply.Corr = m.Corr
+		_ = n.ep.Send(reply)
+		return
+	}
+	fwd, err := wire.NewMessage(n.id, hop, wire.KindOverlayJoin, jb)
+	if err != nil {
+		return
+	}
+	fwd.Corr = m.Corr
+	fwd.TTL = m.TTL - 1
+	if err := n.ep.Send(fwd); err != nil {
+		n.st.forget(hop)
+		// Fall back to replying ourselves.
+		reply, rerr := wire.NewMessage(n.id, jb.Joiner, wire.KindOverlayJoinReply, jb)
+		if rerr != nil {
+			return
+		}
+		reply.Corr = m.Corr
+		_ = n.ep.Send(reply)
+	}
+}
+
+// sampleKnown returns a bounded sample of known nodes for gossip bodies.
+func (n *Node) sampleKnown() []guid.GUID {
+	known := n.st.known()
+	if len(known) > maxCarriedNodes {
+		known = known[:maxCarriedNodes]
+	}
+	return known
+}
+
+func appendBounded(list []guid.GUID, id guid.GUID) []guid.GUID {
+	if len(list) >= maxCarriedNodes {
+		return list
+	}
+	for _, x := range list {
+		if x == id {
+			return list
+		}
+	}
+	return append(list, id)
+}
+
+// scheduleHeartbeat arms the next liveness probe round.
+func (n *Node) scheduleHeartbeat() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.hb = n.clk.AfterFunc(n.cfg.HeartbeatEvery, n.heartbeat)
+}
+
+// heartbeat pings the neighbour set and expires unanswered pings.
+func (n *Node) heartbeat() {
+	now := n.clk.Now()
+
+	// Expire overdue pings: declare those nodes failed.
+	n.mu.Lock()
+	var dead []guid.GUID
+	for id, sent := range n.pinged {
+		if now.Sub(sent) >= n.cfg.FailAfter {
+			dead = append(dead, id)
+			delete(n.pinged, id)
+		}
+	}
+	n.mu.Unlock()
+	for _, id := range dead {
+		n.st.forget(id)
+	}
+
+	// Ping current neighbours.
+	for _, peer := range n.st.leafList() {
+		n.mu.Lock()
+		if _, outstanding := n.pinged[peer]; !outstanding {
+			n.pinged[peer] = now
+		}
+		n.mu.Unlock()
+		m, err := wire.NewMessage(n.id, peer, wire.KindOverlayPing, gossipBody{Nodes: n.sampleKnown()})
+		if err != nil {
+			continue
+		}
+		if err := n.ep.Send(m); err != nil {
+			n.st.forget(peer)
+			n.mu.Lock()
+			delete(n.pinged, peer)
+			n.mu.Unlock()
+		}
+	}
+	n.scheduleHeartbeat()
+}
+
+// Close implements Router.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	if n.hb != nil {
+		n.hb.Stop()
+	}
+	n.mu.Unlock()
+	return n.ep.Close()
+}
+
+var _ Router = (*Node)(nil)

@@ -1,0 +1,305 @@
+// Package profile implements Context Entity Profiles and Advertisements
+// (paper, Section 3.1): "A CE maintains a Profile for its entity that
+// contains meta-data describing the entity. For entities that provide a
+// service, the CE may also maintain an Advertisement describing the services
+// that this entity can provide to other entities."
+//
+// Profiles declare an entity's typed event inputs and outputs — the raw
+// material for the Query Resolver's type matching (Section 3.2) — plus
+// free-form attributes and a location. Advertisements name the "well known"
+// interface a CAA can invoke on the entity (Section 4: the ServiceInterface).
+//
+// The Manager is the Profile Manager Context Utility: "provides access and
+// update abilities to Context Entities Profiles".
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sci/internal/ctxtype"
+	"sci/internal/guid"
+	"sci/internal/location"
+)
+
+// Profile is the metadata a Context Entity maintains about its entity.
+type Profile struct {
+	// Entity is the described entity's GUID.
+	Entity guid.GUID `json:"entity"`
+	// Name is a human-readable label ("Bob", "printer-p1", "door L10.01").
+	Name string `json:"name"`
+	// Inputs are the context types this entity consumes (empty for sources
+	// such as sensors).
+	Inputs []ctxtype.Type `json:"inputs,omitempty"`
+	// Outputs are the context types this entity produces (empty for pure
+	// consumers).
+	Outputs []ctxtype.Type `json:"outputs,omitempty"`
+	// Location is where the entity is, in the intermediate location
+	// language; may be empty for mobile or abstract entities.
+	Location location.Ref `json:"location,omitzero"`
+	// Quality grades this provider's output in (0,1]; 0 means unspecified
+	// (the resolver then falls back to the type registry's default).
+	Quality float64 `json:"quality,omitempty"`
+	// Attributes carry free-form metadata ("colour"="yes", "ppm"="30").
+	Attributes map[string]string `json:"attributes,omitempty"`
+	// Advertisement describes the entity's service interface, if any.
+	Advertisement *Advertisement `json:"advertisement,omitempty"`
+}
+
+// Advertisement is the "well known" interface description through which
+// CAAs transfer service-specific data to a CE (Section 4.1's
+// ServiceInterface, e.g. the print submission interface of CAPA).
+type Advertisement struct {
+	// Interface names the well-known interface ("printer", "display").
+	Interface string `json:"interface"`
+	// Operations lists the invocable operations ("submit", "cancel",
+	// "query-queue").
+	Operations []string `json:"operations"`
+	// Attributes carry interface-specific metadata.
+	Attributes map[string]string `json:"attributes,omitempty"`
+}
+
+// ErrBadProfile reports a structurally invalid profile.
+var ErrBadProfile = errors.New("profile: invalid")
+
+// Validate checks structural invariants.
+func (p Profile) Validate() error {
+	if p.Entity.IsNil() {
+		return fmt.Errorf("%w: nil entity", ErrBadProfile)
+	}
+	if p.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadProfile)
+	}
+	for _, t := range p.Inputs {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("%w: input: %v", ErrBadProfile, err)
+		}
+	}
+	for _, t := range p.Outputs {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("%w: output: %v", ErrBadProfile, err)
+		}
+	}
+	if p.Quality < 0 || p.Quality > 1 {
+		return fmt.Errorf("%w: quality %v outside [0,1]", ErrBadProfile, p.Quality)
+	}
+	if p.Advertisement != nil {
+		if p.Advertisement.Interface == "" {
+			return fmt.Errorf("%w: advertisement without interface name", ErrBadProfile)
+		}
+	}
+	return nil
+}
+
+// ProvidesIn reports whether the profile offers an output satisfying want
+// under the registry's matching rules, returning the best match score
+// (0 = no match; see ctxtype.MatchScore).
+func (p Profile) ProvidesIn(want ctxtype.Type, reg *ctxtype.Registry) int {
+	best := 0
+	for _, out := range p.Outputs {
+		var s int
+		if reg != nil {
+			s = reg.MatchScore(out, want)
+		} else if out.HasAncestor(want) || out == want {
+			s = 3
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// IsSource reports whether the entity produces context without consuming
+// any — the ground level at which the resolver's backward chaining stops.
+func (p Profile) IsSource() bool {
+	return len(p.Outputs) > 0 && len(p.Inputs) == 0
+}
+
+// Attr returns an attribute value ("" when absent).
+func (p Profile) Attr(key string) string {
+	return p.Attributes[key]
+}
+
+// Clone returns a deep copy (maps and slices are not shared).
+func (p Profile) Clone() Profile {
+	out := p
+	out.Inputs = append([]ctxtype.Type(nil), p.Inputs...)
+	out.Outputs = append([]ctxtype.Type(nil), p.Outputs...)
+	if p.Attributes != nil {
+		out.Attributes = make(map[string]string, len(p.Attributes))
+		for k, v := range p.Attributes {
+			out.Attributes[k] = v
+		}
+	}
+	if p.Advertisement != nil {
+		ad := *p.Advertisement
+		ad.Operations = append([]string(nil), p.Advertisement.Operations...)
+		if p.Advertisement.Attributes != nil {
+			ad.Attributes = make(map[string]string, len(p.Advertisement.Attributes))
+			for k, v := range p.Advertisement.Attributes {
+				ad.Attributes[k] = v
+			}
+		}
+		out.Advertisement = &ad
+	}
+	return out
+}
+
+// Manager is the Profile Manager Context Utility. It is safe for concurrent
+// use. The zero value is usable.
+type Manager struct {
+	mu         sync.RWMutex
+	profiles   map[guid.GUID]Profile
+	version    map[guid.GUID]uint64
+	generation uint64
+}
+
+// ErrNotFound reports a missing profile.
+var ErrNotFound = errors.New("profile: not found")
+
+// Put stores (or replaces) a profile after validation, bumping its version.
+func (m *Manager) Put(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cp := p.Clone()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.profiles == nil {
+		m.profiles = make(map[guid.GUID]Profile)
+		m.version = make(map[guid.GUID]uint64)
+	}
+	m.profiles[cp.Entity] = cp
+	m.version[cp.Entity]++
+	m.generation++
+	return nil
+}
+
+// Generation counts every mutation (Put or Remove) of the store. Callers
+// caching derived structures (the resolver's sub-graph reuse) compare
+// generations to detect staleness.
+func (m *Manager) Generation() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.generation
+}
+
+// Get returns a copy of the profile for entity.
+func (m *Manager) Get(entity guid.GUID) (Profile, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.profiles[entity]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %s", ErrNotFound, entity.Short())
+	}
+	return p.Clone(), nil
+}
+
+// Version returns the profile's update count (0 when absent); the
+// configuration runtime uses it to detect concurrent profile changes.
+func (m *Manager) Version(entity guid.GUID) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version[entity]
+}
+
+// Remove deletes the profile for entity; it is not an error if absent.
+func (m *Manager) Remove(entity guid.GUID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.profiles[entity]; ok {
+		m.generation++
+	}
+	delete(m.profiles, entity)
+	delete(m.version, entity)
+}
+
+// Len returns the number of stored profiles.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.profiles)
+}
+
+// All returns copies of all profiles, ordered by entity GUID for
+// determinism.
+func (m *Manager) All() []Profile {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Profile, 0, len(m.profiles))
+	for _, p := range m.profiles {
+		out = append(out, p.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return guid.Less(out[i].Entity, out[j].Entity)
+	})
+	return out
+}
+
+// Candidate is a provider matched by FindProviders, with its match score.
+type Candidate struct {
+	Profile Profile
+	// Score is the type-match grade (3 exact, 2 subsumption, 1 equivalence).
+	Score int
+}
+
+// FindProviders returns all profiles offering an output that satisfies want
+// under reg's matching rules, best score first; ties break by descending
+// quality and then by entity GUID (deterministic).
+func (m *Manager) FindProviders(want ctxtype.Type, reg *ctxtype.Registry) []Candidate {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Candidate
+	for _, p := range m.profiles {
+		if s := p.ProvidesIn(want, reg); s > 0 {
+			out = append(out, Candidate{Profile: p.Clone(), Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		qi, qj := out[i].Profile.Quality, out[j].Profile.Quality
+		if qi != qj {
+			return qi > qj
+		}
+		return guid.Less(out[i].Profile.Entity, out[j].Profile.Entity)
+	})
+	return out
+}
+
+// FindByAttr returns profiles whose attribute key equals value, ordered by
+// entity GUID.
+func (m *Manager) FindByAttr(key, value string) []Profile {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Profile
+	for _, p := range m.profiles {
+		if p.Attributes[key] == value {
+			out = append(out, p.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return guid.Less(out[i].Entity, out[j].Entity)
+	})
+	return out
+}
+
+// FindByInterface returns profiles advertising the named interface.
+func (m *Manager) FindByInterface(iface string) []Profile {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Profile
+	for _, p := range m.profiles {
+		if p.Advertisement != nil && p.Advertisement.Interface == iface {
+			out = append(out, p.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return guid.Less(out[i].Entity, out[j].Entity)
+	})
+	return out
+}

@@ -1,0 +1,461 @@
+// Package query implements the five-part query model of the paper's
+// Section 4.3 (Fig 6): What, Where, When, Which and Mode.
+//
+//	<query>
+//	      <query_id> </query_id>
+//	      <owner_id> </owner_id>
+//	      <what> </what>
+//	      <where> </where>
+//	      <when> </when>
+//	      <which> </which>
+//	      <mode> </mode>
+//	</query>
+//
+// What describes the information sought: an entity type (e.g. a printer), a
+// named entity (by GUID), or information fitting a pattern (a context
+// type). Where scopes it to a location, explicit ("Room 10.01") or implicit
+// ("closest to me"). When gives the temporal condition under which the
+// configuration should execute. Which selects among multiple satisfying
+// entities ("shortest time to service completion"). Mode states the intent:
+// profile request, event subscription, one-time subscription, or
+// advertisement request.
+//
+// Queries have two wire forms: the XML form shown in the paper (Encode /
+// Decode) and a compact text form for command lines and logs (ParseText).
+package query
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+)
+
+// Mode is the intent of a query (paper, Section 4.3).
+type Mode string
+
+// The four query modes.
+const (
+	// ModeProfile requests information about CEs.
+	ModeProfile Mode = "profile"
+	// ModeSubscribe subscribes to a piece of information with updates.
+	ModeSubscribe Mode = "subscribe"
+	// ModeOnce is a subscription cancelled after the first event.
+	ModeOnce Mode = "once"
+	// ModeAdvertisement requests the interface to communicate with a
+	// service.
+	ModeAdvertisement Mode = "advertisement"
+)
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool {
+	switch m {
+	case ModeProfile, ModeSubscribe, ModeOnce, ModeAdvertisement:
+		return true
+	}
+	return false
+}
+
+// What describes the information a query seeks. Exactly one field is set.
+type What struct {
+	// EntityType names a category of entity ("printer", "display"),
+	// matched against advertisement interfaces and the "kind" attribute of
+	// profiles.
+	EntityType string `json:"entity_type,omitempty"`
+	// Entity names one entity by GUID.
+	Entity guid.GUID `json:"entity,omitzero"`
+	// Pattern requests information fitting a context-type pattern
+	// ("temperature.celsius", "path.route").
+	Pattern ctxtype.Type `json:"pattern,omitempty"`
+}
+
+// Kind returns which variant is set: "entity-type", "entity", "pattern" or
+// "" when empty.
+func (w What) Kind() string {
+	switch {
+	case w.EntityType != "":
+		return "entity-type"
+	case !w.Entity.IsNil():
+		return "entity"
+	case w.Pattern != "":
+		return "pattern"
+	}
+	return ""
+}
+
+// Where scopes a query to a location.
+type Where struct {
+	// Explicit is a concrete location in the intermediate language.
+	Explicit location.Ref `json:"explicit,omitzero"`
+	// Implicit is a relative expression resolved at execution time against
+	// the query subject's own location: "closest-to-me", "same-room",
+	// "same-floor". Empty means unscoped.
+	Implicit string `json:"implicit,omitempty"`
+}
+
+// Empty reports no location scoping.
+func (w Where) Empty() bool { return w.Explicit.Empty() && w.Implicit == "" }
+
+// Recognised implicit where-expressions.
+const (
+	ImplicitClosest   = "closest-to-me"
+	ImplicitSameRoom  = "same-room"
+	ImplicitSameFloor = "same-floor"
+)
+
+// When gives the temporal condition governing configuration execution.
+// The zero value means "execute immediately".
+type When struct {
+	// After defers execution until the given instant.
+	After time.Time `json:"after,omitzero"`
+	// Trigger defers execution until an event matching the filter occurs
+	// (CAPA: "when Bob enters L10.01").
+	Trigger *event.Filter `json:"trigger,omitempty"`
+	// Expires abandons the stored query after this instant (zero = never).
+	Expires time.Time `json:"expires,omitzero"`
+}
+
+// Immediate reports whether the query should execute right away.
+func (w When) Immediate() bool { return w.After.IsZero() && w.Trigger == nil }
+
+// Which expresses the qualitative selection among multiple candidates.
+type Which struct {
+	// Criterion ranks candidates: "closest", "shortest-queue",
+	// "highest-quality", or "" (registry default ordering).
+	Criterion string `json:"criterion,omitempty"`
+	// Constraints are hard requirements on profile attributes, e.g.
+	// {"status":"idle"}. A candidate failing any constraint is discarded.
+	Constraints map[string]string `json:"constraints,omitempty"`
+}
+
+// Recognised which-criteria.
+const (
+	CriterionClosest        = "closest"
+	CriterionShortestQueue  = "shortest-queue"
+	CriterionHighestQuality = "highest-quality"
+)
+
+// Query is the five-part query of Fig 6.
+type Query struct {
+	ID    guid.GUID `json:"query_id"`
+	Owner guid.GUID `json:"owner_id"`
+	What  What      `json:"what"`
+	Where Where     `json:"where,omitzero"`
+	When  When      `json:"when,omitzero"`
+	Which Which     `json:"which,omitzero"`
+	Mode  Mode      `json:"mode"`
+}
+
+// ErrBadQuery reports an invalid query.
+var ErrBadQuery = errors.New("query: invalid")
+
+// New builds a query with a fresh id.
+func New(owner guid.GUID, what What, mode Mode) Query {
+	return Query{
+		ID:    guid.New(guid.KindQuery),
+		Owner: owner,
+		What:  what,
+		Mode:  mode,
+	}
+}
+
+// Validate checks structural invariants.
+func (q Query) Validate() error {
+	if q.ID.IsNil() {
+		return fmt.Errorf("%w: nil id", ErrBadQuery)
+	}
+	if q.Owner.IsNil() {
+		return fmt.Errorf("%w: nil owner", ErrBadQuery)
+	}
+	if !q.Mode.Valid() {
+		return fmt.Errorf("%w: mode %q", ErrBadQuery, q.Mode)
+	}
+	switch q.What.Kind() {
+	case "":
+		return fmt.Errorf("%w: empty what", ErrBadQuery)
+	case "pattern":
+		if err := q.What.Pattern.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadQuery, err)
+		}
+	}
+	set := 0
+	if q.What.EntityType != "" {
+		set++
+	}
+	if !q.What.Entity.IsNil() {
+		set++
+	}
+	if q.What.Pattern != "" {
+		set++
+	}
+	if set > 1 {
+		return fmt.Errorf("%w: what must set exactly one of entity-type/entity/pattern", ErrBadQuery)
+	}
+	if w := q.Where.Implicit; w != "" && w != ImplicitClosest && w != ImplicitSameRoom && w != ImplicitSameFloor {
+		return fmt.Errorf("%w: implicit where %q", ErrBadQuery, w)
+	}
+	if c := q.Which.Criterion; c != "" && c != CriterionClosest && c != CriterionShortestQueue && c != CriterionHighestQuality {
+		return fmt.Errorf("%w: which criterion %q", ErrBadQuery, c)
+	}
+	return nil
+}
+
+// String renders the compact text form (parsable by ParseText).
+func (q Query) String() string {
+	var b strings.Builder
+	switch q.What.Kind() {
+	case "entity-type":
+		fmt.Fprintf(&b, "what=type:%s", q.What.EntityType)
+	case "entity":
+		fmt.Fprintf(&b, "what=entity:%s", q.What.Entity)
+	case "pattern":
+		fmt.Fprintf(&b, "what=pattern:%s", q.What.Pattern)
+	}
+	if q.Where.Implicit != "" {
+		fmt.Fprintf(&b, " where=%s", q.Where.Implicit)
+	} else if q.Where.Explicit.Path != "" {
+		fmt.Fprintf(&b, " where=path:%s", q.Where.Explicit.Path)
+	} else if q.Where.Explicit.Place != "" {
+		fmt.Fprintf(&b, " where=place:%s", q.Where.Explicit.Place)
+	}
+	if q.Which.Criterion != "" {
+		fmt.Fprintf(&b, " which=%s", q.Which.Criterion)
+	}
+	// Constraints in sorted order for determinism.
+	keys := make([]string, 0, len(q.Which.Constraints))
+	for k := range q.Which.Constraints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " require=%s:%s", k, q.Which.Constraints[k])
+	}
+	fmt.Fprintf(&b, " mode=%s", q.Mode)
+	return b.String()
+}
+
+// ParseText parses the compact text form:
+//
+//	what=pattern:temperature.celsius where=place:l10.01 which=closest \
+//	    require=status:idle mode=subscribe
+//
+// The owner and a fresh id are supplied by the caller.
+func ParseText(owner guid.GUID, s string) (Query, error) {
+	q := Query{ID: guid.New(guid.KindQuery), Owner: owner, Mode: ModeSubscribe}
+	for _, tok := range strings.Fields(s) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return Query{}, fmt.Errorf("%w: token %q", ErrBadQuery, tok)
+		}
+		switch key {
+		case "what":
+			tag, rest, ok := strings.Cut(val, ":")
+			if !ok {
+				return Query{}, fmt.Errorf("%w: what needs type:/entity:/pattern: prefix", ErrBadQuery)
+			}
+			switch tag {
+			case "type":
+				q.What.EntityType = rest
+			case "entity":
+				g, err := guid.Parse(rest)
+				if err != nil {
+					return Query{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+				}
+				q.What.Entity = g
+			case "pattern":
+				q.What.Pattern = ctxtype.Type(rest)
+			default:
+				return Query{}, fmt.Errorf("%w: what tag %q", ErrBadQuery, tag)
+			}
+		case "where":
+			if tag, rest, ok := strings.Cut(val, ":"); ok && (tag == "path" || tag == "place") {
+				if tag == "path" {
+					q.Where.Explicit = location.AtPath(location.Path(rest))
+				} else {
+					q.Where.Explicit = location.AtPlace(location.PlaceID(rest))
+				}
+			} else {
+				q.Where.Implicit = val
+			}
+		case "which":
+			q.Which.Criterion = val
+		case "require":
+			k, v, ok := strings.Cut(val, ":")
+			if !ok {
+				return Query{}, fmt.Errorf("%w: require needs key:value", ErrBadQuery)
+			}
+			if q.Which.Constraints == nil {
+				q.Which.Constraints = make(map[string]string)
+			}
+			q.Which.Constraints[k] = v
+		case "mode":
+			q.Mode = Mode(val)
+		default:
+			return Query{}, fmt.Errorf("%w: unknown key %q", ErrBadQuery, key)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// xmlQuery is the XML wire form matching the paper's Fig 6.
+type xmlQuery struct {
+	XMLName xml.Name `xml:"query"`
+	ID      string   `xml:"query_id"`
+	Owner   string   `xml:"owner_id"`
+	What    xmlWhat  `xml:"what"`
+	Where   xmlWhere `xml:"where"`
+	When    xmlWhen  `xml:"when"`
+	Which   xmlWhich `xml:"which"`
+	Mode    string   `xml:"mode"`
+}
+
+type xmlWhat struct {
+	EntityType string `xml:"entity_type,omitempty"`
+	Entity     string `xml:"entity,omitempty"`
+	Pattern    string `xml:"pattern,omitempty"`
+}
+
+type xmlWhere struct {
+	Implicit string `xml:"implicit,omitempty"`
+	Path     string `xml:"path,omitempty"`
+	Place    string `xml:"place,omitempty"`
+}
+
+type xmlWhen struct {
+	After       string `xml:"after,omitempty"`
+	Expires     string `xml:"expires,omitempty"`
+	TriggerType string `xml:"trigger_type,omitempty"`
+	TriggerSubj string `xml:"trigger_subject,omitempty"`
+	TriggerRng  string `xml:"trigger_range,omitempty"`
+}
+
+type xmlWhich struct {
+	Criterion   string          `xml:"criterion,omitempty"`
+	Constraints []xmlConstraint `xml:"require"`
+}
+
+type xmlConstraint struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Encode renders the XML wire form of Fig 6.
+func (q Query) Encode() ([]byte, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	x := xmlQuery{
+		ID:    q.ID.String(),
+		Owner: q.Owner.String(),
+		Mode:  string(q.Mode),
+	}
+	x.What.EntityType = q.What.EntityType
+	if !q.What.Entity.IsNil() {
+		x.What.Entity = q.What.Entity.String()
+	}
+	x.What.Pattern = string(q.What.Pattern)
+	x.Where.Implicit = q.Where.Implicit
+	x.Where.Path = string(q.Where.Explicit.Path)
+	x.Where.Place = string(q.Where.Explicit.Place)
+	if !q.When.After.IsZero() {
+		x.When.After = q.When.After.Format(time.RFC3339Nano)
+	}
+	if !q.When.Expires.IsZero() {
+		x.When.Expires = q.When.Expires.Format(time.RFC3339Nano)
+	}
+	if tr := q.When.Trigger; tr != nil {
+		x.When.TriggerType = string(tr.Type)
+		if !tr.Subject.IsNil() {
+			x.When.TriggerSubj = tr.Subject.String()
+		}
+		if !tr.Range.IsNil() {
+			x.When.TriggerRng = tr.Range.String()
+		}
+	}
+	x.Which.Criterion = q.Which.Criterion
+	keys := make([]string, 0, len(q.Which.Constraints))
+	for k := range q.Which.Constraints {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		x.Which.Constraints = append(x.Which.Constraints, xmlConstraint{Key: k, Value: q.Which.Constraints[k]})
+	}
+	return xml.MarshalIndent(x, "", "  ")
+}
+
+// Decode parses the XML wire form and validates the result.
+func Decode(data []byte) (Query, error) {
+	var x xmlQuery
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return Query{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	var q Query
+	var err error
+	if q.ID, err = guid.Parse(x.ID); err != nil {
+		return Query{}, fmt.Errorf("%w: query_id: %v", ErrBadQuery, err)
+	}
+	if q.Owner, err = guid.Parse(x.Owner); err != nil {
+		return Query{}, fmt.Errorf("%w: owner_id: %v", ErrBadQuery, err)
+	}
+	q.Mode = Mode(x.Mode)
+	q.What.EntityType = x.What.EntityType
+	if x.What.Entity != "" {
+		if q.What.Entity, err = guid.Parse(x.What.Entity); err != nil {
+			return Query{}, fmt.Errorf("%w: what entity: %v", ErrBadQuery, err)
+		}
+	}
+	q.What.Pattern = ctxtype.Type(x.What.Pattern)
+	q.Where.Implicit = x.Where.Implicit
+	if x.Where.Path != "" {
+		q.Where.Explicit.Path = location.Path(x.Where.Path)
+	}
+	if x.Where.Place != "" {
+		q.Where.Explicit.Place = location.PlaceID(x.Where.Place)
+	}
+	if x.When.After != "" {
+		if q.When.After, err = time.Parse(time.RFC3339Nano, x.When.After); err != nil {
+			return Query{}, fmt.Errorf("%w: when after: %v", ErrBadQuery, err)
+		}
+	}
+	if x.When.Expires != "" {
+		if q.When.Expires, err = time.Parse(time.RFC3339Nano, x.When.Expires); err != nil {
+			return Query{}, fmt.Errorf("%w: when expires: %v", ErrBadQuery, err)
+		}
+	}
+	if x.When.TriggerType != "" || x.When.TriggerSubj != "" || x.When.TriggerRng != "" {
+		tr := &event.Filter{Type: ctxtype.Type(x.When.TriggerType)}
+		if x.When.TriggerSubj != "" {
+			if tr.Subject, err = guid.Parse(x.When.TriggerSubj); err != nil {
+				return Query{}, fmt.Errorf("%w: trigger subject: %v", ErrBadQuery, err)
+			}
+		}
+		if x.When.TriggerRng != "" {
+			if tr.Range, err = guid.Parse(x.When.TriggerRng); err != nil {
+				return Query{}, fmt.Errorf("%w: trigger range: %v", ErrBadQuery, err)
+			}
+		}
+		q.When.Trigger = tr
+	}
+	q.Which.Criterion = x.Which.Criterion
+	if len(x.Which.Constraints) > 0 {
+		q.Which.Constraints = make(map[string]string, len(x.Which.Constraints))
+		for _, c := range x.Which.Constraints {
+			q.Which.Constraints[c.Key] = c.Value
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}

@@ -1,0 +1,285 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+)
+
+func owner() guid.GUID { return guid.New(guid.KindApplication) }
+
+func TestModeValid(t *testing.T) {
+	for _, m := range []Mode{ModeProfile, ModeSubscribe, ModeOnce, ModeAdvertisement} {
+		if !m.Valid() {
+			t.Errorf("%q should be valid", m)
+		}
+	}
+	if Mode("bogus").Valid() || Mode("").Valid() {
+		t.Error("invalid modes accepted")
+	}
+}
+
+func TestWhatKind(t *testing.T) {
+	if (What{}).Kind() != "" {
+		t.Error("empty what kind")
+	}
+	if (What{EntityType: "printer"}).Kind() != "entity-type" {
+		t.Error("entity-type kind")
+	}
+	if (What{Entity: guid.New(guid.KindPerson)}).Kind() != "entity" {
+		t.Error("entity kind")
+	}
+	if (What{Pattern: ctxtype.PathRoute}).Kind() != "pattern" {
+		t.Error("pattern kind")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New(owner(), What{Pattern: ctxtype.TemperatureCelsius}, ModeSubscribe)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := good
+	bad.ID = guid.Nil
+	if bad.Validate() == nil {
+		t.Error("nil id accepted")
+	}
+	bad = good
+	bad.Owner = guid.Nil
+	if bad.Validate() == nil {
+		t.Error("nil owner accepted")
+	}
+	bad = good
+	bad.Mode = "bogus"
+	if bad.Validate() == nil {
+		t.Error("bad mode accepted")
+	}
+	bad = good
+	bad.What = What{}
+	if bad.Validate() == nil {
+		t.Error("empty what accepted")
+	}
+	bad = good
+	bad.What.Pattern = "BAD TYPE"
+	if bad.Validate() == nil {
+		t.Error("bad pattern accepted")
+	}
+	bad = good
+	bad.What.EntityType = "printer" // two variants set
+	if bad.Validate() == nil {
+		t.Error("double what accepted")
+	}
+	bad = good
+	bad.Where.Implicit = "nonsense"
+	if bad.Validate() == nil {
+		t.Error("bad implicit where accepted")
+	}
+	bad = good
+	bad.Which.Criterion = "nonsense"
+	if bad.Validate() == nil {
+		t.Error("bad criterion accepted")
+	}
+}
+
+func TestWhenImmediate(t *testing.T) {
+	if !(When{}).Immediate() {
+		t.Error("zero When should be immediate")
+	}
+	if (When{After: time.Now()}).Immediate() {
+		t.Error("deferred When reported immediate")
+	}
+	if (When{Trigger: &event.Filter{}}).Immediate() {
+		t.Error("triggered When reported immediate")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	o := owner()
+	q, err := ParseText(o, "what=pattern:printer.status where=place:l10.01 which=closest require=status:idle require=colour:yes mode=once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Owner != o || q.Mode != ModeOnce {
+		t.Fatalf("parsed = %+v", q)
+	}
+	if q.What.Pattern != ctxtype.PrinterStatus {
+		t.Fatalf("pattern = %q", q.What.Pattern)
+	}
+	if q.Where.Explicit.Place != "l10.01" {
+		t.Fatalf("where = %+v", q.Where)
+	}
+	if q.Which.Criterion != CriterionClosest || q.Which.Constraints["status"] != "idle" || q.Which.Constraints["colour"] != "yes" {
+		t.Fatalf("which = %+v", q.Which)
+	}
+	// String → ParseText round trip.
+	q2, err := ParseText(o, q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.What != q.What || q2.Which.Criterion != q.Which.Criterion || q2.Mode != q.Mode {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", q, q2)
+	}
+}
+
+func TestParseTextVariants(t *testing.T) {
+	o := owner()
+	ent := guid.New(guid.KindPerson)
+	cases := []string{
+		"what=type:printer mode=advertisement",
+		"what=entity:" + ent.String() + " mode=profile",
+		"what=pattern:temperature.celsius where=closest-to-me mode=subscribe",
+		"what=pattern:path.route where=path:campus/lt/l10 mode=subscribe",
+	}
+	for _, s := range cases {
+		q, err := ParseText(o, s)
+		if err != nil {
+			t.Errorf("ParseText(%q): %v", s, err)
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("ParseText(%q) produced invalid query: %v", s, err)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	o := owner()
+	for _, s := range []string{
+		"nonsense",
+		"what=printer mode=subscribe",                  // missing what tag
+		"what=bogus:x mode=subscribe",                  // unknown what tag
+		"what=entity:notaguid mode=subscribe",          // bad GUID
+		"what=pattern:x require=broken mode=subscribe", // bad require
+		"unknown=x",
+		"what=pattern:x mode=bogus",
+		"", // empty ⇒ empty what
+	} {
+		if _, err := ParseText(o, s); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	o := owner()
+	bob := guid.New(guid.KindPerson)
+	rng := guid.New(guid.KindRange)
+	q := New(o, What{EntityType: "printer"}, ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10/l10.01")
+	q.When = When{
+		After:   time.Date(2003, 6, 17, 10, 0, 0, 0, time.UTC),
+		Expires: time.Date(2003, 6, 18, 0, 0, 0, 0, time.UTC),
+		Trigger: &event.Filter{
+			Type:    ctxtype.LocationSightingDoor,
+			Subject: bob,
+			Range:   rng,
+		},
+	}
+	q.Which = Which{
+		Criterion:   CriterionClosest,
+		Constraints: map[string]string{"status": "idle", "queue": "0"},
+	}
+
+	data, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's element names must appear.
+	for _, el := range []string{"<query>", "<query_id>", "<owner_id>", "<what>", "<where>", "<when>", "<which>", "<mode>"} {
+		if !strings.Contains(string(data), el) {
+			t.Errorf("XML missing %s:\n%s", el, data)
+		}
+	}
+
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != q.ID || back.Owner != q.Owner || back.Mode != q.Mode {
+		t.Fatal("identity fields lost")
+	}
+	if back.What != q.What {
+		t.Fatalf("what lost: %+v vs %+v", back.What, q.What)
+	}
+	if back.Where.Explicit.Path != q.Where.Explicit.Path {
+		t.Fatal("where lost")
+	}
+	if !back.When.After.Equal(q.When.After) || !back.When.Expires.Equal(q.When.Expires) {
+		t.Fatal("when instants lost")
+	}
+	if back.When.Trigger == nil || back.When.Trigger.Type != ctxtype.LocationSightingDoor ||
+		back.When.Trigger.Subject != bob || back.When.Trigger.Range != rng {
+		t.Fatalf("trigger lost: %+v", back.When.Trigger)
+	}
+	if back.Which.Criterion != q.Which.Criterion ||
+		back.Which.Constraints["status"] != "idle" || back.Which.Constraints["queue"] != "0" {
+		t.Fatalf("which lost: %+v", back.Which)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	q := Query{}
+	if _, err := q.Encode(); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("encode invalid: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"not xml at all",
+		"<query><query_id>bogus</query_id></query>",
+		"<query><query_id>" + guid.New(guid.KindQuery).String() + "</query_id><owner_id>bogus</owner_id></query>",
+	}
+	for _, s := range cases {
+		if _, err := Decode([]byte(s)); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("Decode(%q): %v, want ErrBadQuery", s, err)
+		}
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	q := New(owner(), What{Pattern: ctxtype.PrinterStatus}, ModeSubscribe)
+	q.Which.Constraints = map[string]string{"b": "2", "a": "1", "c": "3"}
+	first := q.String()
+	for i := 0; i < 10; i++ {
+		if q.String() != first {
+			t.Fatal("String not deterministic across calls")
+		}
+	}
+	if !strings.Contains(first, "require=a:1 require=b:2 require=c:3") {
+		t.Fatalf("constraints not sorted: %s", first)
+	}
+}
+
+func BenchmarkEncodeDecodeXML(b *testing.B) {
+	q := New(owner(), What{Pattern: ctxtype.PrinterStatus}, ModeSubscribe)
+	q.Which = Which{Criterion: CriterionClosest, Constraints: map[string]string{"status": "idle"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := q.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseText(b *testing.B) {
+	o := owner()
+	s := "what=pattern:printer.status where=place:l10.01 which=closest require=status:idle mode=once"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseText(o, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,594 @@
+// Package rangesvc implements the Range Service and the discovery sequence
+// of the paper's Fig 5 over the transport layer.
+//
+// "When a Context Server starts up, it deploys a Range Service (RS) to all
+// the machines within its jurisdiction. The RS performs the task of
+// listening for CAAs or CEs starting up in order to inform them about the
+// Range's Registrar. The CAA/CE can then contact the Registrar in order to
+// gain access to the infrastructure. Upon completion of the registration
+// process, the Registrar will return the Context Server details to a CAA
+// (in order to submit queries) or the Event Mediator details to a CE (in
+// order to publish events)."
+//
+// Host is the server side: it attaches the Range Service, Registrar-facing
+// and Context-Server-facing message handling to a transport endpoint owned
+// by a Range. Remote CEs are represented inside the Range by proxy
+// components whose emitted events arrive over the wire and whose
+// configuration inputs are forwarded back out, so remote entities
+// participate in configurations exactly like local ones.
+//
+// Connector is the client side used by remote processes (cmd/sciquery,
+// remote sensors): discover → register → submit queries / publish events /
+// receive deliveries.
+package rangesvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/server"
+	"sci/internal/transport"
+	"sci/internal/wire"
+)
+
+// Wire body types for the Fig 5 protocol.
+
+type announceBody struct {
+	// Range and Registrar identify the Range; Server and Mediator are the
+	// handles returned after registration per Fig 5 (carried up-front too,
+	// which saves a round trip without changing the sequence's semantics).
+	Range     guid.GUID `json:"range"`
+	Registrar guid.GUID `json:"registrar"`
+	Server    guid.GUID `json:"server"`
+	Name      string    `json:"name"`
+}
+
+type registerBody struct {
+	Profile profile.Profile `json:"profile"`
+	// Application marks CAAs (they receive query results, not inputs).
+	Application bool `json:"application"`
+}
+
+type registerAckBody struct {
+	// Server is the Context Server GUID (for queries), Mediator the event
+	// intake GUID (for publication), per the paper's sequence.
+	Server   guid.GUID     `json:"server"`
+	Mediator guid.GUID     `json:"mediator"`
+	Lease    time.Duration `json:"lease"`
+	Error    string        `json:"error,omitempty"`
+}
+
+type queryBody struct {
+	XML []byte `json:"xml"` // the Fig 6 XML form
+}
+
+type queryResultBody struct {
+	Profiles      []profile.Profile      `json:"profiles,omitempty"`
+	Advertisement *profile.Advertisement `json:"advertisement,omitempty"`
+	Provider      guid.GUID              `json:"provider,omitzero"`
+	Configuration guid.GUID              `json:"configuration,omitzero"`
+	Deferred      bool                   `json:"deferred,omitempty"`
+	Error         string                 `json:"error,omitempty"`
+}
+
+type serviceCallBody struct {
+	Provider guid.GUID      `json:"provider"`
+	Op       string         `json:"op"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+type serviceReplyBody struct {
+	Result map[string]any `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// Host serves a Range over a transport endpoint. Construct with NewHost.
+type Host struct {
+	rng *server.Range
+	ep  transport.Endpoint
+	clk clock.Clock
+
+	mu      sync.Mutex
+	remotes map[guid.GUID]*remoteProxy // remote CE/CAA → proxy
+	closed  bool
+}
+
+// remoteProxy stands in for a remote component inside the Range.
+type remoteProxy struct {
+	*entity.Base
+	host   *Host
+	remote guid.GUID // same GUID: the remote entity is addressable on the net
+	app    bool
+}
+
+// HandleInput forwards configuration-edge events to the remote CE.
+func (p *remoteProxy) HandleInput(e event.Event) {
+	p.host.sendEvent(p.remote, e)
+}
+
+// Serve forwards advertisement calls — not supported synchronously over
+// this host (remote service calls flow through Connector.Call instead).
+func (p *remoteProxy) Serve(op string, args map[string]any) (map[string]any, error) {
+	return nil, fmt.Errorf("rangesvc: remote service %q must be called via the connector", op)
+}
+
+// NewHost attaches the Range's Context Server to the network under the
+// Range's server GUID.
+func NewHost(rng *server.Range, net transport.Network, clk clock.Clock) (*Host, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	h := &Host{
+		rng:     rng,
+		clk:     clk,
+		remotes: make(map[guid.GUID]*remoteProxy),
+	}
+	ep, err := net.Attach(rng.ServerID(), h.handle)
+	if err != nil {
+		return nil, fmt.Errorf("rangesvc: attach host: %w", err)
+	}
+	h.ep = ep
+	return h, nil
+}
+
+// Announce sends the Fig 5 RS announcement to a newly appeared component's
+// endpoint, informing it about the Range's Registrar.
+func (h *Host) Announce(to guid.GUID) error {
+	body := announceBody{
+		Range:     h.rng.ID(),
+		Registrar: h.rng.ServerID(), // the CS fronts the Registrar on the wire
+		Server:    h.rng.ServerID(),
+		Name:      h.rng.Name(),
+	}
+	m, err := wire.NewMessage(h.rng.ServerID(), to, wire.KindAnnounce, body)
+	if err != nil {
+		return err
+	}
+	return h.ep.Send(m)
+}
+
+// Close detaches the host endpoint.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	return h.ep.Close()
+}
+
+// handle dispatches inbound wire traffic.
+func (h *Host) handle(m wire.Message) {
+	switch m.Kind {
+	case wire.KindRegister:
+		h.handleRegister(m)
+	case wire.KindDeregister:
+		_ = h.rng.RemoveEntity(m.Src)
+		reply, err := m.Reply(wire.KindDeregisterAck, map[string]string{"ok": "true"})
+		if err == nil {
+			_ = h.ep.Send(reply)
+		}
+	case wire.KindHeartbeat:
+		_ = h.rng.Registrar().Renew(m.Src)
+	case wire.KindQuery:
+		h.handleQuery(m)
+	case wire.KindEvent:
+		h.handleEvent(m)
+	case wire.KindServiceCall:
+		h.handleServiceCall(m)
+	}
+}
+
+func (h *Host) handleRegister(m wire.Message) {
+	var body registerBody
+	ack := registerAckBody{
+		Server:   h.rng.ServerID(),
+		Mediator: h.rng.ServerID(),
+		Lease:    h.rng.Registrar().Lease(),
+	}
+	if err := m.DecodeBody(&body); err != nil {
+		ack.Error = err.Error()
+	} else if err := h.register(m.Src, body); err != nil {
+		ack.Error = err.Error()
+	}
+	reply, err := m.Reply(wire.KindRegisterAck, ack)
+	if err != nil {
+		return
+	}
+	_ = h.ep.Send(reply)
+}
+
+func (h *Host) register(src guid.GUID, body registerBody) error {
+	prof := body.Profile
+	prof.Entity = src
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	proxy := &remoteProxy{host: h, remote: src, app: body.Application}
+	proxy.Base = entity.NewBaseWithID(src, prof, h.clk)
+
+	h.mu.Lock()
+	h.remotes[src] = proxy
+	h.mu.Unlock()
+
+	var err error
+	if body.Application {
+		// Remote CAAs are registered as applications whose Consume sends
+		// the event over the wire.
+		caa := entity.NewRemoteCAA(src, prof.Name, func(e event.Event) {
+			h.sendEvent(src, e)
+		}, h.clk)
+		err = h.rng.AddApplication(caa)
+	} else {
+		err = h.rng.AddEntity(proxy)
+	}
+	if err != nil {
+		return err
+	}
+	// Remote components renew their own leases via wire heartbeats; the
+	// Range's local auto-renewal must not mask their failure.
+	h.rng.StopRenewing(src)
+	return nil
+}
+
+func (h *Host) handleQuery(m wire.Message) {
+	var body queryBody
+	result := queryResultBody{}
+	if err := m.DecodeBody(&body); err != nil {
+		result.Error = err.Error()
+	} else {
+		q, err := query.Decode(body.XML)
+		if err != nil {
+			result.Error = err.Error()
+		} else {
+			res, err := h.rng.Submit(q)
+			if err != nil {
+				result.Error = err.Error()
+			} else {
+				result.Profiles = res.Profiles
+				result.Advertisement = res.Advertisement
+				result.Provider = res.Provider
+				result.Configuration = res.Configuration
+				result.Deferred = res.Deferred
+			}
+		}
+	}
+	kind := wire.KindQueryResult
+	if result.Error != "" {
+		kind = wire.KindQueryError
+	}
+	reply, err := m.Reply(kind, result)
+	if err != nil {
+		return
+	}
+	_ = h.ep.Send(reply)
+}
+
+// handleEvent ingests an event published by a remote CE.
+func (h *Host) handleEvent(m wire.Message) {
+	var e event.Event
+	if err := m.DecodeBody(&e); err != nil {
+		return
+	}
+	if e.Source != m.Src {
+		return // a remote may only publish as itself
+	}
+	_ = h.rng.Publish(e)
+}
+
+func (h *Host) handleServiceCall(m wire.Message) {
+	var body serviceCallBody
+	reply := serviceReplyBody{}
+	if err := m.DecodeBody(&body); err != nil {
+		reply.Error = err.Error()
+	} else {
+		out, err := h.rng.CallService(body.Provider, body.Op, body.Args)
+		if err != nil {
+			reply.Error = err.Error()
+		} else {
+			reply.Result = out
+		}
+	}
+	r, err := m.Reply(wire.KindServiceReply, reply)
+	if err != nil {
+		return
+	}
+	_ = h.ep.Send(r)
+}
+
+// sendEvent ships an event to a remote component.
+func (h *Host) sendEvent(to guid.GUID, e event.Event) {
+	m, err := wire.NewMessage(h.rng.ServerID(), to, wire.KindEvent, e)
+	if err != nil {
+		return
+	}
+	_ = h.ep.Send(m)
+}
+
+// Connector is the client side of the Fig 5 sequence for a remote CE or
+// CAA. Construct with NewConnector, then Register.
+type Connector struct {
+	id   guid.GUID
+	name string
+	ep   transport.Endpoint
+	clk  clock.Clock
+
+	mu        sync.Mutex
+	server    guid.GUID
+	lease     time.Duration
+	announced chan announceBody
+	waiters   map[guid.GUID]chan wire.Message
+	onEvent   func(event.Event)
+	hbTimer   clock.Timer
+	closed    bool
+}
+
+// Errors.
+var (
+	ErrNotRegistered = errors.New("rangesvc: not registered with a range")
+	ErrTimeout       = errors.New("rangesvc: request timed out")
+)
+
+// RequestTimeout bounds every synchronous round trip.
+const RequestTimeout = 5 * time.Second
+
+// NewConnector attaches a component endpoint to the network. onEvent
+// receives pushed events (query results for CAAs, configuration inputs for
+// CEs); it may be nil.
+func NewConnector(id guid.GUID, name string, net transport.Network, onEvent func(event.Event), clk clock.Clock) (*Connector, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	c := &Connector{
+		id:        id,
+		name:      name,
+		clk:       clk,
+		announced: make(chan announceBody, 1),
+		waiters:   make(map[guid.GUID]chan wire.Message),
+		onEvent:   onEvent,
+	}
+	ep, err := net.Attach(id, c.handle)
+	if err != nil {
+		return nil, fmt.Errorf("rangesvc: attach connector: %w", err)
+	}
+	c.ep = ep
+	return c, nil
+}
+
+// ID returns the component's GUID.
+func (c *Connector) ID() guid.GUID { return c.id }
+
+// ServerID returns the Context Server handle received at registration.
+func (c *Connector) ServerID() guid.GUID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.server
+}
+
+// AwaitAnnounce blocks until a Range Service announcement arrives (the
+// entity "starting up" side of Fig 5).
+func (c *Connector) AwaitAnnounce(timeout time.Duration) (rangeID, serverID guid.GUID, err error) {
+	select {
+	case a := <-c.announced:
+		return a.Range, a.Server, nil
+	case <-time.After(timeout):
+		return guid.Nil, guid.Nil, ErrTimeout
+	}
+}
+
+// Register completes the Fig 5 sequence against the given Context Server:
+// it sends the profile, receives the CS/Mediator handles and the lease, and
+// starts heartbeating.
+func (c *Connector) Register(serverID guid.GUID, prof profile.Profile, application bool) error {
+	prof.Entity = c.id
+	prof.Name = c.name
+	m, err := wire.NewMessage(c.id, serverID, wire.KindRegister, registerBody{
+		Profile:     prof,
+		Application: application,
+	})
+	if err != nil {
+		return err
+	}
+	reply, err := c.roundTrip(m)
+	if err != nil {
+		return err
+	}
+	var ack registerAckBody
+	if err := reply.DecodeBody(&ack); err != nil {
+		return err
+	}
+	if ack.Error != "" {
+		return fmt.Errorf("rangesvc: registration rejected: %s", ack.Error)
+	}
+	c.mu.Lock()
+	c.server = ack.Server
+	c.lease = ack.Lease
+	c.mu.Unlock()
+	c.scheduleHeartbeat()
+	return nil
+}
+
+// Deregister announces clean departure.
+func (c *Connector) Deregister() error {
+	srv := c.ServerID()
+	if srv.IsNil() {
+		return ErrNotRegistered
+	}
+	m, err := wire.NewMessage(c.id, srv, wire.KindDeregister, map[string]string{"bye": "true"})
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(m)
+	c.mu.Lock()
+	c.server = guid.Nil
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Submit sends a query (Fig 6 XML on the wire) and returns the result.
+func (c *Connector) Submit(q query.Query) (*queryResultBody, error) {
+	srv := c.ServerID()
+	if srv.IsNil() {
+		return nil, ErrNotRegistered
+	}
+	xmlData, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.NewMessage(c.id, srv, wire.KindQuery, queryBody{XML: xmlData})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.roundTrip(m)
+	if err != nil {
+		return nil, err
+	}
+	var res queryResultBody
+	if err := reply.DecodeBody(&res); err != nil {
+		return nil, err
+	}
+	if res.Error != "" {
+		return nil, fmt.Errorf("rangesvc: query failed: %s", res.Error)
+	}
+	return &res, nil
+}
+
+// Call invokes an advertisement operation on a provider in the Range.
+func (c *Connector) Call(provider guid.GUID, op string, args map[string]any) (map[string]any, error) {
+	srv := c.ServerID()
+	if srv.IsNil() {
+		return nil, ErrNotRegistered
+	}
+	m, err := wire.NewMessage(c.id, srv, wire.KindServiceCall, serviceCallBody{
+		Provider: provider,
+		Op:       op,
+		Args:     args,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, err := c.roundTrip(m)
+	if err != nil {
+		return nil, err
+	}
+	var res serviceReplyBody
+	if err := reply.DecodeBody(&res); err != nil {
+		return nil, err
+	}
+	if res.Error != "" {
+		return nil, fmt.Errorf("rangesvc: service call failed: %s", res.Error)
+	}
+	return res.Result, nil
+}
+
+// Publish sends an event to the Range's mediator (remote CE emission).
+func (c *Connector) Publish(e event.Event) error {
+	srv := c.ServerID()
+	if srv.IsNil() {
+		return ErrNotRegistered
+	}
+	m, err := wire.NewMessage(c.id, srv, wire.KindEvent, e)
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(m)
+}
+
+// Close detaches the connector.
+func (c *Connector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+	}
+	c.mu.Unlock()
+	return c.ep.Close()
+}
+
+func (c *Connector) scheduleHeartbeat() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.lease <= 0 {
+		return
+	}
+	every := c.lease / 3
+	c.hbTimer = c.clk.AfterFunc(every, func() {
+		srv := c.ServerID()
+		if !srv.IsNil() {
+			if m, err := wire.NewMessage(c.id, srv, wire.KindHeartbeat, map[string]string{"hb": "1"}); err == nil {
+				_ = c.ep.Send(m)
+			}
+		}
+		c.scheduleHeartbeat()
+	})
+}
+
+func (c *Connector) roundTrip(m wire.Message) (wire.Message, error) {
+	corr := guid.New(guid.KindQuery)
+	m.Corr = corr
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	c.waiters[corr] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, corr)
+		c.mu.Unlock()
+	}()
+	if err := c.ep.Send(m); err != nil {
+		return wire.Message{}, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-time.After(RequestTimeout):
+		return wire.Message{}, ErrTimeout
+	}
+}
+
+func (c *Connector) handle(m wire.Message) {
+	switch m.Kind {
+	case wire.KindAnnounce:
+		var a announceBody
+		if err := m.DecodeBody(&a); err == nil {
+			select {
+			case c.announced <- a:
+			default:
+			}
+		}
+	case wire.KindEvent:
+		var e event.Event
+		if err := m.DecodeBody(&e); err == nil && c.onEvent != nil {
+			c.onEvent(e)
+		}
+	default:
+		if !m.Corr.IsNil() {
+			c.mu.Lock()
+			ch, ok := c.waiters[m.Corr]
+			c.mu.Unlock()
+			if ok {
+				select {
+				case ch <- m:
+				default:
+				}
+			}
+		}
+	}
+}

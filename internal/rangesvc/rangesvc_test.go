@@ -1,0 +1,397 @@
+package rangesvc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/mediator"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/sensor"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// rig: a Range hosted on an in-memory network, with one local objLocation
+// CE so remote sighting sources can feed position queries.
+type rig struct {
+	rng  *server.Range
+	host *Host
+	net  *transport.Memory
+	clk  *clock.Manual
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	clk := clock.NewManual(epoch)
+	rng := server.New(server.Config{
+		Name:           "level-10",
+		Clock:          clk,
+		AutoRenewEvery: 5 * time.Second,
+	})
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+	host, err := NewHost(rng, net, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := entity.NewObjLocationCE(nil, clk)
+	if err := rng.AddEntity(obj); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{rng: rng, host: host, net: net, clk: clk}
+}
+
+func (r *rig) close() {
+	_ = r.host.Close()
+	r.rng.Close()
+	_ = r.net.Close()
+}
+
+func TestAnnounceReachesConnector(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	id := guid.New(guid.KindApplication)
+	c, err := NewConnector(id, "remote-app", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := r.host.Announce(id); err != nil {
+		t.Fatal(err)
+	}
+	rangeID, serverID, err := c.AwaitAnnounce(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rangeID != r.rng.ID() || serverID != r.rng.ServerID() {
+		t.Fatal("announce handles wrong")
+	}
+}
+
+func TestFig5SequenceRemoteCAAQuery(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+
+	// Remote sighting source (a door sensor living in another process).
+	srcID := guid.New(guid.KindDevice)
+	src, err := NewConnector(srcID, "remote-door", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Register(r.rng.ServerID(), profile.Profile{
+		Outputs: []ctxtype.Type{ctxtype.LocationSightingDoor},
+		Quality: 0.9,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	if !r.rng.Registrar().IsLive(srcID) {
+		t.Fatal("remote CE not registered")
+	}
+
+	// Remote CAA.
+	var mu sync.Mutex
+	var got []event.Event
+	appID := guid.New(guid.KindApplication)
+	app, err := NewConnector(appID, "remote-app", r.net, func(e event.Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Register(r.rng.ServerID(), profile.Profile{}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit a subscription query over the wire (XML form).
+	q := query.New(appID, query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	res, err := app.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configuration.IsNil() {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// The remote source publishes a sighting; it flows source → (wire) →
+	// mediator → objLocation CE → (wire) → remote CAA.
+	bob := guid.New(guid.KindPerson)
+	sighting := event.New(ctxtype.LocationSightingDoor, srcID, 1, epoch,
+		map[string]any{"place": "l10.01"}).WithSubject(bob)
+	if err := src.Publish(sighting); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	})
+	mu.Lock()
+	e := got[0]
+	mu.Unlock()
+	if e.Type != ctxtype.LocationPosition || e.Subject != bob {
+		t.Fatalf("delivered = %+v", e)
+	}
+}
+
+func TestRemoteCEReceivesConfigurationInputs(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+
+	// A remote transformer CE: consumes positions, produces path.route.
+	// Its inputs must be forwarded over the wire by the host proxy.
+	var mu sync.Mutex
+	var inputs []event.Event
+	ceID := guid.New(guid.KindEntity)
+	ce, err := NewConnector(ceID, "remote-transformer", r.net, func(e event.Event) {
+		mu.Lock()
+		inputs = append(inputs, e)
+		mu.Unlock()
+	}, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+	if err := ce.Register(r.rng.ServerID(), profile.Profile{
+		Inputs:  []ctxtype.Type{ctxtype.LocationPosition},
+		Outputs: []ctxtype.Type{ctxtype.PathRoute},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local sighting source.
+	ds := sensor.NewDoorSensor("d-1", location.Ref{}, r.clk)
+	if err := r.rng.AddEntity(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local CAA subscribes to path.route: the resolver must bind the remote
+	// transformer and wire positions into it.
+	caa := entity.NewCAA("local-app", nil, r.clk)
+	if err := r.rng.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.PathRoute}, query.ModeSubscribe)
+	if _, err := r.rng.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+
+	bob := guid.New(guid.KindPerson)
+	if err := ds.Sight(bob, "l10.01"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(inputs) >= 1
+	})
+	mu.Lock()
+	in := inputs[0]
+	mu.Unlock()
+	if in.Type != ctxtype.LocationPosition {
+		t.Fatalf("remote CE received %+v", in)
+	}
+}
+
+func TestHeartbeatKeepsRemoteAlive(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	srcID := guid.New(guid.KindDevice)
+	src, err := NewConnector(srcID, "remote-door", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Register(r.rng.ServerID(), profile.Profile{
+		Outputs: []ctxtype.Type{ctxtype.LocationSightingDoor},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Many lease periods pass; connector heartbeats keep the lease fresh.
+	for i := 0; i < 30; i++ {
+		r.clk.Advance(10 * time.Second)
+		time.Sleep(time.Millisecond) // let handlers drain
+	}
+	if !r.rng.Registrar().IsLive(srcID) {
+		t.Fatal("heartbeats did not keep remote alive")
+	}
+	// Close the connector: heartbeats stop and the lease lapses.
+	_ = src.Close()
+	waitFor(t, func() bool {
+		r.clk.Advance(30 * time.Second)
+		return !r.rng.Registrar().IsLive(srcID)
+	})
+}
+
+func TestDeregister(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	srcID := guid.New(guid.KindDevice)
+	src, err := NewConnector(srcID, "remote-door", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Register(r.rng.ServerID(), profile.Profile{
+		Outputs: []ctxtype.Type{ctxtype.LocationSightingDoor},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if r.rng.Registrar().IsLive(srcID) {
+		t.Fatal("still live after deregister")
+	}
+	// Operations now fail.
+	if err := src.Publish(event.New(ctxtype.LocationSightingDoor, srcID, 1, epoch, nil)); err == nil {
+		t.Fatal("publish after deregister accepted")
+	}
+}
+
+func TestRemoteServiceCall(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	p1 := sensor.NewPrinter("P1", location.Ref{}, r.clk)
+	if err := r.rng.AddEntity(p1); err != nil {
+		t.Fatal(err)
+	}
+	appID := guid.New(guid.KindApplication)
+	app, err := NewConnector(appID, "remote-app", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Register(r.rng.ServerID(), profile.Profile{}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Advertisement query then service call, both over the wire.
+	q := query.New(appID, query.What{EntityType: "printer"}, query.ModeAdvertisement)
+	res, err := app.Submit(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Provider != p1.ID() {
+		t.Fatal("wrong provider")
+	}
+	out, err := app.Call(res.Provider, "submit", map[string]any{"doc": "remote.pdf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["job"] == "" {
+		t.Fatal("no job id")
+	}
+	// Bad call surfaces the error.
+	if _, err := app.Call(res.Provider, "bogus", nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestQueryErrorPropagates(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	appID := guid.New(guid.KindApplication)
+	app, err := NewConnector(appID, "remote-app", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Register(r.rng.ServerID(), profile.Profile{}, true); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(appID, query.What{Pattern: ctxtype.PrinterQueue}, query.ModeSubscribe)
+	if _, err := app.Submit(q); err == nil {
+		t.Fatal("unsatisfiable query succeeded")
+	}
+}
+
+func TestConnectorRequiresRegistration(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	c, err := NewConnector(guid.New(guid.KindApplication), "x", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(query.New(c.ID(), query.What{EntityType: "printer"}, query.ModeProfile)); err != ErrNotRegistered {
+		t.Fatalf("submit unregistered: %v", err)
+	}
+	if err := c.Publish(event.New(ctxtype.PrinterStatus, c.ID(), 1, epoch, nil)); err != ErrNotRegistered {
+		t.Fatalf("publish unregistered: %v", err)
+	}
+	if _, err := c.Call(guid.New(guid.KindDevice), "x", nil); err != ErrNotRegistered {
+		t.Fatalf("call unregistered: %v", err)
+	}
+	if err := c.Deregister(); err != ErrNotRegistered {
+		t.Fatalf("deregister unregistered: %v", err)
+	}
+}
+
+func TestHostRejectsSpoofedEvents(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	// A connector publishing an event whose Source is another entity must
+	// be dropped.
+	evil := guid.New(guid.KindDevice)
+	victim := guid.New(guid.KindDevice)
+	c, err := NewConnector(evil, "evil", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(r.rng.ServerID(), profile.Profile{
+		Outputs: []ctxtype.Type{ctxtype.PrinterStatus},
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	caa := entity.NewCAA("watch", nil, r.clk)
+	if err := r.rng.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.rng.Mediator().Subscribe(caa.ID(),
+		event.Filter{Type: ctxtype.PrinterStatus}, caa.Consume,
+		mediator.SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rec
+	spoofed := event.New(ctxtype.PrinterStatus, victim, 1, epoch, nil)
+	if err := c.Publish(spoofed); err != nil {
+		t.Fatal(err)
+	}
+	honest := event.New(ctxtype.PrinterStatus, evil, 1, epoch, nil)
+	if err := c.Publish(honest); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return caa.PendingEvents() >= 1 })
+	time.Sleep(20 * time.Millisecond)
+	for _, e := range caa.TakeEvents() {
+		if e.Source == victim {
+			t.Fatal("spoofed event delivered")
+		}
+	}
+}

@@ -1,0 +1,628 @@
+// Package resolver implements the Query Resolver Context Utility (paper,
+// Sections 3.1–3.2): "Provides the means to take a high level query and
+// decompose it into a useful configuration of Context Entities."
+//
+// Resolution is backward-chaining type matching over CE Profiles, exactly
+// the Section 3.2 walk-through: a query for the Path between Bob and John
+// finds a pathCE whose output satisfies path.route; the pathCE needs
+// location.position inputs; an objLocationCE provides those but needs
+// sightings; doorSensorCEs provide sightings and, being sources, ground the
+// chain. The result is a Configuration — "an event subscription graph
+// between entities where the inputs to one CE are provided by the outputs
+// of others".
+//
+// Candidate selection honours the query's Which clause (constraints are
+// hard filters; the criterion ranks survivors) and uses the semantic
+// equivalence classes of ctxtype, which is what lets a request bound to
+// door sightings rebind to W-LAN sightings (experiment E9, the iQueue
+// critique). Resolved sub-graphs are cached and reused across queries while
+// the profile store is unchanged (Solar's scalability idea); the cache
+// invalidates on any profile mutation.
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sci/internal/ctxtype"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/profile"
+	"sci/internal/query"
+)
+
+// Binding is one node of a configuration graph: a provider chosen to supply
+// a context type, with the bindings feeding its inputs.
+type Binding struct {
+	// Provider is the chosen entity.
+	Provider guid.GUID `json:"provider"`
+	// Want is the type the consumer asked for.
+	Want ctxtype.Type `json:"want"`
+	// Output is the provider's actual output type satisfying Want.
+	Output ctxtype.Type `json:"output"`
+	// Inputs are the bindings feeding each of the provider's declared
+	// inputs, in profile order.
+	Inputs []*Binding `json:"inputs,omitempty"`
+}
+
+// Edge is one event subscription to establish: Consumer subscribes to
+// events of Type produced by Producer.
+type Edge struct {
+	Consumer guid.GUID    `json:"consumer"`
+	Producer guid.GUID    `json:"producer"`
+	Type     ctxtype.Type `json:"type"`
+}
+
+// Configuration is a resolved subscription graph ready for the Event
+// Mediator to instantiate.
+type Configuration struct {
+	// ID names this configuration.
+	ID guid.GUID `json:"id"`
+	// Query is the originating query.
+	Query query.Query `json:"query"`
+	// Root is the top-level binding answering the query's What.
+	Root *Binding `json:"root"`
+	// Edges flattens the graph into the subscriptions to establish,
+	// deduplicated, consumers before their producers' consumers
+	// (deterministic order).
+	Edges []Edge `json:"edges"`
+}
+
+// Providers returns every distinct provider in the graph, sorted.
+func (c *Configuration) Providers() []guid.GUID {
+	set := guid.NewSet()
+	var walk func(b *Binding)
+	walk = func(b *Binding) {
+		if b == nil {
+			return
+		}
+		set.Add(b.Provider)
+		for _, in := range b.Inputs {
+			walk(in)
+		}
+	}
+	walk(c.Root)
+	return set.Members()
+}
+
+// Depth returns the longest provider chain in the graph.
+func (c *Configuration) Depth() int {
+	var walk func(b *Binding) int
+	walk = func(b *Binding) int {
+		if b == nil {
+			return 0
+		}
+		max := 0
+		for _, in := range b.Inputs {
+			if d := walk(in); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return walk(c.Root)
+}
+
+// Context carries per-resolution situational data.
+type Context struct {
+	// OwnerLocation anchors implicit Where expressions ("closest-to-me")
+	// and the Which "closest" criterion.
+	OwnerLocation location.Ref
+	// Exclude lists providers that must not be chosen (repair: the failed
+	// provider and anything else known-bad).
+	Exclude guid.Set
+	// LiveOnly, when non-nil, restricts providers to those for which the
+	// func returns true (wired to the Registrar's IsLive).
+	LiveOnly func(guid.GUID) bool
+}
+
+// Resolver builds configurations from queries. Construct with New.
+type Resolver struct {
+	profiles *profile.Manager
+	types    *ctxtype.Registry
+	places   *location.Map // may be nil: distance criteria degrade gracefully
+
+	mu       sync.Mutex
+	cacheGen uint64
+	cache    map[cacheKey]*Binding
+	hits     uint64
+	misses   uint64
+}
+
+type cacheKey struct {
+	want        ctxtype.Type
+	constraints string // canonicalised Which constraints
+}
+
+// MaxDepth bounds backward chaining; deeper graphs indicate a profile cycle.
+const MaxDepth = 16
+
+// Errors.
+var (
+	ErrNoProvider = errors.New("resolver: no provider satisfies request")
+	ErrCycle      = errors.New("resolver: profile dependency cycle")
+	ErrBadWhat    = errors.New("resolver: query What not resolvable to a configuration")
+)
+
+// New builds a Resolver. places may be nil.
+func New(profiles *profile.Manager, types *ctxtype.Registry, places *location.Map) *Resolver {
+	return &Resolver{
+		profiles: profiles,
+		types:    types,
+		places:   places,
+		cache:    make(map[cacheKey]*Binding),
+	}
+}
+
+// CacheStats reports sub-graph reuse counts (experiment E3's reuse rate).
+func (r *Resolver) CacheStats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// Resolve builds a configuration for q. For What=pattern queries this is
+// the full backward chain; for What=entity it binds that entity directly;
+// What=entity-type resolves to the best advertisement match (used by
+// profile and advertisement modes).
+func (r *Resolver) Resolve(q query.Query, ctx Context) (*Configuration, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var root *Binding
+	var err error
+	switch q.What.Kind() {
+	case "pattern":
+		root, err = r.resolveType(q.What.Pattern, q, ctx, nil, 0)
+	case "entity":
+		root, err = r.bindEntity(q.What.Entity, ctx)
+	case "entity-type":
+		root, err = r.bindEntityType(q.What.EntityType, q, ctx)
+	default:
+		return nil, ErrBadWhat
+	}
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Configuration{
+		ID:    guid.New(guid.KindConfiguration),
+		Query: q,
+		Root:  root,
+	}
+	cfg.Edges = Flatten(root)
+	return cfg, nil
+}
+
+// ResolveReplacement rebuilds the sub-graph that supplied want after the
+// given provider failed, excluding it. The configuration runtime grafts the
+// replacement in and rewires subscriptions (experiment E8).
+func (r *Resolver) ResolveReplacement(q query.Query, want ctxtype.Type, failed guid.GUID, ctx Context) (*Binding, error) {
+	if ctx.Exclude == nil {
+		ctx.Exclude = guid.NewSet()
+	}
+	ctx.Exclude.Add(failed)
+	// Repair must not serve the stale cached subtree that contains the
+	// failed provider.
+	r.invalidate()
+	return r.resolveType(want, q, ctx, nil, 0)
+}
+
+// Invalidate drops the sub-graph cache (profile mutations do this
+// implicitly; explicit calls serve tests and repair).
+func (r *Resolver) invalidate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[cacheKey]*Binding)
+	r.cacheGen = r.profiles.Generation()
+}
+
+// resolveType finds a provider for want and recursively satisfies its
+// inputs. path is the provider chain above (cycle detection).
+func (r *Resolver) resolveType(want ctxtype.Type, q query.Query, ctx Context, path []guid.GUID, depth int) (*Binding, error) {
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("%w: depth %d exceeded for %s", ErrCycle, MaxDepth, want)
+	}
+
+	// Sub-graph reuse: only for unconstrained situational context (no
+	// exclusions, no owner anchoring) — those change per query.
+	cacheable := len(ctx.Exclude) == 0 && ctx.OwnerLocation.Empty() && ctx.LiveOnly == nil && depth > 0
+	key := cacheKey{want: want, constraints: canonConstraints(q.Which.Constraints)}
+	if cacheable {
+		r.mu.Lock()
+		if r.cacheGen == r.profiles.Generation() {
+			if b, ok := r.cache[key]; ok {
+				r.hits++
+				r.mu.Unlock()
+				return b, nil
+			}
+		} else {
+			r.cache = make(map[cacheKey]*Binding)
+			r.cacheGen = r.profiles.Generation()
+		}
+		r.misses++
+		r.mu.Unlock()
+	}
+
+	cands := r.profiles.FindProviders(want, r.types)
+	cands = r.filterCandidates(cands, q, ctx, path)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoProvider, want)
+	}
+	r.rankCandidates(cands, q, ctx)
+
+	var lastErr error
+	for _, cand := range cands {
+		b, err := r.bindProvider(cand, want, q, ctx, path, depth)
+		if err != nil {
+			lastErr = err
+			continue // try the next-ranked candidate
+		}
+		if cacheable {
+			r.mu.Lock()
+			if r.cacheGen == r.profiles.Generation() {
+				r.cache[key] = b
+			}
+			r.mu.Unlock()
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("%w: %s (last: %v)", ErrNoProvider, want, lastErr)
+}
+
+// bindProvider recursively satisfies a candidate's inputs.
+func (r *Resolver) bindProvider(cand profile.Candidate, want ctxtype.Type, q query.Query, ctx Context, path []guid.GUID, depth int) (*Binding, error) {
+	p := cand.Profile
+	b := &Binding{
+		Provider: p.Entity,
+		Want:     want,
+		Output:   bestOutput(p, want, r.types),
+	}
+	childPath := append(path, p.Entity)
+	for _, in := range p.Inputs {
+		subs, err := r.resolveInput(in, q, ctx, childPath, depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("input %s of %s: %w", in, p.Name, err)
+		}
+		b.Inputs = append(b.Inputs, subs...)
+	}
+	return b, nil
+}
+
+// resolveInput satisfies one declared input of an operator CE. When the
+// best candidate is a source (sensor level), the operator is fanned in to
+// EVERY source of that same output type — the paper's Fig 3 shows the
+// objLocationCE "set up to subscribe to all events emanating from door
+// sensors (doorSensorCEs)", plural. When the best candidate is another
+// operator, a single provider is chosen (as at the query root, where the
+// Which clause arbitrates).
+func (r *Resolver) resolveInput(want ctxtype.Type, q query.Query, ctx Context, path []guid.GUID, depth int) ([]*Binding, error) {
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("%w: depth %d exceeded for %s", ErrCycle, MaxDepth, want)
+	}
+	cands := r.profiles.FindProviders(want, r.types)
+	cands = r.filterCandidates(cands, q, ctx, path)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoProvider, want)
+	}
+	r.rankCandidates(cands, q, ctx)
+	top := cands[0]
+	if !top.Profile.IsSource() {
+		b, err := r.resolveType(want, q, ctx, path, depth)
+		if err != nil {
+			return nil, err
+		}
+		return []*Binding{b}, nil
+	}
+	topOut := bestOutput(top.Profile, want, r.types)
+	var out []*Binding
+	for _, c := range cands {
+		if !c.Profile.IsSource() {
+			continue
+		}
+		if bestOutput(c.Profile, want, r.types) != topOut {
+			continue // equivalent-but-different representations stay in reserve for repair
+		}
+		out = append(out, &Binding{
+			Provider: c.Profile.Entity,
+			Want:     want,
+			Output:   topOut,
+		})
+	}
+	return out, nil
+}
+
+// bindEntity builds a single-node configuration for a named entity.
+func (r *Resolver) bindEntity(entity guid.GUID, ctx Context) (*Binding, error) {
+	p, err := r.profiles.Get(entity)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoProvider, err)
+	}
+	if ctx.LiveOnly != nil && !ctx.LiveOnly(entity) {
+		return nil, fmt.Errorf("%w: %s not live", ErrNoProvider, entity.Short())
+	}
+	out := ctxtype.Wildcard
+	if len(p.Outputs) > 0 {
+		out = p.Outputs[0]
+	}
+	return &Binding{Provider: entity, Want: out, Output: out}, nil
+}
+
+// bindEntityType selects the best entity advertising the named interface
+// (or carrying kind=<type> attribute), honouring Which.
+func (r *Resolver) bindEntityType(entityType string, q query.Query, ctx Context) (*Binding, error) {
+	profiles := r.profiles.FindByInterface(entityType)
+	for _, p := range r.profiles.FindByAttr("kind", entityType) {
+		dup := false
+		for _, existing := range profiles {
+			if existing.Entity == p.Entity {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			profiles = append(profiles, p)
+		}
+	}
+	cands := make([]profile.Candidate, 0, len(profiles))
+	for _, p := range profiles {
+		cands = append(cands, profile.Candidate{Profile: p, Score: 3})
+	}
+	cands = r.filterCandidates(cands, q, ctx, nil)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: entity type %q", ErrNoProvider, entityType)
+	}
+	r.rankCandidates(cands, q, ctx)
+	p := cands[0].Profile
+	out := ctxtype.Wildcard
+	if len(p.Outputs) > 0 {
+		out = p.Outputs[0]
+	}
+	return &Binding{Provider: p.Entity, Want: out, Output: out}, nil
+}
+
+// filterCandidates applies hard filters: exclusions, liveness, cycle
+// avoidance, Which constraints, and Where scoping.
+func (r *Resolver) filterCandidates(cands []profile.Candidate, q query.Query, ctx Context, path []guid.GUID) []profile.Candidate {
+	out := cands[:0]
+	for _, c := range cands {
+		p := c.Profile
+		if ctx.Exclude.Has(p.Entity) {
+			continue
+		}
+		if ctx.LiveOnly != nil && !ctx.LiveOnly(p.Entity) {
+			continue
+		}
+		onPath := false
+		for _, anc := range path {
+			if anc == p.Entity {
+				onPath = true
+				break
+			}
+		}
+		if onPath {
+			continue
+		}
+		if !meetsConstraints(p, q.Which.Constraints) {
+			continue
+		}
+		if !r.meetsWhere(p, q.Where, ctx) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// meetsWhere applies location scoping. Entities without a location pass
+// explicit scoping only if the query is unscoped (sensors placed abstractly
+// should not be silently excluded from implicit queries).
+func (r *Resolver) meetsWhere(p profile.Profile, w query.Where, ctx Context) bool {
+	if w.Empty() {
+		return true
+	}
+	if !w.Explicit.Empty() {
+		if p.Location.Empty() {
+			// Software operators (entities with inputs) have no physical
+			// location and must not be excluded by area scoping; physical
+			// sources without a declared location cannot prove they are in
+			// the area, so they are.
+			return len(p.Inputs) > 0
+		}
+		if r.places == nil {
+			// Without a map, fall back to hierarchical containment.
+			return w.Explicit.Path != "" && p.Location.Path != "" &&
+				w.Explicit.Path.Contains(p.Location.Path)
+		}
+		// Same place, or the query names an ancestor area containing the
+		// entity's place.
+		pr, err := r.places.Resolve(p.Location)
+		if err != nil {
+			return false
+		}
+		qr, err := r.places.Resolve(w.Explicit)
+		if err == nil {
+			if pr.Place == qr.Place {
+				return true
+			}
+		}
+		if w.Explicit.Path != "" && pr.Path != "" {
+			return w.Explicit.Path.Contains(pr.Path)
+		}
+		return false
+	}
+	switch w.Implicit {
+	case query.ImplicitSameRoom:
+		if p.Location.Empty() || ctx.OwnerLocation.Empty() || r.places == nil {
+			return false
+		}
+		same, err := r.places.SamePlace(p.Location, ctx.OwnerLocation)
+		return err == nil && same
+	case query.ImplicitSameFloor:
+		if p.Location.Empty() || ctx.OwnerLocation.Empty() || r.places == nil {
+			return false
+		}
+		pr, err1 := r.places.Resolve(p.Location)
+		or, err2 := r.places.Resolve(ctx.OwnerLocation)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return pr.Path.Parent() == or.Path.Parent()
+	default:
+		// closest-to-me is a ranking, not a filter.
+		return true
+	}
+}
+
+// rankCandidates orders candidates best-first under the Which criterion,
+// falling back to (score, quality, GUID).
+func (r *Resolver) rankCandidates(cands []profile.Candidate, q query.Query, ctx Context) {
+	crit := q.Which.Criterion
+	if crit == "" && q.Where.Implicit == query.ImplicitClosest {
+		crit = query.CriterionClosest
+	}
+	less := func(a, b profile.Candidate) bool {
+		switch crit {
+		case query.CriterionClosest:
+			da, db := r.distanceTo(a.Profile, ctx), r.distanceTo(b.Profile, ctx)
+			if da != db {
+				return da < db
+			}
+		case query.CriterionShortestQueue:
+			qa, qb := attrFloat(a.Profile, "queue", math.Inf(1)), attrFloat(b.Profile, "queue", math.Inf(1))
+			if qa != qb {
+				return qa < qb
+			}
+		case query.CriterionHighestQuality:
+			if a.Profile.Quality != b.Profile.Quality {
+				return a.Profile.Quality > b.Profile.Quality
+			}
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		qa, qb := effectiveQuality(a, r.types), effectiveQuality(b, r.types)
+		if qa != qb {
+			return qa > qb
+		}
+		return guid.Less(a.Profile.Entity, b.Profile.Entity)
+	}
+	// Insertion sort: candidate lists are small and this keeps the
+	// comparator stable without an extra dependency.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && less(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func (r *Resolver) distanceTo(p profile.Profile, ctx Context) float64 {
+	if r.places == nil || p.Location.Empty() || ctx.OwnerLocation.Empty() {
+		return math.Inf(1)
+	}
+	return r.places.TravelDistance(ctx.OwnerLocation, p.Location)
+}
+
+// effectiveQuality is the profile's own quality, else the registry default
+// for its first output.
+func effectiveQuality(c profile.Candidate, reg *ctxtype.Registry) float64 {
+	if c.Profile.Quality > 0 {
+		return c.Profile.Quality
+	}
+	if reg != nil && len(c.Profile.Outputs) > 0 {
+		return reg.Quality(c.Profile.Outputs[0])
+	}
+	return 0.5
+}
+
+func meetsConstraints(p profile.Profile, cons map[string]string) bool {
+	for k, v := range cons {
+		if p.Attributes[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func attrFloat(p profile.Profile, key string, def float64) float64 {
+	s, ok := p.Attributes[key]
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return def
+	}
+	return f
+}
+
+func bestOutput(p profile.Profile, want ctxtype.Type, reg *ctxtype.Registry) ctxtype.Type {
+	best := ctxtype.Type("")
+	bestScore := 0
+	for _, out := range p.Outputs {
+		s := 0
+		if reg != nil {
+			s = reg.MatchScore(out, want)
+		} else if out == want || out.HasAncestor(want) {
+			s = 3
+		}
+		if s > bestScore {
+			best, bestScore = out, s
+		}
+	}
+	if best == "" && len(p.Outputs) > 0 {
+		best = p.Outputs[0]
+	}
+	return best
+}
+
+func canonConstraints(cons map[string]string) string {
+	if len(cons) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(cons))
+	for k := range cons {
+		keys = append(keys, k)
+	}
+	// Sort without importing sort twice — small n insertion sort.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(cons[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Flatten walks a binding graph emitting deduplicated consumer←producer
+// edges in deterministic (pre-order) order. The configuration runtime uses
+// it to recompute edges after a repair graft.
+func Flatten(root *Binding) []Edge {
+	var edges []Edge
+	seen := map[Edge]bool{}
+	var walk func(b *Binding)
+	walk = func(b *Binding) {
+		if b == nil {
+			return
+		}
+		for _, in := range b.Inputs {
+			e := Edge{Consumer: b.Provider, Producer: in.Provider, Type: in.Output}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+			walk(in)
+		}
+	}
+	walk(root)
+	return edges
+}

@@ -1,0 +1,419 @@
+// Package scinet binds Ranges into the SCINET: the upper layer of the SCI
+// architecture (paper, Fig 1), "a network overlay of partially connected
+// nodes ... concerned with managing interactions that take place between
+// two or more ranges in order to provide appropriate contextual
+// information".
+//
+// Each Range's Context Server gets a Fabric: an overlay node plus the
+// inter-range protocol. Ranges announce the hierarchical area they cover
+// ("campus/lt/l10"); a query whose Where clause names an area covered by
+// another Range is forwarded to that Range's Context Server — exactly the
+// CAPA scenario's hop from the lift-lobby Range to the Level Ten Range —
+// and the resulting context events are routed back to the querying
+// application through the overlay.
+package scinet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/overlay"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+// App kinds for overlay payloads.
+const (
+	appCoverage    = "scinet.coverage"
+	appQuery       = "scinet.query"
+	appQueryResult = "scinet.query_result"
+	appEvent       = "scinet.event"
+)
+
+type coverageMsg struct {
+	Origin   guid.GUID     `json:"origin"` // fabric node id
+	Coverage location.Path `json:"coverage"`
+	Name     string        `json:"name"`
+	// Echo requests the receiver to send its own coverage back (anti-
+	// entropy on join).
+	Echo bool `json:"echo,omitempty"`
+}
+
+type queryMsg struct {
+	Origin  guid.GUID `json:"origin"` // fabric node id to reply to
+	QueryID guid.GUID `json:"query_id"`
+	XML     []byte    `json:"xml"`
+}
+
+type queryResultMsg struct {
+	QueryID       guid.GUID `json:"query_id"`
+	Deferred      bool      `json:"deferred,omitempty"`
+	Configuration guid.GUID `json:"configuration,omitzero"`
+	Provider      guid.GUID `json:"provider,omitzero"`
+	Error         string    `json:"error,omitempty"`
+}
+
+type eventMsg struct {
+	QueryID guid.GUID   `json:"query_id"`
+	Event   event.Event `json:"event"`
+}
+
+// Result mirrors the answer to a forwarded subscription query.
+type Result struct {
+	QueryID       guid.GUID
+	Deferred      bool
+	Configuration guid.GUID
+	Provider      guid.GUID
+}
+
+// Errors.
+var (
+	ErrNoCoveringRange = errors.New("scinet: no range covers the queried area")
+	ErrTimeout         = errors.New("scinet: request timed out")
+)
+
+// RequestTimeout bounds forwarded-query round trips.
+const RequestTimeout = 5 * time.Second
+
+// Fabric is one Range's presence in the SCINET.
+type Fabric struct {
+	rng  *server.Range
+	node *overlay.Node
+	clk  clock.Clock
+
+	mu        sync.Mutex
+	coverage  map[guid.GUID]coverageMsg // fabric node → its coverage
+	waiters   map[guid.GUID]chan queryResultMsg
+	consumers map[guid.GUID]*entity.CAA // queryID → local CAA receiving routed events
+	remote    map[guid.GUID]guid.GUID   // queryID → origin fabric (remote side)
+	closed    bool
+}
+
+// NewFabric attaches a Range to the SCINET over net. The fabric's overlay
+// node has its own GUID (the Range's transport host, if any, keeps the CS
+// GUID).
+func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabric, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	f := &Fabric{
+		rng:       rng,
+		clk:       clk,
+		coverage:  make(map[guid.GUID]coverageMsg),
+		waiters:   make(map[guid.GUID]chan queryResultMsg),
+		consumers: make(map[guid.GUID]*entity.CAA),
+		remote:    make(map[guid.GUID]guid.GUID),
+	}
+	node, err := overlay.NewNode(overlay.Config{
+		Network: net,
+		Clock:   clk,
+		Deliver: f.deliver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.node = node
+	f.coverage[node.ID()] = coverageMsg{
+		Origin:   node.ID(),
+		Coverage: rng.Coverage(),
+		Name:     rng.Name(),
+	}
+	return f, nil
+}
+
+// NodeID returns the fabric's overlay node id.
+func (f *Fabric) NodeID() guid.GUID { return f.node.ID() }
+
+// Range returns the attached Range.
+func (f *Fabric) Range() *server.Range { return f.rng }
+
+// Join enters the SCINET via a bootstrap fabric node, then announces this
+// Range's coverage to every known node (requesting echoes, so the joiner
+// also learns the existing coverage map).
+func (f *Fabric) Join(bootstrap guid.GUID) error {
+	if err := f.node.Join(bootstrap); err != nil {
+		return err
+	}
+	f.AnnounceCoverage(true)
+	return nil
+}
+
+// AnnounceCoverage gossips this Range's coverage to all known overlay
+// nodes.
+func (f *Fabric) AnnounceCoverage(echo bool) {
+	msg := coverageMsg{
+		Origin:   f.node.ID(),
+		Coverage: f.rng.Coverage(),
+		Name:     f.rng.Name(),
+		Echo:     echo,
+	}
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	for _, peer := range f.node.Known() {
+		_ = f.node.Route(peer, appCoverage, payload)
+	}
+}
+
+// Coverage returns the known coverage table: fabric node id → covered path,
+// sorted by node id.
+func (f *Fabric) Coverage() map[guid.GUID]location.Path {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[guid.GUID]location.Path, len(f.coverage))
+	for id, c := range f.coverage {
+		out[id] = c.Coverage
+	}
+	return out
+}
+
+// CoveringNode returns the fabric node whose announced coverage most
+// specifically contains the path.
+func (f *Fabric) CoveringNode(p location.Path) (guid.GUID, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best guid.GUID
+	bestDepth := -1
+	ids := make([]guid.GUID, 0, len(f.coverage))
+	for id := range f.coverage {
+		ids = append(ids, id)
+	}
+	guid.Sort(ids) // deterministic tie-break
+	for _, id := range ids {
+		c := f.coverage[id]
+		if c.Coverage == "" {
+			continue
+		}
+		if c.Coverage.Contains(p) && c.Coverage.Depth() > bestDepth {
+			best, bestDepth = id, c.Coverage.Depth()
+		}
+	}
+	return best, bestDepth >= 0
+}
+
+// Submit routes a query to the Range covering its Where clause. Queries
+// whose area this Range covers (or with no explicit area) execute locally.
+// For remote subscription queries, owner receives the routed result events.
+func (f *Fabric) Submit(q query.Query, owner *entity.CAA) (*Result, error) {
+	target, remote := f.routeTarget(q)
+	if !remote {
+		res, err := f.rng.Submit(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			QueryID:       q.ID,
+			Deferred:      res.Deferred,
+			Configuration: res.Configuration,
+			Provider:      res.Provider,
+		}, nil
+	}
+
+	xmlData, err := q.Encode()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(queryMsg{
+		Origin:  f.node.ID(),
+		QueryID: q.ID,
+		XML:     xmlData,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ch := make(chan queryResultMsg, 1)
+	f.mu.Lock()
+	f.waiters[q.ID] = ch
+	if owner != nil {
+		f.consumers[q.ID] = owner
+	}
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.waiters, q.ID)
+		f.mu.Unlock()
+	}()
+
+	if err := f.node.Route(target, appQuery, payload); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		if res.Error != "" {
+			f.mu.Lock()
+			delete(f.consumers, q.ID)
+			f.mu.Unlock()
+			return nil, fmt.Errorf("scinet: remote range: %s", res.Error)
+		}
+		return &Result{
+			QueryID:       q.ID,
+			Deferred:      res.Deferred,
+			Configuration: res.Configuration,
+			Provider:      res.Provider,
+		}, nil
+	case <-time.After(RequestTimeout):
+		return nil, ErrTimeout
+	}
+}
+
+// routeTarget decides where a query executes: locally, or at the fabric
+// node covering its explicit Where path.
+func (f *Fabric) routeTarget(q query.Query) (guid.GUID, bool) {
+	p := q.Where.Explicit.Path
+	if p == "" {
+		return guid.Nil, false
+	}
+	if own := f.rng.Coverage(); own != "" && own.Contains(p) {
+		return guid.Nil, false
+	}
+	target, ok := f.CoveringNode(p)
+	if !ok || target == f.node.ID() {
+		return guid.Nil, false
+	}
+	return target, true
+}
+
+// deliver handles overlay payloads addressed to this fabric.
+func (f *Fabric) deliver(d overlay.Delivery) {
+	switch d.AppKind {
+	case appCoverage:
+		var msg coverageMsg
+		if json.Unmarshal(d.Payload, &msg) != nil {
+			return
+		}
+		f.mu.Lock()
+		_, known := f.coverage[msg.Origin]
+		f.coverage[msg.Origin] = coverageMsg{Origin: msg.Origin, Coverage: msg.Coverage, Name: msg.Name}
+		f.mu.Unlock()
+		if msg.Echo && !known {
+			// Reply with our own coverage so the joiner learns us.
+			reply := coverageMsg{
+				Origin:   f.node.ID(),
+				Coverage: f.rng.Coverage(),
+				Name:     f.rng.Name(),
+			}
+			if payload, err := json.Marshal(reply); err == nil {
+				_ = f.node.Route(msg.Origin, appCoverage, payload)
+			}
+		}
+	case appQuery:
+		f.handleRemoteQuery(d)
+	case appQueryResult:
+		var msg queryResultMsg
+		if json.Unmarshal(d.Payload, &msg) != nil {
+			return
+		}
+		f.mu.Lock()
+		ch, ok := f.waiters[msg.QueryID]
+		f.mu.Unlock()
+		if ok {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+	case appEvent:
+		var msg eventMsg
+		if json.Unmarshal(d.Payload, &msg) != nil {
+			return
+		}
+		f.mu.Lock()
+		caa, ok := f.consumers[msg.QueryID]
+		f.mu.Unlock()
+		if ok {
+			caa.Consume(msg.Event)
+		}
+	}
+}
+
+// handleRemoteQuery executes a forwarded query against the local Range,
+// registering a proxy CAA that routes result events back to the origin.
+func (f *Fabric) handleRemoteQuery(d overlay.Delivery) {
+	var msg queryMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	reply := queryResultMsg{QueryID: msg.QueryID}
+
+	q, err := query.Decode(msg.XML)
+	if err != nil {
+		reply.Error = err.Error()
+		f.sendResult(msg.Origin, reply)
+		return
+	}
+	// Stand-in application for the remote owner: every event it consumes is
+	// routed back through the overlay tagged with the query id.
+	origin := msg.Origin
+	qid := msg.QueryID
+	proxy := entity.NewRemoteCAA(q.Owner, "scinet-proxy", func(e event.Event) {
+		payload, err := json.Marshal(eventMsg{QueryID: qid, Event: e})
+		if err != nil {
+			return
+		}
+		_ = f.node.Route(origin, appEvent, payload)
+	}, f.clk)
+	if err := f.rng.AddApplication(proxy); err != nil && !errors.Is(err, server.ErrClosed) {
+		// Already present (repeat query from the same owner) is fine.
+		var dummy profile.Profile
+		_ = dummy
+	}
+	f.mu.Lock()
+	f.remote[qid] = origin
+	f.mu.Unlock()
+
+	res, err := f.rng.Submit(q)
+	if err != nil {
+		reply.Error = err.Error()
+	} else {
+		reply.Deferred = res.Deferred
+		reply.Configuration = res.Configuration
+		reply.Provider = res.Provider
+	}
+	f.sendResult(origin, reply)
+}
+
+func (f *Fabric) sendResult(to guid.GUID, msg queryResultMsg) {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	_ = f.node.Route(to, appQueryResult, payload)
+}
+
+// Names returns the known range names keyed by fabric node, for
+// diagnostics, sorted output.
+func (f *Fabric) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.coverage))
+	for _, c := range f.coverage {
+		out = append(out, c.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close detaches the fabric's overlay node.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	return f.node.Close()
+}

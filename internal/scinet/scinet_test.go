@@ -1,0 +1,270 @@
+package scinet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/query"
+	"sci/internal/sensor"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func l10Map(t testing.TB) *location.Map {
+	t.Helper()
+	places := []location.Place{
+		{ID: "l10.corr", Path: "campus/lt/l10/corr", Centroid: location.Point{Frame: "L10", X: 10, Y: 0}},
+		{ID: "l10.01", Path: "campus/lt/l10/l10.01", Centroid: location.Point{Frame: "L10", X: 20, Y: 0}},
+	}
+	links := []location.Link{{A: "l10.corr", B: "l10.01", Door: "d-1001"}}
+	m, err := location.NewMap(places, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// twoRanges builds the CAPA topology: a lobby Range and a Level-10 Range
+// joined into one SCINET.
+type twoRanges struct {
+	clk          *clock.Manual
+	net          *transport.Memory
+	lobby, l10   *server.Range
+	fLobby, fL10 *Fabric
+	door         *sensor.DoorSensor
+	obj          *entity.ObjLocationCE
+}
+
+func newTwoRanges(t testing.TB) *twoRanges {
+	t.Helper()
+	clk := clock.NewManual(epoch)
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+
+	lobby := server.New(server.Config{
+		Name: "lift-lobby", Clock: clk, Coverage: "campus/lt/lobby",
+		AutoRenewEvery: 5 * time.Second,
+	})
+	m := l10Map(t)
+	l10 := server.New(server.Config{
+		Name: "level-10", Clock: clk, Places: m, Coverage: "campus/lt/l10",
+		AutoRenewEvery: 5 * time.Second,
+	})
+
+	fLobby, err := NewFabric(lobby, net, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fL10, err := NewFabric(l10, net, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fL10.Join(fLobby.NodeID()); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &twoRanges{clk: clk, net: net, lobby: lobby, l10: l10, fLobby: fLobby, fL10: fL10}
+	tr.door = sensor.NewDoorSensor("d-1001", location.AtPlace("l10.01"), clk)
+	if err := l10.AddEntity(tr.door); err != nil {
+		t.Fatal(err)
+	}
+	tr.obj = entity.NewObjLocationCE(m, clk)
+	if err := l10.AddEntity(tr.obj); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func (tr *twoRanges) close() {
+	_ = tr.fLobby.Close()
+	_ = tr.fL10.Close()
+	tr.lobby.Close()
+	tr.l10.Close()
+	_ = tr.net.Close()
+}
+
+func TestCoveragePropagation(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		cov := tr.fLobby.Coverage()
+		_, ok := cov[tr.fL10.NodeID()]
+		return ok && len(cov) == 2
+	})
+	waitFor(t, func() bool {
+		cov := tr.fL10.Coverage()
+		_, ok := cov[tr.fLobby.NodeID()]
+		return ok
+	})
+	// Most-specific covering node.
+	node, ok := tr.fLobby.CoveringNode("campus/lt/l10/l10.01")
+	if !ok || node != tr.fL10.NodeID() {
+		t.Fatalf("covering node = %v ok=%v", node.Short(), ok)
+	}
+	if _, ok := tr.fLobby.CoveringNode("mars/base"); ok {
+		t.Fatal("phantom coverage")
+	}
+	if len(tr.fLobby.Names()) != 2 {
+		t.Fatalf("names = %v", tr.fLobby.Names())
+	}
+}
+
+func TestLocalQueryStaysLocal(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	caa := entity.NewCAA("l10-app", nil, tr.clk)
+	if err := tr.l10.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	res, err := tr.fL10.Submit(q, caa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configuration.IsNil() {
+		t.Fatal("no configuration")
+	}
+}
+
+func TestForwardedQueryCAPAHop(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		_, ok := tr.fLobby.CoveringNode("campus/lt/l10")
+		return ok
+	})
+
+	// Bob's CAPA is registered in the LOBBY range but queries about L10.01:
+	// the lobby CS must forward to the Level Ten CS (Section 5).
+	caa := entity.NewCAA("capa", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	res, err := tr.fLobby.Submit(q, caa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configuration.IsNil() {
+		t.Fatal("remote execution did not build a configuration")
+	}
+	// The configuration lives in the L10 range.
+	if len(tr.l10.Runtime().Active()) != 1 {
+		t.Fatal("configuration not active in target range")
+	}
+
+	// A sighting in L10 flows back across the SCINET to the lobby CAA.
+	bob := guid.New(guid.KindPerson)
+	if err := tr.door.Sight(bob, "l10.01"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return caa.PendingEvents() >= 1 })
+	evs := caa.TakeEvents()
+	if evs[0].Type != ctxtype.LocationPosition || evs[0].Subject != bob {
+		t.Fatalf("routed event = %+v", evs[0])
+	}
+}
+
+func TestForwardedQueryErrorPropagates(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		_, ok := tr.fLobby.CoveringNode("campus/lt/l10")
+		return ok
+	})
+	caa := entity.NewCAA("capa", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	// Nobody provides printer.queue in L10.
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.PrinterQueue}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	if _, err := tr.fLobby.Submit(q, caa); err == nil {
+		t.Fatal("unsatisfiable forwarded query succeeded")
+	}
+}
+
+func TestQueryWithoutWhereExecutesLocally(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	caa := entity.NewCAA("app", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	// The lobby has no position providers, so an unscoped query fails
+	// locally (it must NOT be silently forwarded).
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	if _, err := tr.fLobby.Submit(q, caa); err == nil {
+		t.Fatal("unscoped query forwarded remotely")
+	}
+}
+
+func TestThreeRangeScaleOutCoverage(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+	defer net.Close()
+	var fabrics []*Fabric
+	for i := 0; i < 5; i++ {
+		rng := server.New(server.Config{
+			Name:     fmt.Sprintf("r%d", i),
+			Clock:    clk,
+			Coverage: location.Path(fmt.Sprintf("campus/b%d", i)),
+		})
+		f, err := NewFabric(rng, net, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fabrics) > 0 {
+			if err := f.Join(fabrics[0].NodeID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fabrics = append(fabrics, f)
+	}
+	defer func() {
+		for _, f := range fabrics {
+			_ = f.Close()
+			f.Range().Close()
+		}
+	}()
+	// Every fabric eventually knows every coverage.
+	waitFor(t, func() bool {
+		for _, f := range fabrics {
+			if len(f.Coverage()) != len(fabrics) {
+				return false
+			}
+		}
+		return true
+	})
+	// Each area maps to its own range from any vantage point.
+	for i, want := range fabrics {
+		p := location.Path(fmt.Sprintf("campus/b%d/room", i))
+		for _, from := range fabrics {
+			got, ok := from.CoveringNode(p)
+			if !ok || got != want.NodeID() {
+				t.Fatalf("coverage of %s from %s wrong", p, from.Range().Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package sensor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+type capture struct {
+	mu  sync.Mutex
+	evs []event.Event
+}
+
+func (c *capture) Publish(e event.Event) error {
+	c.mu.Lock()
+	c.evs = append(c.evs, e)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *capture) ofType(t ctxtype.Type) []event.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []event.Event
+	for _, e := range c.evs {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestDoorSensor(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	s := NewDoorSensor("d-1001", location.AtPlace("l10.01"), clk)
+	prof := s.Profile()
+	if prof.Attributes["door"] != "d-1001" || prof.Outputs[0] != ctxtype.LocationSightingDoor {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if !prof.IsSource() {
+		t.Fatal("door sensor must be a source")
+	}
+	if s.Door() != "d-1001" {
+		t.Fatal("Door() wrong")
+	}
+	var pub capture
+	s.Attach(&pub)
+	bob := guid.New(guid.KindPerson)
+	if err := s.Sight(bob, "l10.01"); err != nil {
+		t.Fatal(err)
+	}
+	evs := pub.ofType(ctxtype.LocationSightingDoor)
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Subject != bob {
+		t.Fatal("subject wrong")
+	}
+	if pl, _ := e.Str("place"); pl != "l10.01" {
+		t.Fatal("place wrong")
+	}
+	if d, _ := e.Str("door"); d != "d-1001" {
+		t.Fatal("door wrong")
+	}
+}
+
+func TestBaseStationPresenceTransitions(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	s := NewBaseStation("lobby", []location.PlaceID{"lobby", "lift"}, location.AtPlace("lobby"), clk)
+	var pub capture
+	s.Attach(&pub)
+	dev := guid.New(guid.KindDevice)
+
+	if !s.Covers("lobby") || s.Covers("elsewhere") {
+		t.Fatal("Covers wrong")
+	}
+
+	// Enter the cell.
+	if err := s.Observe(dev, "lobby"); err != nil {
+		t.Fatal(err)
+	}
+	evs := pub.ofType(ctxtype.LocationSightingWLAN)
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if entered, _ := evs[0].Payload["entered"].(bool); !entered {
+		t.Fatal("entered flag missing")
+	}
+	if got := s.Present(); len(got) != 1 || got[0] != dev {
+		t.Fatal("presence not tracked")
+	}
+
+	// Move within the cell: re-emit, no entered flag.
+	if err := s.Observe(dev, "lift"); err != nil {
+		t.Fatal(err)
+	}
+	evs = pub.ofType(ctxtype.LocationSightingWLAN)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if entered, _ := evs[1].Payload["entered"].(bool); entered {
+		t.Fatal("re-observation flagged as entry")
+	}
+
+	// Same place again: no event.
+	if err := s.Observe(dev, "lift"); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.ofType(ctxtype.LocationSightingWLAN)) != 2 {
+		t.Fatal("duplicate observation emitted")
+	}
+
+	// Leave the cell.
+	if err := s.Observe(dev, "elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	evs = pub.ofType(ctxtype.LocationSightingWLAN)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if left, _ := evs[2].Payload["left"].(bool); !left {
+		t.Fatal("left flag missing")
+	}
+	if len(s.Present()) != 0 {
+		t.Fatal("presence not cleared")
+	}
+
+	// Never-present device outside the cell: nothing.
+	if err := s.Observe(guid.New(guid.KindDevice), "elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.ofType(ctxtype.LocationSightingWLAN)) != 3 {
+		t.Fatal("phantom event")
+	}
+}
+
+func TestTemperatureSensorDeterministic(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	s1 := NewTemperatureSensor("a", location.AtPlace("r1"), 294, 2, 42, clk)
+	s2 := NewTemperatureSensor("b", location.AtPlace("r1"), 294, 2, 42, clk)
+	for i := 0; i < 20; i++ {
+		if s1.Read() != s2.Read() {
+			t.Fatal("same seed produced different readings")
+		}
+	}
+	// Readings stay within base ± (amp + noise).
+	s3 := NewTemperatureSensor("c", location.AtPlace("r1"), 294, 2, 7, clk)
+	for i := 0; i < 100; i++ {
+		v := s3.Read()
+		if v < 294-2.3 || v > 294+2.3 {
+			t.Fatalf("reading %v out of envelope", v)
+		}
+	}
+	var pub capture
+	s3.Attach(&pub)
+	if err := s3.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	evs := pub.ofType(ctxtype.TemperatureKelvin)
+	if len(evs) != 1 {
+		t.Fatal("Tick did not emit")
+	}
+	if _, ok := evs[0].Float("value"); !ok {
+		t.Fatal("reading payload missing")
+	}
+}
+
+func TestPrinterLifecycle(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	p := NewPrinter("P1", location.AtPlace("l10.corridor"), clk)
+	var pub capture
+	p.Attach(&pub)
+
+	if p.State() != PrinterIdle || p.QueueLen() != 0 {
+		t.Fatal("initial state wrong")
+	}
+	job, err := p.Submit("thesis.pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job == "" || p.State() != PrinterBusy || p.QueueLen() != 1 {
+		t.Fatal("submit state wrong")
+	}
+	// Profile attributes mirror live state (resolver constraints read them).
+	prof := p.Profile()
+	if prof.Attributes["status"] != "busy" || prof.Attributes["queue"] != "1" {
+		t.Fatalf("profile attrs = %v", prof.Attributes)
+	}
+	// Status + profile-update events emitted.
+	if len(pub.ofType(ctxtype.PrinterStatus)) != 1 || len(pub.ofType(ctxtype.ProfileUpdate)) != 1 {
+		t.Fatal("events not emitted on submit")
+	}
+
+	done, ok := p.CompleteOne()
+	if !ok || done != job {
+		t.Fatal("complete wrong")
+	}
+	if p.State() != PrinterIdle {
+		t.Fatal("not idle after queue drained")
+	}
+	if _, ok := p.CompleteOne(); ok {
+		t.Fatal("completed from empty queue")
+	}
+
+	// Out of paper: submits fail, state reflected.
+	p.SetOutOfPaper(true)
+	if p.State() != PrinterOutOfPaper {
+		t.Fatal("paper state wrong")
+	}
+	if _, err := p.Submit("x"); err == nil {
+		t.Fatal("submit accepted while out of paper")
+	}
+	p.SetOutOfPaper(false)
+	if p.State() != PrinterIdle {
+		t.Fatal("refill state wrong")
+	}
+}
+
+func TestPrinterServe(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	p := NewPrinter("P1", location.AtPlace("r1"), clk)
+	var pub capture
+	p.Attach(&pub)
+
+	res, err := p.Serve("submit", map[string]any{"doc": "a.pdf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["job"] == "" {
+		t.Fatal("no job id")
+	}
+	res, err = p.Serve("status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["status"] != "busy" || res["queue"] != 1 {
+		t.Fatalf("status = %v", res)
+	}
+	if _, err := p.Serve("submit", nil); err == nil {
+		t.Fatal("submit without doc accepted")
+	}
+	if _, err := p.Serve("complete", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Serve("complete", nil); err == nil {
+		t.Fatal("complete on empty queue accepted")
+	}
+	if _, err := p.Serve("bogus", nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestPrinterOutOfPaperWithQueueReturnsToBusy(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	p := NewPrinter("P2", location.AtPlace("r1"), clk)
+	var pub capture
+	p.Attach(&pub)
+	if _, err := p.Submit("doc"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetOutOfPaper(true)
+	p.SetOutOfPaper(false)
+	if p.State() != PrinterBusy {
+		t.Fatalf("state = %v, want busy (job still queued)", p.State())
+	}
+}

@@ -1,0 +1,630 @@
+// Package server implements the Range and its Context Server (paper,
+// Section 3.1): "Each Range is governed by its own individual Context
+// Server (CS), the hub for the Range. A CS is considered to be a secure,
+// always on central server for management of contextual information within
+// a Range."
+//
+// A Range owns the full set of Context Utilities — Registrar, Profile
+// Manager, Event Mediator, Query Resolver, Location Service (the location
+// map) and the configuration runtime — and provides the access point for
+// Context Aware Applications: query submission in the four modes of
+// Section 4.3, advertisement (service) calls, and deferred execution of
+// stored queries whose When clauses name a future instant or a triggering
+// event (the CAPA scenario's configuration X).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/configuration"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/mediator"
+	"sci/internal/metrics"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/registry"
+	"sci/internal/resolver"
+)
+
+// Config parameterises a Range.
+type Config struct {
+	// Name labels the Range ("level-10", "lift-lobby").
+	Name string
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Types defaults to ctxtype.NewRegistry().
+	Types *ctxtype.Registry
+	// Places is the Range's location ground truth; may be nil.
+	Places *location.Map
+	// Coverage is the hierarchical area this Range manages (used by the
+	// SCINET layer to direct query forwarding); may be empty.
+	Coverage location.Path
+	// Lease is the registration lease (default registry.DefaultLease).
+	Lease time.Duration
+	// MaxRepairs bounds per-configuration adaptation (default 8).
+	MaxRepairs int
+	// AutoRenewEvery renews all local registrations on this period
+	// (0 disables; tests drive renewal manually).
+	AutoRenewEvery time.Duration
+}
+
+// Range is one administrative area: a Context Server plus its utilities and
+// locally hosted components.
+type Range struct {
+	id   guid.GUID // the Range's own GUID
+	cs   guid.GUID // the Context Server's GUID
+	name string
+	clk  clock.Clock
+
+	types    *ctxtype.Registry
+	places   *location.Map
+	coverage location.Path
+
+	registrar *registry.Registrar
+	profiles  *profile.Manager
+	med       *mediator.Mediator
+	res       *resolver.Resolver
+	runtime   *configuration.Runtime
+
+	mu       sync.Mutex
+	comps    map[guid.GUID]entity.CE
+	caas     map[guid.GUID]*entity.CAA
+	silenced guid.Set // components excluded from auto-renewal (failure injection)
+	pending  map[guid.GUID]*pendingQuery
+	closed   bool
+
+	renewTimer clock.Timer
+	watchOff   func()
+	profSub    guid.GUID
+
+	// Metrics.
+	QueriesSubmitted metrics.Counter
+	QueriesDeferred  metrics.Counter
+	QueriesExecuted  metrics.Counter
+	ResolveLatency   metrics.Histogram
+}
+
+// pendingQuery is a stored query awaiting its When condition.
+type pendingQuery struct {
+	q       query.Query
+	owner   *entity.CAA
+	trigger guid.GUID // mediator subscription id watching for the trigger
+	timer   clock.Timer
+}
+
+// Result is the synchronous answer to a query submission.
+type Result struct {
+	// Query echoes the submitted query's id.
+	Query guid.GUID
+	// Profiles answers ModeProfile.
+	Profiles []profile.Profile
+	// Advertisement and Provider answer ModeAdvertisement.
+	Advertisement *profile.Advertisement
+	Provider      guid.GUID
+	// Configuration is the instantiated configuration id for subscription
+	// modes (nil GUID when the query was deferred).
+	Configuration guid.GUID
+	// Deferred reports that the query was stored pending its When clause.
+	Deferred bool
+}
+
+// Errors.
+var (
+	ErrClosed        = errors.New("server: range closed")
+	ErrUnknownEntity = errors.New("server: unknown entity")
+	ErrNoCAA         = errors.New("server: owner is not a registered application")
+	ErrExpiredQuery  = errors.New("server: query expired before execution")
+)
+
+// New builds and starts a Range.
+func New(cfg Config) *Range {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.Types == nil {
+		cfg.Types = ctxtype.NewRegistry()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "range"
+	}
+	r := &Range{
+		id:       guid.New(guid.KindRange),
+		cs:       guid.New(guid.KindServer),
+		name:     cfg.Name,
+		clk:      cfg.Clock,
+		types:    cfg.Types,
+		places:   cfg.Places,
+		coverage: cfg.Coverage,
+		profiles: &profile.Manager{},
+		comps:    make(map[guid.GUID]entity.CE),
+		caas:     make(map[guid.GUID]*entity.CAA),
+		silenced: guid.NewSet(),
+		pending:  make(map[guid.GUID]*pendingQuery),
+	}
+	r.registrar = registry.New(registry.Config{Clock: cfg.Clock, Lease: cfg.Lease})
+	r.med = mediator.New(cfg.Types)
+	r.res = resolver.New(r.profiles, cfg.Types, cfg.Places)
+	r.runtime = configuration.New(r.med, r.res, configuration.ComponentsFunc(r.Component), cfg.MaxRepairs)
+
+	// Departures repair configurations and are announced as events;
+	// arrivals are announced as events (Section 3.4 mobility model).
+	r.watchOff = r.registrar.Watch(registry.FuncWatcher{
+		Arrival: func(reg registry.Registration) {
+			r.publishLifecycle(ctxtype.EntityArrival, reg, "")
+		},
+		Departure: func(reg registry.Registration, why registry.Reason) {
+			r.handleDeparture(reg, why)
+		},
+	})
+
+	// Profile updates from live components (e.g. printer queue changes)
+	// refresh the stored profile so resolver constraints see the truth.
+	if rec, err := r.med.Subscribe(r.cs, event.Filter{Type: ctxtype.ProfileUpdate},
+		r.handleProfileUpdate, mediator.SubOptions{}); err == nil {
+		r.profSub = rec.ID
+	}
+
+	if cfg.AutoRenewEvery > 0 {
+		r.scheduleRenew(cfg.AutoRenewEvery)
+	}
+	return r
+}
+
+// ID returns the Range's GUID.
+func (r *Range) ID() guid.GUID { return r.id }
+
+// ServerID returns the Context Server's GUID.
+func (r *Range) ServerID() guid.GUID { return r.cs }
+
+// Name returns the Range's label.
+func (r *Range) Name() string { return r.name }
+
+// Coverage returns the hierarchical area this Range manages.
+func (r *Range) Coverage() location.Path { return r.coverage }
+
+// Places returns the Range's location map (may be nil).
+func (r *Range) Places() *location.Map { return r.places }
+
+// Types returns the Range's context type registry.
+func (r *Range) Types() *ctxtype.Registry { return r.types }
+
+// Mediator exposes the Event Mediator (the SCINET layer and tests publish
+// through it).
+func (r *Range) Mediator() *mediator.Mediator { return r.med }
+
+// Registrar exposes the Registrar.
+func (r *Range) Registrar() *registry.Registrar { return r.registrar }
+
+// Profiles exposes the Profile Manager.
+func (r *Range) Profiles() *profile.Manager { return r.profiles }
+
+// Runtime exposes the configuration runtime.
+func (r *Range) Runtime() *configuration.Runtime { return r.runtime }
+
+// Component implements configuration.Components.
+func (r *Range) Component(id guid.GUID) (entity.CE, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ce, ok := r.comps[id]
+	return ce, ok
+}
+
+// AddEntity performs the discovery/registration sequence of Fig 5 for a
+// locally hosted CE: register with the Registrar, store the Profile, attach
+// the component to the Event Mediator, and announce the arrival.
+func (r *Range) AddEntity(ce entity.CE) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.comps[ce.ID()] = ce
+	r.mu.Unlock()
+
+	prof := ce.Profile()
+	if err := r.profiles.Put(prof); err != nil {
+		return err
+	}
+	if _, err := r.registrar.Register(ce.ID(), prof.Name); err != nil {
+		return err
+	}
+	if b, ok := ce.(interface{ SetRange(guid.GUID) }); ok {
+		b.SetRange(r.id)
+	}
+	ce.Attach(r.med)
+	return nil
+}
+
+// AddApplication registers a CAA with the Range (its access point for
+// queries, Section 3.1).
+func (r *Range) AddApplication(caa *entity.CAA) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.caas[caa.ID()] = caa
+	r.mu.Unlock()
+
+	prof := caa.Profile()
+	if err := r.profiles.Put(prof); err != nil {
+		return err
+	}
+	if _, err := r.registrar.Register(caa.ID(), prof.Name); err != nil {
+		return err
+	}
+	if b, ok := interface{}(caa).(interface{ SetRange(guid.GUID) }); ok {
+		b.SetRange(r.id)
+	}
+	caa.Attach(r.med)
+	return nil
+}
+
+// RemoveEntity deregisters a component cleanly (announced departure).
+func (r *Range) RemoveEntity(id guid.GUID) error {
+	r.mu.Lock()
+	_, isComp := r.comps[id]
+	_, isCAA := r.caas[id]
+	r.mu.Unlock()
+	if !isComp && !isCAA {
+		return fmt.Errorf("%w: %s", ErrUnknownEntity, id.Short())
+	}
+	return r.registrar.Deregister(id)
+}
+
+// StopRenewing excludes a component from auto-renewal so its lease expires
+// naturally — the failure-injection hook for experiment E8.
+func (r *Range) StopRenewing(id guid.GUID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.silenced.Add(id)
+}
+
+// RenewAll renews every live local registration except silenced ones.
+func (r *Range) RenewAll() {
+	r.mu.Lock()
+	ids := make([]guid.GUID, 0, len(r.comps)+len(r.caas))
+	for id := range r.comps {
+		if !r.silenced.Has(id) {
+			ids = append(ids, id)
+		}
+	}
+	for id := range r.caas {
+		if !r.silenced.Has(id) {
+			ids = append(ids, id)
+		}
+	}
+	r.mu.Unlock()
+	for _, id := range ids {
+		_ = r.registrar.Renew(id) // a failed renew = already expired; expiry path handles it
+	}
+}
+
+// Submit processes a query from a registered CAA, dispatching on mode.
+func (r *Range) Submit(q query.Query) (*Result, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	owner := r.caas[q.Owner]
+	r.mu.Unlock()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	r.QueriesSubmitted.Inc()
+
+	switch q.Mode {
+	case query.ModeProfile:
+		return r.submitProfile(q)
+	case query.ModeAdvertisement:
+		return r.submitAdvertisement(q)
+	case query.ModeSubscribe, query.ModeOnce:
+		if owner == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNoCAA, q.Owner.Short())
+		}
+		if q.When.Immediate() {
+			return r.execute(q, owner)
+		}
+		return r.defer_(q, owner)
+	default:
+		return nil, query.ErrBadQuery
+	}
+}
+
+// submitProfile answers a profile request.
+func (r *Range) submitProfile(q query.Query) (*Result, error) {
+	res := &Result{Query: q.ID}
+	switch q.What.Kind() {
+	case "entity":
+		p, err := r.profiles.Get(q.What.Entity)
+		if err != nil {
+			return nil, err
+		}
+		res.Profiles = []profile.Profile{p}
+	case "entity-type":
+		res.Profiles = append(r.profiles.FindByInterface(q.What.EntityType),
+			r.profiles.FindByAttr("kind", q.What.EntityType)...)
+		res.Profiles = dedupeProfiles(res.Profiles)
+	case "pattern":
+		for _, c := range r.profiles.FindProviders(q.What.Pattern, r.types) {
+			res.Profiles = append(res.Profiles, c.Profile)
+		}
+	}
+	return res, nil
+}
+
+// submitAdvertisement resolves the best service provider and returns its
+// advertisement.
+func (r *Range) submitAdvertisement(q query.Query) (*Result, error) {
+	start := time.Now()
+	cfg, err := r.res.Resolve(q, r.resolveContext(q))
+	r.ResolveLatency.RecordDuration(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	p, err := r.profiles.Get(cfg.Root.Provider)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Query:         q.ID,
+		Advertisement: p.Advertisement,
+		Provider:      p.Entity,
+	}, nil
+}
+
+// execute resolves and instantiates a subscription-mode query now.
+func (r *Range) execute(q query.Query, owner *entity.CAA) (*Result, error) {
+	start := time.Now()
+	rctx := r.resolveContext(q)
+	cfg, err := r.res.Resolve(q, rctx)
+	r.ResolveLatency.RecordDuration(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.runtime.Instantiate(cfg, rctx, owner.Consume); err != nil {
+		return nil, err
+	}
+	r.QueriesExecuted.Inc()
+	return &Result{Query: q.ID, Configuration: cfg.ID}, nil
+}
+
+// defer_ stores a query until its When clause fires (CAPA configuration X:
+// "stores it until its temporal constraints are satisfied").
+func (r *Range) defer_(q query.Query, owner *entity.CAA) (*Result, error) {
+	pq := &pendingQuery{q: q, owner: owner}
+	r.mu.Lock()
+	r.pending[q.ID] = pq
+	r.mu.Unlock()
+	r.QueriesDeferred.Inc()
+
+	fire := func() {
+		r.mu.Lock()
+		_, still := r.pending[q.ID]
+		delete(r.pending, q.ID)
+		r.mu.Unlock()
+		if !still {
+			return
+		}
+		if pq.trigger != (guid.GUID{}) {
+			_ = r.med.Cancel(pq.trigger)
+		}
+		if pq.timer != nil {
+			pq.timer.Stop()
+		}
+		// Execute with the When stripped (it has fired).
+		qq := q
+		qq.When = query.When{}
+		if _, err := r.execute(qq, owner); err != nil {
+			// Deliver the failure as a query_error event so the CAA learns.
+			r.deliverError(owner, q, err)
+		}
+	}
+
+	if tr := q.When.Trigger; tr != nil {
+		rec, err := r.med.Subscribe(r.cs, *tr, func(event.Event) { fire() },
+			mediator.SubOptions{OneShot: true})
+		if err != nil {
+			return nil, err
+		}
+		pq.trigger = rec.ID
+	}
+	if !q.When.After.IsZero() {
+		d := q.When.After.Sub(r.clk.Now())
+		pq.timer = r.clk.AfterFunc(d, fire)
+	}
+	if !q.When.Expires.IsZero() {
+		d := q.When.Expires.Sub(r.clk.Now())
+		r.clk.AfterFunc(d, func() {
+			r.mu.Lock()
+			pq, still := r.pending[q.ID]
+			delete(r.pending, q.ID)
+			r.mu.Unlock()
+			if !still {
+				return
+			}
+			if pq.trigger != (guid.GUID{}) {
+				_ = r.med.Cancel(pq.trigger)
+			}
+			if pq.timer != nil {
+				pq.timer.Stop()
+			}
+			r.deliverError(pq.owner, q, ErrExpiredQuery)
+		})
+	}
+	return &Result{Query: q.ID, Deferred: true}, nil
+}
+
+// PendingQueries returns the ids of stored queries, sorted.
+func (r *Range) PendingQueries() []guid.GUID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]guid.GUID, 0, len(r.pending))
+	for id := range r.pending {
+		out = append(out, id)
+	}
+	guid.Sort(out)
+	return out
+}
+
+// CallService performs an advertisement (ServiceInterface) call on a local
+// CE — the point-to-point half of the hybrid communication model. Service
+// calls may change the provider's state (a print submission fills its
+// queue), so the stored profile is refreshed synchronously afterwards:
+// a query issued right after the call must see the new attributes.
+func (r *Range) CallService(provider guid.GUID, op string, args map[string]any) (map[string]any, error) {
+	ce, ok := r.Component(provider)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEntity, provider.Short())
+	}
+	out, err := ce.Serve(op, args)
+	if err == nil {
+		_ = r.profiles.Put(ce.Profile())
+	}
+	return out, err
+}
+
+// Publish lets infrastructure code (SCINET forwarding, tests) inject an
+// event into the Range's mediator.
+func (r *Range) Publish(e event.Event) error {
+	return r.med.Publish(e.WithRange(r.id))
+}
+
+// resolveContext builds the resolver context for a query: owner location
+// (for closest-to-me) and registrar liveness.
+func (r *Range) resolveContext(q query.Query) resolver.Context {
+	ctx := resolver.Context{
+		LiveOnly: r.registrar.IsLive,
+	}
+	if p, err := r.profiles.Get(q.Owner); err == nil {
+		ctx.OwnerLocation = p.Location
+	}
+	return ctx
+}
+
+// handleDeparture is the registrar watcher: cancel the departed entity's
+// subscriptions, drop its profile, repair configurations, announce.
+func (r *Range) handleDeparture(reg registry.Registration, why registry.Reason) {
+	r.mu.Lock()
+	ce, isComp := r.comps[reg.Entity]
+	delete(r.comps, reg.Entity)
+	delete(r.caas, reg.Entity)
+	r.silenced.Remove(reg.Entity)
+	r.mu.Unlock()
+
+	if isComp {
+		ce.Detach()
+	}
+	r.med.CancelOwned(reg.Entity)
+	r.profiles.Remove(reg.Entity)
+	r.runtime.HandleDeparture(reg.Entity)
+	r.publishLifecycle(ctxtype.EntityDeparture, reg, why.String())
+}
+
+// handleProfileUpdate refreshes the stored profile of a live component.
+func (r *Range) handleProfileUpdate(e event.Event) {
+	r.mu.Lock()
+	ce, ok := r.comps[e.Source]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = r.profiles.Put(ce.Profile())
+}
+
+// publishLifecycle emits entity.arrival / entity.departure events.
+func (r *Range) publishLifecycle(t ctxtype.Type, reg registry.Registration, reason string) {
+	payload := map[string]any{
+		"name": reg.Name,
+		"kind": reg.Kind.String(),
+	}
+	if reason != "" {
+		payload["reason"] = reason
+	}
+	e := event.New(t, r.cs, 0, r.clk.Now(), payload).
+		WithSubject(reg.Entity).WithRange(r.id)
+	_ = r.med.Publish(e)
+}
+
+func (r *Range) scheduleRenew(every time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.renewTimer = r.clk.AfterFunc(every, func() {
+		r.RenewAll()
+		r.scheduleRenew(every)
+	})
+}
+
+// Close shuts the Range down: stops timers, tears down configurations and
+// the mediator, closes the registrar.
+func (r *Range) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	if r.renewTimer != nil {
+		r.renewTimer.Stop()
+	}
+	pending := r.pending
+	r.pending = make(map[guid.GUID]*pendingQuery)
+	comps := make([]entity.CE, 0, len(r.comps))
+	for _, ce := range r.comps {
+		comps = append(comps, ce)
+	}
+	r.mu.Unlock()
+
+	for _, pq := range pending {
+		if pq.timer != nil {
+			pq.timer.Stop()
+		}
+	}
+	if r.watchOff != nil {
+		r.watchOff()
+	}
+	for _, st := range r.runtime.Active() {
+		_ = r.runtime.Teardown(st.ID)
+	}
+	for _, ce := range comps {
+		ce.Detach()
+	}
+	r.registrar.Close()
+	r.med.Close()
+}
+
+// deliverError synthesises an error event to the owning CAA.
+func (r *Range) deliverError(owner *entity.CAA, q query.Query, err error) {
+	e := event.New("query.error", r.cs, 0, r.clk.Now(), map[string]any{
+		"query": q.ID.String(),
+		"error": err.Error(),
+	}).WithRange(r.id)
+	owner.Consume(e)
+}
+
+func dedupeProfiles(ps []profile.Profile) []profile.Profile {
+	seen := guid.NewSet()
+	out := ps[:0]
+	for _, p := range ps {
+		if seen.Has(p.Entity) {
+			continue
+		}
+		seen.Add(p.Entity)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return guid.Less(out[i].Entity, out[j].Entity) })
+	return out
+}

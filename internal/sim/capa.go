@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/mobility"
+	"sci/internal/query"
+	"sci/internal/sensor"
+	"sci/internal/server"
+)
+
+// CAPAWorld reconstructs the Section 5 scenario: one floor of the tower
+// with four printers (P1 busy with Bob's job, P2 out of paper, P3 behind a
+// locked door, P4 free), Bob and John with ID badges, door sensors on every
+// room, and the CAPA application logic.
+type CAPAWorld struct {
+	Clock    *clock.Manual
+	Range    *server.Range
+	World    *mobility.World
+	Building *Building
+
+	Bob, John guid.GUID
+	Printers  map[string]*sensor.Printer // "P1".."P4"
+	ObjLoc    *entity.ObjLocationCE
+}
+
+// CAPAOutcome reports a completed print request.
+type CAPAOutcome struct {
+	// Printer is the selected printer's name.
+	Printer string
+	// Job is the job id returned by the printer's submit operation.
+	Job string
+	// Elapsed is wall time from door event to job submission.
+	Elapsed time.Duration
+}
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// NewCAPAWorld assembles the scenario. Room layout on floor 0:
+//
+//	r00 = Bob's office (L10.01)   r01 = John's office
+//	P1 in r02, P2 in r03, P3 in r04 (locked), P4 in r05
+func NewCAPAWorld() (*CAPAWorld, error) {
+	b, err := NewBuilding(1, 8)
+	if err != nil {
+		return nil, err
+	}
+	// Lock P3's room (r04): rebuild the map with that link locked.
+	places := []location.Place{}
+	for _, id := range b.Map.Places() {
+		p, _ := b.Map.Place(id)
+		places = append(places, p)
+	}
+	links := b.Map.Links()
+	for i := range links {
+		if links[i].A == "f0.r04" || links[i].B == "f0.r04" {
+			links[i].Locked = true
+		}
+	}
+	lockedMap, err := location.NewMap(places, links)
+	if err != nil {
+		return nil, err
+	}
+	b.Map = lockedMap
+
+	clk := clock.NewManual(epoch)
+	rng := server.New(server.Config{
+		Name:           "level-10",
+		Clock:          clk,
+		Places:         b.Map,
+		Coverage:       "campus/tower/f0",
+		AutoRenewEvery: 10 * time.Second,
+	})
+
+	w := mobility.NewWorld(b.Map)
+	cw := &CAPAWorld{
+		Clock:    clk,
+		Range:    rng,
+		World:    w,
+		Building: b,
+		Printers: make(map[string]*sensor.Printer),
+	}
+
+	// Door sensors on every door.
+	for room, door := range b.DoorOf {
+		ds := sensor.NewDoorSensor(door, location.AtPlace(room), clk)
+		if err := rng.AddEntity(ds); err != nil {
+			return nil, err
+		}
+		w.AttachDoorSensor(ds)
+	}
+	// Object location interpreter.
+	cw.ObjLoc = entity.NewObjLocationCE(b.Map, clk)
+	if err := rng.AddEntity(cw.ObjLoc); err != nil {
+		return nil, err
+	}
+	// Printers.
+	printerRooms := map[string]location.PlaceID{
+		"P1": "f0.r02", "P2": "f0.r03", "P3": "f0.r04", "P4": "f0.r05",
+	}
+	for name, room := range printerRooms {
+		p := sensor.NewPrinter(name, location.AtPlace(room), clk)
+		if err := rng.AddEntity(p); err != nil {
+			return nil, err
+		}
+		cw.Printers[name] = p
+	}
+	// Scenario state: P2 out of paper.
+	cw.Printers["P2"].SetOutOfPaper(true)
+
+	// Actors.
+	cw.Bob = guid.New(guid.KindPerson)
+	cw.John = guid.New(guid.KindPerson)
+	if err := w.AddActor(mobility.Actor{ID: cw.Bob, Name: "bob", Badge: true}, "f0.lobby"); err != nil {
+		return nil, err
+	}
+	if err := w.AddActor(mobility.Actor{ID: cw.John, Name: "john", Badge: true}, "f0.r01"); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// Close shuts the world down.
+func (cw *CAPAWorld) Close() {
+	cw.Range.Close()
+}
+
+// RunBob executes Bob's half of Section 5: a stored query that fires when
+// Bob's badge is seen entering his office (r00), then selects the closest
+// available printer and submits the documents. The mobile-phase storing of
+// the query before any Range connectivity is represented by submitting the
+// deferred query to the Range Bob will reach (configuration X).
+func (cw *CAPAWorld) RunBob(docs []string) (*CAPAOutcome, error) {
+	caa := entity.NewCAA("capa-bob", nil, cw.Clock)
+	if err := cw.Range.AddApplication(caa); err != nil {
+		return nil, err
+	}
+	// Anchor the CAA at Bob's office for the closest-printer criterion.
+	prof := caa.Profile()
+	prof.Location = location.AtPlace("f0.r00")
+	if err := cw.Range.Profiles().Put(prof); err != nil {
+		return nil, err
+	}
+
+	// Configuration X: when Bob enters r00, tell me printer status.
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.PrinterStatus}, query.ModeOnce)
+	q.When.Trigger = &event.Filter{
+		Type:    ctxtype.LocationSightingDoor,
+		Subject: cw.Bob,
+		Source:  cw.doorSensorID("f0.r00"),
+	}
+	q.Which = query.Which{
+		Criterion:   query.CriterionClosest,
+		Constraints: map[string]string{"status": "idle"},
+	}
+	res, err := cw.Range.Submit(q)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Deferred {
+		return nil, errors.New("sim: Bob's query should be deferred")
+	}
+
+	// Bob walks to his office; the door sensor fires configuration X.
+	start := time.Now()
+	if _, err := cw.World.MoveTo(cw.Bob, "f0.r00"); err != nil {
+		return nil, err
+	}
+	// Wait for the one-shot printer.status event.
+	deadline := time.Now().Add(5 * time.Second)
+	for caa.PendingEvents() == 0 {
+		if time.Now().After(deadline) {
+			return nil, errors.New("sim: Bob's configuration never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Identify the chosen printer via an advertisement query with the same
+	// Which clause, then submit the documents.
+	aq := query.New(caa.ID(), query.What{EntityType: "printer"}, query.ModeAdvertisement)
+	aq.Which = q.Which
+	ares, err := cw.Range.Submit(aq)
+	if err != nil {
+		return nil, err
+	}
+	name, err := cw.printerName(ares.Provider)
+	if err != nil {
+		return nil, err
+	}
+	var job string
+	for _, doc := range docs {
+		out, err := cw.Range.CallService(ares.Provider, "submit", map[string]any{"doc": doc})
+		if err != nil {
+			return nil, err
+		}
+		job, _ = out["job"].(string)
+	}
+	return &CAPAOutcome{Printer: name, Job: job, Elapsed: time.Since(start)}, nil
+}
+
+// RunJohn executes John's half: closest idle printer with an empty queue,
+// after Bob's job has made P1 busy. Expected: P4 (P1 busy, P2 out of paper,
+// P3 unreachable behind its locked door).
+func (cw *CAPAWorld) RunJohn(doc string) (*CAPAOutcome, error) {
+	caa := entity.NewCAA("capa-john", nil, cw.Clock)
+	if err := cw.Range.AddApplication(caa); err != nil {
+		return nil, err
+	}
+	prof := caa.Profile()
+	prof.Location = location.AtPlace("f0.r01")
+	if err := cw.Range.Profiles().Put(prof); err != nil {
+		return nil, err
+	}
+	q := query.New(caa.ID(), query.What{EntityType: "printer"}, query.ModeAdvertisement)
+	q.Which = query.Which{
+		Criterion:   query.CriterionClosest,
+		Constraints: map[string]string{"status": "idle", "queue": "0"},
+	}
+	start := time.Now()
+	res, err := cw.Range.Submit(q)
+	if err != nil {
+		return nil, err
+	}
+	name, err := cw.printerName(res.Provider)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cw.Range.CallService(res.Provider, "submit", map[string]any{"doc": doc})
+	if err != nil {
+		return nil, err
+	}
+	job, _ := out["job"].(string)
+	return &CAPAOutcome{Printer: name, Job: job, Elapsed: time.Since(start)}, nil
+}
+
+func (cw *CAPAWorld) printerName(id guid.GUID) (string, error) {
+	for name, p := range cw.Printers {
+		if p.ID() == id {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("sim: provider %s is not a known printer", id.Short())
+}
+
+func (cw *CAPAWorld) doorSensorID(room location.PlaceID) guid.GUID {
+	door := cw.Building.DoorOf[room]
+	for _, prof := range cw.Range.Profiles().All() {
+		if prof.Attributes["door"] == door {
+			return prof.Entity
+		}
+	}
+	return guid.Nil
+}

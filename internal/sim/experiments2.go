@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/query"
+	"sci/internal/sensor"
+	"sci/internal/server"
+)
+
+// E9Result reports the semantic-rebind experiment.
+type E9Result struct {
+	InitialLeaf ctxtype.Type
+	ReboundLeaf ctxtype.Type
+	Rebound     bool
+	RebindTime  time.Duration
+}
+
+// RunE9 (§2, iQueue critique): a query bound to door-sensor sightings
+// transparently rebinds to a W-LAN source when all door sensors vanish —
+// the cross-representation flexibility iQueue lacks.
+func RunE9(doorCount int) (*E9Result, error) {
+	clk := clock.NewManual(epoch)
+	rng := server.New(server.Config{Name: "e9", Clock: clk, AutoRenewEvery: 5 * time.Second})
+	defer rng.Close()
+
+	doors := make([]*sensor.DoorSensor, 0, doorCount)
+	for i := 0; i < doorCount; i++ {
+		ds := sensor.NewDoorSensor(fmt.Sprintf("d%d", i), location.Ref{}, clk)
+		if err := rng.AddEntity(ds); err != nil {
+			return nil, err
+		}
+		doors = append(doors, ds)
+	}
+	bs := sensor.NewBaseStation("cell", nil, location.Ref{}, clk)
+	if err := rng.AddEntity(bs); err != nil {
+		return nil, err
+	}
+	obj := entity.NewObjLocationCE(nil, clk)
+	if err := rng.AddEntity(obj); err != nil {
+		return nil, err
+	}
+	caa := entity.NewCAA("e9-app", nil, clk)
+	if err := rng.AddApplication(caa); err != nil {
+		return nil, err
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	if _, err := rng.Submit(q); err != nil {
+		return nil, err
+	}
+	res := &E9Result{InitialLeaf: leafType(rng, doors, bs)}
+
+	start := time.Now()
+	for _, ds := range doors {
+		if err := rng.RemoveEntity(ds.ID()); err != nil {
+			return nil, err
+		}
+	}
+	res.RebindTime = time.Since(start)
+	res.ReboundLeaf = leafType(rng, doors, bs)
+	res.Rebound = res.InitialLeaf == ctxtype.LocationSightingDoor &&
+		res.ReboundLeaf == ctxtype.LocationSightingWLAN
+	return res, nil
+}
+
+func leafType(rng *server.Range, doors []*sensor.DoorSensor, bs *sensor.BaseStation) ctxtype.Type {
+	for _, st := range rng.Runtime().Active() {
+		for _, p := range st.Providers {
+			for _, ds := range doors {
+				if p == ds.ID() {
+					return ctxtype.LocationSightingDoor
+				}
+			}
+			if p == bs.ID() {
+				return ctxtype.LocationSightingWLAN
+			}
+		}
+	}
+	return ""
+}
+
+// E9Table formats RunE9 output.
+func E9Table(r *E9Result) Table {
+	return Table{
+		Title:  "E9 (§2 iQueue critique): semantic rebind door → wlan",
+		Header: []string{"initial leaf", "rebound leaf", "rebound", "time"},
+		Rows: [][]string{{
+			string(r.InitialLeaf), string(r.ReboundLeaf),
+			fmt.Sprintf("%v", r.Rebound), r.RebindTime.Round(time.Microsecond).String(),
+		}},
+	}
+}
+
+// E10Row reports aggregate query throughput for one range count.
+type E10Row struct {
+	Ranges         int
+	TotalEntities  int
+	QueriesPerSec  float64
+	PerRangePerSec float64
+}
+
+// RunE10 (§3 scalability): the same total entity population either crowds
+// one Range or shards across many; aggregate immediate-query throughput
+// scales with the number of Ranges because each Context Server resolves
+// against its own (smaller) profile store.
+func RunE10(rangeCounts []int, totalEntities, queries int) ([]E10Row, error) {
+	for _, rc := range rangeCounts {
+		if rc < 1 {
+			return nil, fmt.Errorf("sim: e10 range count %d", rc)
+		}
+	}
+	var rows []E10Row
+	for _, rc := range rangeCounts {
+		perRange := totalEntities / rc
+		if perRange < 1 {
+			perRange = 1
+		}
+		ranges := make([]*server.Range, rc)
+		caas := make([]*entity.CAA, rc)
+		for i := 0; i < rc; i++ {
+			ranges[i] = server.New(server.Config{Name: fmt.Sprintf("e10-%d", i)})
+			for j := 0; j < perRange; j++ {
+				ds := sensor.NewDoorSensor(fmt.Sprintf("d%d-%d", i, j), location.Ref{}, nil)
+				if err := ranges[i].AddEntity(ds); err != nil {
+					return nil, err
+				}
+			}
+			obj := entity.NewObjLocationCE(nil, nil)
+			if err := ranges[i].AddEntity(obj); err != nil {
+				return nil, err
+			}
+			caas[i] = entity.NewCAA("e10-app", nil, nil)
+			if err := ranges[i].AddApplication(caas[i]); err != nil {
+				return nil, err
+			}
+		}
+
+		start := time.Now()
+		done := make(chan error, rc)
+		for i := 0; i < rc; i++ {
+			go func(i int) {
+				for k := 0; k < queries/rc; k++ {
+					q := query.New(caas[i].ID(), query.What{Pattern: ctxtype.LocationSightingDoor}, query.ModeProfile)
+					if _, err := ranges[i].Submit(q); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}(i)
+		}
+		for i := 0; i < rc; i++ {
+			if err := <-done; err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		total := float64(queries/rc*rc) / elapsed
+		rows = append(rows, E10Row{
+			Ranges:         rc,
+			TotalEntities:  perRange * rc,
+			QueriesPerSec:  total,
+			PerRangePerSec: total / float64(rc),
+		})
+		for _, r := range ranges {
+			r.Close()
+		}
+	}
+	return rows, nil
+}
+
+// E10Table formats RunE10 output.
+func E10Table(rows []E10Row) Table {
+	t := Table{
+		Title:  "E10 (§3 scalability): aggregate profile-query throughput vs number of Ranges",
+		Header: []string{"ranges", "entities", "queries/s", "per-range/s"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Ranges),
+			fmt.Sprintf("%d", r.TotalEntities),
+			fmt.Sprintf("%.0f", r.QueriesPerSec),
+			fmt.Sprintf("%.0f", r.PerRangePerSec),
+		})
+	}
+	return t
+}
+
+// E4Row reports event-dispatch throughput for one fan-out.
+type E4Row struct {
+	Subscribers  int
+	EventsPerSec float64
+}
+
+// RunE4 (Fig 4): cost of delivery through the abstract CE/CAA interfaces at
+// increasing fan-out.
+func RunE4(fanouts []int, events int) ([]E4Row, error) {
+	var rows []E4Row
+	for _, n := range fanouts {
+		rng := server.New(server.Config{Name: "e4"})
+		src := sensor.NewDoorSensor("d0", location.Ref{}, nil)
+		if err := rng.AddEntity(src); err != nil {
+			return nil, err
+		}
+		var delivered atomic.Int64
+		counters := make([]*entity.CAA, n)
+		for i := 0; i < n; i++ {
+			counters[i] = entity.NewCAA(fmt.Sprintf("app%d", i),
+				func(event.Event) { delivered.Add(1) }, nil)
+			if err := rng.AddApplication(counters[i]); err != nil {
+				return nil, err
+			}
+			q := query.New(counters[i].ID(), query.What{Pattern: ctxtype.LocationSightingDoor}, query.ModeSubscribe)
+			if _, err := rng.Submit(q); err != nil {
+				return nil, err
+			}
+		}
+		badge := guid.New(guid.KindPerson)
+		start := time.Now()
+		for i := 0; i < events; i++ {
+			if err := src.Sight(badge, "x"); err != nil {
+				return nil, err
+			}
+		}
+		// Wait until every delivery lands.
+		waitUntil(func() bool { return delivered.Load() >= int64(events*n) })
+		elapsed := time.Since(start).Seconds()
+		rows = append(rows, E4Row{
+			Subscribers:  n,
+			EventsPerSec: float64(events*n) / elapsed,
+		})
+		rng.Close()
+	}
+	return rows, nil
+}
+
+// E4Table formats RunE4 output.
+func E4Table(rows []E4Row) Table {
+	t := Table{
+		Title:  "E4 (Fig 4): event deliveries/second through abstract interfaces vs fan-out",
+		Header: []string{"subscribers", "deliveries/s"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Subscribers),
+			fmt.Sprintf("%.0f", r.EventsPerSec),
+		})
+	}
+	return t
+}
+
+// E6Row reports query model costs per mode.
+type E6Row struct {
+	Mode      string
+	XMLSize   int
+	RoundTrip time.Duration // encode+decode+validate
+}
+
+// RunE6 (Fig 6): query encode/parse/validate costs across the four modes.
+func RunE6(iters int) ([]E6Row, error) {
+	owner := guid.New(guid.KindApplication)
+	mk := func(mode query.Mode) query.Query {
+		var q query.Query
+		switch mode {
+		case query.ModeProfile:
+			q = query.New(owner, query.What{EntityType: "printer"}, mode)
+		case query.ModeAdvertisement:
+			q = query.New(owner, query.What{EntityType: "printer"}, mode)
+			q.Which = query.Which{Criterion: query.CriterionClosest,
+				Constraints: map[string]string{"status": "idle"}}
+		default:
+			q = query.New(owner, query.What{Pattern: ctxtype.PrinterStatus}, mode)
+			q.Where.Explicit = location.AtPath("campus/tower/f0")
+		}
+		return q
+	}
+	var rows []E6Row
+	for _, mode := range []query.Mode{query.ModeProfile, query.ModeSubscribe, query.ModeOnce, query.ModeAdvertisement} {
+		q := mk(mode)
+		data, err := q.Encode()
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			d, err := q.Encode()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := query.Decode(d); err != nil {
+				return nil, err
+			}
+		}
+		per := time.Since(start) / time.Duration(iters)
+		rows = append(rows, E6Row{Mode: string(mode), XMLSize: len(data), RoundTrip: per})
+	}
+	return rows, nil
+}
+
+// E6Table formats RunE6 output.
+func E6Table(rows []E6Row) Table {
+	t := Table{
+		Title:  "E6 (Fig 6): query XML encode+decode round trip per mode",
+		Header: []string{"mode", "xml bytes", "round trip"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Mode, fmt.Sprintf("%d", r.XMLSize), r.RoundTrip.Round(100 * time.Nanosecond).String(),
+		})
+	}
+	return t
+}

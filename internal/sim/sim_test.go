@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewBuilding(t *testing.T) {
+	b, err := NewBuilding(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 floors × (lobby + corridor + 6 rooms) places.
+	if got := len(b.Map.Places()); got != 3*8 {
+		t.Fatalf("places = %d", got)
+	}
+	// Rooms reachable from every lobby (cross-floor too).
+	if _, err := b.Map.ShortestRoute(
+		atPlace(b.Lobbies[0]), atPlace(b.Rooms[2][5])); err != nil {
+		t.Fatalf("cross-floor route: %v", err)
+	}
+	// Every room has a named door.
+	for f := range b.Rooms {
+		for _, r := range b.Rooms[f] {
+			if b.DoorOf[r] == "" {
+				t.Fatalf("room %s without door", r)
+			}
+		}
+	}
+	if b.FloorPath(1) != "campus/tower/f1" {
+		t.Fatal("FloorPath wrong")
+	}
+	if _, err := NewBuilding(0, 5); err == nil {
+		t.Fatal("zero floors accepted")
+	}
+}
+
+func TestCAPAScenario(t *testing.T) {
+	res, err := RunE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BobCorrect {
+		t.Errorf("Bob printed to %s, want P1", res.BobPrinter)
+	}
+	if !res.JohnCorrect {
+		t.Errorf("John printed to %s, want P4", res.JohnPrinter)
+	}
+	tbl := E7Table(res)
+	if !strings.Contains(tbl.String(), "bob") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestRunE1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunE1([]int{32}, 400, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// The paper's claim: comparable hops, avoided bottleneck. Overlay relay
+	// load must be spread far more evenly than the tree's root-heavy load.
+	if r.OverlayRelayRatio >= r.TreeRelayRatio {
+		t.Fatalf("overlay max/mean %.2f not better than tree %.2f",
+			r.OverlayRelayRatio, r.TreeRelayRatio)
+	}
+	if r.OverlayHopsP99 > 12 {
+		t.Fatalf("overlay p99 hops = %d", r.OverlayHopsP99)
+	}
+	if E1Table(rows).String() == "" {
+		t.Fatal("table empty")
+	}
+}
+
+func TestRunE2E3Shapes(t *testing.T) {
+	rows2, err := RunE2([]int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows2[0].RegisterPerSec <= 0 || rows2[0].EventsPerSec <= 0 {
+		t.Fatalf("e2 rates: %+v", rows2[0])
+	}
+	_ = E2Table(rows2)
+
+	rows3, err := RunE3([]int{60}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows3[0].Depth != 4 {
+		t.Fatalf("e3 depth = %d", rows3[0].Depth)
+	}
+	if rows3[0].ReuseHits == 0 {
+		t.Fatal("e3 expected cache reuse on repeat resolutions")
+	}
+	_ = E3Table(rows3)
+}
+
+func TestRunE4E5E6Shapes(t *testing.T) {
+	rows4, err := RunE4([]int{4}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows4[0].EventsPerSec <= 0 {
+		t.Fatal("e4 rate zero")
+	}
+	_ = E4Table(rows4)
+
+	rows5, err := RunE5([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows5[0].P99 < rows5[0].P50 {
+		t.Fatal("e5 quantiles inverted")
+	}
+	_ = E5Table(rows5)
+
+	rows6, err := RunE6(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows6) != 4 {
+		t.Fatalf("e6 modes = %d", len(rows6))
+	}
+	for _, r := range rows6 {
+		if r.XMLSize <= 0 || r.RoundTrip <= 0 {
+			t.Fatalf("e6 row: %+v", r)
+		}
+	}
+	_ = E6Table(rows6)
+}
+
+func TestRunE8E9E10Shapes(t *testing.T) {
+	rows8, err := RunE8([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows8[0].Repaired {
+		t.Fatal("e8 repair failed with spare providers")
+	}
+	_ = E8Table(rows8)
+
+	r9, err := RunE9(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r9.Rebound {
+		t.Fatalf("e9 rebind failed: %+v", r9)
+	}
+	_ = E9Table(r9)
+
+	rows10, err := RunE10([]int{1, 4}, 80, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows10) != 2 || rows10[0].QueriesPerSec <= 0 {
+		t.Fatalf("e10 rows: %+v", rows10)
+	}
+	_ = E10Table(rows10)
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		Title:  "test",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"xxxxxxxx", "1"}},
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "long-header") || !strings.Contains(s, "xxxxxxxx") {
+		t.Fatalf("render = %q", s)
+	}
+}

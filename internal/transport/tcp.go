@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sci/internal/guid"
+	"sci/internal/wire"
+)
+
+// Directory maps GUIDs to network addresses for the TCP transport. In a
+// deployment it is seeded from configuration or from Range discovery
+// announcements; the GUID→address binding is exactly the indirection the
+// paper's overlay premise requires. Safe for concurrent use; the zero value
+// is usable.
+type Directory struct {
+	mu    sync.RWMutex
+	addrs map[guid.GUID]string
+}
+
+// Register binds id to addr, replacing any previous binding.
+func (d *Directory) Register(id guid.GUID, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.addrs == nil {
+		d.addrs = make(map[guid.GUID]string)
+	}
+	d.addrs[id] = addr
+}
+
+// Unregister removes id's binding.
+func (d *Directory) Unregister(id guid.GUID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.addrs, id)
+}
+
+// Lookup resolves id to an address.
+func (d *Directory) Lookup(id guid.GUID) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	a, ok := d.addrs[id]
+	return a, ok
+}
+
+// Len returns the number of bindings.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.addrs)
+}
+
+// TCP is a Network over real TCP sockets. Each attached endpoint owns a
+// listener; outbound connections are cached per destination. Construct with
+// NewTCP.
+type TCP struct {
+	dir *Directory
+
+	mu     sync.Mutex
+	eps    map[guid.GUID]*tcpEndpoint
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCP builds a TCP network resolving destinations through dir. A nil dir
+// gets a private empty directory (endpoints it attaches still register).
+func NewTCP(dir *Directory) *TCP {
+	if dir == nil {
+		dir = &Directory{}
+	}
+	return &TCP{dir: dir, eps: make(map[guid.GUID]*tcpEndpoint)}
+}
+
+// Directory exposes the GUID→address directory (for seeding remote peers).
+func (t *TCP) Directory() *Directory { return t.dir }
+
+// Attach implements Network: it opens a listener on 127.0.0.1:0 (or the
+// address previously registered for id in the directory, enabling fixed
+// ports for cmd/scid) and serves inbound frames to h.
+func (t *TCP) Attach(id guid.GUID, h Handler) (Endpoint, error) {
+	return t.AttachAddr(id, "127.0.0.1:0", h)
+}
+
+// AttachAddr attaches with an explicit listen address.
+func (t *TCP) AttachAddr(id guid.GUID, listenAddr string, h Handler) (Endpoint, error) {
+	if h == nil {
+		return nil, wire.ErrBadMessage
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := t.eps[id]; dup {
+		t.mu.Unlock()
+		return nil, duplicateAttachError(id)
+	}
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	ep := &tcpEndpoint{
+		id:    id,
+		net:   t,
+		ln:    ln,
+		h:     h,
+		conns: make(map[guid.GUID]*tcpConn),
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = ln.Close()
+		return nil, ErrClosed
+	}
+	t.eps[id] = ep
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	t.dir.Register(id, ln.Addr().String())
+
+	go func() {
+		defer t.wg.Done()
+		ep.acceptLoop()
+	}()
+	return ep, nil
+}
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return nil
+	}
+	t.closed = true
+	eps := make([]*tcpEndpoint, 0, len(t.eps))
+	for _, ep := range t.eps {
+		eps = append(eps, ep)
+	}
+	t.eps = make(map[guid.GUID]*tcpEndpoint)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+type tcpEndpoint struct {
+	id  guid.GUID
+	net *TCP
+	ln  net.Listener
+	h   Handler
+
+	mu     sync.Mutex
+	conns  map[guid.GUID]*tcpConn
+	served []net.Conn // inbound connections, closed on shutdown
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serialises writers
+	c  net.Conn
+	w  *wire.Writer
+}
+
+// ID implements Endpoint.
+func (ep *tcpEndpoint) ID() guid.GUID { return ep.id }
+
+// Addr returns the endpoint's listen address.
+func (ep *tcpEndpoint) Addr() string { return ep.ln.Addr().String() }
+
+// Send implements Endpoint.
+func (ep *tcpEndpoint) Send(m wire.Message) error {
+	if err := validateOutbound(m); err != nil {
+		return err
+	}
+	conn, err := ep.connTo(m.Dst)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	err = conn.w.Write(m)
+	conn.mu.Unlock()
+	if err != nil {
+		// Connection went bad: forget it so the next send redials.
+		ep.dropConn(m.Dst, conn)
+		return fmt.Errorf("transport: send to %s: %w", m.Dst.Short(), err)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (ep *tcpEndpoint) Close() error {
+	ep.net.mu.Lock()
+	if ep.net.eps[ep.id] == ep {
+		delete(ep.net.eps, ep.id)
+	}
+	ep.net.mu.Unlock()
+	ep.shutdown()
+	return nil
+}
+
+func (ep *tcpEndpoint) shutdown() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		ep.wg.Wait()
+		return
+	}
+	ep.closed = true
+	conns := ep.conns
+	ep.conns = make(map[guid.GUID]*tcpConn)
+	served := ep.served
+	ep.served = nil
+	ep.mu.Unlock()
+
+	ep.net.dir.Unregister(ep.id)
+	_ = ep.ln.Close()
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	for _, c := range served {
+		_ = c.Close()
+	}
+	ep.wg.Wait()
+}
+
+func (ep *tcpEndpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
+}
+
+func (ep *tcpEndpoint) connTo(dst guid.GUID) (*tcpConn, error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := ep.conns[dst]; ok {
+		ep.mu.Unlock()
+		return c, nil
+	}
+	ep.mu.Unlock()
+
+	addr, ok := ep.net.dir.Lookup(dst)
+	if !ok {
+		return nil, ErrUnknownDestination
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", dst.Short(), addr, err)
+	}
+	c := &tcpConn{c: raw, w: wire.NewWriter(raw)}
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		_ = raw.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := ep.conns[dst]; ok {
+		// Lost a dial race; use the winner.
+		ep.mu.Unlock()
+		_ = raw.Close()
+		return existing, nil
+	}
+	ep.conns[dst] = c
+	ep.mu.Unlock()
+
+	// Outbound connections are write-only; drain and discard any reverse
+	// traffic so the peer's writes never block. (Peers reply via their own
+	// dialed connections, keyed by GUID, not by socket.)
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		_, _ = io.Copy(io.Discard, raw)
+	}()
+	return c, nil
+}
+
+func (ep *tcpEndpoint) dropConn(dst guid.GUID, c *tcpConn) {
+	ep.mu.Lock()
+	if ep.conns[dst] == c {
+		delete(ep.conns, dst)
+	}
+	ep.mu.Unlock()
+	_ = c.c.Close()
+}
+
+func (ep *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			if ep.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept error: keep serving.
+			continue
+		}
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		ep.served = append(ep.served, conn)
+		ep.wg.Add(1)
+		ep.mu.Unlock()
+		go func() {
+			defer ep.wg.Done()
+			ep.serveConn(conn)
+		}()
+	}
+}
+
+func (ep *tcpEndpoint) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := wire.NewReader(conn)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			return // EOF, peer close, or framing error: drop the connection
+		}
+		if ep.isClosed() {
+			return
+		}
+		ep.h(m)
+	}
+}
+
+var (
+	_ Network  = (*TCP)(nil)
+	_ Endpoint = (*tcpEndpoint)(nil)
+)

@@ -1,0 +1,144 @@
+// Package transport carries wire.Messages between SCI components that are
+// addressed by GUID rather than by network address (the paper's Section 3
+// overlay premise).
+//
+// Two implementations are provided:
+//
+//   - Memory: an in-process network with configurable per-message latency
+//     and loss, driven by an injectable clock. The simulation experiments
+//     (E1, E10) run thousands of Ranges on one machine over this network.
+//   - TCP: a real network over net.Listen/net.Dial with a Directory mapping
+//     GUIDs to listen addresses, used by cmd/scid deployments and the
+//     integration tests.
+//
+// Both deliver messages to an attached Handler. Delivery per (src,dst) pair
+// is ordered unless latency jitter is configured on the Memory network
+// (reordering under jitter is deliberate: the overlay must tolerate it).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sci/internal/guid"
+	"sci/internal/wire"
+)
+
+// Handler consumes an inbound message. Handlers run on the endpoint's
+// delivery goroutine; blocking delays only that endpoint's inbox.
+type Handler func(wire.Message)
+
+// Endpoint is one attached component's connection to a Network.
+type Endpoint interface {
+	// ID returns the GUID this endpoint is addressable as.
+	ID() guid.GUID
+	// Send dispatches m to m.Dst. Send never blocks on the destination's
+	// handler; it returns ErrUnknownDestination when the destination is not
+	// attached (Memory) or not in the Directory (TCP).
+	Send(m wire.Message) error
+	// Close detaches the endpoint; its inbox drains and its handler stops.
+	Close() error
+}
+
+// Network attaches endpoints.
+type Network interface {
+	// Attach registers id and begins delivering its traffic to h.
+	Attach(id guid.GUID, h Handler) (Endpoint, error)
+	// Close shuts the whole network down.
+	Close() error
+}
+
+// Common errors.
+var (
+	ErrUnknownDestination = errors.New("transport: unknown destination")
+	ErrClosed             = errors.New("transport: closed")
+)
+
+// inbox is an unbounded FIFO with a wake channel, drained by one goroutine.
+// Unbounded is the right choice here: senders must never block (a Memory
+// send may run on a clock callback), and the simulation experiments bound
+// traffic externally.
+type inbox struct {
+	mu     sync.Mutex
+	queue  []wire.Message
+	closed bool
+	wake   chan struct{}
+}
+
+func newInbox() *inbox {
+	return &inbox{wake: make(chan struct{}, 1)}
+}
+
+// put enqueues m; reports false if the inbox is closed.
+func (in *inbox) put(m wire.Message) bool {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
+	in.queue = append(in.queue, m)
+	in.mu.Unlock()
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// take dequeues the oldest message; ok=false when empty.
+func (in *inbox) take() (wire.Message, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.queue) == 0 {
+		return wire.Message{}, false
+	}
+	m := in.queue[0]
+	in.queue = in.queue[1:]
+	return m, true
+}
+
+func (in *inbox) close() {
+	in.mu.Lock()
+	in.closed = true
+	in.queue = nil
+	in.mu.Unlock()
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (in *inbox) isClosed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.closed
+}
+
+// drainLoop delivers queued messages to h until the inbox closes.
+func (in *inbox) drainLoop(h Handler) {
+	for {
+		for {
+			m, ok := in.take()
+			if !ok {
+				break
+			}
+			h(m)
+		}
+		if in.isClosed() {
+			return
+		}
+		<-in.wake
+	}
+}
+
+// Validate checks that a message is sendable.
+func validateOutbound(m wire.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Dst.IsNil() {
+		return fmt.Errorf("%w: nil destination", wire.ErrBadMessage)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package wire defines the message envelope and framing used for all
+// point-to-point communication in SCI: registration, query submission,
+// advertisement calls, overlay routing and inter-range event forwarding.
+//
+// The paper's hybrid communication model (Section 4) pairs distributed
+// events with point-to-point messages. This package is the point-to-point
+// half: a Message envelope addressed by GUIDs (never by network addresses,
+// per Section 3's overlay premise) with a JSON body, framed on the wire as
+// a 4-byte big-endian length followed by the JSON encoding of the envelope.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"sci/internal/guid"
+)
+
+// MaxFrame bounds a single message (16 MiB) to protect readers from
+// corrupted or hostile length prefixes.
+const MaxFrame = 16 << 20
+
+// Kind discriminates message purposes.
+type Kind string
+
+// Message kinds. Request kinds have a matching response kind; one-way kinds
+// carry no correlation.
+const (
+	// Discovery / registration (Fig 5 sequence).
+	KindAnnounce      Kind = "announce"       // RS → new entity: here is the Registrar
+	KindRegister      Kind = "register"       // entity → Registrar
+	KindRegisterAck   Kind = "register_ack"   // Registrar → entity: CS / Mediator handles
+	KindDeregister    Kind = "deregister"     // entity → Registrar
+	KindDeregisterAck Kind = "deregister_ack" //
+	KindHeartbeat     Kind = "heartbeat"      // lease renewal / liveness
+
+	// Queries (Fig 6).
+	KindQuery       Kind = "query"        // CAA → CS
+	KindQueryResult Kind = "query_result" // CS → CAA
+	KindQueryError  Kind = "query_error"  //
+
+	// Events crossing range boundaries.
+	KindEvent Kind = "event"
+
+	// Advertisement (service) calls.
+	KindServiceCall  Kind = "service_call"
+	KindServiceReply Kind = "service_reply"
+
+	// Overlay maintenance (SCINET).
+	KindOverlayJoin      Kind = "overlay_join"
+	KindOverlayJoinReply Kind = "overlay_join_reply"
+	KindOverlayPing      Kind = "overlay_ping"
+	KindOverlayPong      Kind = "overlay_pong"
+	KindOverlayRoute     Kind = "overlay_route" // encapsulated routed payload
+)
+
+// Message is the wire envelope. Payload semantics depend on Kind.
+type Message struct {
+	// Src and Dst are entity GUIDs, not network addresses.
+	Src guid.GUID `json:"src"`
+	Dst guid.GUID `json:"dst"`
+	// Kind selects the handler.
+	Kind Kind `json:"kind"`
+	// Corr correlates a response with its request; zero for one-way traffic.
+	Corr guid.GUID `json:"corr,omitzero"`
+	// TTL bounds forwarding hops for routed messages; decremented per hop.
+	TTL int `json:"ttl,omitempty"`
+	// Body is the kind-specific JSON payload.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrBadMessage    = errors.New("wire: malformed message")
+)
+
+// NewMessage builds a message with a marshalled body.
+func NewMessage(src, dst guid.GUID, kind Kind, body any) (Message, error) {
+	m := Message{Src: src, Dst: dst, Kind: kind}
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return Message{}, fmt.Errorf("wire: marshal body: %w", err)
+		}
+		m.Body = raw
+	}
+	return m, nil
+}
+
+// Reply builds a response to m with the correlation id carried over (or set
+// to m's Corr if already present).
+func (m Message) Reply(kind Kind, body any) (Message, error) {
+	r, err := NewMessage(m.Dst, m.Src, kind, body)
+	if err != nil {
+		return Message{}, err
+	}
+	r.Corr = m.Corr
+	return r, nil
+}
+
+// DecodeBody unmarshals the body into out.
+func (m Message) DecodeBody(out any) error {
+	if len(m.Body) == 0 {
+		return fmt.Errorf("%w: empty body for %s", ErrBadMessage, m.Kind)
+	}
+	if err := json.Unmarshal(m.Body, out); err != nil {
+		return fmt.Errorf("%w: body of %s: %v", ErrBadMessage, m.Kind, err)
+	}
+	return nil
+}
+
+// Validate checks the envelope.
+func (m Message) Validate() error {
+	if m.Kind == "" {
+		return fmt.Errorf("%w: empty kind", ErrBadMessage)
+	}
+	if m.Src.IsNil() {
+		return fmt.Errorf("%w: nil src", ErrBadMessage)
+	}
+	return nil
+}
+
+// String renders a compact log form.
+func (m Message) String() string {
+	return fmt.Sprintf("msg{%s %s→%s}", m.Kind, m.Src.Short(), m.Dst.Short())
+}
+
+// Writer frames messages onto an io.Writer. Not safe for concurrent use;
+// callers serialise (internal/transport does).
+type Writer struct {
+	w   *bufio.Writer
+	buf [4]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write frames and flushes one message.
+func (w *Writer) Write(m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(data) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(w.buf[:], uint32(len(data)))
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("wire: write length: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader unframes messages from an io.Reader. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf [4]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read reads one framed message. On clean EOF between frames it returns
+// io.EOF; a truncated frame yields io.ErrUnexpectedEOF.
+func (r *Reader) Read() (Message, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(r.buf[:])
+	if n > MaxFrame {
+		return Message{}, ErrFrameTooLarge
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Message{}, fmt.Errorf("wire: read frame: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,94 @@
+package sci
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart exercises the package-documented quick-start flow
+// end to end through the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	rng := NewRange(RangeConfig{Name: "lab"})
+	defer rng.Close()
+
+	thermo := NewTemperatureSensor("lab-probe", Ref{}, 294, 2, 1, nil)
+	if err := rng.AddEntity(thermo); err != nil {
+		t.Fatal(err)
+	}
+	app := NewCAA("dashboard", nil, nil)
+	if err := rng.AddApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(app.ID(), What{Pattern: TemperatureKelvin}, ModeSubscribe)
+	if _, err := rng.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := thermo.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for app.PendingEvents() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no reading delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evs := app.TakeEvents()
+	if evs[0].Type != TemperatureKelvin {
+		t.Fatalf("delivered %v", evs[0].Type)
+	}
+	if _, ok := evs[0].Float("value"); !ok {
+		t.Fatal("reading missing value")
+	}
+}
+
+// TestFacadeInterpreterChain composes a Kelvin sensor with the built-in
+// Kelvin→Celsius interpreter entirely via the public API.
+func TestFacadeInterpreterChain(t *testing.T) {
+	types := NewTypeRegistry()
+	rng := NewRange(RangeConfig{Name: "lab", Types: types})
+	defer rng.Close()
+
+	thermo := NewTemperatureSensor("probe", Ref{}, 294, 2, 1, nil)
+	if err := rng.AddEntity(thermo); err != nil {
+		t.Fatal(err)
+	}
+	conv := NewInterpreterCE("k2c", types, TemperatureKelvin, TemperatureCelsius, nil)
+	if err := rng.AddEntity(conv); err != nil {
+		t.Fatal(err)
+	}
+	app := NewCAA("celsius-app", nil, nil)
+	if err := rng.AddApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery(app.ID(), What{Pattern: TemperatureCelsius}, ModeSubscribe)
+	if _, err := rng.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := thermo.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for app.PendingEvents() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no converted reading delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evs := app.TakeEvents()
+	if evs[0].Type != TemperatureCelsius {
+		t.Fatalf("delivered %v", evs[0].Type)
+	}
+	v, _ := evs[0].Float("value")
+	if v < 15 || v > 28 {
+		t.Fatalf("celsius = %v, want ≈ 21", v)
+	}
+}
+
+func TestFacadeGUIDHelpers(t *testing.T) {
+	g := NewGUID(KindPerson)
+	back, err := ParseGUID(g.String())
+	if err != nil || back != g {
+		t.Fatal("GUID helpers broken")
+	}
+}
