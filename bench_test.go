@@ -6,10 +6,18 @@ package sci
 // cmd/scibench prints the same data as tables.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/eventbus"
+	"sci/internal/guid"
 	"sci/internal/sim"
 )
+
+var t0 = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
 
 // BenchmarkE1_OverlayVsHierarchy — Fig 1 / §3 routing claim: overlay avoids
 // the hierarchy's root bottleneck at comparable hop counts.
@@ -54,14 +62,58 @@ func BenchmarkE3_Composition(b *testing.B) {
 }
 
 // BenchmarkE4_EventDispatch — Fig 4: delivery through the abstract CE/CAA
-// interfaces at fan-out 100.
+// interfaces at fan-out 100, plus a dispatch grid that measures the raw
+// Event Mediator hot path: per-publish cost across total-subscription counts
+// for exact-type filters (which the subscription index resolves without
+// scanning unrelated subscriptions) and wildcard filters (which take the
+// residual per-event matching path).
 func BenchmarkE4_EventDispatch(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := sim.RunE4([]int{100}, 100)
-		if err != nil {
+	b.Run("Fanout100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := sim.RunE4([]int{100}, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rows[0].EventsPerSec, "deliveries/s")
+		}
+	})
+	for _, mode := range []string{"exact", "wildcard"} {
+		for _, subs := range []int{1, 100, 10000} {
+			b.Run(fmt.Sprintf("%s/subs=%d", mode, subs), func(b *testing.B) {
+				benchDispatch(b, mode, subs)
+			})
+		}
+	}
+}
+
+// benchDispatch subscribes n consumers and measures Publish. In exact mode
+// each consumer filters on its own concrete context type and every publish
+// matches exactly one subscription, so the cost of a well-indexed dispatch
+// is independent of n. In wildcard mode every consumer matches every event
+// (inherent fan-out: cost necessarily grows with n).
+func benchDispatch(b *testing.B, mode string, n int) {
+	bus := eventbus.New(nil)
+	defer bus.Close()
+	for i := 0; i < n; i++ {
+		f := event.Filter{Type: ctxtype.Type(fmt.Sprintf("bench.sub%d", i))}
+		if mode == "wildcard" {
+			f = event.Filter{}
+		}
+		if _, err := bus.Subscribe(f, func(event.Event) {}, eventbus.WithQueueLen(64)); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(rows[0].EventsPerSec, "deliveries/s")
+	}
+	e := event.New("bench.sub0", guid.New(guid.KindDevice), 0, t0, nil)
+	// Warm the dispatch path (index key cache, target pools) before timing.
+	if err := bus.Publish(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bus.Publish(e); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module sci
+
+go 1.22

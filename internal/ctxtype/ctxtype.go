@@ -22,6 +22,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 )
 
 // Type names a kind of contextual information, e.g. "location.position",
@@ -37,7 +39,8 @@ const Wildcard Type = "*"
 var ErrBadType = errors.New("ctxtype: malformed type name")
 
 // Validate checks that t is a well-formed dotted name: non-empty, lower-case
-// segments of letters/digits/hyphens separated by single dots.
+// segments of letters/digits/hyphens separated by single dots. It allocates
+// nothing on success — it runs inside every event publish.
 func (t Type) Validate() error {
 	if t == Wildcard {
 		return nil
@@ -45,16 +48,27 @@ func (t Type) Validate() error {
 	if t == "" {
 		return fmt.Errorf("%w: empty", ErrBadType)
 	}
-	for _, seg := range strings.Split(string(t), ".") {
-		if seg == "" {
-			return fmt.Errorf("%w: %q has empty segment", ErrBadType, t)
-		}
-		for _, r := range seg {
-			ok := r == '-' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
-			if !ok {
-				return fmt.Errorf("%w: %q contains %q", ErrBadType, t, r)
+	segLen := 0
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c == '.' {
+			if segLen == 0 {
+				return fmt.Errorf("%w: %q has empty segment", ErrBadType, t)
 			}
+			segLen = 0
+			continue
 		}
+		ok := c == '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+		if !ok {
+			// Decode the full rune for the message; multi-byte characters
+			// are invalid but should be reported whole, not byte by byte.
+			r, _ := utf8.DecodeRuneInString(string(t)[i:])
+			return fmt.Errorf("%w: %q contains %q", ErrBadType, t, r)
+		}
+		segLen++
+	}
+	if segLen == 0 {
+		return fmt.Errorf("%w: %q has empty segment", ErrBadType, t)
 	}
 	return nil
 }
@@ -128,7 +142,17 @@ type Registry struct {
 	equiv   map[Type]Type         // union-find parent for equivalence classes
 	conv    map[[2]Type]Converter // exact-pair converters
 	quality map[Type]float64      // default quality score of a representation
+
+	// gen counts equivalence-class mutations. Dispatch-index caches (the
+	// event bus's lookup-key memo) key their entries on it so a
+	// DeclareEquivalent issued after subscriptions exist still reaches them.
+	gen atomic.Uint64
 }
+
+// Generation returns the equivalence-mutation counter. It changes exactly
+// when a DeclareEquivalent call merges two previously distinct classes, so
+// a cache keyed on it never serves stale equivalence answers.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // NewRegistry returns a Registry pre-loaded with the core vocabulary and the
 // equivalences/conversions the built-in components rely on:
@@ -223,8 +247,51 @@ func (r *Registry) DeclareEquivalent(a, b Type) error {
 		} else {
 			r.equiv[ra] = rb
 		}
+		r.gen.Add(1)
 	}
 	return nil
+}
+
+// EquivSet returns every type in t's declared equivalence class, including
+// t itself when the class is non-trivial, sorted. Unlike ClassOf it also
+// reports class members that were named in DeclareEquivalent without being
+// registered, which is what exact-index dispatch needs: a subscription may
+// filter on such a type. A type with no declared equivalences yields nil.
+func (r *Registry) EquivSet(t Type) []Type {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.equiv == nil {
+		return nil
+	}
+	root := r.findLocked(t)
+	members := make([]Type, 0, 4)
+	if root != t || r.inSomeClassLocked(t) {
+		members = append(members, root)
+	}
+	for u := range r.equiv {
+		if u != root && r.findLocked(u) == root {
+			members = append(members, u)
+		}
+	}
+	if len(members) <= 1 {
+		return nil
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// inSomeClassLocked reports whether t participates in any declared
+// equivalence, either as a recorded child or as the root of one.
+func (r *Registry) inSomeClassLocked(t Type) bool {
+	if _, ok := r.equiv[t]; ok {
+		return true
+	}
+	for _, parent := range r.equiv {
+		if parent == t {
+			return true
+		}
+	}
+	return false
 }
 
 // Equivalent reports whether a and b are in the same declared equivalence

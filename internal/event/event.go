@@ -186,6 +186,14 @@ func (f Filter) MatchesIn(e Event, reg *ctxtype.Registry) bool {
 			return false
 		}
 	}
+	return f.MatchesRest(e)
+}
+
+// MatchesRest applies every constraint except the type. The dispatch index
+// in internal/eventbus resolves the type constraint through its pattern
+// index and calls MatchesRest for the remaining per-event checks, all of
+// which are allocation-free comparisons.
+func (f Filter) MatchesRest(e Event) bool {
 	if !f.Source.IsNil() && e.Source != f.Source {
 		return false
 	}

@@ -8,9 +8,36 @@
 // subset matching their Filter on a bounded queue serviced by a dedicated
 // delivery goroutine, so one slow consumer can never stall producers or
 // other consumers.
+//
+// # Dispatch architecture
+//
+// Dispatch is a two-tier subscription index, lock-striped across a
+// power-of-two number of shards (WithShards):
+//
+//   - The exact tier indexes every subscription whose filter names a
+//     concrete context-type pattern, keyed by that pattern in the shard the
+//     pattern hashes to. A publish resolves its target set by looking up the
+//     event's type, each of its ancestors in the dotted hierarchy, and the
+//     members of its declared semantic-equivalence class — a handful of O(1)
+//     map probes whose cost is independent of the total number of
+//     subscriptions. The per-event key set is memoised in a copy-on-write
+//     cache invalidated by the type registry's equivalence generation.
+//   - The residual tier holds the remaining subscriptions — wildcard or
+//     empty type patterns — which genuinely need per-event matching. Each
+//     residual subscription lives in the shard its id hashes to; publishes
+//     skip the residual scan entirely while the tier is empty.
+//
+// Because shards are independent, concurrent publishers on different
+// context types never contend on a lock, and subscription churn in one
+// shard does not serialise publishes through the others. Target slices are
+// pooled, so a publish resolved purely through the exact index performs no
+// allocation. Per-shard publish/deliver/drop counters and the bus-wide
+// index-hit/residual-scan ratio (IndexHitRatio) make the index's
+// effectiveness observable.
 package eventbus
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,6 +62,18 @@ const (
 // DefaultQueueLen is the per-subscription queue capacity when none is given.
 const DefaultQueueLen = 64
 
+// DefaultShards is the number of lock stripes when none is configured.
+const DefaultShards = 8
+
+// maxShards bounds WithShards to keep per-publish residual sweeps and
+// shard-stat snapshots cheap.
+const maxShards = 1024
+
+// maxKeyCacheTypes bounds the memoised event-type → lookup-keys table; a
+// running system sees few distinct event types, so the bound exists only to
+// survive adversarial type churn.
+const maxKeyCacheTypes = 4096
+
 // ErrClosed is returned when operating on a closed Bus or subscription.
 var ErrClosed = errors.New("eventbus: closed")
 
@@ -48,30 +87,117 @@ type Stats struct {
 	Delivered uint64 // handler invocations completed
 	Dropped   uint64 // events discarded by full queues
 	Subs      int    // current live subscriptions
+	// IndexHits counts targets resolved through the exact-pattern index.
+	IndexHits uint64
+	// ResidualScanned counts residual-tier filter evaluations: wildcard
+	// subscriptions examined one by one per publish.
+	ResidualScanned uint64
 }
 
-// Bus is a concurrent publish/subscribe dispatcher. Construct with New.
-type Bus struct {
-	reg *ctxtype.Registry // optional: enables semantic-equivalence matching
+// ShardStats is one lock stripe's view of the dispatch load.
+type ShardStats struct {
+	Published uint64 // events whose type hashed to this shard
+	Delivered uint64 // deliveries completed by subscriptions in this shard
+	Dropped   uint64 // events discarded by full queues in this shard
+	Patterns  int    // distinct exact-tier patterns indexed here
+	Exact     int    // live exact-tier subscriptions
+	Residual  int    // live residual-tier subscriptions
+}
 
-	mu     sync.RWMutex
-	subs   map[guid.GUID]*Subscription
-	closed bool
+// Option configures a Bus.
+type Option func(*Bus)
+
+// WithShards sets the number of lock stripes (rounded up to a power of two,
+// clamped to [1, 1024]). More shards reduce publisher contention at the cost
+// of slightly dearer residual sweeps and stat snapshots.
+func WithShards(n int) Option {
+	return func(b *Bus) { b.nshards = n }
+}
+
+// shard is one lock stripe: a slice of the exact-pattern index plus a slice
+// of the residual (wildcard) list, with its own dispatch counters.
+type shard struct {
+	mu       sync.RWMutex
+	exact    map[ctxtype.Type][]*Subscription
+	residual []*Subscription
+
+	// nresidual mirrors len(residual) so publishes can skip empty stripes
+	// without taking the lock — with many stripes and few wildcard
+	// subscriptions, the sweep costs one atomic load per stripe.
+	nresidual atomic.Int64
 
 	published atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+}
+
+// keyTable memoises event type → index lookup keys for one equivalence
+// generation of the registry. It is immutable once published; misses install
+// a fresh copy (copy-on-write), so readers never take a lock.
+type keyTable struct {
+	gen  uint64
+	keys map[ctxtype.Type][]ctxtype.Type
+}
+
+// Bus is a concurrent publish/subscribe dispatcher. Construct with New.
+type Bus struct {
+	reg     *ctxtype.Registry // optional: enables semantic-equivalence matching
+	nshards int
+	shards  []*shard
+	mask    uint32
+
+	closed  atomic.Bool
+	closeMu sync.Mutex // serialises Close against itself
+
+	published       atomic.Uint64
+	delivered       atomic.Uint64
+	dropped         atomic.Uint64
+	indexHits       atomic.Uint64
+	residualScanned atomic.Uint64
+	residuals       atomic.Int64 // live residual subs; publishes skip the sweep at 0
+
+	keys atomic.Pointer[keyTable]
 
 	wg sync.WaitGroup
 }
 
 // New constructs a Bus. reg may be nil, in which case filters match on the
 // type hierarchy only.
-func New(reg *ctxtype.Registry) *Bus {
-	return &Bus{
-		reg:  reg,
-		subs: make(map[guid.GUID]*Subscription),
+func New(reg *ctxtype.Registry, opts ...Option) *Bus {
+	b := &Bus{reg: reg, nshards: DefaultShards}
+	for _, o := range opts {
+		o(b)
 	}
+	n := 1
+	for n < b.nshards && n < maxShards {
+		n <<= 1
+	}
+	b.nshards = n
+	b.mask = uint32(n - 1)
+	b.shards = make([]*shard, n)
+	for i := range b.shards {
+		b.shards[i] = &shard{exact: make(map[ctxtype.Type][]*Subscription)}
+	}
+	return b
+}
+
+// Shards returns the number of lock stripes.
+func (b *Bus) Shards() int { return b.nshards }
+
+// typeShard returns the stripe a pattern hashes to (FNV-1a, allocation-free).
+func (b *Bus) typeShard(t ctxtype.Type) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(t); i++ {
+		h ^= uint32(t[i])
+		h *= 16777619
+	}
+	return b.shards[h&b.mask]
+}
+
+// idShard returns the stripe a residual subscription's id hashes to. Byte 0
+// is the kind tag (constant across subscriptions), so hash the random bytes.
+func (b *Bus) idShard(id guid.GUID) *shard {
+	return b.shards[binary.BigEndian.Uint32(id[1:5])&b.mask]
 }
 
 // Subscription is one consumer's registration with the bus.
@@ -80,6 +206,11 @@ type Subscription struct {
 	filter event.Filter
 	owner  guid.GUID // the subscribing entity, for bookkeeping/diagnostics
 	bus    *Bus
+
+	// Index placement, fixed at Subscribe time.
+	shard    *shard
+	key      ctxtype.Type // exact-tier pattern ("" when residual)
+	residual bool
 
 	mu     sync.Mutex
 	queue  []event.Event // ring buffer
@@ -124,6 +255,9 @@ func OneShot() SubOption {
 
 // Subscribe registers h for events matching f. The returned Subscription
 // must be Cancelled when no longer needed.
+//
+// Filters naming a concrete type pattern are placed in the exact index under
+// that pattern; wildcard and untyped filters join the residual tier.
 func (b *Bus) Subscribe(f event.Filter, h Handler, opts ...SubOption) (*Subscription, error) {
 	if h == nil {
 		return nil, errors.New("eventbus: nil handler")
@@ -142,14 +276,31 @@ func (b *Bus) Subscribe(f event.Filter, h Handler, opts ...SubOption) (*Subscrip
 		s.queue = make([]event.Event, DefaultQueueLen)
 	}
 
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	s.residual = f.Type == "" || f.Type == ctxtype.Wildcard
+	if s.residual {
+		s.shard = b.idShard(s.id)
+	} else {
+		s.key = f.Type
+		s.shard = b.typeShard(f.Type)
+	}
+
+	sh := s.shard
+	sh.mu.Lock()
+	// Re-checked under the stripe lock: Close sets the flag before sweeping
+	// the stripes, so either we observe it here or Close observes us there.
+	if b.closed.Load() {
+		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
-	b.subs[s.id] = s
+	if s.residual {
+		sh.residual = append(sh.residual, s)
+		sh.nresidual.Add(1)
+		b.residuals.Add(1)
+	} else {
+		sh.exact[s.key] = append(sh.exact[s.key], s)
+	}
 	b.wg.Add(1)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 
 	go func() {
 		defer b.wg.Done()
@@ -158,56 +309,199 @@ func (b *Bus) Subscribe(f event.Filter, h Handler, opts ...SubOption) (*Subscrip
 	return s, nil
 }
 
+// lookupKeys returns the exact-tier patterns an event of type t can match:
+// t itself, each ancestor in the dotted hierarchy, and the members of t's
+// declared equivalence class. The result is memoised per registry
+// generation, so the hot path is a single map probe with no allocation.
+func (b *Bus) lookupKeys(t ctxtype.Type) []ctxtype.Type {
+	var gen uint64
+	if b.reg != nil {
+		gen = b.reg.Generation()
+	}
+	kt := b.keys.Load()
+	if kt != nil && kt.gen == gen {
+		if ks, ok := kt.keys[t]; ok {
+			return ks
+		}
+	}
+	ks := computeKeys(t, b.reg)
+	nm := make(map[ctxtype.Type][]ctxtype.Type, 8)
+	if kt != nil && kt.gen == gen && len(kt.keys) < maxKeyCacheTypes {
+		for k, v := range kt.keys {
+			nm[k] = v
+		}
+	}
+	nm[t] = ks
+	// A concurrent miss may overwrite this install; the loser's entry is
+	// simply recomputed on its next publish.
+	b.keys.Store(&keyTable{gen: gen, keys: nm})
+	return ks
+}
+
+func computeKeys(t ctxtype.Type, reg *ctxtype.Registry) []ctxtype.Type {
+	keys := make([]ctxtype.Type, 0, 4)
+	for a := t; a != ""; a = a.Parent() {
+		keys = append(keys, a)
+	}
+	if reg != nil {
+	equiv:
+		for _, eq := range reg.EquivSet(t) {
+			for _, k := range keys {
+				if k == eq {
+					continue equiv
+				}
+			}
+			keys = append(keys, eq)
+		}
+	}
+	return keys
+}
+
+// targetPool recycles per-publish target slices across all buses.
+var targetPool = sync.Pool{
+	New: func() any {
+		s := make([]*Subscription, 0, 16)
+		return &s
+	},
+}
+
 // Publish dispatches e to every matching subscription. It never blocks on
 // slow consumers. Publish on a closed bus returns ErrClosed.
+//
+// Targets are resolved through the exact index (O(1) per lookup key) plus a
+// sweep of the residual tier when it is non-empty; concurrent publishes on
+// context types in different shards proceed without contending.
 func (b *Bus) Publish(e event.Event) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	b.mu.RLock()
-	if b.closed {
-		b.mu.RUnlock()
+	if b.closed.Load() {
 		return ErrClosed
 	}
-	// Snapshot matching subs under read lock; enqueue outside per-sub locks.
-	var targets []*Subscription
-	for _, s := range b.subs {
-		if s.filter.MatchesIn(e, b.reg) {
-			targets = append(targets, s)
+
+	tp := targetPool.Get().(*[]*Subscription)
+	targets := (*tp)[:0]
+
+	for _, k := range b.lookupKeys(e.Type) {
+		sh := b.typeShard(k)
+		sh.mu.RLock()
+		for _, s := range sh.exact[k] {
+			if s.filter.MatchesRest(e) {
+				targets = append(targets, s)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if hits := uint64(len(targets)); hits > 0 {
+		b.indexHits.Add(hits)
+	}
+
+	if b.residuals.Load() > 0 {
+		var scanned uint64
+		for _, sh := range b.shards {
+			if sh.nresidual.Load() == 0 {
+				continue
+			}
+			sh.mu.RLock()
+			scanned += uint64(len(sh.residual))
+			for _, s := range sh.residual {
+				if s.filter.MatchesIn(e, b.reg) {
+					targets = append(targets, s)
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		if scanned > 0 {
+			b.residualScanned.Add(scanned)
 		}
 	}
-	b.mu.RUnlock()
 
 	b.published.Add(1)
+	b.typeShard(e.Type).published.Add(1)
 	for _, s := range targets {
 		if n := s.enqueue(e); n > 0 {
 			b.dropped.Add(uint64(n))
+			s.shard.dropped.Add(uint64(n))
 		}
 	}
+	for i := range targets {
+		targets[i] = nil
+	}
+	*tp = targets[:0]
+	targetPool.Put(tp)
 	return nil
 }
 
 // Stats returns a snapshot of bus counters.
 func (b *Bus) Stats() Stats {
-	b.mu.RLock()
-	n := len(b.subs)
-	b.mu.RUnlock()
-	return Stats{
-		Published: b.published.Load(),
-		Delivered: b.delivered.Load(),
-		Dropped:   b.dropped.Load(),
-		Subs:      n,
+	n := 0
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for _, list := range sh.exact {
+			n += len(list)
+		}
+		n += len(sh.residual)
+		sh.mu.RUnlock()
 	}
+	return Stats{
+		Published:       b.published.Load(),
+		Delivered:       b.delivered.Load(),
+		Dropped:         b.dropped.Load(),
+		Subs:            n,
+		IndexHits:       b.indexHits.Load(),
+		ResidualScanned: b.residualScanned.Load(),
+	}
+}
+
+// ShardStats returns a per-stripe snapshot of dispatch load, index ordered.
+func (b *Bus) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(b.shards))
+	for i, sh := range b.shards {
+		sh.mu.RLock()
+		st := ShardStats{
+			Published: sh.published.Load(),
+			Delivered: sh.delivered.Load(),
+			Dropped:   sh.dropped.Load(),
+			Patterns:  len(sh.exact),
+			Residual:  len(sh.residual),
+		}
+		for _, list := range sh.exact {
+			st.Exact += len(list)
+		}
+		sh.mu.RUnlock()
+		out[i] = st
+	}
+	return out
+}
+
+// IndexHitRatio reports the fraction of dispatch work resolved through the
+// exact index: hits / (hits + residual evaluations). It is 1 when every
+// publish resolved via the index and approaches 0 when wildcard scans
+// dominate; with no dispatch activity yet it reports 1.
+func (b *Bus) IndexHitRatio() float64 {
+	hits := b.indexHits.Load()
+	res := b.residualScanned.Load()
+	if hits+res == 0 {
+		return 1
+	}
+	return float64(hits) / float64(hits+res)
 }
 
 // SubscriptionIDs returns the ids of live subscriptions (sorted, for tests
 // and the registrar's diagnostics).
 func (b *Bus) SubscriptionIDs() []guid.GUID {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]guid.GUID, 0, len(b.subs))
-	for id := range b.subs {
-		out = append(out, id)
+	var out []guid.GUID
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for _, list := range sh.exact {
+			for _, s := range list {
+				out = append(out, s.id)
+			}
+		}
+		for _, s := range sh.residual {
+			out = append(out, s.id)
+		}
+		sh.mu.RUnlock()
 	}
 	guid.Sort(out)
 	return out
@@ -217,14 +511,23 @@ func (b *Bus) SubscriptionIDs() []guid.GUID {
 // the Mediator when an entity departs its Range (Section 3.4). It returns
 // the number cancelled.
 func (b *Bus) CancelOwned(owner guid.GUID) int {
-	b.mu.RLock()
 	var victims []*Subscription
-	for _, s := range b.subs {
-		if s.owner == owner {
-			victims = append(victims, s)
+	for _, sh := range b.shards {
+		sh.mu.RLock()
+		for _, list := range sh.exact {
+			for _, s := range list {
+				if s.owner == owner {
+					victims = append(victims, s)
+				}
+			}
 		}
+		for _, s := range sh.residual {
+			if s.owner == owner {
+				victims = append(victims, s)
+			}
+		}
+		sh.mu.RUnlock()
 	}
-	b.mu.RUnlock()
 	for _, s := range victims {
 		s.Cancel()
 	}
@@ -234,18 +537,27 @@ func (b *Bus) CancelOwned(owner guid.GUID) int {
 // Close cancels all subscriptions and waits for delivery goroutines to exit.
 // Further Publish/Subscribe calls fail with ErrClosed.
 func (b *Bus) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	b.closeMu.Lock()
+	if b.closed.Load() {
+		b.closeMu.Unlock()
 		b.wg.Wait()
 		return
 	}
-	b.closed = true
-	victims := make([]*Subscription, 0, len(b.subs))
-	for _, s := range b.subs {
-		victims = append(victims, s)
+	b.closed.Store(true)
+	var victims []*Subscription
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for key, list := range sh.exact {
+			victims = append(victims, list...)
+			delete(sh.exact, key)
+		}
+		victims = append(victims, sh.residual...)
+		sh.residual = nil
+		sh.nresidual.Store(0)
+		sh.mu.Unlock()
 	}
-	b.mu.Unlock()
+	b.residuals.Store(0)
+	b.closeMu.Unlock()
 	for _, s := range victims {
 		s.Cancel()
 	}
@@ -276,9 +588,45 @@ func (s *Subscription) Cancel() {
 	case s.wake <- struct{}{}:
 	default:
 	}
-	s.bus.mu.Lock()
-	delete(s.bus.subs, s.id)
-	s.bus.mu.Unlock()
+	s.detach()
+}
+
+// detach removes the subscription from its stripe's index. Only the Cancel
+// call that flipped s.closed reaches here, so removal runs at most once; a
+// Close that already swept the stripe leaves nothing to remove.
+func (s *Subscription) detach() {
+	sh := s.shard
+	sh.mu.Lock()
+	if s.residual {
+		for i, v := range sh.residual {
+			if v == s {
+				last := len(sh.residual) - 1
+				sh.residual[i] = sh.residual[last]
+				sh.residual[last] = nil
+				sh.residual = sh.residual[:last]
+				sh.nresidual.Add(-1)
+				s.bus.residuals.Add(-1)
+				break
+			}
+		}
+	} else {
+		list := sh.exact[s.key]
+		for i, v := range list {
+			if v == s {
+				last := len(list) - 1
+				list[i] = list[last]
+				list[last] = nil
+				list = list[:last]
+				if len(list) == 0 {
+					delete(sh.exact, s.key)
+				} else {
+					sh.exact[s.key] = list
+				}
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
 }
 
 // enqueue adds e to the ring buffer, applying the drop policy. It returns
@@ -353,6 +701,7 @@ func (s *Subscription) deliverLoop(h Handler) {
 			}
 			h(e)
 			s.bus.delivered.Add(1)
+			s.shard.delivered.Add(1)
 			if s.oneShot {
 				s.Cancel()
 				return

@@ -2,12 +2,20 @@
 // Section 3.1): "manages the establishment, maintenance and removal of event
 // subscriptions between Context Entities and Context Aware Applications."
 //
-// The Mediator wraps the in-process event bus with the bookkeeping the rest
-// of a Range needs: a record of every live subscription (who subscribed, to
-// what, on whose behalf), configuration-scoped grouping so the configuration
-// runtime can tear down or rewire whole subscription graphs at once, and
-// departure handling (an entity leaving the Range takes its subscriptions
-// with it, Section 3.4).
+// The Mediator wraps the lock-striped, index-dispatched event bus
+// (internal/eventbus) with the bookkeeping the rest of a Range needs. Every
+// live subscription is recorded three ways: in the primary table by
+// subscription id, in an owner index (who subscribed), and in a
+// configuration index (on behalf of which resolved configuration). The
+// secondary indexes make the two bulk-teardown paths — an entity departing
+// its Range (Section 3.4) and the configuration runtime tearing down or
+// rewiring a subscription graph — O(subscriptions removed) instead of a
+// scan of every record, mirroring the sharded dispatch discipline of the
+// bus underneath.
+//
+// Shard-count tuning flows down from server.Config.EventShards via
+// WithShards; dispatch observability (per-shard counters, index-hit ratio)
+// flows back up through Stats, ShardStats and IndexHitRatio.
 package mediator
 
 import (
@@ -41,8 +49,11 @@ type Record struct {
 type Mediator struct {
 	bus *eventbus.Bus
 
-	mu   sync.Mutex
-	recs map[guid.GUID]*liveSub
+	mu      sync.Mutex
+	recs    map[guid.GUID]*liveSub
+	byOwner map[guid.GUID]guid.Set // owner → subscription ids
+	byCfg   map[guid.GUID]guid.Set // configuration → subscription ids
+	closed  bool
 }
 
 type liveSub struct {
@@ -53,12 +64,34 @@ type liveSub struct {
 // ErrUnknownSubscription reports an id with no live subscription.
 var ErrUnknownSubscription = errors.New("mediator: unknown subscription")
 
+// Option configures a Mediator.
+type Option func(*config)
+
+type config struct {
+	shards int
+}
+
+// WithShards sets the underlying bus's lock-stripe count (0 = default).
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
 // New builds a Mediator over a fresh bus. reg may be nil (no semantic
 // equivalence in filter matching).
-func New(reg *ctxtype.Registry) *Mediator {
+func New(reg *ctxtype.Registry, opts ...Option) *Mediator {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	var busOpts []eventbus.Option
+	if c.shards > 0 {
+		busOpts = append(busOpts, eventbus.WithShards(c.shards))
+	}
 	return &Mediator{
-		bus:  eventbus.New(reg),
-		recs: make(map[guid.GUID]*liveSub),
+		bus:     eventbus.New(reg, busOpts...),
+		recs:    make(map[guid.GUID]*liveSub),
+		byOwner: make(map[guid.GUID]guid.Set),
+		byCfg:   make(map[guid.GUID]guid.Set),
 	}
 }
 
@@ -88,13 +121,17 @@ func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event
 	}
 
 	var rec Record
+	// ready gates the one-shot cleanup on the record having been indexed:
+	// the single delivery can fire before Subscribe returns, and removing
+	// the record before it exists would leave a stale entry behind.
+	ready := make(chan struct{})
 	wrapped := h
 	if opts.OneShot {
-		// Drop the record as soon as the single delivery happens.
 		wrapped = func(e event.Event) {
 			h(e)
+			<-ready
 			m.mu.Lock()
-			delete(m.recs, rec.ID)
+			m.removeLocked(rec.ID)
 			m.mu.Unlock()
 		}
 	}
@@ -110,9 +147,78 @@ func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event
 		OneShot:       opts.OneShot,
 	}
 	m.mu.Lock()
-	m.recs[rec.ID] = &liveSub{rec: rec, sub: sub}
+	if m.closed {
+		m.mu.Unlock()
+		close(ready)
+		sub.Cancel()
+		return Record{}, fmt.Errorf("mediator: %w", eventbus.ErrClosed)
+	}
+	m.indexLocked(&liveSub{rec: rec, sub: sub})
 	m.mu.Unlock()
+	close(ready)
 	return rec, nil
+}
+
+// indexLocked inserts ls into the primary table and both secondary indexes.
+func (m *Mediator) indexLocked(ls *liveSub) {
+	m.recs[ls.rec.ID] = ls
+	owned, ok := m.byOwner[ls.rec.Owner]
+	if !ok {
+		owned = guid.NewSet()
+		m.byOwner[ls.rec.Owner] = owned
+	}
+	owned.Add(ls.rec.ID)
+	if !ls.rec.Configuration.IsNil() {
+		grouped, ok := m.byCfg[ls.rec.Configuration]
+		if !ok {
+			grouped = guid.NewSet()
+			m.byCfg[ls.rec.Configuration] = grouped
+		}
+		grouped.Add(ls.rec.ID)
+	}
+}
+
+// removeLocked deletes id from the primary table and both indexes,
+// returning the removed entry (nil if unknown).
+func (m *Mediator) removeLocked(id guid.GUID) *liveSub {
+	ls, ok := m.recs[id]
+	if !ok {
+		return nil
+	}
+	delete(m.recs, id)
+	if owned, ok := m.byOwner[ls.rec.Owner]; ok {
+		owned.Remove(id)
+		if len(owned) == 0 {
+			delete(m.byOwner, ls.rec.Owner)
+		}
+	}
+	if !ls.rec.Configuration.IsNil() {
+		if grouped, ok := m.byCfg[ls.rec.Configuration]; ok {
+			grouped.Remove(id)
+			if len(grouped) == 0 {
+				delete(m.byCfg, ls.rec.Configuration)
+			}
+		}
+	}
+	return ls
+}
+
+// takeIndexed removes and returns every subscription listed in the given
+// index set (a byOwner or byCfg bucket). It acquires m.mu itself.
+func (m *Mediator) takeIndexed(index map[guid.GUID]guid.Set, key guid.GUID) []*liveSub {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bucket, ok := index[key]
+	if !ok {
+		return nil
+	}
+	out := make([]*liveSub, 0, len(bucket))
+	for _, id := range bucket.Members() {
+		if ls := m.removeLocked(id); ls != nil {
+			out = append(out, ls)
+		}
+	}
+	return out
 }
 
 // Publish dispatches an event to all matching subscriptions.
@@ -123,12 +229,9 @@ func (m *Mediator) Publish(e event.Event) error {
 // Cancel removes one subscription.
 func (m *Mediator) Cancel(id guid.GUID) error {
 	m.mu.Lock()
-	ls, ok := m.recs[id]
-	if ok {
-		delete(m.recs, id)
-	}
+	ls := m.removeLocked(id)
 	m.mu.Unlock()
-	if !ok {
+	if ls == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownSubscription, id.Short())
 	}
 	ls.sub.Cancel()
@@ -136,9 +239,10 @@ func (m *Mediator) Cancel(id guid.GUID) error {
 }
 
 // CancelOwned removes every subscription owned by entity (departure
-// handling); returns the number cancelled.
+// handling); returns the number cancelled. The owner index makes this
+// proportional to the entity's own subscriptions, not the Range's total.
 func (m *Mediator) CancelOwned(entity guid.GUID) int {
-	victims := m.takeMatching(func(r Record) bool { return r.Owner == entity })
+	victims := m.takeIndexed(m.byOwner, entity)
 	for _, ls := range victims {
 		ls.sub.Cancel()
 	}
@@ -146,29 +250,17 @@ func (m *Mediator) CancelOwned(entity guid.GUID) int {
 }
 
 // CancelConfiguration removes every subscription belonging to a
-// configuration (teardown/rewire); returns the number cancelled.
+// configuration (teardown/rewire); returns the number cancelled. The
+// configuration index makes this proportional to the configuration's size.
 func (m *Mediator) CancelConfiguration(cfg guid.GUID) int {
 	if cfg.IsNil() {
 		return 0
 	}
-	victims := m.takeMatching(func(r Record) bool { return r.Configuration == cfg })
+	victims := m.takeIndexed(m.byCfg, cfg)
 	for _, ls := range victims {
 		ls.sub.Cancel()
 	}
 	return len(victims)
-}
-
-func (m *Mediator) takeMatching(pred func(Record) bool) []*liveSub {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []*liveSub
-	for id, ls := range m.recs {
-		if pred(ls.rec) {
-			out = append(out, ls)
-			delete(m.recs, id)
-		}
-	}
-	return out
 }
 
 // Get returns the record for a live subscription.
@@ -196,22 +288,26 @@ func (m *Mediator) Records() []Record {
 
 // OwnedBy returns the live records owned by entity, ordered by id.
 func (m *Mediator) OwnedBy(entity guid.GUID) []Record {
-	var out []Record
-	for _, r := range m.Records() {
-		if r.Owner == entity {
-			out = append(out, r)
-		}
-	}
-	return out
+	return m.indexedRecords(m.byOwner, entity)
 }
 
 // ForConfiguration returns the live records in a configuration, ordered by
 // id.
 func (m *Mediator) ForConfiguration(cfg guid.GUID) []Record {
-	var out []Record
-	for _, r := range m.Records() {
-		if r.Configuration == cfg {
-			out = append(out, r)
+	return m.indexedRecords(m.byCfg, cfg)
+}
+
+func (m *Mediator) indexedRecords(index map[guid.GUID]guid.Set, key guid.GUID) []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bucket, ok := index[key]
+	if !ok {
+		return nil
+	}
+	out := make([]Record, 0, len(bucket))
+	for _, id := range bucket.Members() {
+		if ls, ok := m.recs[id]; ok {
+			out = append(out, ls.rec)
 		}
 	}
 	return out
@@ -229,10 +325,24 @@ func (m *Mediator) Stats() eventbus.Stats {
 	return m.bus.Stats()
 }
 
+// ShardStats exposes the bus's per-stripe dispatch counters.
+func (m *Mediator) ShardStats() []eventbus.ShardStats {
+	return m.bus.ShardStats()
+}
+
+// IndexHitRatio reports the fraction of dispatch work the bus resolved
+// through its exact-pattern index (1 = no wildcard scanning).
+func (m *Mediator) IndexHitRatio() float64 {
+	return m.bus.IndexHitRatio()
+}
+
 // Close tears down the bus and all subscriptions.
 func (m *Mediator) Close() {
 	m.mu.Lock()
+	m.closed = true
 	m.recs = make(map[guid.GUID]*liveSub)
+	m.byOwner = make(map[guid.GUID]guid.Set)
+	m.byCfg = make(map[guid.GUID]guid.Set)
 	m.mu.Unlock()
 	m.bus.Close()
 }

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	if v := g.Value(); v != 0 {
+		t.Fatalf("zero value = %v, want 0", v)
+	}
+	g.Set(0.75)
+	if v := g.Value(); v != 0.75 {
+		t.Fatalf("Value = %v, want 0.75", v)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Set(float64(i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v := g.Value(); v < 0 || v > 7 {
+		t.Fatalf("concurrent Set left torn value %v", v)
+	}
+}
+
+func TestRegistryFloatGauge(t *testing.T) {
+	var r Registry
+	g := r.FloatGauge("dispatch.index_hit_ratio")
+	if g != r.FloatGauge("dispatch.index_hit_ratio") {
+		t.Fatal("FloatGauge not idempotent")
+	}
+	g.Set(0.9)
+	if !strings.Contains(r.Dump(), "dispatch.index_hit_ratio") {
+		t.Fatalf("Dump missing float gauge:\n%s", r.Dump())
+	}
+}

@@ -45,6 +45,18 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a settable instantaneous float64 value — ratios and rates
+// such as the event dispatcher's index-hit ratio. The zero value reads 0.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // histBuckets is the number of logarithmic buckets: bucket i covers values
 // in [2^(i-1), 2^i) with bucket 0 covering {0}.
 const histBuckets = 64
@@ -197,10 +209,11 @@ func leadingZeros64(x uint64) int {
 // Registry is a named collection of metrics, used by cmd/scibench to print
 // experiment outputs. Safe for concurrent use; the zero value is usable.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu      sync.Mutex
+	counts  map[string]*Counter
+	gauges  map[string]*Gauge
+	fgauges map[string]*FloatGauge
+	hists   map[string]*Histogram
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -233,6 +246,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns (creating if needed) the named float gauge.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fgauges == nil {
+		r.fgauges = make(map[string]*FloatGauge)
+	}
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
@@ -258,6 +286,9 @@ func (r *Registry) Dump() string {
 	}
 	for n, g := range r.gauges {
 		lines = append(lines, fmt.Sprintf("gauge   %-40s %d", n, g.Value()))
+	}
+	for n, g := range r.fgauges {
+		lines = append(lines, fmt.Sprintf("fgauge  %-40s %.4f", n, g.Value()))
 	}
 	for n, h := range r.hists {
 		s := h.Snapshot()

@@ -292,7 +292,15 @@ func (h *Host) handleServiceCall(m wire.Message) {
 	if err := m.DecodeBody(&body); err != nil {
 		reply.Error = err.Error()
 	} else {
-		out, err := h.rng.CallService(body.Provider, body.Op, body.Args)
+		var out map[string]any
+		var err error
+		if body.Provider == h.rng.ServerID() {
+			// Calls addressed to the Context Server itself are
+			// infrastructure operations, not entity advertisements.
+			out, err = h.serveInfra(body.Op)
+		} else {
+			out, err = h.rng.CallService(body.Provider, body.Op, body.Args)
+		}
 		if err != nil {
 			reply.Error = err.Error()
 		} else {
@@ -304,6 +312,30 @@ func (h *Host) handleServiceCall(m wire.Message) {
 		return
 	}
 	_ = h.ep.Send(r)
+}
+
+// serveInfra answers service calls addressed to the Context Server: today
+// "dispatch.stats", the Event Mediator's dispatch health (publish/deliver/
+// drop totals, live subscriptions, and how much of the dispatch work the
+// subscription index resolved without wildcard scanning). Values are
+// float64 so they survive the JSON wire round trip unchanged.
+func (h *Host) serveInfra(op string) (map[string]any, error) {
+	switch op {
+	case "dispatch.stats":
+		st := h.rng.DispatchStats()
+		return map[string]any{
+			"published":        float64(st.Published),
+			"delivered":        float64(st.Delivered),
+			"dropped":          float64(st.Dropped),
+			"subs":             float64(st.Subs),
+			"index_hits":       float64(st.IndexHits),
+			"residual_scanned": float64(st.ResidualScanned),
+			"index_hit_ratio":  h.rng.Mediator().IndexHitRatio(),
+			"shards":           float64(len(h.rng.Mediator().ShardStats())),
+		}, nil
+	default:
+		return nil, fmt.Errorf("rangesvc: unknown infrastructure op %q", op)
+	}
 }
 
 // sendEvent ships an event to a remote component.

@@ -1,0 +1,60 @@
+package server
+
+// Tests for the Range's dispatch tuning and observability surface:
+// Config.EventShards threading and FillMetrics.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/entity"
+	"sci/internal/metrics"
+)
+
+func TestEventShardsThreading(t *testing.T) {
+	clk := clock.NewManual(time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC))
+	rng := New(Config{Name: "sharded", Clock: clk, EventShards: 5})
+	defer rng.Close()
+	// 5 rounds up to the next power of two.
+	if got := len(rng.Mediator().ShardStats()); got != 8 {
+		t.Fatalf("ShardStats stripes = %d, want 8", got)
+	}
+	if st := rng.DispatchStats(); st.Subs == 0 {
+		t.Fatalf("DispatchStats = %+v, want the Range's own profile-update subscription", st)
+	}
+}
+
+func TestFillMetrics(t *testing.T) {
+	clk := clock.NewManual(time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC))
+	rng := New(Config{Name: "observed", Clock: clk, EventShards: 2})
+	defer rng.Close()
+	caa := entity.NewCAA("watcher", nil, clk)
+	if err := rng.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+
+	var m metrics.Registry
+	rng.FillMetrics(&m)
+	dump := m.Dump()
+	for _, want := range []string{
+		"eventbus.published",
+		"eventbus.subs",
+		"eventbus.index_hit_ratio",
+		"eventbus.shard00.published",
+		"eventbus.shard01.delivered",
+		"queries.submitted",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("FillMetrics dump missing %q:\n%s", want, dump)
+		}
+	}
+	if m.Gauge("eventbus.subs").Value() < 1 {
+		t.Fatal("eventbus.subs gauge not populated")
+	}
+	ratio := m.FloatGauge("eventbus.index_hit_ratio").Value()
+	if ratio < 0 || ratio > 1 {
+		t.Fatalf("index_hit_ratio = %v, want within [0,1]", ratio)
+	}
+}

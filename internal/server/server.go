@@ -25,6 +25,7 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/entity"
 	"sci/internal/event"
+	"sci/internal/eventbus"
 	"sci/internal/guid"
 	"sci/internal/location"
 	"sci/internal/mediator"
@@ -52,6 +53,10 @@ type Config struct {
 	Lease time.Duration
 	// MaxRepairs bounds per-configuration adaptation (default 8).
 	MaxRepairs int
+	// EventShards tunes the Event Mediator's dispatch lock-stripe count
+	// (rounded up to a power of two; 0 = eventbus.DefaultShards). Raise it
+	// on Ranges with many concurrent publishers.
+	EventShards int
 	// AutoRenewEvery renews all local registrations on this period
 	// (0 disables; tests drive renewal manually).
 	AutoRenewEvery time.Duration
@@ -151,7 +156,7 @@ func New(cfg Config) *Range {
 		pending:  make(map[guid.GUID]*pendingQuery),
 	}
 	r.registrar = registry.New(registry.Config{Clock: cfg.Clock, Lease: cfg.Lease})
-	r.med = mediator.New(cfg.Types)
+	r.med = mediator.New(cfg.Types, mediator.WithShards(cfg.EventShards))
 	r.res = resolver.New(r.profiles, cfg.Types, cfg.Places)
 	r.runtime = configuration.New(r.med, r.res, configuration.ComponentsFunc(r.Component), cfg.MaxRepairs)
 
@@ -498,6 +503,31 @@ func (r *Range) CallService(provider guid.GUID, op string, args map[string]any) 
 // event into the Range's mediator.
 func (r *Range) Publish(e event.Event) error {
 	return r.med.Publish(e.WithRange(r.id))
+}
+
+// DispatchStats returns the Event Mediator's bus-wide dispatch counters.
+func (r *Range) DispatchStats() eventbus.Stats {
+	return r.med.Stats()
+}
+
+// FillMetrics publishes the Range's dispatch health into m: query counters,
+// per-shard publish/deliver/drop counts of the Event Mediator's subscription
+// index, and the index-hit/residual-scan ratio gauge.
+func (r *Range) FillMetrics(m *metrics.Registry) {
+	st := r.med.Stats()
+	m.Gauge("eventbus.published").Set(int64(st.Published))
+	m.Gauge("eventbus.delivered").Set(int64(st.Delivered))
+	m.Gauge("eventbus.dropped").Set(int64(st.Dropped))
+	m.Gauge("eventbus.subs").Set(int64(st.Subs))
+	m.FloatGauge("eventbus.index_hit_ratio").Set(r.med.IndexHitRatio())
+	for i, ss := range r.med.ShardStats() {
+		m.Gauge(fmt.Sprintf("eventbus.shard%02d.published", i)).Set(int64(ss.Published))
+		m.Gauge(fmt.Sprintf("eventbus.shard%02d.delivered", i)).Set(int64(ss.Delivered))
+		m.Gauge(fmt.Sprintf("eventbus.shard%02d.dropped", i)).Set(int64(ss.Dropped))
+	}
+	m.Gauge("queries.submitted").Set(int64(r.QueriesSubmitted.Value()))
+	m.Gauge("queries.deferred").Set(int64(r.QueriesDeferred.Value()))
+	m.Gauge("queries.executed").Set(int64(r.QueriesExecuted.Value()))
 }
 
 // resolveContext builds the resolver context for a query: owner location

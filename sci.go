@@ -41,6 +41,7 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/entity"
 	"sci/internal/event"
+	"sci/internal/eventbus"
 	"sci/internal/guid"
 	"sci/internal/location"
 	"sci/internal/mobility"
@@ -218,7 +219,8 @@ var (
 type (
 	// Range is one administrative area with its Context Server.
 	Range = server.Range
-	// RangeConfig parameterises NewRange.
+	// RangeConfig parameterises NewRange, including EventShards: the
+	// Event Mediator's dispatch lock-stripe count.
 	RangeConfig = server.Config
 	// QueryResult is the synchronous answer to Submit.
 	QueryResult = server.Result
@@ -226,6 +228,22 @@ type (
 
 // NewRange builds and starts a Range.
 var NewRange = server.New
+
+// Event dispatch introspection. The Event Mediator routes publishes through
+// a sharded two-tier subscription index; these snapshots (via
+// Range.DispatchStats and Range.Mediator) expose its throughput, drops and
+// index effectiveness.
+type (
+	// DispatchStats counts bus-wide publishes, deliveries, drops and
+	// index-hit/residual-scan work.
+	DispatchStats = eventbus.Stats
+	// DispatchShardStats is one dispatch lock stripe's counters.
+	DispatchShardStats = eventbus.ShardStats
+)
+
+// DefaultEventShards is the dispatch stripe count used when
+// RangeConfig.EventShards is zero.
+const DefaultEventShards = eventbus.DefaultShards
 
 // SCINET — the upper layer.
 type (
