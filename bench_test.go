@@ -117,6 +117,68 @@ func benchDispatch(b *testing.B, mode string, n int) {
 	}
 }
 
+// BenchmarkBatchPublish — batch-native delivery (PR 2): PublishAll resolves
+// the dispatch index once per run of same-type events and appends each
+// subscriber's share of a run under one ring lock with one wakeup. The grid
+// crosses batch size with subscriber count; batch=1 is the per-event
+// Publish baseline, so the events/s ratio within a subs row is the
+// amortisation factor.
+func BenchmarkBatchPublish(b *testing.B) {
+	for _, subs := range []int{1, 100} {
+		for _, batch := range []int{1, 16, 64, 256} {
+			b.Run(fmt.Sprintf("subs=%d/batch=%d", subs, batch), func(b *testing.B) {
+				benchBatchPublish(b, subs, batch)
+			})
+		}
+	}
+}
+
+// benchBatchPublish subscribes n consumers to one concrete type (full
+// fan-out: every event reaches every subscriber) and measures the publish
+// side of PublishAll against per-event Publish.
+func benchBatchPublish(b *testing.B, subs, batch int) {
+	bus := eventbus.New(nil)
+	defer bus.Close()
+	qlen := 4 * batch
+	if qlen < 64 {
+		qlen = 64
+	}
+	for i := 0; i < subs; i++ {
+		if _, err := bus.Subscribe(event.Filter{Type: "bench.batch"}, func(event.Event) {},
+			eventbus.WithQueueLen(qlen)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	src := guid.New(guid.KindDevice)
+	events := make([]event.Event, batch)
+	for i := range events {
+		events[i] = event.New("bench.batch", src, uint64(i), t0, nil)
+	}
+	// Warm the dispatch path (index key cache, target pools) before timing.
+	if err := bus.PublishAll(events); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if batch == 1 {
+		for i := 0; i < b.N; i++ {
+			if err := bus.Publish(events[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			if err := bus.PublishAll(events); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*batch)/secs, "events/s")
+	}
+}
+
 // BenchmarkE5_Discovery — Fig 5: concurrent discovery/registration bursts.
 func BenchmarkE5_Discovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {

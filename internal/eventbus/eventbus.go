@@ -34,6 +34,18 @@
 // allocation. Per-shard publish/deliver/drop counters and the bus-wide
 // index-hit/residual-scan ratio (IndexHitRatio) make the index's
 // effectiveness observable.
+//
+// # Batched delivery
+//
+// The pipeline is batch-native end to end. PublishAll accepts a slice of
+// events and walks it in runs of consecutive same-type events, resolving
+// the index once per run and appending each subscriber's share of the run
+// to its ring buffer under a single lock acquisition with one wakeup.
+// Delivery loops drain everything queued since the last wakeup into a
+// reused slice and hand it to a BatchHandler in one call; single-event
+// Handlers are adapted transparently, so per-event subscribers observe
+// identical semantics while batch-aware consumers (SubscribeBatch) amortise
+// their own downstream costs across the burst.
 package eventbus
 
 import (
@@ -80,6 +92,14 @@ var ErrClosed = errors.New("eventbus: closed")
 // Handler consumes delivered events. Handlers run on the subscription's
 // delivery goroutine: they may block that subscription only.
 type Handler func(event.Event)
+
+// BatchHandler consumes delivered events a slice at a time: the delivery
+// goroutine drains everything queued since the last wakeup and hands it over
+// in one call, so consumers that can amortise per-event overhead (wire
+// encoding, lock acquisition, fsync) see the whole backlog at once. The
+// slice is reused between invocations; handlers must not retain it.
+// Single-event Handlers are adapted onto this interface by Subscribe.
+type BatchHandler func([]event.Event)
 
 // Stats counts bus activity; retrieved via Bus.Stats.
 type Stats struct {
@@ -200,6 +220,24 @@ func (b *Bus) idShard(id guid.GUID) *shard {
 	return b.shards[binary.BigEndian.Uint32(id[1:5])&b.mask]
 }
 
+// entry is one slot of a subscription's delivery ring: either a single
+// event (per-event Publish) or a run — a slice of a batch shared, immutably,
+// by every subscriber the run matched. Sharing runs makes a batched publish
+// cost one slice header per subscriber instead of one struct copy per
+// subscriber per event.
+type entry struct {
+	e   event.Event
+	run []event.Event // non-nil: a shared batched run; never written through
+}
+
+// events reports the entry's weight against the queue's event capacity.
+func (en *entry) events() int {
+	if en.run != nil {
+		return len(en.run)
+	}
+	return 1
+}
+
 // Subscription is one consumer's registration with the bus.
 type Subscription struct {
 	id     guid.GUID
@@ -211,11 +249,16 @@ type Subscription struct {
 	shard    *shard
 	key      ctxtype.Type // exact-tier pattern ("" when residual)
 	residual bool
+	// matchAll is set when the filter's non-index constraints accept every
+	// event, letting a batched publish admit a whole run without per-event
+	// evaluation.
+	matchAll bool
 
 	mu     sync.Mutex
-	queue  []event.Event // ring buffer
+	queue  []entry // ring of entries; capacity bounds total queued *events*
 	head   int
-	count  int
+	count  int // entries in the ring
+	events int // events across those entries
 	policy DropPolicy
 	wake   chan struct{}
 	closed bool
@@ -227,13 +270,13 @@ type Subscription struct {
 // SubOption configures a subscription.
 type SubOption func(*Subscription)
 
-// WithQueueLen sets the bounded queue capacity (min 1).
+// WithQueueLen sets the bounded queue capacity in events (min 1).
 func WithQueueLen(n int) SubOption {
 	return func(s *Subscription) {
 		if n < 1 {
 			n = 1
 		}
-		s.queue = make([]event.Event, n)
+		s.queue = make([]entry, n)
 	}
 }
 
@@ -258,10 +301,31 @@ func OneShot() SubOption {
 //
 // Filters naming a concrete type pattern are placed in the exact index under
 // that pattern; wildcard and untyped filters join the residual tier.
+//
+// The handler is adapted onto the batch delivery loop: each wakeup drains
+// the queue and invokes h once per drained event, preserving order.
 func (b *Bus) Subscribe(f event.Filter, h Handler, opts ...SubOption) (*Subscription, error) {
 	if h == nil {
 		return nil, errors.New("eventbus: nil handler")
 	}
+	return b.subscribe(f, func(events []event.Event) {
+		for i := range events {
+			h(events[i])
+		}
+	}, opts)
+}
+
+// SubscribeBatch registers h for events matching f, delivering everything
+// queued since the last wakeup as one slice per invocation. Otherwise
+// identical to Subscribe.
+func (b *Bus) SubscribeBatch(f event.Filter, h BatchHandler, opts ...SubOption) (*Subscription, error) {
+	if h == nil {
+		return nil, errors.New("eventbus: nil handler")
+	}
+	return b.subscribe(f, h, opts)
+}
+
+func (b *Bus) subscribe(f event.Filter, h BatchHandler, opts []SubOption) (*Subscription, error) {
 	s := &Subscription{
 		id:     guid.New(guid.KindSubscription),
 		filter: f,
@@ -273,10 +337,14 @@ func (b *Bus) Subscribe(f event.Filter, h Handler, opts ...SubOption) (*Subscrip
 		o(s)
 	}
 	if s.queue == nil {
-		s.queue = make([]event.Event, DefaultQueueLen)
+		s.queue = make([]entry, DefaultQueueLen)
 	}
 
 	s.residual = f.Type == "" || f.Type == ctxtype.Wildcard
+	// Exact-tier type constraints are resolved by the index and residual
+	// filters are untyped, so in both tiers a filter with no further
+	// constraints accepts every candidate event.
+	s.matchAll = f.Source.IsNil() && f.Subject.IsNil() && f.Range.IsNil() && f.MinQuality <= 0
 	if s.residual {
 		s.shard = b.idShard(s.id)
 	} else {
@@ -382,8 +450,14 @@ func (b *Bus) Publish(e event.Event) error {
 	tp := targetPool.Get().(*[]*Subscription)
 	targets := (*tp)[:0]
 
+	// computeKeys puts the event's own type first, so the first iteration's
+	// stripe doubles as the per-type counter's home — one hash, not two.
+	var home *shard
 	for _, k := range b.lookupKeys(e.Type) {
 		sh := b.typeShard(k)
+		if home == nil {
+			home = sh
+		}
 		sh.mu.RLock()
 		for _, s := range sh.exact[k] {
 			if s.filter.MatchesRest(e) {
@@ -417,7 +491,7 @@ func (b *Bus) Publish(e event.Event) error {
 	}
 
 	b.published.Add(1)
-	b.typeShard(e.Type).published.Add(1)
+	home.published.Add(1)
 	for _, s := range targets {
 		if n := s.enqueue(e); n > 0 {
 			b.dropped.Add(uint64(n))
@@ -430,6 +504,160 @@ func (b *Bus) Publish(e event.Event) error {
 	*tp = targets[:0]
 	targetPool.Put(tp)
 	return nil
+}
+
+// PublishAll dispatches a batch of events in one call. The batch is copied
+// once into a shared immutable buffer and walked as runs of consecutive
+// events sharing a concrete type; for each run the exact index is resolved
+// once and the residual tier swept once (rather than per event), and every
+// matching subscription receives the run as a single ring entry — one slice
+// header, one lock acquisition, one wakeup — instead of a per-event struct
+// copy. Relative event order is preserved for every subscriber, and the
+// caller's slice may be reused immediately.
+//
+// The whole batch is validated up front; on a validation error nothing is
+// published. PublishAll on a closed bus returns ErrClosed.
+func (b *Bus) PublishAll(events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return err
+		}
+	}
+	if b.closed.Load() {
+		return ErrClosed
+	}
+
+	// One copy for the whole fan-out: subscriber rings hold views of this
+	// buffer, so it must not alias the caller's (reusable) slice.
+	shared := make([]event.Event, len(events))
+	copy(shared, events)
+	b.dispatchRuns(shared)
+	return nil
+}
+
+// PublishAllOwned is PublishAll for callers that hand the slice over: the
+// bus retains it and shares views of it with subscriber rings, so the
+// caller must never read or write it again. It exists to spare batch
+// pipelines that already build a private slice per batch (the mediator's
+// stamping layer, wire ingest) the defensive copy.
+func (b *Bus) PublishAllOwned(events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return err
+		}
+	}
+	if b.closed.Load() {
+		return ErrClosed
+	}
+	b.dispatchRuns(events)
+	return nil
+}
+
+// dispatchRuns walks a validated, bus-owned batch in type-runs and fans
+// each run out to its matching subscriptions.
+func (b *Bus) dispatchRuns(shared []event.Event) {
+	tp := targetPool.Get().(*[]*Subscription)
+	targets := (*tp)[:0]
+
+	for i := 0; i < len(shared); {
+		j := i + 1
+		for j < len(shared) && shared[j].Type == shared[i].Type {
+			j++
+		}
+		run := shared[i:j]
+		t := run[0].Type
+		i = j
+
+		targets = targets[:0]
+		var home *shard
+		for _, k := range b.lookupKeys(t) {
+			sh := b.typeShard(k)
+			if home == nil {
+				home = sh
+			}
+			sh.mu.RLock()
+			targets = append(targets, sh.exact[k]...)
+			sh.mu.RUnlock()
+		}
+		if b.residuals.Load() > 0 {
+			var scanned uint64
+			for _, sh := range b.shards {
+				if sh.nresidual.Load() == 0 {
+					continue
+				}
+				sh.mu.RLock()
+				scanned += uint64(len(sh.residual))
+				targets = append(targets, sh.residual...)
+				sh.mu.RUnlock()
+			}
+			if scanned > 0 {
+				b.residualScanned.Add(scanned)
+			}
+		}
+
+		b.published.Add(uint64(len(run)))
+		home.published.Add(uint64(len(run)))
+
+		var hits uint64
+		for _, s := range targets {
+			toSend := run
+			if !s.matchAll {
+				nmatch := 0
+				for k := range run {
+					if s.matchesEvent(run[k], b.reg) {
+						nmatch++
+					}
+				}
+				if nmatch == 0 {
+					continue
+				}
+				if nmatch < len(run) {
+					// Partial match: materialise this target's subset. It is
+					// retained by the ring, so it cannot come from a reused
+					// scratch buffer.
+					ms := make([]event.Event, 0, nmatch)
+					for k := range run {
+						if s.matchesEvent(run[k], b.reg) {
+							ms = append(ms, run[k])
+						}
+					}
+					toSend = ms
+				}
+			}
+			if !s.residual {
+				hits += uint64(len(toSend))
+			}
+			if n := s.enqueueRun(toSend); n > 0 {
+				b.dropped.Add(uint64(n))
+				s.shard.dropped.Add(uint64(n))
+			}
+		}
+		if hits > 0 {
+			b.indexHits.Add(hits)
+		}
+	}
+
+	for i := range targets {
+		targets[i] = nil
+	}
+	*tp = targets[:0]
+	targetPool.Put(tp)
+}
+
+// matchesEvent applies the subscription's filter to one event: exact-tier
+// subscriptions had their type constraint resolved by the index, so only
+// the residual constraints remain; residual-tier filters match in full.
+func (s *Subscription) matchesEvent(e event.Event, reg *ctxtype.Registry) bool {
+	if s.residual {
+		return s.filter.MatchesIn(e, reg)
+	}
+	return s.filter.MatchesRest(e)
 }
 
 // Stats returns a snapshot of bus counters.
@@ -629,6 +857,31 @@ func (s *Subscription) detach() {
 	sh.mu.Unlock()
 }
 
+// evictOldestLocked discards the single oldest queued event: the head of
+// the head entry's run, or the head entry itself when it holds one event.
+func (s *Subscription) evictOldestLocked() {
+	en := &s.queue[s.head]
+	s.events--
+	if en.run != nil {
+		en.run = en.run[1:]
+		if len(en.run) > 0 {
+			return
+		}
+	}
+	s.queue[s.head] = entry{}
+	s.head = (s.head + 1) % len(s.queue)
+	s.count--
+}
+
+// pushLocked appends en to the ring. The caller has checked capacity: the
+// ring array can always hold the entry, because every entry carries at
+// least one event and total queued events are bounded by the array length.
+func (s *Subscription) pushLocked(en entry) {
+	s.queue[(s.head+s.count)%len(s.queue)] = en
+	s.count++
+	s.events += en.events()
+}
+
 // enqueue adds e to the ring buffer, applying the drop policy. It returns
 // the number of events discarded by the call: 0 when e was admitted with no
 // eviction, 1 when the queue was full (either e itself under DropNewest, or
@@ -642,20 +895,20 @@ func (s *Subscription) enqueue(e event.Event) int {
 	}
 	admitted := true
 	dropped := 0
-	n := len(s.queue)
-	if s.count == n {
+	if s.events == len(s.queue) {
 		dropped = 1
-		switch s.policy {
-		case DropNewest:
+		if s.policy == DropNewest {
 			admitted = false
-		default: // DropOldest
-			s.head = (s.head + 1) % n
-			s.count--
+		} else {
+			s.evictOldestLocked()
 		}
 	}
 	if admitted {
-		s.queue[(s.head+s.count)%n] = e
+		slot := &s.queue[(s.head+s.count)%len(s.queue)]
+		slot.e = e
+		slot.run = nil
 		s.count++
+		s.events++
 	}
 	s.mu.Unlock()
 	if admitted {
@@ -667,18 +920,85 @@ func (s *Subscription) enqueue(e event.Event) int {
 	return dropped
 }
 
-// dequeue removes the oldest queued event.
-func (s *Subscription) dequeue() (event.Event, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.count == 0 {
-		return event.Event{}, false
+// enqueueRun appends a shared batched run to the ring as one entry — one
+// lock acquisition, one slice header, at most one wakeup — with drop
+// accounting identical to enqueueing the run's events one at a time. The
+// run is retained by the ring and must never be written to again. It
+// returns the number of events discarded; a closed subscription admits
+// nothing and drops nothing.
+func (s *Subscription) enqueueRun(run []event.Event) int {
+	if len(run) == 0 {
+		return 0
 	}
-	e := s.queue[s.head]
-	s.queue[s.head] = event.Event{}
-	s.head = (s.head + 1) % len(s.queue)
-	s.count--
-	return e, true
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	capEvents := len(s.queue)
+	dropped := 0
+	admitted := true
+	if s.policy == DropNewest {
+		free := capEvents - s.events
+		if free <= 0 {
+			admitted = false
+			dropped = len(run)
+		} else if len(run) > free {
+			dropped = len(run) - free
+			run = run[:free]
+		}
+	} else { // DropOldest: final content is the newest capEvents events
+		if len(run) >= capEvents {
+			dropped = s.events + len(run) - capEvents
+			for s.count > 0 {
+				s.queue[s.head] = entry{}
+				s.head = (s.head + 1) % capEvents
+				s.count--
+			}
+			s.events = 0
+			run = run[len(run)-capEvents:]
+		} else {
+			for s.events+len(run) > capEvents {
+				dropped++
+				s.evictOldestLocked()
+			}
+		}
+	}
+	if admitted {
+		s.pushLocked(entry{run: run})
+	}
+	s.mu.Unlock()
+	if admitted {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return dropped
+}
+
+// drain appends every queued event to buf under one lock acquisition and
+// empties the ring, returning the extended buffer and the closed flag (read
+// under the same lock, saving the delivery loop a second acquisition per
+// wakeup cycle).
+func (s *Subscription) drain(buf []event.Event) ([]event.Event, bool) {
+	s.mu.Lock()
+	n := len(s.queue)
+	for s.count > 0 {
+		en := s.queue[s.head]
+		s.queue[s.head] = entry{}
+		s.head = (s.head + 1) % n
+		s.count--
+		if en.run != nil {
+			buf = append(buf, en.run...)
+		} else {
+			buf = append(buf, en.e)
+		}
+	}
+	s.events = 0
+	closed := s.closed
+	s.mu.Unlock()
+	return buf, closed
 }
 
 func (s *Subscription) isClosed() bool {
@@ -687,30 +1007,37 @@ func (s *Subscription) isClosed() bool {
 	return s.closed
 }
 
-func (s *Subscription) deliverLoop(h Handler) {
+// deliverLoop drains the ring into a reused slice per wakeup and hands the
+// whole backlog to the batch handler in one call, so a consumer behind a
+// burst pays the wakeup and lock cost once per burst instead of per event.
+func (s *Subscription) deliverLoop(h BatchHandler) {
+	var buf []event.Event
 	for {
-		for {
-			e, ok := s.dequeue()
-			if !ok {
-				break
-			}
-			if s.oneShot {
-				if !s.fired.CompareAndSwap(false, true) {
-					return
-				}
-			}
-			h(e)
-			s.bus.delivered.Add(1)
-			s.shard.delivered.Add(1)
-			if s.oneShot {
-				s.Cancel()
+		var closed bool
+		buf, closed = s.drain(buf[:0])
+		if len(buf) == 0 {
+			if closed {
 				return
 			}
+			<-s.wake
+			continue
 		}
-		if s.isClosed() {
+		if s.oneShot {
+			if !s.fired.CompareAndSwap(false, true) {
+				return
+			}
+			h(buf[:1])
+			s.bus.delivered.Add(1)
+			s.shard.delivered.Add(1)
+			s.Cancel()
 			return
 		}
-		<-s.wake
+		h(buf)
+		s.bus.delivered.Add(uint64(len(buf)))
+		s.shard.delivered.Add(uint64(len(buf)))
+		for i := range buf {
+			buf[i] = event.Event{} // release payload references while buf is pooled
+		}
 	}
 }
 

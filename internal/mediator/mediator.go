@@ -10,8 +10,15 @@
 // secondary indexes make the two bulk-teardown paths — an entity departing
 // its Range (Section 3.4) and the configuration runtime tearing down or
 // rewiring a subscription graph — O(subscriptions removed) instead of a
-// scan of every record, mirroring the sharded dispatch discipline of the
-// bus underneath.
+// scan of every record.
+//
+// The bookkeeping is striped across lock shards exactly like the bus
+// underneath: the primary table shards by subscription id, the owner index
+// by owner id and the configuration index by configuration id, so
+// registration churn from unrelated entities never serialises on one mutex.
+// The primary table is the source of truth; a secondary index may briefly
+// list an id whose record is already gone, and every read through an index
+// re-checks the primary table before trusting it.
 //
 // Shard-count tuning flows down from server.Config.EventShards via
 // WithShards; dispatch observability (per-shard counters, index-hit ratio)
@@ -19,10 +26,12 @@
 package mediator
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sci/internal/ctxtype"
 	"sci/internal/event"
@@ -45,15 +54,28 @@ type Record struct {
 	OneShot bool
 }
 
+// recShard is one stripe of the primary subscription table.
+type recShard struct {
+	mu   sync.Mutex
+	recs map[guid.GUID]*liveSub
+}
+
+// indexShard is one stripe of a secondary index (owner or configuration →
+// subscription ids).
+type indexShard struct {
+	mu   sync.Mutex
+	sets map[guid.GUID]guid.Set
+}
+
 // Mediator manages a Range's event subscriptions. Construct with New.
 type Mediator struct {
 	bus *eventbus.Bus
 
-	mu      sync.Mutex
-	recs    map[guid.GUID]*liveSub
-	byOwner map[guid.GUID]guid.Set // owner → subscription ids
-	byCfg   map[guid.GUID]guid.Set // configuration → subscription ids
-	closed  bool
+	closed atomic.Bool
+	mask   uint32
+	recs   []*recShard
+	owners []*indexShard
+	cfgs   []*indexShard
 }
 
 type liveSub struct {
@@ -71,10 +93,14 @@ type config struct {
 	shards int
 }
 
-// WithShards sets the underlying bus's lock-stripe count (0 = default).
+// WithShards sets the lock-stripe count for both the underlying bus and the
+// Mediator's own record bookkeeping (0 = default).
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
+
+// maxShards mirrors the bus's clamp.
+const maxShards = 1024
 
 // New builds a Mediator over a fresh bus. reg may be nil (no semantic
 // equivalence in filter matching).
@@ -87,12 +113,65 @@ func New(reg *ctxtype.Registry, opts ...Option) *Mediator {
 	if c.shards > 0 {
 		busOpts = append(busOpts, eventbus.WithShards(c.shards))
 	}
-	return &Mediator{
-		bus:     eventbus.New(reg, busOpts...),
-		recs:    make(map[guid.GUID]*liveSub),
-		byOwner: make(map[guid.GUID]guid.Set),
-		byCfg:   make(map[guid.GUID]guid.Set),
+	want := c.shards
+	if want <= 0 {
+		want = eventbus.DefaultShards
 	}
+	n := 1
+	for n < want && n < maxShards {
+		n <<= 1
+	}
+	m := &Mediator{
+		bus:    eventbus.New(reg, busOpts...),
+		mask:   uint32(n - 1),
+		recs:   make([]*recShard, n),
+		owners: make([]*indexShard, n),
+		cfgs:   make([]*indexShard, n),
+	}
+	for i := 0; i < n; i++ {
+		m.recs[i] = &recShard{recs: make(map[guid.GUID]*liveSub)}
+		m.owners[i] = &indexShard{sets: make(map[guid.GUID]guid.Set)}
+		m.cfgs[i] = &indexShard{sets: make(map[guid.GUID]guid.Set)}
+	}
+	return m
+}
+
+// stripe hashes a GUID to a shard index. Byte 0 is the kind tag (constant
+// within a population of ids), so hash the random bytes, like the bus.
+func (m *Mediator) stripe(id guid.GUID) uint32 {
+	return binary.BigEndian.Uint32(id[1:5]) & m.mask
+}
+
+func (m *Mediator) recShard(id guid.GUID) *recShard { return m.recs[m.stripe(id)] }
+
+func (m *Mediator) indexShard(shards []*indexShard, key guid.GUID) *indexShard {
+	return shards[m.stripe(key)]
+}
+
+// addIndex records id under key in the given secondary index.
+func (m *Mediator) addIndex(shards []*indexShard, key, id guid.GUID) {
+	is := m.indexShard(shards, key)
+	is.mu.Lock()
+	set, ok := is.sets[key]
+	if !ok {
+		set = guid.NewSet()
+		is.sets[key] = set
+	}
+	set.Add(id)
+	is.mu.Unlock()
+}
+
+// dropIndex removes id from key's bucket, deleting the bucket when empty.
+func (m *Mediator) dropIndex(shards []*indexShard, key, id guid.GUID) {
+	is := m.indexShard(shards, key)
+	is.mu.Lock()
+	if set, ok := is.sets[key]; ok {
+		set.Remove(id)
+		if len(set) == 0 {
+			delete(is.sets, key)
+		}
+	}
+	is.mu.Unlock()
 }
 
 // SubOptions configures Subscribe.
@@ -109,6 +188,30 @@ type SubOptions struct {
 // Subscribe establishes a subscription for owner. The handler runs on a
 // dedicated delivery goroutine.
 func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event), opts SubOptions) (Record, error) {
+	if h == nil {
+		return Record{}, errors.New("mediator: nil handler")
+	}
+	return m.subscribe(owner, f, func(events []event.Event) {
+		for i := range events {
+			h(events[i])
+		}
+	}, opts)
+}
+
+// SubscribeBatch establishes a subscription whose handler receives every
+// event queued since its last wakeup as one slice, for consumers that can
+// amortise per-event costs (loggers, aggregators, cross-range forwarders).
+// The remote-delivery edges still consume per event today — feeding the
+// Range Service's wire coalescer whole slices is a planned follow-on.
+// The slice is reused between invocations and must not be retained.
+func (m *Mediator) SubscribeBatch(owner guid.GUID, f event.Filter, h func([]event.Event), opts SubOptions) (Record, error) {
+	if h == nil {
+		return Record{}, errors.New("mediator: nil handler")
+	}
+	return m.subscribe(owner, f, h, opts)
+}
+
+func (m *Mediator) subscribe(owner guid.GUID, f event.Filter, h eventbus.BatchHandler, opts SubOptions) (Record, error) {
 	if owner.IsNil() {
 		return Record{}, errors.New("mediator: nil owner")
 	}
@@ -127,15 +230,13 @@ func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event
 	ready := make(chan struct{})
 	wrapped := h
 	if opts.OneShot {
-		wrapped = func(e event.Event) {
-			h(e)
+		wrapped = func(events []event.Event) {
+			h(events)
 			<-ready
-			m.mu.Lock()
-			m.removeLocked(rec.ID)
-			m.mu.Unlock()
+			m.remove(rec.ID)
 		}
 	}
-	sub, err := m.bus.Subscribe(f, wrapped, busOpts...)
+	sub, err := m.bus.SubscribeBatch(f, wrapped, busOpts...)
 	if err != nil {
 		return Record{}, fmt.Errorf("mediator: %w", err)
 	}
@@ -146,79 +247,45 @@ func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event
 		Configuration: opts.Configuration,
 		OneShot:       opts.OneShot,
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	rs := m.recShard(rec.ID)
+	rs.mu.Lock()
+	// Re-checked under the stripe lock: Close sets the flag before sweeping
+	// the stripes, so either we observe it here or Close observes us there.
+	if m.closed.Load() {
+		rs.mu.Unlock()
 		close(ready)
 		sub.Cancel()
 		return Record{}, fmt.Errorf("mediator: %w", eventbus.ErrClosed)
 	}
-	m.indexLocked(&liveSub{rec: rec, sub: sub})
-	m.mu.Unlock()
+	rs.recs[rec.ID] = &liveSub{rec: rec, sub: sub}
+	rs.mu.Unlock()
+	m.addIndex(m.owners, owner, rec.ID)
+	if !opts.Configuration.IsNil() {
+		m.addIndex(m.cfgs, opts.Configuration, rec.ID)
+	}
 	close(ready)
 	return rec, nil
 }
 
-// indexLocked inserts ls into the primary table and both secondary indexes.
-func (m *Mediator) indexLocked(ls *liveSub) {
-	m.recs[ls.rec.ID] = ls
-	owned, ok := m.byOwner[ls.rec.Owner]
-	if !ok {
-		owned = guid.NewSet()
-		m.byOwner[ls.rec.Owner] = owned
+// remove deletes id from the primary table (first remover wins) and then
+// cleans both secondary indexes. It returns the removed entry, or nil when
+// the id was unknown or already removed by a concurrent caller.
+func (m *Mediator) remove(id guid.GUID) *liveSub {
+	rs := m.recShard(id)
+	rs.mu.Lock()
+	ls, ok := rs.recs[id]
+	if ok {
+		delete(rs.recs, id)
 	}
-	owned.Add(ls.rec.ID)
-	if !ls.rec.Configuration.IsNil() {
-		grouped, ok := m.byCfg[ls.rec.Configuration]
-		if !ok {
-			grouped = guid.NewSet()
-			m.byCfg[ls.rec.Configuration] = grouped
-		}
-		grouped.Add(ls.rec.ID)
-	}
-}
-
-// removeLocked deletes id from the primary table and both indexes,
-// returning the removed entry (nil if unknown).
-func (m *Mediator) removeLocked(id guid.GUID) *liveSub {
-	ls, ok := m.recs[id]
+	rs.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	delete(m.recs, id)
-	if owned, ok := m.byOwner[ls.rec.Owner]; ok {
-		owned.Remove(id)
-		if len(owned) == 0 {
-			delete(m.byOwner, ls.rec.Owner)
-		}
-	}
+	m.dropIndex(m.owners, ls.rec.Owner, id)
 	if !ls.rec.Configuration.IsNil() {
-		if grouped, ok := m.byCfg[ls.rec.Configuration]; ok {
-			grouped.Remove(id)
-			if len(grouped) == 0 {
-				delete(m.byCfg, ls.rec.Configuration)
-			}
-		}
+		m.dropIndex(m.cfgs, ls.rec.Configuration, id)
 	}
 	return ls
-}
-
-// takeIndexed removes and returns every subscription listed in the given
-// index set (a byOwner or byCfg bucket). It acquires m.mu itself.
-func (m *Mediator) takeIndexed(index map[guid.GUID]guid.Set, key guid.GUID) []*liveSub {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	bucket, ok := index[key]
-	if !ok {
-		return nil
-	}
-	out := make([]*liveSub, 0, len(bucket))
-	for _, id := range bucket.Members() {
-		if ls := m.removeLocked(id); ls != nil {
-			out = append(out, ls)
-		}
-	}
-	return out
 }
 
 // Publish dispatches an event to all matching subscriptions.
@@ -226,11 +293,23 @@ func (m *Mediator) Publish(e event.Event) error {
 	return m.bus.Publish(e)
 }
 
+// PublishAll dispatches a batch of events in one call; the bus resolves its
+// subscription index once per run of same-type events and appends each
+// subscriber's share of a run under a single ring-buffer lock acquisition.
+func (m *Mediator) PublishAll(events []event.Event) error {
+	return m.bus.PublishAll(events)
+}
+
+// PublishAllOwned is PublishAll with ownership transfer: the slice is
+// retained and shared with subscriber rings, so the caller must not touch
+// it again. Use from pipelines that already build a private slice per batch.
+func (m *Mediator) PublishAllOwned(events []event.Event) error {
+	return m.bus.PublishAllOwned(events)
+}
+
 // Cancel removes one subscription.
 func (m *Mediator) Cancel(id guid.GUID) error {
-	m.mu.Lock()
-	ls := m.removeLocked(id)
-	m.mu.Unlock()
+	ls := m.remove(id)
 	if ls == nil {
 		return fmt.Errorf("%w: %s", ErrUnknownSubscription, id.Short())
 	}
@@ -238,15 +317,29 @@ func (m *Mediator) Cancel(id guid.GUID) error {
 	return nil
 }
 
+// cancelIndexed empties key's bucket in the given index and cancels every
+// subscription it named that was still live.
+func (m *Mediator) cancelIndexed(shards []*indexShard, key guid.GUID) int {
+	is := m.indexShard(shards, key)
+	is.mu.Lock()
+	bucket := is.sets[key]
+	delete(is.sets, key)
+	is.mu.Unlock()
+	n := 0
+	for id := range bucket {
+		if ls := m.remove(id); ls != nil {
+			ls.sub.Cancel()
+			n++
+		}
+	}
+	return n
+}
+
 // CancelOwned removes every subscription owned by entity (departure
 // handling); returns the number cancelled. The owner index makes this
 // proportional to the entity's own subscriptions, not the Range's total.
 func (m *Mediator) CancelOwned(entity guid.GUID) int {
-	victims := m.takeIndexed(m.byOwner, entity)
-	for _, ls := range victims {
-		ls.sub.Cancel()
-	}
-	return len(victims)
+	return m.cancelIndexed(m.owners, entity)
 }
 
 // CancelConfiguration removes every subscription belonging to a
@@ -256,18 +349,15 @@ func (m *Mediator) CancelConfiguration(cfg guid.GUID) int {
 	if cfg.IsNil() {
 		return 0
 	}
-	victims := m.takeIndexed(m.byCfg, cfg)
-	for _, ls := range victims {
-		ls.sub.Cancel()
-	}
-	return len(victims)
+	return m.cancelIndexed(m.cfgs, cfg)
 }
 
 // Get returns the record for a live subscription.
 func (m *Mediator) Get(id guid.GUID) (Record, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls, ok := m.recs[id]
+	rs := m.recShard(id)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	ls, ok := rs.recs[id]
 	if !ok {
 		return Record{}, false
 	}
@@ -276,11 +366,13 @@ func (m *Mediator) Get(id guid.GUID) (Record, bool) {
 
 // Records returns all live subscription records, ordered by id.
 func (m *Mediator) Records() []Record {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]Record, 0, len(m.recs))
-	for _, ls := range m.recs {
-		out = append(out, ls.rec)
+	var out []Record
+	for _, rs := range m.recs {
+		rs.mu.Lock()
+		for _, ls := range rs.recs {
+			out = append(out, ls.rec)
+		}
+		rs.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return guid.Less(out[i].ID, out[j].ID) })
 	return out
@@ -288,26 +380,26 @@ func (m *Mediator) Records() []Record {
 
 // OwnedBy returns the live records owned by entity, ordered by id.
 func (m *Mediator) OwnedBy(entity guid.GUID) []Record {
-	return m.indexedRecords(m.byOwner, entity)
+	return m.indexedRecords(m.owners, entity)
 }
 
 // ForConfiguration returns the live records in a configuration, ordered by
 // id.
 func (m *Mediator) ForConfiguration(cfg guid.GUID) []Record {
-	return m.indexedRecords(m.byCfg, cfg)
+	return m.indexedRecords(m.cfgs, cfg)
 }
 
-func (m *Mediator) indexedRecords(index map[guid.GUID]guid.Set, key guid.GUID) []Record {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	bucket, ok := index[key]
-	if !ok {
-		return nil
-	}
-	out := make([]Record, 0, len(bucket))
-	for _, id := range bucket.Members() {
-		if ls, ok := m.recs[id]; ok {
-			out = append(out, ls.rec)
+func (m *Mediator) indexedRecords(shards []*indexShard, key guid.GUID) []Record {
+	is := m.indexShard(shards, key)
+	is.mu.Lock()
+	ids := is.sets[key].Members()
+	is.mu.Unlock()
+	out := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		// The primary table is the source of truth: skip ids whose record a
+		// concurrent removal already claimed.
+		if rec, ok := m.Get(id); ok {
+			out = append(out, rec)
 		}
 	}
 	return out
@@ -315,9 +407,13 @@ func (m *Mediator) indexedRecords(index map[guid.GUID]guid.Set, key guid.GUID) [
 
 // Len returns the number of live subscriptions.
 func (m *Mediator) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.recs)
+	n := 0
+	for _, rs := range m.recs {
+		rs.mu.Lock()
+		n += len(rs.recs)
+		rs.mu.Unlock()
+	}
+	return n
 }
 
 // Stats exposes the underlying bus counters.
@@ -338,11 +434,18 @@ func (m *Mediator) IndexHitRatio() float64 {
 
 // Close tears down the bus and all subscriptions.
 func (m *Mediator) Close() {
-	m.mu.Lock()
-	m.closed = true
-	m.recs = make(map[guid.GUID]*liveSub)
-	m.byOwner = make(map[guid.GUID]guid.Set)
-	m.byCfg = make(map[guid.GUID]guid.Set)
-	m.mu.Unlock()
+	m.closed.Store(true)
+	for _, rs := range m.recs {
+		rs.mu.Lock()
+		rs.recs = make(map[guid.GUID]*liveSub)
+		rs.mu.Unlock()
+	}
+	for _, shards := range [][]*indexShard{m.owners, m.cfgs} {
+		for _, is := range shards {
+			is.mu.Lock()
+			is.sets = make(map[guid.GUID]guid.Set)
+			is.mu.Unlock()
+		}
+	}
 	m.bus.Close()
 }

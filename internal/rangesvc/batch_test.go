@@ -1,0 +1,248 @@
+package rangesvc
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/mediator"
+	"sci/internal/metrics"
+	"sci/internal/profile"
+	"sci/internal/server"
+	"sci/internal/transport"
+	"sci/internal/wire"
+)
+
+// batchRig is a rig whose Range enables the outbound wire coalescer.
+func batchRig(t testing.TB, maxEvents int, maxDelay time.Duration) *rig {
+	t.Helper()
+	clk := clock.NewManual(epoch)
+	rng := server.New(server.Config{
+		Name:           "level-10",
+		Clock:          clk,
+		BatchMaxEvents: maxEvents,
+		BatchMaxDelay:  maxDelay,
+	})
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+	host, err := NewHost(rng, net, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{rng: rng, host: host, net: net, clk: clk}
+}
+
+// tap attaches a raw endpoint that records every wire message sent to id.
+func tap(t testing.TB, net *transport.Memory, id guid.GUID) func() []wire.Message {
+	t.Helper()
+	var mu sync.Mutex
+	var got []wire.Message
+	if _, err := net.Attach(id, func(m wire.Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return func() []wire.Message {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]wire.Message, len(got))
+		copy(out, got)
+		return out
+	}
+}
+
+func mkReading(src guid.GUID, seq uint64) event.Event {
+	return event.New(ctxtype.TemperatureCelsius, src, seq, epoch, map[string]any{"value": float64(seq)})
+}
+
+func TestCoalescedRemoteDeliveryMessageBudget(t *testing.T) {
+	r := batchRig(t, 4, 50*time.Millisecond)
+	defer r.close()
+	dest := guid.New(guid.KindApplication)
+	msgs := tap(t, r.net, dest)
+	src := guid.New(guid.KindDevice)
+
+	// 10 deliveries at batch size 4: two full batches flush on fill; the
+	// trailing partial waits for the delay timer.
+	for i := 0; i < 10; i++ {
+		r.host.sendEvent(dest, mkReading(src, uint64(i)))
+	}
+	waitFor(t, func() bool { return len(msgs()) == 2 })
+	r.clk.Advance(50 * time.Millisecond)
+	waitFor(t, func() bool { return len(msgs()) == 3 })
+
+	var seqs []uint64
+	for _, m := range msgs() {
+		if m.Kind != wire.KindEventBatch {
+			t.Fatalf("got %s message, want %s", m.Kind, wire.KindEventBatch)
+		}
+		frames, err := m.EventFrames()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) > 4 {
+			t.Fatalf("batch of %d exceeds BatchMaxEvents=4", len(frames))
+		}
+		for _, f := range frames {
+			e, err := event.Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqs = append(seqs, e.Seq)
+		}
+	}
+	if len(seqs) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("coalescing reordered events: %v", seqs)
+		}
+	}
+	if got := r.rng.RemoteBatchesSent.Value(); got != 3 {
+		t.Fatalf("RemoteBatchesSent = %d, want 3 (= ceil(10/4))", got)
+	}
+	if got := r.rng.RemoteEventsSent.Value(); got != 10 {
+		t.Fatalf("RemoteEventsSent = %d, want 10", got)
+	}
+}
+
+func TestBatchDelayFlushesPartialBatch(t *testing.T) {
+	r := batchRig(t, 64, 10*time.Millisecond)
+	defer r.close()
+	dest := guid.New(guid.KindApplication)
+	msgs := tap(t, r.net, dest)
+
+	r.host.sendEvent(dest, mkReading(guid.New(guid.KindDevice), 1))
+	if len(msgs()) != 0 {
+		t.Fatal("partial batch flushed before the delay elapsed")
+	}
+	r.clk.Advance(10 * time.Millisecond)
+	waitFor(t, func() bool { return len(msgs()) == 1 })
+	frames, err := msgs()[0].EventFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("flushed %d events, want 1", len(frames))
+	}
+}
+
+func TestUnbatchedHostSendsLegacySingleEventFrames(t *testing.T) {
+	r := newRig(t) // BatchMaxEvents unset: coalescing disabled
+	defer r.close()
+	dest := guid.New(guid.KindApplication)
+	msgs := tap(t, r.net, dest)
+
+	r.host.sendEvent(dest, mkReading(guid.New(guid.KindDevice), 7))
+	waitFor(t, func() bool { return len(msgs()) == 1 })
+	if m := msgs()[0]; m.Kind != wire.KindEvent {
+		t.Fatalf("kind = %s, want legacy %s", m.Kind, wire.KindEvent)
+	}
+}
+
+// TestConnectorPublishAllIngested sends a remote CE's batch over the wire
+// and checks the Range ingests it through the batched dispatch path,
+// dropping spoofed sources per event.
+func TestConnectorPublishAllIngested(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	ceID := guid.New(guid.KindDevice)
+	c, err := NewConnector(ceID, "remote-thermo", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(r.rng.ServerID(), profile.Profile{
+		Outputs: []ctxtype.Type{ctxtype.TemperatureCelsius},
+		Quality: 0.9,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []event.Event
+	if _, err := r.rng.Mediator().Subscribe(guid.New(guid.KindSoftware),
+		event.Filter{Type: ctxtype.TemperatureCelsius}, func(e event.Event) {
+			mu.Lock()
+			got = append(got, e)
+			mu.Unlock()
+		}, mediator.SubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	invalid := mkReading(ceID, 9)
+	invalid.ID = guid.Nil // structurally invalid: must not poison the batch
+	batch := []event.Event{
+		mkReading(ceID, 1),
+		mkReading(guid.New(guid.KindDevice), 2), // spoofed: not the sender
+		invalid,
+		mkReading(ceID, 3),
+	}
+	if err := c.PublishAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Fatalf("wrong events ingested: %v", got)
+	}
+	for _, e := range got {
+		if e.Range != r.rng.ID() {
+			t.Fatal("ingested event not stamped with the range id")
+		}
+	}
+}
+
+func TestSendFailureMetricAndTransitionLog(t *testing.T) {
+	var logged bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logged)
+	defer log.SetOutput(prev)
+
+	r := newRig(t)
+	defer r.close()
+	dest := guid.New(guid.KindApplication) // never attached: sends fail
+
+	r.host.sendEvent(dest, mkReading(guid.New(guid.KindDevice), 1))
+	r.host.sendEvent(dest, mkReading(guid.New(guid.KindDevice), 2))
+	if got := r.rng.RemoteSendFailures.Value(); got != 2 {
+		t.Fatalf("RemoteSendFailures = %d, want 2", got)
+	}
+	if n := strings.Count(logged.String(), "failing"); n != 1 {
+		t.Fatalf("logged %d failure transitions for 2 consecutive failures, want 1\n%s", n, logged.String())
+	}
+
+	// The endpoint appears: the next send succeeds and logs one recovery.
+	msgs := tap(t, r.net, dest)
+	r.host.sendEvent(dest, mkReading(guid.New(guid.KindDevice), 3))
+	waitFor(t, func() bool { return len(msgs()) == 1 })
+	if n := strings.Count(logged.String(), "recovered"); n != 1 {
+		t.Fatalf("logged %d recovery transitions, want 1\n%s", n, logged.String())
+	}
+	if got := r.rng.RemoteSendFailures.Value(); got != 2 {
+		t.Fatalf("successful send must not count as failure; got %d", got)
+	}
+
+	reg := new(metrics.Registry)
+	r.rng.FillMetrics(reg)
+	if got := reg.Gauge("remote.send_failures").Value(); got != 2 {
+		t.Fatalf("FillMetrics remote.send_failures = %d, want 2", got)
+	}
+	if got := reg.Gauge("remote.events_sent").Value(); got != 1 {
+		t.Fatalf("FillMetrics remote.events_sent = %d, want 1", got)
+	}
+}

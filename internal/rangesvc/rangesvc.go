@@ -23,8 +23,10 @@
 package rangesvc
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -91,14 +93,41 @@ type serviceReplyBody struct {
 }
 
 // Host serves a Range over a transport endpoint. Construct with NewHost.
+//
+// Outbound event deliveries to remote components flow through a
+// per-endpoint coalescer when the Range's BatchMaxEvents enables it: up to
+// BatchMaxEvents events bound for one remote endpoint are collected into a
+// single event.batch wire message, with a BatchMaxDelay timer flushing
+// partially filled batches so a trickle never stalls. N deliveries to one
+// endpoint therefore cost ⌈N/BatchMaxEvents⌉ wire messages instead of N.
 type Host struct {
 	rng *server.Range
 	ep  transport.Endpoint
 	clk clock.Clock
 
+	maxBatch int
+	maxDelay time.Duration
+
 	mu      sync.Mutex
 	remotes map[guid.GUID]*remoteProxy // remote CE/CAA → proxy
+	out     map[guid.GUID]*outQueue    // remote endpoint → outbound coalescer
+	failing guid.Set                   // endpoints whose last send failed (transition logging)
 	closed  bool
+}
+
+// outQueue coalesces outbound events for one remote endpoint.
+type outQueue struct {
+	host *Host
+	to   guid.GUID
+
+	// sendMu serialises flushes: a timer flush and a size flush may race,
+	// and sending outside the extraction lock without ordering them could
+	// deliver batches out of per-producer order.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	pending []event.Event
+	timer   clock.Timer // armed while a partial batch waits for maxDelay
 }
 
 // remoteProxy stands in for a remote component inside the Range.
@@ -127,9 +156,13 @@ func NewHost(rng *server.Range, net transport.Network, clk clock.Clock) (*Host, 
 		clk = clock.Real()
 	}
 	h := &Host{
-		rng:     rng,
-		clk:     clk,
-		remotes: make(map[guid.GUID]*remoteProxy),
+		rng:      rng,
+		clk:      clk,
+		maxBatch: rng.BatchMaxEvents(),
+		maxDelay: rng.BatchMaxDelay(),
+		remotes:  make(map[guid.GUID]*remoteProxy),
+		out:      make(map[guid.GUID]*outQueue),
+		failing:  guid.NewSet(),
 	}
 	ep, err := net.Attach(rng.ServerID(), h.handle)
 	if err != nil {
@@ -152,10 +185,10 @@ func (h *Host) Announce(to guid.GUID) error {
 	if err != nil {
 		return err
 	}
-	return h.ep.Send(m)
+	return h.send(to, m)
 }
 
-// Close detaches the host endpoint.
+// Close flushes pending outbound batches and detaches the host endpoint.
 func (h *Host) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -163,7 +196,15 @@ func (h *Host) Close() error {
 		return nil
 	}
 	h.closed = true
+	queues := make([]*outQueue, 0, len(h.out))
+	for _, q := range h.out {
+		queues = append(queues, q)
+	}
+	h.out = make(map[guid.GUID]*outQueue)
 	h.mu.Unlock()
+	for _, q := range queues {
+		q.flush()
+	}
 	return h.ep.Close()
 }
 
@@ -176,14 +217,14 @@ func (h *Host) handle(m wire.Message) {
 		_ = h.rng.RemoveEntity(m.Src)
 		reply, err := m.Reply(wire.KindDeregisterAck, map[string]string{"ok": "true"})
 		if err == nil {
-			_ = h.ep.Send(reply)
+			_ = h.send(m.Src, reply)
 		}
 	case wire.KindHeartbeat:
 		_ = h.rng.Registrar().Renew(m.Src)
 	case wire.KindQuery:
 		h.handleQuery(m)
-	case wire.KindEvent:
-		h.handleEvent(m)
+	case wire.KindEvent, wire.KindEventBatch:
+		h.handleEvents(m)
 	case wire.KindServiceCall:
 		h.handleServiceCall(m)
 	}
@@ -205,7 +246,7 @@ func (h *Host) handleRegister(m wire.Message) {
 	if err != nil {
 		return
 	}
-	_ = h.ep.Send(reply)
+	_ = h.send(m.Src, reply)
 }
 
 func (h *Host) register(src guid.GUID, body registerBody) error {
@@ -271,19 +312,40 @@ func (h *Host) handleQuery(m wire.Message) {
 	if err != nil {
 		return
 	}
-	_ = h.ep.Send(reply)
+	_ = h.send(m.Src, reply)
 }
 
-// handleEvent ingests an event published by a remote CE.
-func (h *Host) handleEvent(m wire.Message) {
-	var e event.Event
-	if err := m.DecodeBody(&e); err != nil {
+// handleEvents ingests events published by a remote CE, accepting both the
+// coalesced event.batch form and the legacy single-event frame (the two may
+// interleave on one connection; EventFrames normalises both).
+func (h *Host) handleEvents(m wire.Message) {
+	frames, err := m.EventFrames()
+	if err != nil {
 		return
 	}
-	if e.Source != m.Src {
-		return // a remote may only publish as itself
+	events := make([]event.Event, 0, len(frames))
+	for _, f := range frames {
+		var e event.Event
+		if err := json.Unmarshal(f, &e); err != nil {
+			continue
+		}
+		if e.Source != m.Src {
+			continue // a remote may only publish as itself
+		}
+		// Validate per frame: PublishAll rejects a batch whole, and one bad
+		// event must not discard its 63 valid neighbours.
+		if err := e.Validate(); err != nil {
+			continue
+		}
+		events = append(events, e)
 	}
-	_ = h.rng.Publish(e)
+	switch len(events) {
+	case 0:
+	case 1:
+		_ = h.rng.Publish(events[0])
+	default:
+		_ = h.rng.PublishAll(events)
+	}
 }
 
 func (h *Host) handleServiceCall(m wire.Message) {
@@ -311,7 +373,7 @@ func (h *Host) handleServiceCall(m wire.Message) {
 	if err != nil {
 		return
 	}
-	_ = h.ep.Send(r)
+	_ = h.send(m.Src, r)
 }
 
 // serveInfra answers service calls addressed to the Context Server: today
@@ -324,27 +386,147 @@ func (h *Host) serveInfra(op string) (map[string]any, error) {
 	case "dispatch.stats":
 		st := h.rng.DispatchStats()
 		return map[string]any{
-			"published":        float64(st.Published),
-			"delivered":        float64(st.Delivered),
-			"dropped":          float64(st.Dropped),
-			"subs":             float64(st.Subs),
-			"index_hits":       float64(st.IndexHits),
-			"residual_scanned": float64(st.ResidualScanned),
-			"index_hit_ratio":  h.rng.Mediator().IndexHitRatio(),
-			"shards":           float64(len(h.rng.Mediator().ShardStats())),
+			"published":            float64(st.Published),
+			"delivered":            float64(st.Delivered),
+			"dropped":              float64(st.Dropped),
+			"subs":                 float64(st.Subs),
+			"index_hits":           float64(st.IndexHits),
+			"residual_scanned":     float64(st.ResidualScanned),
+			"index_hit_ratio":      h.rng.Mediator().IndexHitRatio(),
+			"shards":               float64(len(h.rng.Mediator().ShardStats())),
+			"remote_batches_sent":  float64(h.rng.RemoteBatchesSent.Value()),
+			"remote_events_sent":   float64(h.rng.RemoteEventsSent.Value()),
+			"remote_send_failures": float64(h.rng.RemoteSendFailures.Value()),
 		}, nil
 	default:
 		return nil, fmt.Errorf("rangesvc: unknown infrastructure op %q", op)
 	}
 }
 
-// sendEvent ships an event to a remote component.
+// sendEvent ships an event to a remote component, through the endpoint's
+// coalescer when batching is enabled.
 func (h *Host) sendEvent(to guid.GUID, e event.Event) {
-	m, err := wire.NewMessage(h.rng.ServerID(), to, wire.KindEvent, e)
+	if h.maxBatch <= 1 {
+		m, err := wire.NewMessage(h.rng.ServerID(), to, wire.KindEvent, e)
+		if err != nil {
+			return
+		}
+		if h.send(to, m) == nil {
+			h.rng.RemoteBatchesSent.Inc()
+			h.rng.RemoteEventsSent.Inc()
+		}
+		return
+	}
+	if q := h.queueFor(to); q != nil {
+		q.add(e)
+	}
+}
+
+// queueFor returns the destination's coalescer, creating it on first use
+// (nil once the host has closed).
+func (h *Host) queueFor(to guid.GUID) *outQueue {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	q, ok := h.out[to]
+	if !ok {
+		q = &outQueue{host: h, to: to}
+		h.out[to] = q
+	}
+	return q
+}
+
+// add appends e to the pending batch, flushing when it reaches the size
+// bound and otherwise arming the delay timer so a partial batch never waits
+// longer than maxDelay.
+func (q *outQueue) add(e event.Event) {
+	q.mu.Lock()
+	q.pending = append(q.pending, e)
+	full := len(q.pending) >= q.host.maxBatch
+	if !full && q.timer == nil {
+		q.timer = q.host.clk.AfterFunc(q.host.maxDelay, q.flush)
+	}
+	q.mu.Unlock()
+	if full {
+		q.flush()
+	}
+}
+
+// flush ships whatever is pending, regardless of batch fill. Flushes are
+// serialised by sendMu (taken before the extraction lock), so batches
+// leave in the order their events arrived; anything enqueued while a flush
+// is in flight goes out in the next one. Pending runs longer than
+// maxBatch (accumulated behind an in-flight flush) are split so no wire
+// message exceeds BatchMaxEvents.
+func (q *outQueue) flush() {
+	q.sendMu.Lock()
+	defer q.sendMu.Unlock()
+	q.mu.Lock()
+	batch := q.pending
+	q.pending = nil
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	q.mu.Unlock()
+	for len(batch) > 0 {
+		n := len(batch)
+		if n > q.host.maxBatch {
+			n = q.host.maxBatch
+		}
+		q.host.sendBatch(q.to, batch[:n])
+		batch = batch[n:]
+	}
+}
+
+// sendBatch encodes a coalesced run of events into one event.batch wire
+// message.
+func (h *Host) sendBatch(to guid.GUID, events []event.Event) {
+	frames := make([]json.RawMessage, 0, len(events))
+	for i := range events {
+		raw, err := json.Marshal(events[i])
+		if err != nil {
+			continue
+		}
+		frames = append(frames, raw)
+	}
+	if len(frames) == 0 {
+		return
+	}
+	m, err := wire.NewEventBatch(h.rng.ServerID(), to, frames)
 	if err != nil {
 		return
 	}
-	_ = h.ep.Send(m)
+	if h.send(to, m) == nil {
+		h.rng.RemoteBatchesSent.Inc()
+		h.rng.RemoteEventsSent.Add(uint64(len(frames)))
+	}
+}
+
+// send ships one wire message, counting failures in the Range's
+// RemoteSendFailures metric and logging once per endpoint health
+// transition (working → failing and back) rather than per message.
+func (h *Host) send(to guid.GUID, m wire.Message) error {
+	err := h.ep.Send(m)
+	h.mu.Lock()
+	was := h.failing.Has(to)
+	if err != nil {
+		h.failing.Add(to)
+	} else {
+		h.failing.Remove(to)
+	}
+	h.mu.Unlock()
+	if err != nil {
+		h.rng.RemoteSendFailures.Inc()
+		if !was {
+			log.Printf("rangesvc: sends to %s failing: %v", to.Short(), err)
+		}
+	} else if was {
+		log.Printf("rangesvc: sends to %s recovered", to.Short())
+	}
+	return err
 }
 
 // Connector is the client side of the Fig 5 sequence for a remote CE or
@@ -539,6 +721,32 @@ func (c *Connector) Publish(e event.Event) error {
 	return c.ep.Send(m)
 }
 
+// PublishAll sends a batch of events to the Range's mediator as one
+// event.batch wire message; the Range ingests it through the bus's batched
+// dispatch path. An empty batch is a no-op.
+func (c *Connector) PublishAll(events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	srv := c.ServerID()
+	if srv.IsNil() {
+		return ErrNotRegistered
+	}
+	frames := make([]json.RawMessage, 0, len(events))
+	for i := range events {
+		raw, err := json.Marshal(events[i])
+		if err != nil {
+			return err
+		}
+		frames = append(frames, raw)
+	}
+	m, err := wire.NewEventBatch(c.id, srv, frames)
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(m)
+}
+
 // Close detaches the connector.
 func (c *Connector) Close() error {
 	c.mu.Lock()
@@ -605,10 +813,19 @@ func (c *Connector) handle(m wire.Message) {
 			default:
 			}
 		}
-	case wire.KindEvent:
-		var e event.Event
-		if err := m.DecodeBody(&e); err == nil && c.onEvent != nil {
-			c.onEvent(e)
+	case wire.KindEvent, wire.KindEventBatch:
+		if c.onEvent == nil {
+			return
+		}
+		frames, err := m.EventFrames()
+		if err != nil {
+			return
+		}
+		for _, f := range frames {
+			var e event.Event
+			if err := json.Unmarshal(f, &e); err == nil {
+				c.onEvent(e)
+			}
 		}
 	default:
 		if !m.Corr.IsNil() {

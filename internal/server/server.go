@@ -57,6 +57,14 @@ type Config struct {
 	// (rounded up to a power of two; 0 = eventbus.DefaultShards). Raise it
 	// on Ranges with many concurrent publishers.
 	EventShards int
+	// BatchMaxEvents caps how many events the Range Service coalesces into
+	// one outbound wire message per remote endpoint. 0 or 1 disables
+	// coalescing: every remote delivery ships as its own single-event frame.
+	BatchMaxEvents int
+	// BatchMaxDelay bounds how long a coalesced event may wait for its
+	// batch to fill before the pending run is flushed anyway (default
+	// DefaultBatchMaxDelay when BatchMaxEvents enables coalescing).
+	BatchMaxDelay time.Duration
 	// AutoRenewEvery renews all local registrations on this period
 	// (0 disables; tests drive renewal manually).
 	AutoRenewEvery time.Duration
@@ -91,12 +99,27 @@ type Range struct {
 	watchOff   func()
 	profSub    guid.GUID
 
+	batchMaxEvents int
+	batchMaxDelay  time.Duration
+
 	// Metrics.
 	QueriesSubmitted metrics.Counter
 	QueriesDeferred  metrics.Counter
 	QueriesExecuted  metrics.Counter
 	ResolveLatency   metrics.Histogram
+	// RemoteBatchesSent / RemoteEventsSent count the Range Service's
+	// outbound event traffic to remote endpoints: wire messages shipped and
+	// the events they carried (coalesced or not).
+	RemoteBatchesSent metrics.Counter
+	RemoteEventsSent  metrics.Counter
+	// RemoteSendFailures counts wire sends to remote components that the
+	// transport rejected (unknown destination, closed endpoint).
+	RemoteSendFailures metrics.Counter
 }
+
+// DefaultBatchMaxDelay is the flush deadline used when Config.BatchMaxEvents
+// enables outbound coalescing but no BatchMaxDelay is given.
+const DefaultBatchMaxDelay = 2 * time.Millisecond
 
 // pendingQuery is a stored query awaiting its When condition.
 type pendingQuery struct {
@@ -141,6 +164,9 @@ func New(cfg Config) *Range {
 	if cfg.Name == "" {
 		cfg.Name = "range"
 	}
+	if cfg.BatchMaxEvents > 1 && cfg.BatchMaxDelay <= 0 {
+		cfg.BatchMaxDelay = DefaultBatchMaxDelay
+	}
 	r := &Range{
 		id:       guid.New(guid.KindRange),
 		cs:       guid.New(guid.KindServer),
@@ -154,6 +180,9 @@ func New(cfg Config) *Range {
 		caas:     make(map[guid.GUID]*entity.CAA),
 		silenced: guid.NewSet(),
 		pending:  make(map[guid.GUID]*pendingQuery),
+
+		batchMaxEvents: cfg.BatchMaxEvents,
+		batchMaxDelay:  cfg.BatchMaxDelay,
 	}
 	r.registrar = registry.New(registry.Config{Clock: cfg.Clock, Lease: cfg.Lease})
 	r.med = mediator.New(cfg.Types, mediator.WithShards(cfg.EventShards))
@@ -505,6 +534,32 @@ func (r *Range) Publish(e event.Event) error {
 	return r.med.Publish(e.WithRange(r.id))
 }
 
+// PublishAll injects a batch of events into the Range's mediator in one
+// call: the Event Mediator's bus resolves its subscription index once per
+// run of same-type events and appends each subscriber's share of a run
+// under a single queue lock acquisition. The caller's slice is not
+// modified.
+func (r *Range) PublishAll(events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	stamped := make([]event.Event, len(events))
+	for i := range events {
+		stamped[i] = events[i].WithRange(r.id)
+	}
+	// The stamping copy is already private, so hand it to the bus instead
+	// of paying a second defensive copy.
+	return r.med.PublishAllOwned(stamped)
+}
+
+// BatchMaxEvents reports the configured per-endpoint outbound coalescing
+// cap (0 or 1: coalescing disabled).
+func (r *Range) BatchMaxEvents() int { return r.batchMaxEvents }
+
+// BatchMaxDelay reports the configured flush deadline for partially filled
+// outbound batches.
+func (r *Range) BatchMaxDelay() time.Duration { return r.batchMaxDelay }
+
 // DispatchStats returns the Event Mediator's bus-wide dispatch counters.
 func (r *Range) DispatchStats() eventbus.Stats {
 	return r.med.Stats()
@@ -512,7 +567,8 @@ func (r *Range) DispatchStats() eventbus.Stats {
 
 // FillMetrics publishes the Range's dispatch health into m: query counters,
 // per-shard publish/deliver/drop counts of the Event Mediator's subscription
-// index, and the index-hit/residual-scan ratio gauge.
+// index, the index-hit/residual-scan ratio gauge, and the Range Service's
+// remote delivery counters (batches/events shipped, send failures).
 func (r *Range) FillMetrics(m *metrics.Registry) {
 	st := r.med.Stats()
 	m.Gauge("eventbus.published").Set(int64(st.Published))
@@ -528,6 +584,9 @@ func (r *Range) FillMetrics(m *metrics.Registry) {
 	m.Gauge("queries.submitted").Set(int64(r.QueriesSubmitted.Value()))
 	m.Gauge("queries.deferred").Set(int64(r.QueriesDeferred.Value()))
 	m.Gauge("queries.executed").Set(int64(r.QueriesExecuted.Value()))
+	m.Gauge("remote.batches_sent").Set(int64(r.RemoteBatchesSent.Value()))
+	m.Gauge("remote.events_sent").Set(int64(r.RemoteEventsSent.Value()))
+	m.Gauge("remote.send_failures").Set(int64(r.RemoteSendFailures.Value()))
 }
 
 // resolveContext builds the resolver context for a query: owner location

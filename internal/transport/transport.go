@@ -86,16 +86,18 @@ func (in *inbox) put(m wire.Message) bool {
 	return true
 }
 
-// take dequeues the oldest message; ok=false when empty.
-func (in *inbox) take() (wire.Message, bool) {
+// takeAll moves every queued message into buf under one lock acquisition,
+// leaving the queue empty but its backing array in place for reuse. The
+// returned slice aliases buf's storage.
+func (in *inbox) takeAll(buf []wire.Message) []wire.Message {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if len(in.queue) == 0 {
-		return wire.Message{}, false
+	buf = append(buf[:0], in.queue...)
+	for i := range in.queue {
+		in.queue[i] = wire.Message{}
 	}
-	m := in.queue[0]
-	in.queue = in.queue[1:]
-	return m, true
+	in.queue = in.queue[:0]
+	return buf
 }
 
 func (in *inbox) close() {
@@ -109,26 +111,42 @@ func (in *inbox) close() {
 	}
 }
 
+// drainBatch empties the inbox into buf; when the inbox is already empty it
+// blocks on the wake channel unless the inbox has closed (done=true).
+func (in *inbox) drainBatch(buf []wire.Message) (out []wire.Message, done bool) {
+	buf = in.takeAll(buf)
+	if len(buf) > 0 {
+		return buf, false
+	}
+	if in.isClosed() {
+		return buf, true
+	}
+	<-in.wake
+	return in.takeAll(buf), false
+}
+
 func (in *inbox) isClosed() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.closed
 }
 
-// drainLoop delivers queued messages to h until the inbox closes.
+// drainLoop delivers queued messages to h until the inbox closes. Each
+// wakeup drains the whole backlog into a reused slice under one lock
+// acquisition instead of re-locking per message, so a burst of inbound
+// traffic costs one lock round trip and one wake.
 func (in *inbox) drainLoop(h Handler) {
+	var buf []wire.Message
 	for {
-		for {
-			m, ok := in.take()
-			if !ok {
-				break
-			}
-			h(m)
+		batch, done := in.drainBatch(buf[:0])
+		for i := range batch {
+			h(batch[i])
+			batch[i] = wire.Message{} // release body references while buf is reused
 		}
-		if in.isClosed() {
+		if done {
 			return
 		}
-		<-in.wake
+		buf = batch
 	}
 }
 

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"sci/internal/guid"
+)
+
+// frame encodes a minimal event-shaped payload for batch tests; this
+// package treats frames as opaque JSON.
+func frame(seq int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"seq":%d,"type":"test.reading"}`, seq))
+}
+
+func frames(seqs ...int) []json.RawMessage {
+	out := make([]json.RawMessage, len(seqs))
+	for i, s := range seqs {
+		out[i] = frame(s)
+	}
+	return out
+}
+
+func TestEventBatchRoundTrip(t *testing.T) {
+	src := guid.New(guid.KindServer)
+	dst := guid.New(guid.KindEntity)
+	m, err := NewEventBatch(src, dst, frames(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindEventBatch {
+		t.Fatalf("kind = %s, want %s", m.Kind, KindEventBatch)
+	}
+
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := got.EventFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("got %d frames, want 3", len(fs))
+	}
+	for i, f := range fs {
+		var body struct {
+			Seq int `json:"seq"`
+		}
+		if err := json.Unmarshal(f, &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Seq != i+1 {
+			t.Fatalf("frame %d carries seq %d, want %d (order must survive)", i, body.Seq, i+1)
+		}
+	}
+}
+
+func TestEventBatchRejectsEmpty(t *testing.T) {
+	if _, err := NewEventBatch(guid.New(guid.KindServer), guid.New(guid.KindEntity), nil); err == nil {
+		t.Fatal("want error for empty batch")
+	}
+}
+
+func TestEventFramesSingleEventFallback(t *testing.T) {
+	m := mkMsg(t, KindEvent, map[string]any{"seq": 9})
+	fs, err := m.EventFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !bytes.Equal(fs[0], m.Body) {
+		t.Fatalf("fallback frames = %v", fs)
+	}
+}
+
+func TestEventFramesRejectsOtherKinds(t *testing.T) {
+	m := mkMsg(t, KindQuery, map[string]any{"q": 1})
+	if _, err := m.EventFrames(); err == nil {
+		t.Fatal("want error for non-event kind")
+	}
+	empty := Message{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindEntity), Kind: KindEvent}
+	if _, err := empty.EventFrames(); err == nil {
+		t.Fatal("want error for empty single-event body")
+	}
+}
+
+// TestMixedStreamOldAndNewFrames interleaves legacy single-event frames
+// between batches on one connection, as an old peer would produce, and
+// checks a batch-aware reader decodes the whole stream in order.
+func TestMixedStreamOldAndNewFrames(t *testing.T) {
+	src := guid.New(guid.KindServer)
+	dst := guid.New(guid.KindEntity)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	batch1, err := NewEventBatch(src, dst, frames(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewMessage(src, dst, KindEvent, json.RawMessage(frame(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := NewEventBatch(src, dst, frames(4, 5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Message{batch1, single, batch2} {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewReader(&buf)
+	var seqs []int
+	for i := 0; i < 3; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := m.EventFrames()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fs {
+			var body struct {
+				Seq int `json:"seq"`
+			}
+			if err := json.Unmarshal(f, &body); err != nil {
+				t.Fatal(err)
+			}
+			seqs = append(seqs, body.Seq)
+		}
+	}
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("mixed stream order: got %v", seqs)
+		}
+	}
+	if len(seqs) != 6 {
+		t.Fatalf("decoded %d events, want 6", len(seqs))
+	}
+}

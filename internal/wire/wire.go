@@ -43,8 +43,12 @@ const (
 	KindQueryResult Kind = "query_result" // CS → CAA
 	KindQueryError  Kind = "query_error"  //
 
-	// Events crossing range boundaries.
-	KindEvent Kind = "event"
+	// Events crossing range boundaries. KindEvent carries one encoded event
+	// in the body; KindEventBatch carries an EventBatchBody coalescing many.
+	// Receivers decode both through Message.EventFrames, so a peer that still
+	// ships the single-event form interoperates with a batching one.
+	KindEvent      Kind = "event"
+	KindEventBatch Kind = "event.batch"
 
 	// Advertisement (service) calls.
 	KindServiceCall  Kind = "service_call"
@@ -101,6 +105,50 @@ func (m Message) Reply(kind Kind, body any) (Message, error) {
 	}
 	r.Corr = m.Corr
 	return r, nil
+}
+
+// EventBatchBody is the payload of a KindEventBatch message: multiple
+// independently encoded events, ordered as published. Events stay encoded
+// at this layer (the envelope knows nothing of event schemas); senders
+// marshal each event themselves and receivers unmarshal the frames they
+// accept.
+type EventBatchBody struct {
+	Events []json.RawMessage `json:"events"`
+}
+
+// NewEventBatch builds a KindEventBatch message coalescing the given
+// encoded events into one wire frame.
+func NewEventBatch(src, dst guid.GUID, events []json.RawMessage) (Message, error) {
+	if len(events) == 0 {
+		return Message{}, fmt.Errorf("%w: empty event batch", ErrBadMessage)
+	}
+	return NewMessage(src, dst, KindEventBatch, EventBatchBody{Events: events})
+}
+
+// EventFrames returns the encoded events an event-bearing message carries:
+// the batch's frames for KindEventBatch, or a single-element slice holding
+// the body of a legacy KindEvent frame — the decode fallback that lets a
+// batching receiver interleave old-format single-event traffic from peers
+// that predate event.batch.
+func (m Message) EventFrames() ([]json.RawMessage, error) {
+	switch m.Kind {
+	case KindEvent:
+		if len(m.Body) == 0 {
+			return nil, fmt.Errorf("%w: empty body for %s", ErrBadMessage, m.Kind)
+		}
+		return []json.RawMessage{m.Body}, nil
+	case KindEventBatch:
+		var b EventBatchBody
+		if err := m.DecodeBody(&b); err != nil {
+			return nil, err
+		}
+		if len(b.Events) == 0 {
+			return nil, fmt.Errorf("%w: empty event batch", ErrBadMessage)
+		}
+		return b.Events, nil
+	default:
+		return nil, fmt.Errorf("%w: %s carries no events", ErrBadMessage, m.Kind)
+	}
 }
 
 // DecodeBody unmarshals the body into out.

@@ -217,10 +217,16 @@ var (
 
 // Range (Context Server) — the lower layer.
 type (
-	// Range is one administrative area with its Context Server.
+	// Range is one administrative area with its Context Server. Events are
+	// injected one at a time with Publish or, amortising dispatch-index
+	// resolution and queue locking across a burst, in batches with
+	// PublishAll.
 	Range = server.Range
-	// RangeConfig parameterises NewRange, including EventShards: the
-	// Event Mediator's dispatch lock-stripe count.
+	// RangeConfig parameterises NewRange, including EventShards (the Event
+	// Mediator's dispatch lock-stripe count) and BatchMaxEvents /
+	// BatchMaxDelay (the Range Service's per-endpoint outbound wire
+	// coalescer: up to BatchMaxEvents remote deliveries ride one
+	// event.batch message, flushed after at most BatchMaxDelay).
 	RangeConfig = server.Config
 	// QueryResult is the synchronous answer to Submit.
 	QueryResult = server.Result
@@ -244,6 +250,10 @@ type (
 // DefaultEventShards is the dispatch stripe count used when
 // RangeConfig.EventShards is zero.
 const DefaultEventShards = eventbus.DefaultShards
+
+// DefaultBatchMaxDelay is the outbound coalescer's flush deadline when
+// RangeConfig.BatchMaxEvents enables batching without naming a delay.
+const DefaultBatchMaxDelay = server.DefaultBatchMaxDelay
 
 // SCINET — the upper layer.
 type (
