@@ -7,6 +7,7 @@ package sci
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,7 +15,11 @@ import (
 	"sci/internal/event"
 	"sci/internal/eventbus"
 	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/scinet"
+	"sci/internal/server"
 	"sci/internal/sim"
+	"sci/internal/transport"
 )
 
 var t0 = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
@@ -253,5 +258,109 @@ func BenchmarkE10_ScaleOut(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(rows[0].QueriesPerSec, "queries/s")
+	}
+}
+
+// BenchmarkCrossRangeFanout — SCINET cross-range event fan-out: events
+// published in one Range reach remote subscribers in sibling Ranges as
+// coalesced scinet.event_batch overlay messages (batch=1 is the unbatched
+// per-event baseline). Reports delivered events/s end to end and the
+// coalescing ratio actually achieved on the wire.
+func BenchmarkCrossRangeFanout(b *testing.B) {
+	for _, peers := range []int{1, 3} {
+		for _, batch := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("peers=%d/batch=%d", peers, batch), func(b *testing.B) {
+				benchCrossRangeFanout(b, peers, batch)
+			})
+		}
+	}
+}
+
+func benchCrossRangeFanout(b *testing.B, peers, batch int) {
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer net.Close()
+	mk := func(name string) (*server.Range, *scinet.Fabric) {
+		rng := server.New(server.Config{
+			Name:           name,
+			Coverage:       location.Path("campus/" + name),
+			BatchMaxEvents: batch,
+			BatchMaxDelay:  2 * time.Millisecond,
+		})
+		f, err := scinet.NewFabric(rng, net, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rng, f
+	}
+	pubRange, pubFabric := mk("pub")
+	defer pubRange.Close()
+	defer pubFabric.Close()
+
+	var delivered atomic.Int64
+	for i := 0; i < peers; i++ {
+		rng, f := mk(fmt.Sprintf("sub%d", i))
+		defer rng.Close()
+		defer f.Close()
+		if err := f.Join(pubFabric.NodeID()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.SubscribeRemote(guid.New(guid.KindApplication),
+			event.Filter{Type: "bench.fanout"}, func(event.Event) {
+				delivered.Add(1)
+			}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Wait until the publisher knows every subscriber's interest.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(pubFabric.Interests()) < peers {
+		if time.Now().After(deadline) {
+			b.Fatal("interest propagation timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	chunk := batch
+	if chunk < 1 {
+		chunk = 1
+	}
+	src := guid.New(guid.KindDevice)
+	events := make([]event.Event, chunk)
+	for i := range events {
+		events[i] = event.New("bench.fanout", src, uint64(i), t0, nil)
+	}
+	target := int64(b.N) * int64(peers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	published := 0
+	for published < b.N {
+		n := chunk
+		if published+n > b.N {
+			n = b.N - published
+		}
+		if err := pubRange.PublishAll(events[:n]); err != nil {
+			b.Fatal(err)
+		}
+		published += n
+		// Flow control: the aggregate outstanding count bounds every single
+		// subscriber's lag, so capping it below one delivery queue (4096)
+		// guarantees no ring overflow even when one subscriber stalls.
+		for int64(published)*int64(peers)-delivered.Load() > 2048 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for delivered.Load() < target {
+		if time.Now().After(drainDeadline) {
+			b.Fatalf("delivered %d of %d events before deadline", delivered.Load(), target)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(target)/secs, "events/s")
+	}
+	if msgs := pubFabric.BatchesForwarded.Value(); msgs > 0 {
+		b.ReportMetric(float64(pubFabric.EventsForwarded.Value())/float64(msgs), "events/msg")
 	}
 }

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e10 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
 	big := flag.Bool("big", false, "larger parameter sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
@@ -103,6 +103,20 @@ func run(exp string, big bool, seed int64) error {
 			return err
 		}
 		fmt.Println(sim.E10Table(rows))
+	}
+	if all || exp == "e11" {
+		events := 20000
+		if big {
+			events = 200000
+		}
+		rows, fleet, err := sim.RunE11(sizes([]int{2, 4}, []int{2, 4, 8, 16}), events, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.E11Table(rows))
+		if fleet != nil {
+			fmt.Println(sim.E11FleetTable(fleet))
+		}
 	}
 	return nil
 }

@@ -43,8 +43,15 @@ type ComponentsFunc func(guid.GUID) (entity.CE, bool)
 func (f ComponentsFunc) Component(g guid.GUID) (entity.CE, bool) { return f(g) }
 
 // DeliverFunc receives the configuration's root output events (bound for
-// the querying CAA).
+// the querying CAA) one at a time.
 type DeliverFunc func(event.Event)
+
+// BatchDeliverFunc receives the configuration's root output events in runs:
+// every event queued since the delivery loop's last wakeup arrives as one
+// slice. Consumers that feed an outbound coalescer (remote proxies) take
+// their lock once per run instead of once per event. The slice is reused
+// between invocations and must not be retained.
+type BatchDeliverFunc func([]event.Event)
 
 // Primer is implemented by source CEs that can re-emit their current state
 // on demand. After instantiating a configuration the runtime primes its
@@ -91,7 +98,7 @@ type Runtime struct {
 
 type activeCfg struct {
 	cfg     *resolver.Configuration
-	deliver DeliverFunc
+	deliver BatchDeliverFunc
 	rctx    resolver.Context
 	repairs int
 	dead    bool
@@ -127,6 +134,21 @@ func New(med *mediator.Mediator, res *resolver.Resolver, comps Components, maxRe
 // delivering into the consumer CE's HandleInput, plus the root subscription
 // delivering to the querying application. rctx is remembered for repairs.
 func (r *Runtime) Instantiate(cfg *resolver.Configuration, rctx resolver.Context, deliver DeliverFunc) error {
+	var all BatchDeliverFunc
+	if deliver != nil {
+		all = func(events []event.Event) {
+			for i := range events {
+				deliver(events[i])
+			}
+		}
+	}
+	return r.InstantiateBatch(cfg, rctx, all)
+}
+
+// InstantiateBatch is Instantiate with batched root delivery: the root
+// subscription is established through Mediator.SubscribeBatch, so deliver
+// receives every queued root event of a wakeup as one slice.
+func (r *Runtime) InstantiateBatch(cfg *resolver.Configuration, rctx resolver.Context, deliver BatchDeliverFunc) error {
 	if cfg == nil || cfg.Root == nil {
 		return errors.New("configuration: nil configuration")
 	}
@@ -171,14 +193,24 @@ func (r *Runtime) wire(ac *activeCfg) error {
 			return fmt.Errorf("configuration: consumer %s not local", e.Consumer.Short())
 		}
 		filter := event.Filter{Type: e.Type, Source: e.Producer}
+		opts := mediator.SubOptions{Configuration: cfg.ID, QueueLen: edgeQueueLen}
+		// Batch-capable consumers (remote proxies feeding a wire coalescer)
+		// take a burst as one slice; plain CEs stay per event.
+		if bc, ok := consumer.(entity.BatchInput); ok {
+			if _, err := r.med.SubscribeBatch(e.Consumer, filter, bc.HandleInputAll, opts); err != nil {
+				return err
+			}
+			continue
+		}
 		ce := consumer
 		if _, err := r.med.Subscribe(e.Consumer, filter, func(ev event.Event) {
 			ce.HandleInput(ev)
-		}, mediator.SubOptions{Configuration: cfg.ID, QueueLen: edgeQueueLen}); err != nil {
+		}, opts); err != nil {
 			return err
 		}
 	}
-	// Root delivery to the querying application.
+	// Root delivery to the querying application: batched, so a burst crosses
+	// the mediator→application edge as one slice.
 	if ac.deliver != nil {
 		rootFilter := event.Filter{Type: cfg.Root.Output, Source: cfg.Root.Provider}
 		opts := mediator.SubOptions{
@@ -186,8 +218,8 @@ func (r *Runtime) wire(ac *activeCfg) error {
 			OneShot:       cfg.Query.Mode == query.ModeOnce,
 			QueueLen:      edgeQueueLen,
 		}
-		if _, err := r.med.Subscribe(cfg.Query.Owner, rootFilter, func(ev event.Event) {
-			ac.deliver(ev)
+		if _, err := r.med.SubscribeBatch(cfg.Query.Owner, rootFilter, func(evs []event.Event) {
+			ac.deliver(evs)
 		}, opts); err != nil {
 			return err
 		}

@@ -409,3 +409,104 @@ func TestRootFilterAndOutputType(t *testing.T) {
 		t.Fatal("OutputType(nil) wrong")
 	}
 }
+
+// batchCE is an edge consumer that absorbs whole event runs
+// (entity.BatchInput); the runtime must wire it through SubscribeBatch.
+type batchCE struct {
+	*entity.Base
+	mu     sync.Mutex
+	events []event.Event
+	calls  int
+}
+
+func newBatchCE(clk *clock.Manual) *batchCE {
+	b := &batchCE{}
+	b.Base = entity.NewBase(guid.KindSoftware, profile.Profile{
+		Name:   "batch-sink",
+		Inputs: []ctxtype.Type{ctxtype.LocationSightingDoor},
+	}, clk)
+	return b
+}
+
+func (b *batchCE) HandleInputAll(events []event.Event) {
+	b.mu.Lock()
+	b.events = append(b.events, events...)
+	b.calls++
+	b.mu.Unlock()
+	// One aggregated re-emission per run: the root subscription sees a
+	// stream whose cardinality equals the number of runs, not events.
+	_ = b.Emit(ctxtype.LocationSightingDoor, guid.Nil, map[string]any{"n": len(events)})
+}
+
+func (b *batchCE) snapshot() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events), b.calls
+}
+
+// TestBatchEdgeAndBatchRootDelivery: a BatchInput consumer receives edge
+// events as runs, and InstantiateBatch hands root output runs to the
+// application as slices.
+func TestBatchEdgeAndBatchRootDelivery(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	sink := newBatchCE(r.clk)
+	sink.Attach(r.med)
+	r.comps[sink.ID()] = sink
+
+	owner := guid.New(guid.KindApplication)
+	q := query.New(owner, query.What{Pattern: ctxtype.LocationSightingDoor}, query.ModeSubscribe)
+	cfg := &resolver.Configuration{
+		ID:    guid.New(guid.KindConfiguration),
+		Query: q,
+		Root: &resolver.Binding{
+			Provider: sink.ID(),
+			Want:     ctxtype.LocationSightingDoor,
+			Output:   ctxtype.LocationSightingDoor,
+			Inputs: []*resolver.Binding{{
+				Provider: r.doors[0].ID(),
+				Want:     ctxtype.LocationSightingDoor,
+				Output:   ctxtype.LocationSightingDoor,
+			}},
+		},
+	}
+	cfg.Edges = resolver.Flatten(cfg.Root)
+
+	var mu sync.Mutex
+	var runs [][]event.Event
+	if err := r.rt.InstantiateBatch(cfg, resolver.Context{}, func(events []event.Event) {
+		cp := append([]event.Event(nil), events...)
+		mu.Lock()
+		runs = append(runs, cp)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	subject := guid.New(guid.KindPerson)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := r.doors[0].sight(subject, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { got, _ := sink.snapshot(); return got >= n })
+	got, calls := sink.snapshot()
+	if got != n {
+		t.Fatalf("batch edge delivered %d events, want %d", got, n)
+	}
+	if calls > n {
+		t.Fatalf("batch edge used %d calls for %d events", calls, n)
+	}
+	// Root delivery receives the sink's aggregated re-emissions as slices:
+	// one delivered event per edge run.
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, run := range runs {
+			total += len(run)
+		}
+		return total >= calls
+	})
+}

@@ -62,6 +62,17 @@ type Consumer interface {
 	Consume(event.Event)
 }
 
+// BatchInput is implemented by CEs that can absorb a whole run of
+// configuration-edge events in one call. The configuration runtime wires
+// such consumers through Mediator.SubscribeBatch, so a publish burst
+// reaches them as one slice instead of one HandleInput call per event —
+// the remote proxies in rangesvc use this to append a burst to their
+// outbound wire coalescer under a single lock acquisition. The slice is
+// the delivery loop's reused buffer and must not be retained.
+type BatchInput interface {
+	HandleInputAll([]event.Event)
+}
+
 // ErrNoService is returned by components without an advertisement.
 var ErrNoService = errors.New("entity: no such service operation")
 
@@ -180,6 +191,7 @@ type CAA struct {
 
 	mu      sync.Mutex
 	handler func(event.Event)
+	batch   func([]event.Event)
 	inbox   []event.Event
 }
 
@@ -199,16 +211,52 @@ func NewRemoteCAA(id guid.GUID, name string, fn func(event.Event), clk clock.Clo
 	return &CAA{Base: base, handler: fn}
 }
 
+// NewRemoteBatchCAA builds a CAA proxy whose ConsumeAll hands whole event
+// runs to fn — the stand-in for remote applications whose deliveries flow
+// through an outbound coalescer (rangesvc, scinet). fn must not retain the
+// slice: it is the delivery loop's reused buffer.
+func NewRemoteBatchCAA(id guid.GUID, name string, fn func([]event.Event), clk clock.Clock) *CAA {
+	base := NewBaseWithID(id, profile.Profile{Name: name}, clk)
+	return &CAA{Base: base, batch: fn}
+}
+
 // Consume implements Consumer.
 func (c *CAA) Consume(e event.Event) {
 	c.mu.Lock()
-	h := c.handler
-	if h == nil {
+	h, bh := c.handler, c.batch
+	if h == nil && bh == nil {
 		c.inbox = append(c.inbox, e)
 	}
 	c.mu.Unlock()
-	if h != nil {
+	switch {
+	case bh != nil:
+		bh([]event.Event{e})
+	case h != nil:
 		h(e)
+	}
+}
+
+// ConsumeAll delivers a run of events in one call: batch-handler CAAs get
+// the whole slice, per-event handlers are invoked in order, and handler-less
+// CAAs append the run to the inbox under a single lock acquisition. The
+// slice must not be retained by batch handlers (delivery loops reuse it).
+func (c *CAA) ConsumeAll(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	c.mu.Lock()
+	h, bh := c.handler, c.batch
+	if h == nil && bh == nil {
+		c.inbox = append(c.inbox, events...)
+	}
+	c.mu.Unlock()
+	switch {
+	case bh != nil:
+		bh(events)
+	case h != nil:
+		for i := range events {
+			h(events[i])
+		}
 	}
 }
 

@@ -200,9 +200,10 @@ func (m *Mediator) Subscribe(owner guid.GUID, f event.Filter, h func(event.Event
 
 // SubscribeBatch establishes a subscription whose handler receives every
 // event queued since its last wakeup as one slice, for consumers that can
-// amortise per-event costs (loggers, aggregators, cross-range forwarders).
-// The remote-delivery edges still consume per event today — feeding the
-// Range Service's wire coalescer whole slices is a planned follow-on.
+// amortise per-event costs. The remote-delivery edges consume through it:
+// configuration root delivery, the Range Service's remote proxies and the
+// SCINET fabric's cross-range forwarding tap all take a burst as one slice,
+// so their outbound coalescer lock is acquired once per run.
 // The slice is reused between invocations and must not be retained.
 func (m *Mediator) SubscribeBatch(owner guid.GUID, f event.Filter, h func([]event.Event), opts SubOptions) (Record, error) {
 	if h == nil {

@@ -62,6 +62,12 @@ type Config struct {
 	// Deliver receives routed payloads addressed to (or closest to) this
 	// node. May be nil for pure relay nodes.
 	Deliver DeliverFunc
+	// Forgot is invoked whenever the node drops a peer from its routing
+	// structures — a heartbeat went unanswered past FailAfter, or a send to
+	// the peer failed. Upper layers (the SCINET fabric) use it to tear down
+	// per-peer state such as remote-query proxies. Called synchronously with
+	// no node locks held; may be nil.
+	Forgot func(guid.GUID)
 	// MaxTTL bounds forwarding; defaults to guid.Digits+8.
 	MaxTTL int
 }
@@ -278,6 +284,15 @@ cleanup:
 	n.mu.Unlock()
 }
 
+// forget drops a peer from the routing structures and notifies the Forgot
+// hook (peer-departure propagation to the application layer).
+func (n *Node) forget(id guid.GUID) {
+	n.st.forget(id)
+	if n.cfg.Forgot != nil {
+		n.cfg.Forgot(id)
+	}
+}
+
 // Route implements Router. The payload travels greedily toward target; it
 // is delivered at target itself, or at the closest reachable node when the
 // target is unknown (key-based routing semantics).
@@ -316,13 +331,13 @@ func (n *Node) forward(body routeBody) error {
 	if err := n.ep.Send(m); err != nil {
 		// The hop is unreachable: drop it from our tables and retry once
 		// with the next best candidate (self-healing routing).
-		n.st.forget(hop)
+		n.forget(hop)
 		if retry := n.st.nextHop(body.Target); !retry.IsNil() {
 			m.Dst = retry
 			if err2 := n.ep.Send(m); err2 == nil {
 				return nil
 			}
-			n.st.forget(retry)
+			n.forget(retry)
 		}
 		n.deliverLocal(body)
 		return nil
@@ -452,7 +467,7 @@ func (n *Node) handleJoin(m wire.Message) {
 	fwd.Corr = m.Corr
 	fwd.TTL = m.TTL - 1
 	if err := n.ep.Send(fwd); err != nil {
-		n.st.forget(hop)
+		n.forget(hop)
 		// Fall back to replying ourselves.
 		reply, rerr := wire.NewMessage(n.id, jb.Joiner, wire.KindOverlayJoinReply, jb)
 		if rerr != nil {
@@ -509,7 +524,7 @@ func (n *Node) heartbeat() {
 	}
 	n.mu.Unlock()
 	for _, id := range dead {
-		n.st.forget(id)
+		n.forget(id)
 	}
 
 	// Ping current neighbours.
@@ -524,7 +539,7 @@ func (n *Node) heartbeat() {
 			continue
 		}
 		if err := n.ep.Send(m); err != nil {
-			n.st.forget(peer)
+			n.forget(peer)
 			n.mu.Lock()
 			delete(n.pinged, peer)
 			n.mu.Unlock()

@@ -12,9 +12,12 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/event"
 	"sci/internal/guid"
+	"sci/internal/location"
 	"sci/internal/mediator"
 	"sci/internal/metrics"
 	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/sensor"
 	"sci/internal/server"
 	"sci/internal/transport"
 	"sci/internal/wire"
@@ -244,5 +247,77 @@ func TestSendFailureMetricAndTransitionLog(t *testing.T) {
 	}
 	if got := reg.Gauge("remote.events_sent").Value(); got != 1 {
 		t.Fatalf("FillMetrics remote.events_sent = %d, want 1", got)
+	}
+}
+
+// TestBatchFedRemoteCAABudget drives the whole batch-native delivery chain:
+// sensor emissions cross the mediator's batched root subscription into the
+// remote CAA's proxy, whose ConsumeAll feeds the outbound coalescer a slice
+// per run — and the wire cost stays exactly ⌈N/BatchMaxEvents⌉ messages.
+func TestBatchFedRemoteCAABudget(t *testing.T) {
+	r := batchRig(t, 4, 50*time.Millisecond)
+	defer r.close()
+	thermo := sensor.NewTemperatureSensor("probe", location.Ref{}, 294, 2, 1, r.clk)
+	if err := r.rng.AddEntity(thermo); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []event.Event
+	appID := guid.New(guid.KindApplication)
+	app, err := NewConnector(appID, "remote-app", r.net, func(e event.Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.Register(r.rng.ServerID(), profile.Profile{}, true); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(appID, query.What{Pattern: ctxtype.TemperatureKelvin}, query.ModeSubscribe)
+	if _, err := app.Submit(q); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	base := r.rng.RemoteBatchesSent.Value()
+	baseEvents := r.rng.RemoteEventsSent.Value()
+	for i := 0; i < n; i++ {
+		if err := thermo.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two full batches leave on fill; the trailing partial (10 mod 4 = 2)
+	// is held for the delay timer however the delivery runs were sliced.
+	waitFor(t, func() bool {
+		r.host.mu.Lock()
+		q := r.host.out[appID]
+		r.host.mu.Unlock()
+		if q == nil {
+			return false
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.pending) == n%4
+	})
+	r.clk.Advance(50 * time.Millisecond)
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= n
+	})
+	if sent := r.rng.RemoteBatchesSent.Value() - base; sent != 3 {
+		t.Fatalf("RemoteBatchesSent = %d, want 3 (= ceil(10/4))", sent)
+	}
+	if sent := r.rng.RemoteEventsSent.Value() - baseEvents; sent != n {
+		t.Fatalf("RemoteEventsSent = %d, want %d", sent, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("remote CAA received %d events, want %d", len(got), n)
 	}
 }

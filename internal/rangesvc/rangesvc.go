@@ -143,6 +143,15 @@ func (p *remoteProxy) HandleInput(e event.Event) {
 	p.host.sendEvent(p.remote, e)
 }
 
+// HandleInputAll forwards a whole run of configuration-edge events to the
+// remote CE: the run is appended to the endpoint's outbound coalescer under
+// one lock acquisition instead of one per event. The configuration runtime
+// detects this (entity.BatchInput) and wires the edge through
+// Mediator.SubscribeBatch.
+func (p *remoteProxy) HandleInputAll(events []event.Event) {
+	p.host.sendEvents(p.remote, events)
+}
+
 // Serve forwards advertisement calls — not supported synchronously over
 // this host (remote service calls flow through Connector.Call instead).
 func (p *remoteProxy) Serve(op string, args map[string]any) (map[string]any, error) {
@@ -264,10 +273,12 @@ func (h *Host) register(src guid.GUID, body registerBody) error {
 
 	var err error
 	if body.Application {
-		// Remote CAAs are registered as applications whose Consume sends
-		// the event over the wire.
-		caa := entity.NewRemoteCAA(src, prof.Name, func(e event.Event) {
-			h.sendEvent(src, e)
+		// Remote CAAs are registered as applications whose ConsumeAll sends
+		// whole delivery runs over the wire: the root subscription feeds the
+		// proxy a slice per wakeup and the outbound coalescer ingests it
+		// under a single lock.
+		caa := entity.NewRemoteBatchCAA(src, prof.Name, func(events []event.Event) {
+			h.sendEvents(src, events)
 		}, h.clk)
 		err = h.rng.AddApplication(caa)
 	} else {
@@ -337,6 +348,11 @@ func (h *Host) handleEvents(m wire.Message) {
 		if err := e.Validate(); err != nil {
 			continue
 		}
+		// Strip any client-supplied Range stamp: Publish/PublishAll preserve
+		// non-nil stamps for SCINET cross-range forwarding, so an untrusted
+		// wire client could otherwise forge a sibling Range's stamp and dodge
+		// Range-filtered subscriptions or the fabric's forwarding tap.
+		e.Range = guid.Nil
 		events = append(events, e)
 	}
 	switch len(events) {
@@ -384,20 +400,12 @@ func (h *Host) handleServiceCall(m wire.Message) {
 func (h *Host) serveInfra(op string) (map[string]any, error) {
 	switch op {
 	case "dispatch.stats":
-		st := h.rng.DispatchStats()
-		return map[string]any{
-			"published":            float64(st.Published),
-			"delivered":            float64(st.Delivered),
-			"dropped":              float64(st.Dropped),
-			"subs":                 float64(st.Subs),
-			"index_hits":           float64(st.IndexHits),
-			"residual_scanned":     float64(st.ResidualScanned),
-			"index_hit_ratio":      h.rng.Mediator().IndexHitRatio(),
-			"shards":               float64(len(h.rng.Mediator().ShardStats())),
-			"remote_batches_sent":  float64(h.rng.RemoteBatchesSent.Value()),
-			"remote_events_sent":   float64(h.rng.RemoteEventsSent.Value()),
-			"remote_send_failures": float64(h.rng.RemoteSendFailures.Value()),
-		}, nil
+		stats := h.rng.StatsMap()
+		out := make(map[string]any, len(stats))
+		for k, v := range stats {
+			out[k] = v
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("rangesvc: unknown infrastructure op %q", op)
 	}
@@ -419,6 +427,24 @@ func (h *Host) sendEvent(to guid.GUID, e event.Event) {
 	}
 	if q := h.queueFor(to); q != nil {
 		q.add(e)
+	}
+}
+
+// sendEvents ships a run of events to one remote component. With batching
+// enabled the whole run enters the endpoint's coalescer under one lock
+// acquisition; otherwise each event ships as its own legacy frame.
+func (h *Host) sendEvents(to guid.GUID, events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	if h.maxBatch <= 1 {
+		for i := range events {
+			h.sendEvent(to, events[i])
+		}
+		return
+	}
+	if q := h.queueFor(to); q != nil {
+		q.addAll(events)
 	}
 }
 
@@ -450,34 +476,65 @@ func (q *outQueue) add(e event.Event) {
 	}
 	q.mu.Unlock()
 	if full {
-		q.flush()
+		q.doFlush(false)
 	}
 }
 
-// flush ships whatever is pending, regardless of batch fill. Flushes are
-// serialised by sendMu (taken before the extraction lock), so batches
-// leave in the order their events arrived; anything enqueued while a flush
-// is in flight goes out in the next one. Pending runs longer than
-// maxBatch (accumulated behind an in-flight flush) are split so no wire
-// message exceeds BatchMaxEvents.
-func (q *outQueue) flush() {
+// addAll appends a whole run under one lock acquisition — the batch-fed
+// edge from Mediator.SubscribeBatch. The events are copied out of the
+// delivery loop's reused slice.
+func (q *outQueue) addAll(events []event.Event) {
+	q.mu.Lock()
+	q.pending = append(q.pending, events...)
+	full := len(q.pending) >= q.host.maxBatch
+	if !full && q.timer == nil {
+		q.timer = q.host.clk.AfterFunc(q.host.maxDelay, q.flush)
+	}
+	q.mu.Unlock()
+	if full {
+		q.doFlush(false)
+	}
+}
+
+// flush ships everything pending, partial tail included (delay timer and
+// Close path).
+func (q *outQueue) flush() { q.doFlush(true) }
+
+// doFlush ships pending events split so no wire message exceeds
+// BatchMaxEvents. Flushes are serialised by sendMu (taken before the
+// extraction lock), so batches leave in the order their events arrived;
+// anything enqueued while a flush is in flight goes out in the next one.
+// A size-triggered flush (all=false) holds back the partial tail for the
+// delay timer, so N coalesced deliveries cost exactly ⌈N/BatchMaxEvents⌉
+// wire messages however the producer's bursts were sliced.
+func (q *outQueue) doFlush(all bool) {
 	q.sendMu.Lock()
 	defer q.sendMu.Unlock()
 	q.mu.Lock()
 	batch := q.pending
-	q.pending = nil
-	if q.timer != nil {
+	cut := len(batch)
+	if !all {
+		cut -= cut % q.host.maxBatch
+	}
+	// The held-back tail keeps its position: later adds append behind it in
+	// the same backing array, never overlapping the chunk being sent.
+	q.pending = batch[cut:]
+	if q.timer != nil && len(q.pending) == 0 {
 		q.timer.Stop()
 		q.timer = nil
 	}
+	if len(q.pending) > 0 && q.timer == nil {
+		q.timer = q.host.clk.AfterFunc(q.host.maxDelay, q.flush)
+	}
+	send := batch[:cut]
 	q.mu.Unlock()
-	for len(batch) > 0 {
-		n := len(batch)
+	for len(send) > 0 {
+		n := len(send)
 		if n > q.host.maxBatch {
 			n = q.host.maxBatch
 		}
-		q.host.sendBatch(q.to, batch[:n])
-		batch = batch[n:]
+		q.host.sendBatch(q.to, send[:n])
+		send = send[n:]
 	}
 }
 

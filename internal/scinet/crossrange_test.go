@@ -1,0 +1,728 @@
+package scinet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/mediator"
+	"sci/internal/overlay"
+	"sci/internal/query"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+// fanNet is an n-range SCINET for cross-range fan-out tests.
+type fanNet struct {
+	clk     *clock.Manual
+	net     *transport.Memory
+	ranges  []*server.Range
+	fabrics []*Fabric
+}
+
+func newFanNet(t testing.TB, n, batchMax int) *fanNet {
+	t.Helper()
+	clk := clock.NewManual(epoch)
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+	fn := &fanNet{clk: clk, net: net}
+	for i := 0; i < n; i++ {
+		rng := server.New(server.Config{
+			Name:           fmt.Sprintf("r%d", i),
+			Clock:          clk,
+			Coverage:       location.Path(fmt.Sprintf("campus/r%d", i)),
+			BatchMaxEvents: batchMax,
+			BatchMaxDelay:  2 * time.Millisecond,
+		})
+		f, err := NewFabric(rng, net, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := f.Join(fn.fabrics[0].NodeID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fn.ranges = append(fn.ranges, rng)
+		fn.fabrics = append(fn.fabrics, f)
+	}
+	return fn
+}
+
+func (fn *fanNet) close() {
+	for _, f := range fn.fabrics {
+		_ = f.Close()
+	}
+	for _, r := range fn.ranges {
+		r.Close()
+	}
+	_ = fn.net.Close()
+}
+
+// counter tallies deliveries per event id, thread-safe.
+type counter struct {
+	mu   sync.Mutex
+	seen map[guid.GUID]int
+}
+
+func newCounter() *counter { return &counter{seen: make(map[guid.GUID]int)} }
+
+func (c *counter) handle(e event.Event) {
+	c.mu.Lock()
+	c.seen[e.ID]++
+	c.mu.Unlock()
+}
+
+func (c *counter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.seen {
+		n += v
+	}
+	return n
+}
+
+// exactlyOnce reports whether every one of the n expected events arrived
+// exactly once.
+func (c *counter) exactlyOnce(n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.seen) != n {
+		return false
+	}
+	for _, v := range c.seen {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func makeEvents(n int, clk clock.Clock) []event.Event {
+	src := guid.New(guid.KindDevice)
+	out := make([]event.Event, n)
+	for i := range out {
+		out[i] = event.New(ctxtype.TemperatureCelsius, src, uint64(i+1), clk.Now(),
+			map[string]any{"value": float64(i)})
+	}
+	return out
+}
+
+func waitCoverage(t *testing.T, fn *fanNet) {
+	t.Helper()
+	waitFor(t, func() bool {
+		for _, f := range fn.fabrics {
+			if len(f.Coverage()) != len(fn.fabrics) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func (f *Fabric) hasTap() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.tapSub.IsNil()
+}
+
+func (f *Fabric) knowsInterest(owner guid.GUID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.interests[owner]
+	return ok
+}
+
+// setInterests pins a fabric's interest table to exactly the given
+// entries, re-asserting until no in-flight gossip disturbs it for 25ms.
+func (f *Fabric) setInterests(table map[guid.GUID][]event.Filter) {
+	for settled := 0; settled < 25; {
+		f.mu.Lock()
+		same := len(f.interests) == len(table)
+		if same {
+			for owner := range table {
+				if _, ok := f.interests[owner]; !ok {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			fresh := make(map[guid.GUID][]event.Filter, len(table))
+			for owner, flts := range table {
+				fresh[owner] = flts
+			}
+			f.interests = fresh
+		}
+		f.mu.Unlock()
+		if same {
+			settled++
+		} else {
+			settled = 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCrossRangeFanOutExactlyOnce: full interest knowledge, three ranges.
+// A publishes a burst; the single subscriber in C receives every event
+// exactly once, and nothing echoes back into A.
+func TestCrossRangeFanOutExactlyOnce(t *testing.T) {
+	fn := newFanNet(t, 3, 8)
+	defer fn.close()
+	fA, fB, fC := fn.fabrics[0], fn.fabrics[1], fn.fabrics[2]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	if _, err := fC.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return fA.knowsInterest(fC.NodeID()) && fB.knowsInterest(fC.NodeID()) && fA.hasTap()
+	})
+
+	const n = 16
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return recv.total() >= n })
+	if !recv.exactlyOnce(n) {
+		t.Fatalf("C deliveries not exactly-once: %d events, %d deliveries", len(recv.seen), recv.total())
+	}
+	// B holds no interest of its own and must not relay a batch whose hop
+	// set already covers C.
+	if got := fB.BatchesRelayed.Value(); got != 0 {
+		t.Fatalf("B relayed %d batches with full origin knowledge", got)
+	}
+	if got := fA.BatchesIngested.Value(); got != 0 {
+		t.Fatalf("A ingested %d of its own batches", got)
+	}
+}
+
+// TestCrossRangeRelayViaMiddle: A does not know C's interest; B does. The
+// batch reaches C through B's relay, exactly once, and never returns to A.
+func TestCrossRangeRelayViaMiddle(t *testing.T) {
+	fn := newFanNet(t, 3, 8)
+	defer fn.close()
+	fA, fB, fC := fn.fabrics[0], fn.fabrics[1], fn.fabrics[2]
+	waitCoverage(t, fn)
+
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	// B subscribes too (it is an aggregation point on the path).
+	bRecv := newCounter()
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, bRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	cRecv := newCounter()
+	if _, err := fC.SubscribeRemote(guid.New(guid.KindApplication), flt, cRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return fA.knowsInterest(fB.NodeID()) && fA.knowsInterest(fC.NodeID()) &&
+			fB.knowsInterest(fC.NodeID()) && fA.hasTap()
+	})
+	// Partial knowledge: A never learned of C's subscription. Re-gossiped
+	// interest records may still be in flight, so delete until the entry
+	// stays gone.
+	for settled := 0; settled < 25; {
+		fA.mu.Lock()
+		_, present := fA.interests[fC.NodeID()]
+		delete(fA.interests, fC.NodeID())
+		fA.mu.Unlock()
+		if present {
+			settled = 0
+		} else {
+			settled++
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const n = 8
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cRecv.total() >= n && bRecv.total() >= n })
+	// Give any stray duplicate a moment to land before asserting.
+	time.Sleep(20 * time.Millisecond)
+	if !cRecv.exactlyOnce(n) {
+		t.Fatalf("C deliveries not exactly-once: %d events, %d deliveries", len(cRecv.seen), cRecv.total())
+	}
+	if !bRecv.exactlyOnce(n) {
+		t.Fatalf("B deliveries not exactly-once: %d events, %d deliveries", len(bRecv.seen), bRecv.total())
+	}
+	if got := fB.BatchesRelayed.Value(); got == 0 {
+		t.Fatal("B never relayed: C cannot have been reached via B")
+	}
+	if got := fA.BatchesIngested.Value(); got != 0 {
+		t.Fatalf("A ingested %d batches of its own events", got)
+	}
+}
+
+// TestCrossRangeCycleLoopSuppression: a directed interest ring A→B→C→A.
+// A's publish travels B then C; C suppresses the hop back to A because A is
+// the batch's origin and in its hop set.
+func TestCrossRangeCycleLoopSuppression(t *testing.T) {
+	fn := newFanNet(t, 3, 8)
+	defer fn.close()
+	fA, fB, fC := fn.fabrics[0], fn.fabrics[1], fn.fabrics[2]
+	waitCoverage(t, fn)
+
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	aRecv, bRecv, cRecv := newCounter(), newCounter(), newCounter()
+	for i, h := range []struct {
+		f *Fabric
+		c *counter
+	}{{fA, aRecv}, {fB, bRecv}, {fC, cRecv}} {
+		if _, err := h.f.SubscribeRemote(guid.New(guid.KindApplication), flt, h.c.handle); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+	waitFor(t, func() bool {
+		return fA.knowsInterest(fB.NodeID()) && fB.knowsInterest(fC.NodeID()) &&
+			fC.knowsInterest(fA.NodeID()) && fA.hasTap() && fB.hasTap() && fC.hasTap()
+	})
+	// Ring topology: each fabric only knows its successor's interest.
+	fA.setInterests(map[guid.GUID][]event.Filter{fB.NodeID(): {flt}})
+	fB.setInterests(map[guid.GUID][]event.Filter{fC.NodeID(): {flt}})
+	fC.setInterests(map[guid.GUID][]event.Filter{fA.NodeID(): {flt}})
+
+	const n = 8
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return bRecv.total() >= n && cRecv.total() >= n })
+	time.Sleep(20 * time.Millisecond)
+	if !aRecv.exactlyOnce(n) || !bRecv.exactlyOnce(n) || !cRecv.exactlyOnce(n) {
+		t.Fatalf("ring deliveries not exactly-once: A=%d B=%d C=%d",
+			aRecv.total(), bRecv.total(), cRecv.total())
+	}
+	if got := fB.BatchesRelayed.Value(); got == 0 {
+		t.Fatal("B never relayed around the ring")
+	}
+	if got := fC.BatchesRelayed.Value(); got != 0 {
+		t.Fatalf("C relayed %d batches: the echo to A was not suppressed", got)
+	}
+	if got := fA.BatchesIngested.Value(); got != 0 {
+		t.Fatalf("A ingested %d batches: its own events came back", got)
+	}
+
+	// Belt and braces: a batch that somehow arrives at its own origin is
+	// dropped, not ingested.
+	frames := encodeFrames(makeEvents(1, fn.clk))
+	payload, err := json.Marshal(eventBatchMsg{Origin: fA.NodeID(), Via: []guid.GUID{fA.NodeID()}, Events: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fA.EchoesDropped.Value()
+	fA.handleEventBatch(overlay.Delivery{Origin: fC.NodeID(), AppKind: appEventBatch, Payload: payload})
+	if fA.EchoesDropped.Value() != before+1 {
+		t.Fatal("echo batch not counted as dropped")
+	}
+	if got := fA.BatchesIngested.Value(); got != 0 {
+		t.Fatal("echo batch was ingested")
+	}
+}
+
+// TestCrossRangeBatchBudget: N coalesced events cost exactly
+// ⌈N/BatchMaxEvents⌉ overlay messages per interested peer.
+func TestCrossRangeBatchBudget(t *testing.T) {
+	const maxBatch, n = 8, 64
+	fn := newFanNet(t, 2, maxBatch)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fA.knowsInterest(fB.NodeID()) && fA.hasTap() })
+
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return recv.total() >= n })
+	if !recv.exactlyOnce(n) {
+		t.Fatalf("B deliveries not exactly-once: %d events, %d deliveries", len(recv.seen), recv.total())
+	}
+	if got, want := fA.BatchesForwarded.Value(), uint64(n/maxBatch); got != want {
+		t.Fatalf("batches forwarded = %d, want %d (⌈%d/%d⌉ per peer)", got, want, n, maxBatch)
+	}
+	if got := fA.EventsForwarded.Value(); got != n {
+		t.Fatalf("events forwarded = %d, want %d", got, n)
+	}
+	if got, want := fB.BatchesIngested.Value(), uint64(n/maxBatch); got != want {
+		t.Fatalf("batches ingested = %d, want %d", got, want)
+	}
+}
+
+// TestCrossRangeDelayFlush: a partial batch is held for BatchMaxDelay and
+// flushed by the timer, not dribbled per event.
+func TestCrossRangeDelayFlush(t *testing.T) {
+	const maxBatch = 8
+	fn := newFanNet(t, 2, maxBatch)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fA.knowsInterest(fB.NodeID()) && fA.hasTap() })
+
+	const n = 3 // below the size bound: only the delay timer can flush
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		fA.fan.mu.Lock()
+		defer fA.fan.mu.Unlock()
+		return len(fA.fan.pending) == n
+	})
+	if got := fA.BatchesForwarded.Value(); got != 0 {
+		t.Fatalf("partial batch left early: %d messages", got)
+	}
+	fn.clk.Advance(5 * time.Millisecond)
+	waitFor(t, func() bool { return recv.total() >= n })
+	if got := fA.BatchesForwarded.Value(); got != 1 {
+		t.Fatalf("delay flush sent %d messages, want 1", got)
+	}
+	if !recv.exactlyOnce(n) {
+		t.Fatalf("B deliveries not exactly-once after delay flush")
+	}
+}
+
+// TestForwardedQueryProxyLifecycle covers the serving-side bookkeeping:
+// served-query records replace the old write-only remote map, a failed
+// query releases its proxy only when it is the owner's last, and an origin
+// fabric's departure tears everything down.
+func TestForwardedQueryProxyLifecycle(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		_, ok := tr.fLobby.CoveringNode("campus/lt/l10")
+		return ok
+	})
+
+	caa := entity.NewCAA("capa", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	if _, err := tr.fLobby.Submit(q, caa); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.fL10.ServedQueries(); len(got) != 1 {
+		t.Fatalf("served queries = %v, want 1", got)
+	}
+	if !tr.l10.Registrar().IsLive(caa.ID()) {
+		t.Fatal("proxy CAA not registered in serving range")
+	}
+
+	// A failing query from the same owner must not tear down the live one's
+	// proxy (reference counting), and must not leave a served record.
+	bad := query.New(caa.ID(), query.What{Pattern: ctxtype.PrinterQueue}, query.ModeSubscribe)
+	bad.Where.Explicit = location.AtPath("campus/lt/l10")
+	if _, err := tr.fLobby.Submit(bad, caa); err == nil {
+		t.Fatal("unsatisfiable forwarded query succeeded")
+	}
+	if got := tr.fL10.ServedQueries(); len(got) != 1 {
+		t.Fatalf("served queries after failure = %v, want the 1 live query", got)
+	}
+	if !tr.l10.Registrar().IsLive(caa.ID()) {
+		t.Fatal("shared proxy removed while a query from its owner is live")
+	}
+
+	// Origin departure: the serving side drops the query, its configuration
+	// and the proxy registration.
+	if err := tr.fLobby.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(tr.fL10.ServedQueries()) == 0 })
+	waitFor(t, func() bool { return !tr.l10.Registrar().IsLive(caa.ID()) })
+	waitFor(t, func() bool { return len(tr.l10.Runtime().Active()) == 0 })
+}
+
+// TestForwardedQueryErrorRemovesProxy: a query that fails outright leaves
+// neither a served record nor a proxy registration behind.
+func TestForwardedQueryErrorRemovesProxy(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		_, ok := tr.fLobby.CoveringNode("campus/lt/l10")
+		return ok
+	})
+	caa := entity.NewCAA("capa", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.PrinterQueue}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	if _, err := tr.fLobby.Submit(q, caa); err == nil {
+		t.Fatal("unsatisfiable forwarded query succeeded")
+	}
+	if got := tr.fL10.ServedQueries(); len(got) != 0 {
+		t.Fatalf("served queries after failed query = %v, want none", got)
+	}
+	waitFor(t, func() bool { return !tr.l10.Registrar().IsLive(caa.ID()) })
+}
+
+// TestForwardedQueryClosedRangeReportsError: when the serving Range cannot
+// register the proxy (closed), the origin receives the error instead of the
+// old silently swallowed AddApplication failure.
+func TestForwardedQueryClosedRangeReportsError(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		_, ok := tr.fLobby.CoveringNode("campus/lt/l10")
+		return ok
+	})
+	caa := entity.NewCAA("capa", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	tr.l10.Close()
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	if _, err := tr.fLobby.Submit(q, caa); err == nil {
+		t.Fatal("forwarded query against a closed range succeeded")
+	}
+	if got := tr.fL10.ServedQueries(); len(got) != 0 {
+		t.Fatalf("served queries registered against a closed range: %v", got)
+	}
+}
+
+// TestDuplicateBatchSuppressed: a relayed copy of an already-ingested
+// batch id (two relays covering the same hop-set gap) is dropped.
+func TestDuplicateBatchSuppressed(t *testing.T) {
+	fn := newFanNet(t, 2, 8)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft a foreign-stamped batch and deliver it twice, as two relays
+	// racing to cover B would.
+	events := makeEvents(4, fn.clk)
+	foreign := guid.New(guid.KindRange)
+	for i := range events {
+		events[i].Range = foreign
+	}
+	msg := eventBatchMsg{
+		Origin:  fA.NodeID(),
+		BatchID: guid.New(guid.KindEvent),
+		Via:     []guid.GUID{fA.NodeID(), fB.NodeID()},
+		Events:  encodeFrames(events),
+	}
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := overlay.Delivery{Origin: fA.NodeID(), AppKind: appEventBatch, Payload: payload}
+	fB.handleEventBatch(d)
+	fB.handleEventBatch(d)
+	waitFor(t, func() bool { return recv.total() >= 4 })
+	time.Sleep(20 * time.Millisecond)
+	if !recv.exactlyOnce(4) {
+		t.Fatalf("duplicate batch ingested: %d deliveries for 4 events", recv.total())
+	}
+	if got := fB.DuplicatesDropped.Value(); got != 1 {
+		t.Fatalf("DuplicatesDropped = %d, want 1", got)
+	}
+	if got := fB.BatchesIngested.Value(); got != 1 {
+		t.Fatalf("BatchesIngested = %d, want 1", got)
+	}
+}
+
+// TestCloseFlushesPendingFanOut: a partial fan-out batch held for the
+// delay timer still reaches interested peers when the fabric closes.
+func TestCloseFlushesPendingFanOut(t *testing.T) {
+	fn := newFanNet(t, 2, 8)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fA.knowsInterest(fB.NodeID()) && fA.hasTap() })
+
+	const n = 3 // below the size bound: held for the (manual, frozen) timer
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		fA.fan.mu.Lock()
+		defer fA.fan.mu.Unlock()
+		return len(fA.fan.pending) == n
+	})
+	if err := fA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return recv.total() >= n })
+	if !recv.exactlyOnce(n) {
+		t.Fatalf("close flush deliveries not exactly-once: %d", recv.total())
+	}
+}
+
+// TestRemoveInterestStopsForwarding: withdrawing the last interest clears
+// the peer's table entry and tears down its forwarding tap.
+func TestRemoveInterestStopsForwarding(t *testing.T) {
+	fn := newFanNet(t, 2, 8)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fA.knowsInterest(fB.NodeID()) && fA.hasTap() })
+
+	fB.RemoveInterest(flt)
+	waitFor(t, func() bool { return !fA.knowsInterest(fB.NodeID()) && !fA.hasTap() })
+
+	if err := fn.ranges[0].PublishAll(makeEvents(8, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := recv.total(); got != 0 {
+		t.Fatalf("withdrawn interest still delivered %d events", got)
+	}
+	if got := fA.BatchesForwarded.Value(); got != 0 {
+		t.Fatalf("forwarded %d batches after withdrawal", got)
+	}
+}
+
+// TestUnsubscribeRemoteSymmetricTeardown: cancelling through the fabric
+// withdraws the interest, stops delivery, and lets the peer drop its tap.
+func TestUnsubscribeRemoteSymmetricTeardown(t *testing.T) {
+	fn := newFanNet(t, 2, 8)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	recv := newCounter()
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	rec, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, recv.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fA.knowsInterest(fB.NodeID()) && fA.hasTap() })
+
+	if err := fB.UnsubscribeRemote(rec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return !fA.knowsInterest(fB.NodeID()) && !fA.hasTap() })
+	if err := fn.ranges[0].PublishAll(makeEvents(8, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := recv.total(); got != 0 {
+		t.Fatalf("cancelled remote subscription still delivered %d events", got)
+	}
+}
+
+// TestIngestFiltersCoBatchedEvents: a batch carrying events outside the
+// receiver's interests injects only the matching ones into local dispatch.
+func TestIngestFiltersCoBatchedEvents(t *testing.T) {
+	fn := newFanNet(t, 2, 8)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	waitCoverage(t, fn)
+
+	// B asks only for temperature, but also has a local wildcard-ish
+	// subscriber for door sightings that must never see Range-A events.
+	tempRecv, doorRecv := newCounter(), newCounter()
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication),
+		event.Filter{Type: ctxtype.TemperatureCelsius}, tempRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fn.ranges[1].Mediator().Subscribe(guid.New(guid.KindApplication),
+		event.Filter{Type: ctxtype.LocationSightingDoor}, doorRecv.handle,
+		mediator.SubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fA.knowsInterest(fB.NodeID()) && fA.hasTap() })
+
+	// Publish a mixed burst in A: temperatures plus door sightings that
+	// will co-batch through the same fan-out chunks.
+	src := guid.New(guid.KindDevice)
+	mixed := makeEvents(8, fn.clk)
+	for i := 0; i < 8; i++ {
+		mixed = append(mixed, event.New(ctxtype.LocationSightingDoor, src,
+			uint64(100+i), fn.clk.Now(), map[string]any{"place": "x"}))
+	}
+	if err := fn.ranges[0].PublishAll(mixed); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return tempRecv.total() >= 8 })
+	time.Sleep(20 * time.Millisecond)
+	if !tempRecv.exactlyOnce(8) {
+		t.Fatalf("temperature deliveries not exactly-once: %d", tempRecv.total())
+	}
+	if got := doorRecv.total(); got != 0 {
+		t.Fatalf("co-batched non-matching events leaked into local dispatch: %d", got)
+	}
+}
+
+// TestCancelWithdrawsServedQuery: a scinet.cancel from the query's origin
+// (the timeout/late-reply path) releases the serving side's record,
+// configuration and proxy; a cancel from anyone else is ignored.
+func TestCancelWithdrawsServedQuery(t *testing.T) {
+	tr := newTwoRanges(t)
+	defer tr.close()
+	waitFor(t, func() bool {
+		_, ok := tr.fLobby.CoveringNode("campus/lt/l10")
+		return ok
+	})
+	caa := entity.NewCAA("capa", nil, tr.clk)
+	if err := tr.lobby.AddApplication(caa); err != nil {
+		t.Fatal(err)
+	}
+	q := query.New(caa.ID(), query.What{Pattern: ctxtype.LocationPosition}, query.ModeSubscribe)
+	q.Where.Explicit = location.AtPath("campus/lt/l10")
+	if _, err := tr.fLobby.Submit(q, caa); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.fL10.ServedQueries()) != 1 {
+		t.Fatal("query not served")
+	}
+
+	// A forged cancel from a different fabric must not withdraw it.
+	payload, err := json.Marshal(cancelMsg{QueryID: q.ID, Origin: guid.New(guid.KindServer)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.fL10.deliver(overlay.Delivery{AppKind: appCancel, Payload: payload})
+	if len(tr.fL10.ServedQueries()) != 1 {
+		t.Fatal("forged cancel withdrew the query")
+	}
+
+	// The origin's own cancel (what Submit sends on timeout) tears down.
+	tr.fLobby.sendCancel(tr.fL10.NodeID(), q.ID)
+	waitFor(t, func() bool { return len(tr.fL10.ServedQueries()) == 0 })
+	waitFor(t, func() bool { return len(tr.l10.Runtime().Active()) == 0 })
+	waitFor(t, func() bool { return !tr.l10.Registrar().IsLive(caa.ID()) })
+}

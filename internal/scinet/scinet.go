@@ -11,6 +11,28 @@
 // CAPA scenario's hop from the lift-lobby Range to the Level Ten Range —
 // and the resulting context events are routed back to the querying
 // application through the overlay.
+//
+// # Cross-range fan-out
+//
+// Beyond per-query forwarding, fabrics exchange published events directly.
+// A Range announces cross-range interests (event filters) to its peers;
+// each peer taps its own Event Mediator through a batch subscription and
+// forwards matching publishes as coalesced scinet.event_batch payloads —
+// one overlay message per BatchMaxEvents events per interested peer, not
+// one per event. The receiving fabric ingests a whole batch through
+// Range.PublishAll, so it enters the batched dispatch path, and re-forwards
+// it to interested peers the sender did not know about.
+//
+// Loop suppression: every forwarded batch is stamped with the origin
+// fabric's id, a batch id, and a hop set (Via) naming every fabric already
+// covered — the origin plus all direct recipients, extended by each relay.
+// A relay only forwards to interested peers outside the hop set; a batch
+// whose origin is the receiving fabric (or whose events carry the local
+// Range's stamp) is dropped as an echo; and a bounded per-fabric window of
+// recently ingested batch ids suppresses the duplicates hop sets cannot
+// (two relays covering the same gap in a sender's knowledge). An event
+// published in Range A and relayed via B to C is therefore delivered
+// exactly once and never returns to A, even on cyclic topologies.
 package scinet
 
 import (
@@ -26,8 +48,9 @@ import (
 	"sci/internal/event"
 	"sci/internal/guid"
 	"sci/internal/location"
+	"sci/internal/mediator"
+	"sci/internal/metrics"
 	"sci/internal/overlay"
-	"sci/internal/profile"
 	"sci/internal/query"
 	"sci/internal/server"
 	"sci/internal/transport"
@@ -38,7 +61,24 @@ const (
 	appCoverage    = "scinet.coverage"
 	appQuery       = "scinet.query"
 	appQueryResult = "scinet.query_result"
-	appEvent       = "scinet.event"
+	// appCancel withdraws a forwarded query (the origin timed out or no
+	// longer wants it), so the serving fabric releases its record, proxy
+	// and configuration instead of streaming to nobody.
+	appCancel = "scinet.cancel"
+	appEvent  = "scinet.event"
+	// appEventBatch carries a coalesced run of events between fabrics: the
+	// cross-range fan-out path and the batched replacement for per-event
+	// appEvent frames on the routed-query path.
+	appEventBatch = "scinet.event_batch"
+	// appInterest announces (and re-gossips) a fabric's cross-range event
+	// interests.
+	appInterest = "scinet.interest"
+	// appLeave announces a clean fabric departure so peers tear down
+	// per-peer state (proxies, interests, coalescers) immediately.
+	appLeave = "scinet.leave"
+	// appStats / appStatsResult carry the fleet-wide dispatch.stats rollup.
+	appStats       = "scinet.stats"
+	appStatsResult = "scinet.stats_result"
 )
 
 type coverageMsg struct {
@@ -64,9 +104,60 @@ type queryResultMsg struct {
 	Error         string    `json:"error,omitempty"`
 }
 
+// eventMsg is the legacy single-event frame, kept so fabrics that predate
+// scinet.event_batch interoperate (it is still emitted when batching is
+// disabled, and always accepted).
 type eventMsg struct {
 	QueryID guid.GUID   `json:"query_id"`
 	Event   event.Event `json:"event"`
+}
+
+// eventBatchMsg is a coalesced run of events crossing the overlay. With
+// QueryID set it carries routed results for one forwarded query; otherwise
+// it is a cross-range fan-out batch stamped for loop suppression: Origin is
+// the publishing fabric and Via names every fabric already covered (origin,
+// direct recipients, and relays' additions), so no fabric ingests the run
+// twice and it never echoes back to its origin.
+type eventBatchMsg struct {
+	Origin  guid.GUID `json:"origin"`
+	QueryID guid.GUID `json:"query_id,omitzero"`
+	// BatchID names this batch for duplicate suppression: relays preserve
+	// it, and a receiver ingests each id at most once. The hop set alone
+	// cannot cover every race — two relays that each know an interested
+	// fabric absent from Via would both forward to it.
+	BatchID guid.GUID         `json:"batch_id,omitzero"`
+	Via     []guid.GUID       `json:"via,omitempty"`
+	Events  []json.RawMessage `json:"events"`
+}
+
+// interestMsg announces the full current interest set of one fabric.
+// Receivers replace their table entry for Owner and re-gossip changes, so
+// records cross partially connected topologies.
+type interestMsg struct {
+	Owner   guid.GUID      `json:"owner"`
+	Filters []event.Filter `json:"filters"`
+	// Remove withdraws all of Owner's interests (departure).
+	Remove bool `json:"remove,omitempty"`
+}
+
+type leaveMsg struct {
+	Origin guid.GUID `json:"origin"`
+}
+
+type cancelMsg struct {
+	QueryID guid.GUID `json:"query_id"`
+	Origin  guid.GUID `json:"origin"` // the fabric withdrawing its query
+}
+
+type statsQueryMsg struct {
+	Origin guid.GUID `json:"origin"`
+	Corr   guid.GUID `json:"corr"`
+}
+
+type statsResultMsg struct {
+	Corr  guid.GUID          `json:"corr"`
+	Name  string             `json:"name"`
+	Stats map[string]float64 `json:"stats"`
 }
 
 // Result mirrors the answer to a forwarded subscription query.
@@ -77,14 +168,65 @@ type Result struct {
 	Provider      guid.GUID
 }
 
+// RangeStats is one Range's dispatch.stats snapshot inside a fleet rollup.
+type RangeStats struct {
+	// Node is the answering fabric's overlay node id.
+	Node guid.GUID
+	// Name is the Range's label.
+	Name string
+	// Stats is the Range's dispatch.stats map (see server.Range.StatsMap).
+	Stats map[string]float64
+}
+
+// FleetStats aggregates dispatch.stats across every Range of a SCINET that
+// answered within the collection window.
+type FleetStats struct {
+	// Ranges counts the Ranges included (answering peers plus the caller).
+	Ranges int
+	// Totals sums each counter across the fleet; index_hit_ratio is
+	// recomputed from the summed index_hits / residual_scanned rather than
+	// summed (a ratio of sums, not a sum of ratios).
+	Totals map[string]float64
+	// PerRange holds each contributing Range's snapshot, sorted by name.
+	PerRange []RangeStats
+}
+
 // Errors.
 var (
 	ErrNoCoveringRange = errors.New("scinet: no range covers the queried area")
 	ErrTimeout         = errors.New("scinet: request timed out")
+	ErrClosed          = errors.New("scinet: fabric closed")
 )
 
 // RequestTimeout bounds forwarded-query round trips.
 const RequestTimeout = 5 * time.Second
+
+// tapQueueLen is the queue capacity of the fabric's mediator tap and of
+// SubscribeRemote subscriptions: generous, because a tap absorbs whole
+// publish bursts for forwarding.
+const tapQueueLen = 4096
+
+// queueKey identifies one outbound coalescer: the destination fabric and,
+// for routed-query traffic, the query whose results it carries.
+type queueKey struct {
+	peer guid.GUID
+	qid  guid.GUID
+}
+
+// outQuery is the origin side of one forwarded query: the consumer of the
+// routed result events and the fabric serving the query (for teardown when
+// that peer departs).
+type outQuery struct {
+	caa    *entity.CAA
+	target guid.GUID
+}
+
+// servedQuery is the serving side of one forwarded query.
+type servedQuery struct {
+	origin guid.GUID // origin fabric node
+	owner  guid.GUID // remote CAA the proxy stands in for
+	cfg    guid.GUID // instantiated configuration (nil while deferred)
+}
 
 // Fabric is one Range's presence in the SCINET.
 type Fabric struct {
@@ -92,17 +234,54 @@ type Fabric struct {
 	node *overlay.Node
 	clk  clock.Clock
 
+	maxBatch int
+	maxDelay time.Duration
+
 	mu        sync.Mutex
 	coverage  map[guid.GUID]coverageMsg // fabric node → its coverage
 	waiters   map[guid.GUID]chan queryResultMsg
-	consumers map[guid.GUID]*entity.CAA // queryID → local CAA receiving routed events
-	remote    map[guid.GUID]guid.GUID   // queryID → origin fabric (remote side)
+	consumers map[guid.GUID]*outQuery      // queryID → origin-side consumer
+	served    map[guid.GUID]*servedQuery   // queryID → serving-side record
+	ownerRefs map[guid.GUID]int            // remote owner → live served queries
+	interests map[guid.GUID][]event.Filter // fabric node → its announced interests
+	local     []event.Filter               // this fabric's own interests
+	tapSub    guid.GUID                    // mediator tap (nil while no peer interest)
+	queues    map[queueKey]*fanQueue       // outbound coalescers, routed-query traffic
+	fan       *fanQueue                    // outbound coalescer, fan-out traffic
+	statsWait map[guid.GUID]chan statsResultMsg
+	seen      guid.Set    // recently ingested batch ids (duplicate window)
+	seenRing  []guid.GUID // eviction order for seen, bounded at seenWindow
+	seenPos   int
 	closed    bool
+
+	// BatchesForwarded / EventsForwarded count the fan-out and routed-query
+	// batches this fabric originated (one batch per overlay message per
+	// peer) and the events they carried.
+	BatchesForwarded metrics.Counter
+	EventsForwarded  metrics.Counter
+	// BatchesIngested / EventsIngested count cross-range batches accepted
+	// into the local Range's dispatch path.
+	BatchesIngested metrics.Counter
+	EventsIngested  metrics.Counter
+	// BatchesRelayed counts batches re-forwarded to interested peers the
+	// sender's hop set did not cover.
+	BatchesRelayed metrics.Counter
+	// EchoesDropped counts batches (or events within them) suppressed
+	// because they would have returned to their origin.
+	EchoesDropped metrics.Counter
+	// DuplicatesDropped counts batches whose id was already ingested — two
+	// relays covering the same gap in a sender's hop set.
+	DuplicatesDropped metrics.Counter
 }
+
+// seenWindow bounds the duplicate-suppression window: how many recently
+// ingested batch ids a fabric remembers.
+const seenWindow = 4096
 
 // NewFabric attaches a Range to the SCINET over net. The fabric's overlay
 // node has its own GUID (the Range's transport host, if any, keeps the CS
-// GUID).
+// GUID). The Range's BatchMaxEvents/BatchMaxDelay govern the fabric's
+// outbound coalescers exactly as they govern the Range Service's.
 func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabric, error) {
 	if clk == nil {
 		clk = clock.Real()
@@ -110,20 +289,29 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 	f := &Fabric{
 		rng:       rng,
 		clk:       clk,
+		maxBatch:  rng.BatchMaxEvents(),
+		maxDelay:  rng.BatchMaxDelay(),
 		coverage:  make(map[guid.GUID]coverageMsg),
 		waiters:   make(map[guid.GUID]chan queryResultMsg),
-		consumers: make(map[guid.GUID]*entity.CAA),
-		remote:    make(map[guid.GUID]guid.GUID),
+		consumers: make(map[guid.GUID]*outQuery),
+		served:    make(map[guid.GUID]*servedQuery),
+		ownerRefs: make(map[guid.GUID]int),
+		interests: make(map[guid.GUID][]event.Filter),
+		queues:    make(map[queueKey]*fanQueue),
+		statsWait: make(map[guid.GUID]chan statsResultMsg),
+		seen:      guid.NewSet(),
 	}
 	node, err := overlay.NewNode(overlay.Config{
 		Network: net,
 		Clock:   clk,
 		Deliver: f.deliver,
+		Forgot:  f.peerGone,
 	})
 	if err != nil {
 		return nil, err
 	}
 	f.node = node
+	f.fan = &fanQueue{f: f}
 	f.coverage[node.ID()] = coverageMsg{
 		Origin:   node.ID(),
 		Coverage: rng.Coverage(),
@@ -139,13 +327,13 @@ func (f *Fabric) NodeID() guid.GUID { return f.node.ID() }
 func (f *Fabric) Range() *server.Range { return f.rng }
 
 // Join enters the SCINET via a bootstrap fabric node, then announces this
-// Range's coverage to every known node (requesting echoes, so the joiner
-// also learns the existing coverage map).
+// Range's coverage (and any cross-range interests) to every known node.
 func (f *Fabric) Join(bootstrap guid.GUID) error {
 	if err := f.node.Join(bootstrap); err != nil {
 		return err
 	}
 	f.AnnounceCoverage(true)
+	f.announceInterests()
 	return nil
 }
 
@@ -238,7 +426,7 @@ func (f *Fabric) Submit(q query.Query, owner *entity.CAA) (*Result, error) {
 	f.mu.Lock()
 	f.waiters[q.ID] = ch
 	if owner != nil {
-		f.consumers[q.ID] = owner
+		f.consumers[q.ID] = &outQuery{caa: owner, target: target}
 	}
 	f.mu.Unlock()
 	defer func() {
@@ -248,14 +436,13 @@ func (f *Fabric) Submit(q query.Query, owner *entity.CAA) (*Result, error) {
 	}()
 
 	if err := f.node.Route(target, appQuery, payload); err != nil {
+		f.dropConsumer(q.ID)
 		return nil, err
 	}
 	select {
 	case res := <-ch:
 		if res.Error != "" {
-			f.mu.Lock()
-			delete(f.consumers, q.ID)
-			f.mu.Unlock()
+			f.dropConsumer(q.ID)
 			return nil, fmt.Errorf("scinet: remote range: %s", res.Error)
 		}
 		return &Result{
@@ -265,8 +452,31 @@ func (f *Fabric) Submit(q query.Query, owner *entity.CAA) (*Result, error) {
 			Provider:      res.Provider,
 		}, nil
 	case <-time.After(RequestTimeout):
+		// The consumer entry must not outlive the failed round trip: an
+		// abandoned entry would leak and keep routing stray events to an
+		// application that was told its query failed. The serving side may
+		// have succeeded (its reply merely late or lost), so withdraw the
+		// query there too — otherwise it would keep a configuration, a
+		// proxy CAA and a coalescer streaming events nobody receives.
+		f.dropConsumer(q.ID)
+		f.sendCancel(target, q.ID)
 		return nil, ErrTimeout
 	}
+}
+
+// sendCancel withdraws a forwarded query at its serving fabric.
+func (f *Fabric) sendCancel(target, qid guid.GUID) {
+	payload, err := json.Marshal(cancelMsg{QueryID: qid, Origin: f.node.ID()})
+	if err != nil {
+		return
+	}
+	_ = f.node.Route(target, appCancel, payload)
+}
+
+func (f *Fabric) dropConsumer(qid guid.GUID) {
+	f.mu.Lock()
+	delete(f.consumers, qid)
+	f.mu.Unlock()
 }
 
 // routeTarget decides where a query executes: locally, or at the fabric
@@ -290,25 +500,7 @@ func (f *Fabric) routeTarget(q query.Query) (guid.GUID, bool) {
 func (f *Fabric) deliver(d overlay.Delivery) {
 	switch d.AppKind {
 	case appCoverage:
-		var msg coverageMsg
-		if json.Unmarshal(d.Payload, &msg) != nil {
-			return
-		}
-		f.mu.Lock()
-		_, known := f.coverage[msg.Origin]
-		f.coverage[msg.Origin] = coverageMsg{Origin: msg.Origin, Coverage: msg.Coverage, Name: msg.Name}
-		f.mu.Unlock()
-		if msg.Echo && !known {
-			// Reply with our own coverage so the joiner learns us.
-			reply := coverageMsg{
-				Origin:   f.node.ID(),
-				Coverage: f.rng.Coverage(),
-				Name:     f.rng.Name(),
-			}
-			if payload, err := json.Marshal(reply); err == nil {
-				_ = f.node.Route(msg.Origin, appCoverage, payload)
-			}
-		}
+		f.handleCoverage(d)
 	case appQuery:
 		f.handleRemoteQuery(d)
 	case appQueryResult:
@@ -324,6 +516,23 @@ func (f *Fabric) deliver(d overlay.Delivery) {
 			case ch <- msg:
 			default:
 			}
+		} else if msg.Error == "" {
+			// A success reply nobody is waiting for: the submitter already
+			// timed out and gave up, so withdraw the query at the fabric
+			// that just instantiated it.
+			f.sendCancel(d.Origin, msg.QueryID)
+		}
+	case appCancel:
+		var msg cancelMsg
+		if json.Unmarshal(d.Payload, &msg) != nil {
+			return
+		}
+		f.mu.Lock()
+		sq, ok := f.served[msg.QueryID]
+		f.mu.Unlock()
+		// Only the query's own origin may withdraw it.
+		if ok && sq.origin == msg.Origin {
+			f.dropServed(msg.QueryID)
 		}
 	case appEvent:
 		var msg eventMsg
@@ -331,16 +540,70 @@ func (f *Fabric) deliver(d overlay.Delivery) {
 			return
 		}
 		f.mu.Lock()
-		caa, ok := f.consumers[msg.QueryID]
+		oq, ok := f.consumers[msg.QueryID]
 		f.mu.Unlock()
 		if ok {
-			caa.Consume(msg.Event)
+			oq.caa.Consume(msg.Event)
+		}
+	case appEventBatch:
+		f.handleEventBatch(d)
+	case appInterest:
+		f.handleInterest(d)
+	case appLeave:
+		var msg leaveMsg
+		if json.Unmarshal(d.Payload, &msg) != nil {
+			return
+		}
+		f.peerGone(msg.Origin)
+	case appStats:
+		f.handleStats(d)
+	case appStatsResult:
+		var msg statsResultMsg
+		if json.Unmarshal(d.Payload, &msg) != nil {
+			return
+		}
+		f.mu.Lock()
+		ch, ok := f.statsWait[msg.Corr]
+		f.mu.Unlock()
+		if ok {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+	}
+}
+
+func (f *Fabric) handleCoverage(d overlay.Delivery) {
+	var msg coverageMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	f.mu.Lock()
+	_, known := f.coverage[msg.Origin]
+	f.coverage[msg.Origin] = coverageMsg{Origin: msg.Origin, Coverage: msg.Coverage, Name: msg.Name}
+	f.mu.Unlock()
+	if !known {
+		// A newly learned fabric also needs our interests (a joiner's
+		// interest announcements may have raced ahead of its coverage).
+		f.announceInterestsTo(msg.Origin)
+	}
+	if msg.Echo && !known {
+		// Reply with our own coverage so the joiner learns us.
+		reply := coverageMsg{
+			Origin:   f.node.ID(),
+			Coverage: f.rng.Coverage(),
+			Name:     f.rng.Name(),
+		}
+		if payload, err := json.Marshal(reply); err == nil {
+			_ = f.node.Route(msg.Origin, appCoverage, payload)
 		}
 	}
 }
 
 // handleRemoteQuery executes a forwarded query against the local Range,
-// registering a proxy CAA that routes result events back to the origin.
+// registering a proxy CAA that routes result events back to the origin
+// through the per-peer outbound coalescer.
 func (f *Fabric) handleRemoteQuery(d overlay.Delivery) {
 	var msg queryMsg
 	if json.Unmarshal(d.Payload, &msg) != nil {
@@ -354,35 +617,114 @@ func (f *Fabric) handleRemoteQuery(d overlay.Delivery) {
 		f.sendResult(msg.Origin, reply)
 		return
 	}
-	// Stand-in application for the remote owner: every event it consumes is
-	// routed back through the overlay tagged with the query id.
+	// Stand-in application for the remote owner: whole delivery runs it
+	// consumes are coalesced and routed back through the overlay tagged
+	// with the query id.
 	origin := msg.Origin
 	qid := msg.QueryID
-	proxy := entity.NewRemoteCAA(q.Owner, "scinet-proxy", func(e event.Event) {
-		payload, err := json.Marshal(eventMsg{QueryID: qid, Event: e})
-		if err != nil {
-			return
-		}
-		_ = f.node.Route(origin, appEvent, payload)
+	proxy := entity.NewRemoteBatchCAA(q.Owner, "scinet-proxy", func(events []event.Event) {
+		f.sendQueryEvents(origin, qid, events)
 	}, f.clk)
-	if err := f.rng.AddApplication(proxy); err != nil && !errors.Is(err, server.ErrClosed) {
-		// Already present (repeat query from the same owner) is fine.
-		var dummy profile.Profile
-		_ = dummy
+	if err := f.rng.AddApplication(proxy); err != nil {
+		// A repeat query from an already-registered owner re-registers
+		// silently (the Registrar renews, the profile overwrites), so any
+		// error here is a real failure — range closed, rejected profile —
+		// and must reach the origin instead of being swallowed: a Submit
+		// against a dead registration could never deliver.
+		reply.Error = err.Error()
+		f.sendResult(origin, reply)
+		return
 	}
 	f.mu.Lock()
-	f.remote[qid] = origin
+	if f.closed {
+		// Raced with Close after the proxy registered: undo the
+		// registration (unless another served query still shares the owner)
+		// so the closing fabric leaves no proxy behind in the Range.
+		inUse := f.ownerRefs[q.Owner] > 0
+		f.mu.Unlock()
+		if !inUse {
+			_ = f.rng.RemoveEntity(q.Owner)
+		}
+		reply.Error = ErrClosed.Error()
+		f.sendResult(origin, reply)
+		return
+	}
+	f.ownerRefs[q.Owner]++
+	f.served[qid] = &servedQuery{origin: origin, owner: q.Owner}
 	f.mu.Unlock()
 
 	res, err := f.rng.Submit(q)
 	if err != nil {
 		reply.Error = err.Error()
+		// The failed query must not leave its proxy behind: release the
+		// serving-side record, which removes the proxy CAA when this was
+		// the owner's last live query.
+		f.dropServed(qid)
 	} else {
 		reply.Deferred = res.Deferred
 		reply.Configuration = res.Configuration
 		reply.Provider = res.Provider
+		f.mu.Lock()
+		sq, live := f.served[qid]
+		if live {
+			sq.cfg = res.Configuration
+		}
+		f.mu.Unlock()
+		if !live && !res.Configuration.IsNil() {
+			// The origin departed (or the fabric closed) while Submit was
+			// instantiating: the served record — the only teardown handle —
+			// is already gone, so the fresh configuration must die here or
+			// it would run forever feeding a departed peer.
+			_ = f.rng.Runtime().Teardown(res.Configuration)
+		}
 	}
 	f.sendResult(origin, reply)
+}
+
+// dropServed releases one serving-side query record: its configuration is
+// torn down, its outbound coalescer discarded, and — when this was the
+// remote owner's last live query — the shared proxy CAA is removed from the
+// Range so proxies never accumulate.
+func (f *Fabric) dropServed(qid guid.GUID) {
+	f.mu.Lock()
+	sq, ok := f.served[qid]
+	if !ok {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.served, qid)
+	f.ownerRefs[sq.owner]--
+	last := f.ownerRefs[sq.owner] <= 0
+	if last {
+		delete(f.ownerRefs, sq.owner)
+	}
+	key := queueKey{peer: sq.origin, qid: qid}
+	q := f.queues[key]
+	delete(f.queues, key)
+	f.mu.Unlock()
+
+	if q != nil {
+		q.discard()
+	}
+	if !sq.cfg.IsNil() {
+		_ = f.rng.Runtime().Teardown(sq.cfg)
+	}
+	if last {
+		_ = f.rng.RemoveEntity(sq.owner)
+	}
+}
+
+// ServedQueries returns the ids of forwarded queries this fabric currently
+// serves, sorted (diagnostics and leak tests).
+func (f *Fabric) ServedQueries() []guid.GUID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]guid.GUID, 0, len(f.served))
+	for qid := range f.served {
+		out = append(out, qid)
+	}
+	guid.Sort(out)
+	return out
 }
 
 func (f *Fabric) sendResult(to guid.GUID, msg queryResultMsg) {
@@ -391,6 +733,767 @@ func (f *Fabric) sendResult(to guid.GUID, msg queryResultMsg) {
 		return
 	}
 	_ = f.node.Route(to, appQueryResult, payload)
+}
+
+// ----- cross-range fan-out -----
+
+// AddInterest registers a cross-range interest: events matching flt that
+// are published in sibling Ranges will be forwarded here in coalesced
+// batches and ingested through the local Range's batched dispatch path.
+// The interest is announced to every known fabric (and re-announced to
+// fabrics learned later).
+func (f *Fabric) AddInterest(flt event.Filter) {
+	f.mu.Lock()
+	f.local = append(f.local, flt)
+	f.mu.Unlock()
+	f.announceInterests()
+}
+
+// RemoveInterest withdraws one previously added interest (first match).
+// When it was the last one, peers are told to drop this fabric's entry
+// entirely; otherwise the shrunken set is re-announced.
+func (f *Fabric) RemoveInterest(flt event.Filter) {
+	f.mu.Lock()
+	for i := range f.local {
+		if f.local[i] == flt {
+			f.local = append(f.local[:i], f.local[i+1:]...)
+			break
+		}
+	}
+	empty := len(f.local) == 0
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return
+	}
+	if !empty {
+		f.announceInterests()
+		return
+	}
+	payload, err := json.Marshal(interestMsg{Owner: f.node.ID(), Remove: true})
+	if err != nil {
+		return
+	}
+	for _, peer := range f.node.Known() {
+		_ = f.node.Route(peer, appInterest, payload)
+	}
+}
+
+// SubscribeRemote subscribes owner to events matching flt published
+// anywhere in the SCINET: a local mediator subscription receives both local
+// publishes and ingested cross-range batches, and the filter is announced
+// as an interest so sibling fabrics forward matching events here.
+func (f *Fabric) SubscribeRemote(owner guid.GUID, flt event.Filter, h func(event.Event)) (mediator.Record, error) {
+	rec, err := f.rng.Mediator().Subscribe(owner, flt, h, mediator.SubOptions{QueueLen: tapQueueLen})
+	if err != nil {
+		return mediator.Record{}, err
+	}
+	f.AddInterest(flt)
+	return rec, nil
+}
+
+// UnsubscribeRemote tears down a SubscribeRemote subscription symmetrically:
+// the local mediator record is cancelled and its announced interest
+// withdrawn, so peers stop forwarding (and tear down idle taps) instead of
+// shipping events nobody consumes.
+func (f *Fabric) UnsubscribeRemote(rec mediator.Record) error {
+	err := f.rng.Mediator().Cancel(rec.ID)
+	f.RemoveInterest(rec.Filter)
+	return err
+}
+
+// Interests returns the known interest table: fabric node → announced
+// filters (diagnostics; the forwarding decisions read the live table).
+func (f *Fabric) Interests() map[guid.GUID][]event.Filter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[guid.GUID][]event.Filter, len(f.interests))
+	for id, flts := range f.interests {
+		out[id] = append([]event.Filter(nil), flts...)
+	}
+	return out
+}
+
+// announceInterests sends this fabric's full interest set to every known
+// peer.
+func (f *Fabric) announceInterests() {
+	for _, peer := range f.node.Known() {
+		f.announceInterestsTo(peer)
+	}
+}
+
+func (f *Fabric) announceInterestsTo(peer guid.GUID) {
+	f.mu.Lock()
+	filters := append([]event.Filter(nil), f.local...)
+	closed := f.closed
+	f.mu.Unlock()
+	if closed || len(filters) == 0 {
+		return
+	}
+	payload, err := json.Marshal(interestMsg{Owner: f.node.ID(), Filters: filters})
+	if err != nil {
+		return
+	}
+	_ = f.node.Route(peer, appInterest, payload)
+}
+
+// handleInterest ingests an interest announcement, establishes or tears
+// down the local mediator tap, and re-gossips changed records to other
+// peers so interests cross partially connected topologies.
+func (f *Fabric) handleInterest(d overlay.Delivery) {
+	var msg interestMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	if msg.Owner == f.node.ID() {
+		return // our own record, echoed back
+	}
+	f.mu.Lock()
+	changed := false
+	if msg.Remove || len(msg.Filters) == 0 {
+		if _, ok := f.interests[msg.Owner]; ok {
+			delete(f.interests, msg.Owner)
+			changed = true
+		}
+	} else if !filtersEqual(f.interests[msg.Owner], msg.Filters) {
+		f.interests[msg.Owner] = append([]event.Filter(nil), msg.Filters...)
+		changed = true
+	}
+	f.mu.Unlock()
+	f.ensureTap()
+	if !changed {
+		return
+	}
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	for _, peer := range f.node.Known() {
+		if peer == d.Origin || peer == msg.Owner {
+			continue
+		}
+		_ = f.node.Route(peer, appInterest, payload)
+	}
+}
+
+func filtersEqual(a, b []event.Filter) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureTap reconciles the mediator tap with demand: the tap exists exactly
+// while some peer holds a non-empty interest set. Demand is recomputed from
+// the live interest table under the fabric lock on every pass (a caller's
+// snapshot could be stale by the time it acts: a concurrent interest-add
+// and interest-remove must never leave interested peers without a tap), and
+// the loop runs until observation and state agree. The tap is a batch
+// subscription filtered to locally produced events (Range == this Range),
+// so ingested cross-range events — which keep their origin Range stamp —
+// can never re-enter the forwarding path through it. Being type-wildcarded
+// it lives in the dispatch index's residual tier (one extra filter scanned
+// per publish run, and the publisher's index-hit ratio reads lower while it
+// exists); the lazy lifecycle keeps that cost off Ranges nobody watches.
+func (f *Fabric) ensureTap() {
+	for {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		need := len(f.interests) > 0
+		has := !f.tapSub.IsNil()
+		if need == has {
+			f.mu.Unlock()
+			return
+		}
+		if !need {
+			sub := f.tapSub
+			f.tapSub = guid.Nil
+			f.mu.Unlock()
+			_ = f.rng.Mediator().Cancel(sub)
+			continue // re-check: interest may have arrived meanwhile
+		}
+		f.mu.Unlock()
+		rec, err := f.rng.Mediator().SubscribeBatch(f.node.ID(),
+			event.Filter{Range: f.rng.ID()}, f.forwardLocal,
+			mediator.SubOptions{QueueLen: tapQueueLen})
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		if f.closed || !f.tapSub.IsNil() {
+			// Lost a race (concurrent establish, or closed meanwhile): ours
+			// is surplus.
+			f.mu.Unlock()
+			_ = f.rng.Mediator().Cancel(rec.ID)
+			if f.isClosed() {
+				return
+			}
+			continue
+		}
+		f.tapSub = rec.ID
+		f.mu.Unlock()
+	}
+}
+
+func (f *Fabric) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+// forwardLocal is the mediator tap handler: every run of locally published
+// events reaches the fan-out coalescer as one slice appended under one lock
+// acquisition (the batch-fed remote fan-out edge).
+func (f *Fabric) forwardLocal(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	if f.maxBatch > 1 {
+		f.fan.addAll(events)
+		return
+	}
+	// Coalescing disabled: each event ships as its own batch message.
+	for i := range events {
+		f.fanOut(events[i : i+1])
+	}
+}
+
+// fanOut ships one already-bounded chunk of locally published events to
+// every interested peer, stamped with this fabric as origin and a hop set
+// covering origin plus all recipients — the loop-suppression contract that
+// lets relays extend coverage without ever duplicating or echoing.
+func (f *Fabric) fanOut(events []event.Event) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	self := f.node.ID()
+	var recips []guid.GUID
+	for owner, filters := range f.interests {
+		if owner == self {
+			continue
+		}
+		if matchAny(filters, events, f.rng) {
+			recips = append(recips, owner)
+		}
+	}
+	f.mu.Unlock()
+	if len(recips) == 0 {
+		return
+	}
+	guid.Sort(recips)
+	frames := encodeFrames(events)
+	if len(frames) == 0 {
+		return
+	}
+	via := make([]guid.GUID, 0, len(recips)+1)
+	via = append(via, self)
+	via = append(via, recips...)
+	payload, err := json.Marshal(eventBatchMsg{
+		Origin:  self,
+		BatchID: guid.New(guid.KindEvent),
+		Via:     via,
+		Events:  frames,
+	})
+	if err != nil {
+		return
+	}
+	for _, to := range recips {
+		if f.node.Route(to, appEventBatch, payload) == nil {
+			f.BatchesForwarded.Inc()
+			f.EventsForwarded.Add(uint64(len(frames)))
+		}
+	}
+}
+
+// handleEventBatch ingests a scinet.event_batch payload: routed query
+// results go to their waiting consumer; fan-out batches enter the local
+// Range through PublishAll (the batched dispatch path) and are relayed to
+// interested peers the hop set does not cover.
+func (f *Fabric) handleEventBatch(d overlay.Delivery) {
+	var msg eventBatchMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	if msg.Origin == f.node.ID() {
+		// A batch must never return to its origin.
+		f.EchoesDropped.Inc()
+		return
+	}
+	if !msg.QueryID.IsNil() {
+		f.mu.Lock()
+		oq, ok := f.consumers[msg.QueryID]
+		f.mu.Unlock()
+		if !ok {
+			return
+		}
+		events, _ := decodeFrames(msg.Events, guid.Nil)
+		oq.caa.ConsumeAll(events)
+		return
+	}
+
+	// Duplicate window: two relays may each cover the same fabric missing
+	// from a sender's hop set; only the first copy of a batch id is
+	// ingested.
+	if !msg.BatchID.IsNil() && !f.markSeen(msg.BatchID) {
+		f.DuplicatesDropped.Inc()
+		return
+	}
+
+	// Events stamped with the local Range are echoes of our own production
+	// regardless of what the envelope claims; events with no Range stamp
+	// would be restamped as local by PublishAll and re-enter the forwarding
+	// tap, so both are dropped for loop safety.
+	events, echoes := decodeFrames(msg.Events, f.rng.ID())
+	if echoes > 0 {
+		f.EchoesDropped.Add(uint64(echoes))
+	}
+	if len(events) == 0 {
+		return
+	}
+	// Ingest only what this fabric asked for: a coalesced chunk may carry
+	// co-batched events matching none of our interests (whole batches
+	// travel so relays can serve peers with different filters), and those
+	// must not leak into local dispatch AddInterest never asked about.
+	f.mu.Lock()
+	local := append([]event.Filter(nil), f.local...)
+	f.mu.Unlock()
+	keep := make([]event.Event, 0, len(events))
+	for i := range events {
+		for j := range local {
+			if local[j].MatchesIn(events[i], f.rng.Types()) {
+				keep = append(keep, events[i])
+				break
+			}
+		}
+	}
+	if len(keep) > 0 {
+		f.BatchesIngested.Inc()
+		f.EventsIngested.Add(uint64(len(keep)))
+		_ = f.rng.PublishAll(keep)
+	}
+	// Relays match against the full batch: peers' filters differ from ours.
+	f.relay(msg, events)
+}
+
+// markSeen records a batch id in the bounded duplicate window, reporting
+// whether it was new.
+func (f *Fabric) markSeen(id guid.GUID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen.Has(id) {
+		return false
+	}
+	f.seen.Add(id)
+	if len(f.seenRing) < seenWindow {
+		f.seenRing = append(f.seenRing, id)
+		return true
+	}
+	f.seen.Remove(f.seenRing[f.seenPos])
+	f.seenRing[f.seenPos] = id
+	f.seenPos = (f.seenPos + 1) % seenWindow
+	return true
+}
+
+// relay re-forwards an ingested batch to interested peers outside its hop
+// set — the case where the origin did not know an interested fabric that
+// this one does — extending the hop set with every new recipient.
+func (f *Fabric) relay(msg eventBatchMsg, events []event.Event) {
+	via := guid.NewSet(msg.Via...)
+	via.Add(msg.Origin)
+	via.Add(f.node.ID())
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	var extra []guid.GUID
+	for owner, filters := range f.interests {
+		if via.Has(owner) {
+			continue
+		}
+		if matchAny(filters, events, f.rng) {
+			extra = append(extra, owner)
+		}
+	}
+	f.mu.Unlock()
+	if len(extra) == 0 {
+		return
+	}
+	guid.Sort(extra)
+	for _, id := range extra {
+		via.Add(id)
+	}
+	out := eventBatchMsg{
+		Origin:  msg.Origin,
+		BatchID: msg.BatchID, // preserved, so receivers can dedup relayed copies
+		Via:     via.Members(),
+		Events:  msg.Events,
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return
+	}
+	for _, to := range extra {
+		if f.node.Route(to, appEventBatch, payload) == nil {
+			f.BatchesRelayed.Inc()
+		}
+	}
+}
+
+// matchAny reports whether any filter accepts any event, using the Range's
+// type registry for semantic equivalence.
+func matchAny(filters []event.Filter, events []event.Event, rng *server.Range) bool {
+	reg := rng.Types()
+	for i := range filters {
+		for j := range events {
+			if filters[i].MatchesIn(events[j], reg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// encodeFrames marshals events into batch frames, skipping unencodable
+// ones.
+func encodeFrames(events []event.Event) []json.RawMessage {
+	frames := make([]json.RawMessage, 0, len(events))
+	for i := range events {
+		raw, err := json.Marshal(events[i])
+		if err != nil {
+			continue
+		}
+		frames = append(frames, raw)
+	}
+	return frames
+}
+
+// decodeFrames unmarshals and validates batch frames, skipping invalid
+// ones. When localRange is non-nil the fan-out loop-safety rules apply:
+// frames stamped with the local Range (echoes) or with no Range stamp at
+// all (would be restamped as local and re-forwarded) are dropped, and
+// counted separately in echoes so malformed frames never read as routing
+// loops.
+func decodeFrames(frames []json.RawMessage, localRange guid.GUID) (events []event.Event, echoes int) {
+	events = make([]event.Event, 0, len(frames))
+	for _, raw := range frames {
+		var e event.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			continue
+		}
+		if err := e.Validate(); err != nil {
+			continue
+		}
+		if !localRange.IsNil() && (e.Range.IsNil() || e.Range == localRange) {
+			echoes++
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, echoes
+}
+
+// ----- outbound coalescers -----
+
+// sendQueryEvents routes a run of result events for one forwarded query
+// back to its origin fabric: through the per-peer coalescer when batching
+// is enabled, as legacy single-event frames otherwise (old fabrics decode
+// those).
+func (f *Fabric) sendQueryEvents(to, qid guid.GUID, events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	if f.maxBatch <= 1 {
+		for i := range events {
+			payload, err := json.Marshal(eventMsg{QueryID: qid, Event: events[i]})
+			if err != nil {
+				continue
+			}
+			if f.node.Route(to, appEvent, payload) == nil {
+				f.BatchesForwarded.Inc()
+				f.EventsForwarded.Inc()
+			}
+		}
+		return
+	}
+	if q := f.queueFor(to, qid); q != nil {
+		q.addAll(events)
+	}
+}
+
+// sendQueryBatch ships one bounded chunk as a scinet.event_batch message.
+func (f *Fabric) sendQueryBatch(to, qid guid.GUID, events []event.Event) {
+	frames := encodeFrames(events)
+	if len(frames) == 0 {
+		return
+	}
+	payload, err := json.Marshal(eventBatchMsg{Origin: f.node.ID(), QueryID: qid, Events: frames})
+	if err != nil {
+		return
+	}
+	if f.node.Route(to, appEventBatch, payload) == nil {
+		f.BatchesForwarded.Inc()
+		f.EventsForwarded.Add(uint64(len(frames)))
+	}
+}
+
+// queueFor returns the (peer, query) coalescer, creating it on first use
+// (nil once the fabric has closed).
+func (f *Fabric) queueFor(to, qid guid.GUID) *fanQueue {
+	key := queueKey{peer: to, qid: qid}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	q, ok := f.queues[key]
+	if !ok {
+		q = &fanQueue{f: f, to: to, qid: qid}
+		f.queues[key] = q
+	}
+	return q
+}
+
+// fanQueue coalesces outbound cross-range events for one destination — or,
+// with a nil destination, for the fan-out path whose recipients are
+// computed per flush from the interest table. It mirrors the Range
+// Service's per-endpoint outQueue: size flush at BatchMaxEvents, time flush
+// at BatchMaxDelay, flushes serialised so batches leave in arrival order.
+type fanQueue struct {
+	f   *Fabric
+	to  guid.GUID // destination fabric; nil for the fan-out queue
+	qid guid.GUID // routed query id; nil for the fan-out queue
+
+	// sendMu serialises flushes (timer vs size) so batches cannot reorder.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	pending []event.Event
+	timer   clock.Timer
+	dead    bool
+}
+
+// addAll appends a whole run under one lock acquisition, flushing full
+// batches at the size bound and otherwise arming the delay timer.
+func (q *fanQueue) addAll(events []event.Event) {
+	q.mu.Lock()
+	if q.dead {
+		q.mu.Unlock()
+		return
+	}
+	q.pending = append(q.pending, events...)
+	full := len(q.pending) >= q.f.maxBatch
+	if !full && q.timer == nil {
+		q.timer = q.f.clk.AfterFunc(q.f.maxDelay, q.flush)
+	}
+	q.mu.Unlock()
+	if full {
+		q.doFlush(false)
+	}
+}
+
+// flush ships everything pending, partial tail included (delay timer and
+// close path).
+func (q *fanQueue) flush() { q.doFlush(true) }
+
+// doFlush ships pending events split so no overlay message exceeds
+// BatchMaxEvents. A size-triggered flush (all=false) holds back the partial
+// tail for the delay timer, so N coalesced events cost exactly
+// ⌈N/BatchMaxEvents⌉ messages per peer however the producer's bursts were
+// sliced. Flushes are serialised by sendMu, so batches leave in arrival
+// order.
+func (q *fanQueue) doFlush(all bool) {
+	q.sendMu.Lock()
+	defer q.sendMu.Unlock()
+	max := q.f.maxBatch
+	if max < 1 {
+		max = 1
+	}
+	q.mu.Lock()
+	batch := q.pending
+	cut := len(batch)
+	if !all {
+		cut -= cut % max
+	}
+	// The held-back tail keeps its position: later adds append behind it in
+	// the same backing array, never overlapping the chunk being sent.
+	q.pending = batch[cut:]
+	if q.timer != nil && len(q.pending) == 0 {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	if len(q.pending) > 0 && q.timer == nil && !q.dead {
+		q.timer = q.f.clk.AfterFunc(q.f.maxDelay, q.flush)
+	}
+	send := batch[:cut]
+	q.mu.Unlock()
+	for len(send) > 0 {
+		n := len(send)
+		if n > max {
+			n = max
+		}
+		if q.to.IsNil() {
+			q.f.fanOut(send[:n])
+		} else {
+			q.f.sendQueryBatch(q.to, q.qid, send[:n])
+		}
+		send = send[n:]
+	}
+}
+
+// discard drops pending events and refuses further adds (the destination
+// departed or its query ended).
+func (q *fanQueue) discard() {
+	q.mu.Lock()
+	q.dead = true
+	q.pending = nil
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	q.mu.Unlock()
+}
+
+// ----- peer lifecycle -----
+
+// peerGone tears down every piece of per-peer state after a fabric departs
+// (announced leave, or the overlay forgetting an unresponsive node): its
+// coverage and interests, the origin-side consumers of queries it served,
+// the serving-side queries it originated (with their proxy CAAs), and its
+// outbound coalescers.
+func (f *Fabric) peerGone(peer guid.GUID) {
+	f.mu.Lock()
+	if f.closed || peer == f.node.ID() {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.coverage, peer)
+	delete(f.interests, peer)
+	for qid, oq := range f.consumers {
+		if oq.target == peer {
+			delete(f.consumers, qid)
+		}
+	}
+	var gone []guid.GUID
+	for qid, sq := range f.served {
+		if sq.origin == peer {
+			gone = append(gone, qid)
+		}
+	}
+	var drop []*fanQueue
+	for k, q := range f.queues {
+		if k.peer == peer {
+			drop = append(drop, q)
+			delete(f.queues, k)
+		}
+	}
+	f.mu.Unlock()
+
+	for _, q := range drop {
+		q.discard()
+	}
+	guid.Sort(gone)
+	for _, qid := range gone {
+		f.dropServed(qid)
+	}
+	f.ensureTap()
+}
+
+// ----- fleet stats -----
+
+// handleStats answers a fleet-stats probe with this Range's dispatch.stats.
+func (f *Fabric) handleStats(d overlay.Delivery) {
+	var msg statsQueryMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	payload, err := json.Marshal(statsResultMsg{
+		Corr:  msg.Corr,
+		Name:  f.rng.Name(),
+		Stats: f.rng.StatsMap(),
+	})
+	if err != nil {
+		return
+	}
+	_ = f.node.Route(msg.Origin, appStatsResult, payload)
+}
+
+// FleetDispatchStats collects dispatch.stats from every known fabric over
+// the overlay and aggregates them with this Range's own snapshot. Peers
+// that do not answer within timeout (default RequestTimeout) are left out;
+// the rollup reports how many Ranges it covers.
+func (f *Fabric) FleetDispatchStats(timeout time.Duration) (*FleetStats, error) {
+	if timeout <= 0 {
+		timeout = RequestTimeout
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	f.mu.Unlock()
+
+	type probe struct {
+		peer guid.GUID
+		corr guid.GUID
+		ch   chan statsResultMsg
+	}
+	var probes []probe
+	for _, peer := range f.node.Known() {
+		corr := guid.New(guid.KindQuery)
+		ch := make(chan statsResultMsg, 1)
+		f.mu.Lock()
+		f.statsWait[corr] = ch
+		f.mu.Unlock()
+		payload, err := json.Marshal(statsQueryMsg{Origin: f.node.ID(), Corr: corr})
+		if err == nil && f.node.Route(peer, appStats, payload) == nil {
+			probes = append(probes, probe{peer: peer, corr: corr, ch: ch})
+			continue
+		}
+		f.mu.Lock()
+		delete(f.statsWait, corr)
+		f.mu.Unlock()
+	}
+
+	fs := &FleetStats{Totals: make(map[string]float64)}
+	add := func(node guid.GUID, name string, stats map[string]float64) {
+		fs.Ranges++
+		fs.PerRange = append(fs.PerRange, RangeStats{Node: node, Name: name, Stats: stats})
+		for k, v := range stats {
+			fs.Totals[k] += v
+		}
+	}
+	add(f.node.ID(), f.rng.Name(), f.rng.StatsMap())
+
+	deadline := time.Now().Add(timeout)
+	for _, p := range probes {
+		select {
+		case res := <-p.ch:
+			add(p.peer, res.Name, res.Stats)
+		case <-time.After(time.Until(deadline)):
+		}
+		f.mu.Lock()
+		delete(f.statsWait, p.corr)
+		f.mu.Unlock()
+	}
+	// A ratio of sums, not a sum of ratios.
+	if hits, scanned := fs.Totals["index_hits"], fs.Totals["residual_scanned"]; hits+scanned > 0 {
+		fs.Totals["index_hit_ratio"] = hits / (hits + scanned)
+	} else {
+		fs.Totals["index_hit_ratio"] = 1
+	}
+	sort.Slice(fs.PerRange, func(i, j int) bool { return fs.PerRange[i].Name < fs.PerRange[j].Name })
+	return fs, nil
 }
 
 // Names returns the known range names keyed by fabric node, for
@@ -406,14 +1509,80 @@ func (f *Fabric) Names() []string {
 	return out
 }
 
-// Close detaches the fabric's overlay node.
+// Close flushes outbound coalescers, announces departure so peers tear
+// down per-peer state, releases every served query (removing their proxy
+// CAAs from the Range), cancels the mediator tap and detaches the overlay
+// node.
 func (f *Fabric) Close() error {
+	// Flush while the fabric is still open: the fan-out queue's recipients
+	// come from the interest table and fanOut refuses to run closed, so the
+	// pending batches must leave before the closed transition. (Fan-out
+	// events published concurrently with Close may land after this flush;
+	// they are dropped with the rest of the closing fabric's state.)
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return nil
 	}
-	f.closed = true
+	flushed := make(map[*fanQueue]bool, len(f.queues)+1)
+	queues := make([]*fanQueue, 0, len(f.queues)+1)
+	for _, q := range f.queues {
+		queues = append(queues, q)
+		flushed[q] = true
+	}
+	queues = append(queues, f.fan)
+	flushed[f.fan] = true
 	f.mu.Unlock()
+	for _, q := range queues {
+		q.flush()
+	}
+
+	f.mu.Lock()
+	if f.closed {
+		// Lost a race against a concurrent Close.
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	tap := f.tapSub
+	f.tapSub = guid.Nil
+	// Routed-query queues created between the open-phase flush and this
+	// transition (queueFor refuses only once closed is set) join the sweep:
+	// their pending events still go out below and their delay timers are
+	// disarmed rather than left to fire against a closed node.
+	late := make([]*fanQueue, 0)
+	for _, q := range f.queues {
+		if !flushed[q] {
+			late = append(late, q)
+			queues = append(queues, q)
+		}
+	}
+	f.queues = make(map[queueKey]*fanQueue)
+	served := make([]guid.GUID, 0, len(f.served))
+	for qid := range f.served {
+		served = append(served, qid)
+	}
+	f.consumers = make(map[guid.GUID]*outQuery)
+	f.interests = make(map[guid.GUID][]event.Filter)
+	f.mu.Unlock()
+
+	if !tap.IsNil() {
+		_ = f.rng.Mediator().Cancel(tap)
+	}
+	for _, q := range late {
+		q.flush()
+	}
+	for _, q := range queues {
+		q.discard()
+	}
+	if payload, err := json.Marshal(leaveMsg{Origin: f.node.ID()}); err == nil {
+		for _, peer := range f.node.Known() {
+			_ = f.node.Route(peer, appLeave, payload)
+		}
+	}
+	guid.Sort(served)
+	for _, qid := range served {
+		f.dropServed(qid)
+	}
 	return f.node.Close()
 }

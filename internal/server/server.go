@@ -426,7 +426,10 @@ func (r *Range) execute(q query.Query, owner *entity.CAA) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.runtime.Instantiate(cfg, rctx, owner.Consume); err != nil {
+	// Root delivery is batched end to end: a burst of root outputs crosses
+	// the mediator as one slice and lands in the CAA (or its remote proxy's
+	// outbound coalescer) under a single lock acquisition.
+	if err := r.runtime.InstantiateBatch(cfg, rctx, owner.ConsumeAll); err != nil {
 		return nil, err
 	}
 	r.QueriesExecuted.Inc()
@@ -529,23 +532,33 @@ func (r *Range) CallService(provider guid.GUID, op string, args map[string]any) 
 }
 
 // Publish lets infrastructure code (SCINET forwarding, tests) inject an
-// event into the Range's mediator.
+// event into the Range's mediator. Events without a Range stamp are stamped
+// with this Range's id; an event already stamped (cross-range forwarding)
+// keeps its producing Range, so subscriptions filtering on Range and the
+// SCINET's own forwarding tap can tell local production from remote ingest.
 func (r *Range) Publish(e event.Event) error {
-	return r.med.Publish(e.WithRange(r.id))
+	if e.Range.IsNil() {
+		e = e.WithRange(r.id)
+	}
+	return r.med.Publish(e)
 }
 
 // PublishAll injects a batch of events into the Range's mediator in one
 // call: the Event Mediator's bus resolves its subscription index once per
 // run of same-type events and appends each subscriber's share of a run
-// under a single queue lock acquisition. The caller's slice is not
-// modified.
+// under a single queue lock acquisition. Unstamped events are stamped with
+// this Range's id; already-stamped events (batches forwarded from a sibling
+// Range) keep their origin stamp. The caller's slice is not modified.
 func (r *Range) PublishAll(events []event.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
 	stamped := make([]event.Event, len(events))
 	for i := range events {
-		stamped[i] = events[i].WithRange(r.id)
+		stamped[i] = events[i]
+		if stamped[i].Range.IsNil() {
+			stamped[i].Range = r.id
+		}
 	}
 	// The stamping copy is already private, so hand it to the bus instead
 	// of paying a second defensive copy.
@@ -563,6 +576,28 @@ func (r *Range) BatchMaxDelay() time.Duration { return r.batchMaxDelay }
 // DispatchStats returns the Event Mediator's bus-wide dispatch counters.
 func (r *Range) DispatchStats() eventbus.Stats {
 	return r.med.Stats()
+}
+
+// StatsMap renders the Range's dispatch health as the flat float64 map the
+// "dispatch.stats" infrastructure call answers with — shared between the
+// Range Service (per-Range over the wire) and the SCINET fabric (fleet-wide
+// rollup over the overlay). Values are float64 so they survive the JSON
+// wire round trip unchanged.
+func (r *Range) StatsMap() map[string]float64 {
+	st := r.med.Stats()
+	return map[string]float64{
+		"published":            float64(st.Published),
+		"delivered":            float64(st.Delivered),
+		"dropped":              float64(st.Dropped),
+		"subs":                 float64(st.Subs),
+		"index_hits":           float64(st.IndexHits),
+		"residual_scanned":     float64(st.ResidualScanned),
+		"index_hit_ratio":      r.med.IndexHitRatio(),
+		"shards":               float64(len(r.med.ShardStats())),
+		"remote_batches_sent":  float64(r.RemoteBatchesSent.Value()),
+		"remote_events_sent":   float64(r.RemoteEventsSent.Value()),
+		"remote_send_failures": float64(r.RemoteSendFailures.Value()),
+	}
 }
 
 // FillMetrics publishes the Range's dispatch health into m: query counters,

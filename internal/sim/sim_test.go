@@ -172,3 +172,26 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("render = %q", s)
 	}
 }
+
+func TestRunE11CrossRangeFanOut(t *testing.T) {
+	rows, fleet, err := RunE11([]int{3}, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.EventsPerSec <= 0 {
+		t.Fatalf("no throughput: %+v", r)
+	}
+	if want := float64(512 / 16); r.MsgsPerPeer != want {
+		t.Fatalf("msgs/peer = %.1f, want %.0f (= ceil(512/16))", r.MsgsPerPeer, want)
+	}
+	if fleet == nil || fleet.Ranges != 3 {
+		t.Fatalf("fleet rollup = %+v", fleet)
+	}
+	if fleet.Totals["dropped"] != 0 {
+		t.Fatalf("fleet dropped %v events", fleet.Totals["dropped"])
+	}
+}

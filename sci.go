@@ -44,6 +44,7 @@ import (
 	"sci/internal/eventbus"
 	"sci/internal/guid"
 	"sci/internal/location"
+	"sci/internal/mediator"
 	"sci/internal/mobility"
 	"sci/internal/profile"
 	"sci/internal/query"
@@ -257,8 +258,22 @@ const DefaultBatchMaxDelay = server.DefaultBatchMaxDelay
 
 // SCINET — the upper layer.
 type (
-	// Fabric is a Range's presence in the SCINET overlay.
+	// Fabric is a Range's presence in the SCINET overlay. Beyond query
+	// forwarding it provides cross-range event fan-out: AddInterest /
+	// SubscribeRemote announce an event filter to the SCINET, and matching
+	// events published in sibling Ranges arrive in coalesced
+	// scinet.event_batch overlay messages (loop-suppressed via an
+	// origin-fabric id and hop set), ingested through Range.PublishAll.
 	Fabric = scinet.Fabric
+	// Subscription is a live event subscription record (returned by
+	// Fabric.SubscribeRemote; cancel through Fabric.UnsubscribeRemote so
+	// the announced interest is withdrawn with it).
+	Subscription = mediator.Record
+	// FleetStats is the SCINET-wide dispatch.stats rollup returned by
+	// Fabric.FleetDispatchStats.
+	FleetStats = scinet.FleetStats
+	// FleetRangeStats is one Range's snapshot inside a FleetStats rollup.
+	FleetRangeStats = scinet.RangeStats
 )
 
 // NewFabric attaches a Range to a SCINET over a transport network.
