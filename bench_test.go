@@ -364,3 +364,27 @@ func benchCrossRangeFanout(b *testing.B, peers, batch int) {
 		b.ReportMetric(float64(pubFabric.EventsForwarded.Value())/float64(msgs), "events/msg")
 	}
 }
+
+// BenchmarkE12_AdaptiveFlowControl — the unified flow-control layer's
+// hot-vs-idle experiment: one Range Service, a flooded and a trickle-fed
+// remote application, static vs rate-adaptive coalescing, plus the
+// induced-overload phase whose credit acks throttle the sender. Reports
+// the adaptive row's hot throughput and idle p50 latency, and the
+// throttled flush-rate ratio.
+func BenchmarkE12_AdaptiveFlowControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, bp, err := sim.RunE12(5000, 64, 5*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Mode == "adaptive" {
+				b.ReportMetric(r.HotEventsPerSec, "hot-events/s")
+				b.ReportMetric(float64(r.IdleP50.Microseconds()), "idle-p50-µs")
+			}
+		}
+		if bp.OverloadFlushPerSec > 0 {
+			b.ReportMetric(bp.HealthyFlushPerSec/bp.OverloadFlushPerSec, "throttle-ratio")
+		}
+	}
+}

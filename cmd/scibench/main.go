@@ -10,12 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sci/internal/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
 	big := flag.Bool("big", false, "larger parameter sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
@@ -116,6 +117,20 @@ func run(exp string, big bool, seed int64) error {
 		fmt.Println(sim.E11Table(rows))
 		if fleet != nil {
 			fmt.Println(sim.E11FleetTable(fleet))
+		}
+	}
+	if all || exp == "e12" {
+		hot := 20000
+		if big {
+			hot = 200000
+		}
+		rows, bp, err := sim.RunE12(hot, 64, 5*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.E12Table(rows))
+		if bp != nil {
+			fmt.Println(sim.E12BackpressureTable(bp))
 		}
 	}
 	return nil

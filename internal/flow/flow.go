@@ -1,0 +1,431 @@
+package flow
+
+import (
+	"math"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/event"
+	"sci/internal/metrics"
+	"sync"
+)
+
+// Adaptive configures rate-derived batch sizing. The zero value disables
+// adaptation: the effective batch size and delay equal the configured
+// ceilings, reproducing the static coalescers this package replaced.
+type Adaptive struct {
+	// Enabled turns the EWMA arrival-rate tracker on.
+	Enabled bool
+	// MinBatch is the effective-batch floor an idle destination settles at
+	// (default 1: a lone event flushes immediately).
+	MinBatch int
+	// MinDelay is the effective-delay floor (default 0).
+	MinDelay time.Duration
+	// RateHalfLife is the EWMA half-life: how quickly the tracked arrival
+	// rate forgets old traffic (default 100ms).
+	RateHalfLife time.Duration
+}
+
+// DefaultRateHalfLife is used when Adaptive.RateHalfLife is zero.
+const DefaultRateHalfLife = 100 * time.Millisecond
+
+// maxPenalty bounds the credit-collapse flush-rate penalty (and with it the
+// stretched timer delay, at maxPenalty × the effective delay).
+const maxPenalty = 16
+
+// penaltyDecay is the per-healthy-report multiplicative decay of the
+// penalty back towards 1.
+const penaltyDecay = 0.75
+
+// throttleBufferFactor bounds how many events a throttled Coalescer buffers
+// (factor × MaxBatch) before shedding the oldest.
+const throttleBufferFactor = 64
+
+// SharedStats is an optional sink several Coalescers report into — one per
+// Range, surfaced as its remote.backpressure.* gauges. The zero value is
+// ready to use; pass the same pointer to every Coalescer of one owner.
+type SharedStats struct {
+	// Flushes counts flush passes (timer, size or explicit) that shipped at
+	// least one event; under backpressure this rate falls.
+	Flushes metrics.Counter
+	// DropsReported totals receiver-reported drop deltas from credit
+	// updates.
+	DropsReported metrics.Counter
+	// ThrottleEvents counts penalty raises (credit collapses observed).
+	ThrottleEvents metrics.Counter
+	// EventsShed counts events dropped sender-side because a throttled
+	// queue exceeded its buffer bound.
+	EventsShed metrics.Counter
+	// Throttled gauges how many Coalescers currently hold a penalty above
+	// one.
+	Throttled metrics.Gauge
+}
+
+// Config parameterises a Coalescer. Clock, MaxBatch (≥1), MaxDelay and
+// Send are required.
+type Config struct {
+	// Clock schedules the delay-flush timers (injected for deterministic
+	// tests).
+	Clock clock.Clock
+	// MaxBatch is the batch-size ceiling: no Send call receives more
+	// events.
+	MaxBatch int
+	// MaxDelay is the flush-deadline ceiling for a partial batch.
+	MaxDelay time.Duration
+	// Send ships one bounded chunk. It is called outside the queue lock,
+	// serialised with other flushes of this Coalescer, and must not call
+	// back into the Coalescer.
+	Send func(batch []event.Event)
+	// Adaptive optionally derives effective bounds from the arrival rate.
+	Adaptive Adaptive
+	// Stats is an optional shared sink for flush/backpressure accounting.
+	Stats *SharedStats
+}
+
+// Coalescer collects events for one destination and ships them as bounded
+// batches. Construct with New; safe for concurrent use.
+type Coalescer struct {
+	cfg Config
+	tau float64 // EWMA time constant, seconds
+
+	// sendMu serialises flushes: a timer flush and a size flush may race,
+	// and sending outside the extraction lock without ordering them could
+	// deliver batches out of per-producer order.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	pending []event.Event
+	timer   clock.Timer // armed while a partial batch waits for the delay
+	dead    bool
+
+	// Adaptive state (guarded by mu).
+	rate     float64 // events/sec EWMA
+	rateBuf  float64 // arrivals since rateLast (folded when the clock moves)
+	rateLast time.Time
+	eff      int           // current effective batch size
+	effDelay time.Duration // current effective flush delay
+
+	// Backpressure state (guarded by mu).
+	penalty     float64 // flush-rate penalty; 1 = none
+	lastDropped uint64  // last cumulative receiver drop report
+	creditSeen  bool    // a credit report has established the baseline
+}
+
+// New builds a Coalescer. MaxBatch below 1 is raised to 1; adaptive floors
+// default to MinBatch 1 / MinDelay 0 / RateHalfLife 100ms.
+func New(cfg Config) *Coalescer {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.Adaptive.MinBatch < 1 {
+		cfg.Adaptive.MinBatch = 1
+	}
+	if cfg.Adaptive.MinBatch > cfg.MaxBatch {
+		cfg.Adaptive.MinBatch = cfg.MaxBatch
+	}
+	if cfg.Adaptive.MinDelay < 0 {
+		cfg.Adaptive.MinDelay = 0
+	}
+	if cfg.Adaptive.MinDelay > cfg.MaxDelay {
+		cfg.Adaptive.MinDelay = cfg.MaxDelay
+	}
+	if cfg.Adaptive.RateHalfLife <= 0 {
+		cfg.Adaptive.RateHalfLife = DefaultRateHalfLife
+	}
+	c := &Coalescer{
+		cfg:     cfg,
+		tau:     cfg.Adaptive.RateHalfLife.Seconds() / math.Ln2,
+		penalty: 1,
+	}
+	if cfg.Adaptive.Enabled {
+		// Unknown rate reads as idle: the first events flush fast rather
+		// than waiting out a ceiling-sized batch that may never fill.
+		c.eff = cfg.Adaptive.MinBatch
+		c.effDelay = cfg.Adaptive.MinDelay
+	} else {
+		c.eff = cfg.MaxBatch
+		c.effDelay = cfg.MaxDelay
+	}
+	return c
+}
+
+// observe folds n arrivals at now into the EWMA rate and recomputes the
+// effective bounds. Called under mu. Arrivals sharing one clock instant
+// (manual clocks) accumulate and fold when the clock next moves.
+func (c *Coalescer) observe(n int, now time.Time) {
+	if !c.cfg.Adaptive.Enabled {
+		return
+	}
+	if c.rateLast.IsZero() {
+		// First arrival sets the window start; it cannot contribute to a
+		// rate until time has passed.
+		c.rateLast = now
+		return
+	}
+	c.rateBuf += float64(n)
+	dt := now.Sub(c.rateLast).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := c.rateBuf / dt
+	w := math.Exp(-dt / c.tau)
+	c.rate = w*c.rate + (1-w)*inst
+	c.rateBuf = 0
+	c.rateLast = now
+
+	a := c.cfg.Adaptive
+	// The batch worth waiting for is the arrivals expected within one
+	// ceiling delay window; beyond that, waiting buys nothing.
+	want := int(math.Round(c.rate * c.cfg.MaxDelay.Seconds()))
+	c.eff = clampInt(want, a.MinBatch, c.cfg.MaxBatch)
+	if c.cfg.MaxBatch > a.MinBatch {
+		frac := float64(c.eff-a.MinBatch) / float64(c.cfg.MaxBatch-a.MinBatch)
+		c.effDelay = a.MinDelay + time.Duration(frac*float64(c.cfg.MaxDelay-a.MinDelay))
+	} else {
+		c.effDelay = c.cfg.MaxDelay
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Add appends one event, flushing when the pending run reaches the
+// effective batch size and otherwise arming the delay timer so a partial
+// batch never waits longer than the effective delay (stretched by the
+// backpressure penalty while credit is collapsed).
+func (c *Coalescer) Add(e event.Event) {
+	c.addN(func() { c.pending = append(c.pending, e) }, 1)
+}
+
+// AddAll appends a whole run under one lock acquisition — the batch-fed
+// edge from Mediator.SubscribeBatch. The events are copied out of the
+// delivery loop's reused slice.
+func (c *Coalescer) AddAll(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	c.addN(func() { c.pending = append(c.pending, events...) }, len(events))
+}
+
+func (c *Coalescer) addN(app func(), n int) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.observe(n, c.cfg.Clock.Now())
+	app()
+	full := false
+	if c.penalty > 1 {
+		// Throttled: no size flushes — the timer paces shipments at the
+		// penalty-stretched delay; sustained overload is shed oldest-first
+		// so the buffer stays bounded.
+		if limit := c.cfg.MaxBatch * throttleBufferFactor; len(c.pending) > limit {
+			shed := len(c.pending) - limit
+			c.pending = append(c.pending[:0], c.pending[shed:]...)
+			if c.cfg.Stats != nil {
+				c.cfg.Stats.EventsShed.Add(uint64(shed))
+			}
+		}
+	} else {
+		full = len(c.pending) >= c.eff
+	}
+	if !full && c.timer == nil {
+		c.timer = c.cfg.Clock.AfterFunc(c.flushDelayLocked(), c.Flush)
+	}
+	c.mu.Unlock()
+	if full {
+		c.doFlush(false)
+	}
+}
+
+// flushDelayLocked returns the delay to the next timer flush: the effective
+// delay stretched by the backpressure penalty. Called under mu.
+func (c *Coalescer) flushDelayLocked() time.Duration {
+	d := c.effDelay
+	if c.penalty > 1 {
+		d = time.Duration(float64(maxDur(d, c.cfg.MaxDelay)) * c.penalty)
+	}
+	return d
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Flush ships everything pending, partial tail included (the delay-timer
+// and close path).
+func (c *Coalescer) Flush() { c.doFlush(true) }
+
+// doFlush ships pending events split so no Send call exceeds the MaxBatch
+// ceiling. A size-triggered flush (all=false) holds back the partial tail
+// (modulo the effective batch) for the delay timer, so a steady stream
+// arriving at the adapted rate costs exactly ⌈N/effectiveBatch⌉ sends —
+// each flush fires as pending reaches the effective batch — while a
+// surprise burst against an idle endpoint still rides ceiling-sized
+// chunks (⌈burst/MaxBatch⌉ sends) instead of one message per event.
+func (c *Coalescer) doFlush(all bool) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.mu.Lock()
+	eff := c.eff
+	if eff < 1 {
+		eff = 1
+	}
+	chunk := c.cfg.MaxBatch
+	batch := c.pending
+	cut := len(batch)
+	if !all {
+		cut -= cut % eff
+	}
+	// The held-back tail keeps its position: later adds append behind it in
+	// the same backing array, never overlapping the chunk being sent.
+	c.pending = batch[cut:]
+	if c.timer != nil && len(c.pending) == 0 {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if len(c.pending) > 0 && c.timer == nil && !c.dead {
+		c.timer = c.cfg.Clock.AfterFunc(c.flushDelayLocked(), c.Flush)
+	}
+	send := batch[:cut]
+	c.mu.Unlock()
+	if len(send) > 0 && c.cfg.Stats != nil {
+		c.cfg.Stats.Flushes.Inc()
+	}
+	for len(send) > 0 {
+		n := len(send)
+		if n > chunk {
+			n = chunk
+		}
+		c.cfg.Send(send[:n])
+		send = send[n:]
+	}
+}
+
+// Discard drops pending events, disarms the timer and refuses further adds
+// (the destination departed, or its owner is closing after a final Flush).
+func (c *Coalescer) Discard() {
+	c.mu.Lock()
+	c.dead = true
+	c.pending = nil
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	wasThrottled := c.penalty > 1
+	c.penalty = 1
+	c.mu.Unlock()
+	if wasThrottled && c.cfg.Stats != nil {
+		c.cfg.Stats.Throttled.Add(-1)
+	}
+}
+
+// UpdateCredit ingests one receiver credit report: the receiver's
+// cumulative drop count and its remaining queue capacity (negative =
+// unknown). The first report establishes the drop baseline; later reports
+// feed the delta to NoteCredit.
+func (c *Coalescer) UpdateCredit(dropped uint64, queueFree int) {
+	c.mu.Lock()
+	var delta uint64
+	if c.creditSeen && dropped > c.lastDropped {
+		delta = dropped - c.lastDropped
+	}
+	c.creditSeen = true
+	c.lastDropped = dropped
+	c.mu.Unlock()
+	c.NoteCredit(delta, queueFree)
+}
+
+// NoteCredit applies one receiver health signal: fresh drops double the
+// flush-rate penalty; a healthy report decays it towards one. A full queue
+// without drops (queueFree == 0) is neutral — the receiver is saturated
+// but keeping up, so the penalty neither rises nor decays; punishing a
+// transiently full queue would throttle healthy endpoints. Callers that
+// multiplex one Coalescer across receivers (the fan-out queue) compute
+// per-receiver drop deltas themselves and feed them here.
+func (c *Coalescer) NoteCredit(dropDelta uint64, queueFree int) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	was := c.penalty > 1
+	bad := dropDelta > 0
+	if bad {
+		c.penalty *= 2
+		if c.penalty > maxPenalty {
+			c.penalty = maxPenalty
+		}
+	} else if c.penalty > 1 && queueFree != 0 {
+		c.penalty *= penaltyDecay
+		if c.penalty < 1.05 {
+			c.penalty = 1
+		}
+	}
+	now := c.penalty > 1
+	c.mu.Unlock()
+	if c.cfg.Stats != nil {
+		if bad {
+			c.cfg.Stats.ThrottleEvents.Inc()
+			if dropDelta > 0 {
+				c.cfg.Stats.DropsReported.Add(dropDelta)
+			}
+		}
+		if now && !was {
+			c.cfg.Stats.Throttled.Add(1)
+		} else if was && !now {
+			c.cfg.Stats.Throttled.Add(-1)
+		}
+	}
+}
+
+// PendingLen reports how many events await a flush (tests, diagnostics).
+func (c *Coalescer) PendingLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// EffectiveBatch reports the current rate-derived batch size (the ceiling
+// when adaptation is disabled).
+func (c *Coalescer) EffectiveBatch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eff
+}
+
+// EffectiveDelay reports the current rate-derived flush delay.
+func (c *Coalescer) EffectiveDelay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.effDelay
+}
+
+// Throttled reports whether credit collapse currently suppresses size
+// flushes.
+func (c *Coalescer) Throttled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.penalty > 1
+}
+
+// Penalty reports the current flush-rate penalty (1 = none).
+func (c *Coalescer) Penalty() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.penalty
+}

@@ -1,0 +1,411 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+var epoch = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
+
+// recorder captures every Send chunk, thread-safe.
+type recorder struct {
+	mu     sync.Mutex
+	chunks [][]event.Event
+}
+
+func (r *recorder) send(batch []event.Event) {
+	r.mu.Lock()
+	cp := make([]event.Event, len(batch))
+	copy(cp, batch)
+	r.chunks = append(r.chunks, cp)
+	r.mu.Unlock()
+}
+
+func (r *recorder) sends() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.chunks)
+}
+
+func (r *recorder) events() []event.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []event.Event
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+func (r *recorder) maxChunk() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := 0
+	for _, c := range r.chunks {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}
+
+func mkEvents(n int, at time.Time) []event.Event {
+	src := guid.New(guid.KindDevice)
+	out := make([]event.Event, n)
+	for i := range out {
+		out[i] = event.New(ctxtype.TemperatureCelsius, src, uint64(i+1), at, nil)
+	}
+	return out
+}
+
+func newStatic(clk clock.Clock, maxBatch int, maxDelay time.Duration, rec *recorder, st *SharedStats) *Coalescer {
+	return New(Config{Clock: clk, MaxBatch: maxBatch, MaxDelay: maxDelay, Send: rec.send, Stats: st})
+}
+
+func TestSizeFlushBudgetAndTailHoldback(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := newStatic(clk, 4, 50*time.Millisecond, rec, nil)
+
+	events := mkEvents(10, epoch)
+	for _, e := range events {
+		c.Add(e)
+	}
+	// Two full chunks leave on fill; the trailing partial (10 mod 4 = 2)
+	// waits for the delay timer.
+	if got := rec.sends(); got != 2 {
+		t.Fatalf("size flushes sent %d chunks, want 2", got)
+	}
+	if got := c.PendingLen(); got != 2 {
+		t.Fatalf("held-back tail = %d, want 2", got)
+	}
+	clk.Advance(50 * time.Millisecond)
+	if got := rec.sends(); got != 3 {
+		t.Fatalf("after delay flush sent %d chunks, want 3 (= ceil(10/4))", got)
+	}
+	got := rec.events()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("coalescing reordered events at %d: seq=%d", i, e.Seq)
+		}
+	}
+	if rec.maxChunk() > 4 {
+		t.Fatalf("chunk of %d exceeds MaxBatch=4", rec.maxChunk())
+	}
+}
+
+func TestAddAllSingleAcquisitionBudget(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := newStatic(clk, 8, 10*time.Millisecond, rec, nil)
+
+	c.AddAll(mkEvents(21, epoch))
+	if got := rec.sends(); got != 2 {
+		t.Fatalf("size flush sent %d chunks for 21 events at batch 8, want 2", got)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if got := rec.sends(); got != 3 {
+		t.Fatalf("delay flush: %d chunks, want 3", got)
+	}
+	if got := len(rec.events()); got != 21 {
+		t.Fatalf("delivered %d, want 21", got)
+	}
+}
+
+func TestDelayTimerDisarmedWhenEmpty(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := newStatic(clk, 4, 10*time.Millisecond, rec, nil)
+
+	c.AddAll(mkEvents(3, epoch))
+	c.Flush()
+	if got := rec.sends(); got != 1 {
+		t.Fatalf("flush sent %d chunks, want 1", got)
+	}
+	if n := clk.PendingCount(); n != 0 {
+		t.Fatalf("%d timers still armed after an emptying flush", n)
+	}
+}
+
+func TestCloseFlushThenDiscard(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := newStatic(clk, 8, 10*time.Millisecond, rec, nil)
+
+	c.AddAll(mkEvents(5, epoch))
+	c.Flush()
+	c.Discard()
+	if got := len(rec.events()); got != 5 {
+		t.Fatalf("close flush shipped %d events, want 5", got)
+	}
+	c.AddAll(mkEvents(3, epoch))
+	c.Flush()
+	if got := len(rec.events()); got != 5 {
+		t.Fatalf("add after Discard shipped events: %d", got)
+	}
+	if n := clk.PendingCount(); n != 0 {
+		t.Fatalf("%d timers armed after Discard", n)
+	}
+}
+
+// TestAdaptiveBatchFollowsArrivalRate ramps the arrival rate with a manual
+// clock and asserts the effective batch size tracks it: floor while idle,
+// ceiling under load, back to the floor after the rate collapses.
+func TestAdaptiveBatchFollowsArrivalRate(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := New(Config{
+		Clock:    clk,
+		MaxBatch: 64,
+		MaxDelay: 10 * time.Millisecond,
+		Send:     rec.send,
+		Adaptive: Adaptive{Enabled: true},
+	})
+
+	if got := c.EffectiveBatch(); got != 1 {
+		t.Fatalf("cold effective batch = %d, want the floor 1", got)
+	}
+	if got := c.EffectiveDelay(); got != 0 {
+		t.Fatalf("cold effective delay = %v, want the floor 0", got)
+	}
+
+	// Trickle: one event per 10ms ≈ 100/s → ~1 expected arrival per delay
+	// window: stays at the floor, so each event flushes immediately.
+	for i := 0; i < 20; i++ {
+		clk.Advance(10 * time.Millisecond)
+		c.AddAll(mkEvents(1, clk.Now()))
+	}
+	if got := c.EffectiveBatch(); got > 2 {
+		t.Fatalf("trickle effective batch = %d, want ~1", got)
+	}
+	if got := len(rec.events()); got != 20 {
+		t.Fatalf("trickle delivered %d of 20 (idle events must not wait)", got)
+	}
+
+	// Ramp: 100 events per 10ms ≈ 10k/s → 100 expected per window, clamped
+	// to the 64 ceiling.
+	for i := 0; i < 100; i++ {
+		clk.Advance(10 * time.Millisecond)
+		c.AddAll(mkEvents(100, clk.Now()))
+	}
+	if got := c.EffectiveBatch(); got != 64 {
+		t.Fatalf("hot effective batch = %d, want the 64 ceiling", got)
+	}
+	if got := c.EffectiveDelay(); got != 10*time.Millisecond {
+		t.Fatalf("hot effective delay = %v, want the 10ms ceiling", got)
+	}
+
+	// Collapse: a long idle gap folds the rate back down on the next
+	// arrival.
+	clk.Advance(5 * time.Second)
+	c.AddAll(mkEvents(1, clk.Now()))
+	if got := c.EffectiveBatch(); got > 2 {
+		t.Fatalf("post-idle effective batch = %d, want back near the floor", got)
+	}
+	c.Flush()
+}
+
+// TestAdaptiveBudgetExactUnderAdaptation: a stream arriving at the
+// adapted rate costs exactly ⌈N/effectiveBatch⌉ sends — each flush fires
+// as pending reaches the effective batch — with no chunk ever exceeding
+// the MaxBatch ceiling.
+func TestAdaptiveBudgetExactUnderAdaptation(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := New(Config{
+		Clock:    clk,
+		MaxBatch: 64,
+		MaxDelay: 10 * time.Millisecond,
+		Send:     rec.send,
+		Adaptive: Adaptive{Enabled: true},
+	})
+	// Stabilise at an intermediate rate: 20 events per 10ms → ~20/window.
+	for i := 0; i < 200; i++ {
+		clk.Advance(10 * time.Millisecond)
+		c.AddAll(mkEvents(20, clk.Now()))
+	}
+	clk.Advance(10 * time.Millisecond)
+	c.Flush()
+	eff := c.EffectiveBatch()
+	if eff <= 1 || eff >= 64 {
+		t.Fatalf("effective batch = %d, want an adapted intermediate value", eff)
+	}
+
+	// Same-instant arrivals leave the rate (and eff) frozen, so the budget
+	// is exact: k runs of eff events cost k sends, and a run with a tail
+	// costs ⌈run/eff⌉ once the tail's delay flush lands.
+	before := rec.sends()
+	for i := 0; i < 5; i++ {
+		c.AddAll(mkEvents(eff, clk.Now()))
+	}
+	if got := rec.sends() - before; got != 5 {
+		t.Fatalf("5 runs of eff=%d cost %d sends, want 5", eff, got)
+	}
+	c.AddAll(mkEvents(eff+3, clk.Now()))
+	c.Flush()
+	if got := rec.sends() - before; got != 7 {
+		t.Fatalf("eff+3 run cost %d extra sends at eff=%d, want 2 (= ceil((eff+3)/eff))",
+			rec.sends()-before-5, eff)
+	}
+	if rec.maxChunk() > 64 {
+		t.Fatalf("chunk of %d exceeds ceiling", rec.maxChunk())
+	}
+}
+
+// TestAdaptiveIdleBurstRidesCeilingChunks: a surprise burst against an
+// idle endpoint (effective batch at the floor) must not ship one message
+// per event — flushing is immediate, but chunks ride the MaxBatch
+// ceiling: ⌈burst/MaxBatch⌉ sends.
+func TestAdaptiveIdleBurstRidesCeilingChunks(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	c := New(Config{
+		Clock:    clk,
+		MaxBatch: 64,
+		MaxDelay: 10 * time.Millisecond,
+		Send:     rec.send,
+		Adaptive: Adaptive{Enabled: true},
+	})
+	if got := c.EffectiveBatch(); got != 1 {
+		t.Fatalf("cold effective batch = %d, want 1", got)
+	}
+	c.AddAll(mkEvents(100, clk.Now()))
+	if got := rec.sends(); got != 2 {
+		t.Fatalf("idle burst of 100 cost %d sends, want 2 (= ceil(100/64))", got)
+	}
+	if rec.maxChunk() > 64 {
+		t.Fatalf("chunk of %d exceeds ceiling", rec.maxChunk())
+	}
+	if got := len(rec.events()); got != 100 {
+		t.Fatalf("delivered %d of 100", got)
+	}
+}
+
+// TestCreditCollapseThrottlesFlushRate: receiver-reported drops suppress
+// size flushes and pace the timer at a stretched delay; healthy reports
+// decay the penalty back and size flushing resumes.
+func TestCreditCollapseThrottlesFlushRate(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	st := &SharedStats{}
+	c := newStatic(clk, 8, 10*time.Millisecond, rec, st)
+
+	c.UpdateCredit(0, 100) // baseline: healthy
+	if c.Throttled() {
+		t.Fatal("healthy credit throttled the coalescer")
+	}
+	c.UpdateCredit(5, 3) // 5 new drops: credit collapsed
+	if !c.Throttled() {
+		t.Fatal("drop report did not throttle")
+	}
+	if got := st.Throttled.Value(); got != 1 {
+		t.Fatalf("Throttled gauge = %d, want 1", got)
+	}
+	if got := st.DropsReported.Value(); got != 5 {
+		t.Fatalf("DropsReported = %d, want 5", got)
+	}
+
+	// A full batch no longer size-flushes; the stretched timer ships it.
+	c.AddAll(mkEvents(8, clk.Now()))
+	if got := rec.sends(); got != 0 {
+		t.Fatalf("throttled coalescer size-flushed %d chunks", got)
+	}
+	clk.Advance(10 * time.Millisecond) // the unstretched delay: too early
+	if got := rec.sends(); got != 0 {
+		t.Fatalf("throttled flush fired at the unstretched delay")
+	}
+	clk.Advance(10 * time.Millisecond) // 2× penalty reached
+	if got := rec.sends(); got != 1 {
+		t.Fatalf("stretched timer flush sent %d chunks, want 1", got)
+	}
+
+	// Healthy acks decay the penalty; size flushing resumes.
+	for i := 0; i < 4 && c.Throttled(); i++ {
+		c.UpdateCredit(5, 100)
+	}
+	if c.Throttled() {
+		t.Fatal("penalty did not decay on healthy credit")
+	}
+	if got := st.Throttled.Value(); got != 0 {
+		t.Fatalf("Throttled gauge = %d after recovery, want 0", got)
+	}
+	c.AddAll(mkEvents(8, clk.Now()))
+	if got := rec.sends(); got != 2 {
+		t.Fatalf("recovered coalescer did not size-flush: %d sends", got)
+	}
+}
+
+// TestThrottledBufferShedsOldest: sustained overload is bounded sender-side
+// by shedding the oldest pending events, counted in the shared stats.
+func TestThrottledBufferShedsOldest(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	st := &SharedStats{}
+	c := newStatic(clk, 2, 10*time.Millisecond, rec, st)
+
+	c.UpdateCredit(0, 100)
+	c.UpdateCredit(9, 0)
+	if !c.Throttled() {
+		t.Fatal("not throttled")
+	}
+	limit := 2 * throttleBufferFactor
+	c.AddAll(mkEvents(limit+10, clk.Now()))
+	if got := c.PendingLen(); got != limit {
+		t.Fatalf("pending = %d, want bounded at %d", got, limit)
+	}
+	if got := st.EventsShed.Value(); got != 10 {
+		t.Fatalf("EventsShed = %d, want 10", got)
+	}
+	// The survivors are the freshest.
+	c.Flush()
+	evs := rec.events()
+	if evs[0].Seq != 11 {
+		t.Fatalf("shed kept the oldest: first surviving seq = %d, want 11", evs[0].Seq)
+	}
+}
+
+// TestConcurrentAddFlushCredit exercises the locking under -race.
+func TestConcurrentAddFlushCredit(t *testing.T) {
+	rec := &recorder{}
+	c := New(Config{
+		Clock:    clock.Real(),
+		MaxBatch: 16,
+		MaxDelay: time.Millisecond,
+		Send:     rec.send,
+		Adaptive: Adaptive{Enabled: true},
+		Stats:    &SharedStats{},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.AddAll(mkEvents(3, epoch))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.UpdateCredit(uint64(i/30), 50)
+			c.Flush()
+		}
+	}()
+	wg.Wait()
+	c.Flush()
+	c.Discard()
+	if got := len(rec.events()); got != 4*200*3 {
+		t.Fatalf("delivered %d events, want %d", got, 4*200*3)
+	}
+}

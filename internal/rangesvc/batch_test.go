@@ -11,6 +11,7 @@ import (
 	"sci/internal/clock"
 	"sci/internal/ctxtype"
 	"sci/internal/event"
+	"sci/internal/flow"
 	"sci/internal/guid"
 	"sci/internal/location"
 	"sci/internal/mediator"
@@ -296,12 +297,7 @@ func TestBatchFedRemoteCAABudget(t *testing.T) {
 		r.host.mu.Lock()
 		q := r.host.out[appID]
 		r.host.mu.Unlock()
-		if q == nil {
-			return false
-		}
-		q.mu.Lock()
-		defer q.mu.Unlock()
-		return len(q.pending) == n%4
+		return q != nil && q.PendingLen() == n%4
 	})
 	r.clk.Advance(50 * time.Millisecond)
 	waitFor(t, func() bool {
@@ -319,5 +315,169 @@ func TestBatchFedRemoteCAABudget(t *testing.T) {
 	defer mu.Unlock()
 	if len(got) != n {
 		t.Fatalf("remote CAA received %d events, want %d", len(got), n)
+	}
+}
+
+// adaptiveRig is a rig whose Range enables rate-adaptive coalescing.
+func adaptiveRig(t testing.TB, maxEvents int, maxDelay time.Duration) *rig {
+	t.Helper()
+	clk := clock.NewManual(epoch)
+	rng := server.New(server.Config{
+		Name:             "level-10",
+		Clock:            clk,
+		BatchMaxEvents:   maxEvents,
+		BatchMaxDelay:    maxDelay,
+		AdaptiveBatching: flow.Adaptive{Enabled: true},
+	})
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+	host, err := NewHost(rng, net, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{rng: rng, host: host, net: net, clk: clk}
+}
+
+// TestAdaptiveIdleEndpointFlushesImmediately: with AdaptiveBatching on, an
+// idle endpoint's effective batch sits at the floor, so a lone delivery
+// ships at once instead of waiting out BatchMaxDelay — while a hot
+// endpoint's coalescer ramps to the ceiling and still honours the
+// ⌈N/effectiveBatch⌉ wire budget.
+func TestAdaptiveIdleEndpointFlushesImmediately(t *testing.T) {
+	r := adaptiveRig(t, 64, 50*time.Millisecond)
+	defer r.close()
+	idle := guid.New(guid.KindApplication)
+	idleMsgs := tap(t, r.net, idle)
+	src := guid.New(guid.KindDevice)
+
+	// Idle endpoint: one event, no clock advance — it must not wait for the
+	// 50ms delay timer.
+	r.host.sendEvent(idle, mkReading(src, 1))
+	waitFor(t, func() bool { return len(idleMsgs()) == 1 })
+
+	// Hot endpoint: a sustained 100-events-per-5ms stream ramps its own
+	// coalescer to the ceiling without touching the idle endpoint's.
+	hot := guid.New(guid.KindApplication)
+	hotMsgs := tap(t, r.net, hot)
+	for i := 0; i < 50; i++ {
+		r.clk.Advance(5 * time.Millisecond)
+		batch := make([]event.Event, 100)
+		for j := range batch {
+			batch[j] = mkReading(src, uint64(i*100+j))
+		}
+		r.host.sendEvents(hot, batch)
+	}
+	r.host.mu.Lock()
+	hq := r.host.out[hot]
+	iq := r.host.out[idle]
+	r.host.mu.Unlock()
+	if got := hq.EffectiveBatch(); got != 64 {
+		t.Fatalf("hot endpoint effective batch = %d, want the 64 ceiling", got)
+	}
+	if got := iq.EffectiveBatch(); got != 1 {
+		t.Fatalf("idle endpoint effective batch = %d, want the floor 1", got)
+	}
+	// Wire budget: every hot message carries at most the ceiling, and the
+	// full stream arrives.
+	r.clk.Advance(50 * time.Millisecond)
+	waitFor(t, func() bool {
+		total := 0
+		for _, m := range hotMsgs() {
+			frames, err := m.EventFrames()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(frames) > 64 {
+				t.Fatalf("hot batch of %d exceeds the ceiling", len(frames))
+			}
+			total += len(frames)
+		}
+		return total == 50*100
+	})
+}
+
+// blockingConnector attaches a connector whose onEvent parks on gate, so
+// its bounded delivery queue can be overflowed deterministically.
+func blockingConnector(t *testing.T, r *rig, id guid.GUID, gate chan struct{}) *Connector {
+	t.Helper()
+	c, err := NewConnector(id, "slow-app", r.net, func(event.Event) {
+		<-gate
+	}, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestReceiverOverloadThrottlesHostCoalescer: a connector that cannot keep
+// up reports its delivery-queue drops on event.batch acks, and the host's
+// per-endpoint coalescer throttles its flush rate in response — visible in
+// the Range's backpressure gauges.
+func TestReceiverOverloadThrottlesHostCoalescer(t *testing.T) {
+	r := batchRig(t, 4, 50*time.Millisecond)
+	defer r.close()
+	dest := guid.New(guid.KindApplication)
+	gate := make(chan struct{})
+	c := blockingConnector(t, r, dest, gate)
+	defer c.Close()
+	c.SetDeliveryQueueCap(2)
+
+	src := guid.New(guid.KindDevice)
+	burst := func(base, n int) []event.Event {
+		out := make([]event.Event, n)
+		for i := range out {
+			out[i] = mkReading(src, uint64(base+i))
+		}
+		return out
+	}
+	// Three full batches against a blocked two-slot queue: overflow drops
+	// are certain, their acks must throttle the sender.
+	r.host.sendEvents(dest, burst(0, 12))
+	r.host.mu.Lock()
+	q := r.host.out[dest]
+	r.host.mu.Unlock()
+	waitFor(t, func() bool { return q.Throttled() })
+	if got := r.rng.FlowStats().DropsReported.Value(); got == 0 {
+		t.Fatal("receiver drops never reached the sender's stats")
+	}
+	if got := r.rng.StatsMap()["remote_backpressure_throttled"]; got != 1 {
+		t.Fatalf("remote_backpressure_throttled = %v, want 1", got)
+	}
+	if got := c.DeliveryDrops(); got == 0 {
+		t.Fatal("connector reported no delivery drops")
+	}
+	close(gate) // release the consumer
+}
+
+// TestHostAcksPublishesWithCredit: a remote CE's batched publish is
+// acknowledged with the Range's dispatch-drop credit, so remote publishers
+// can observe the drops their traffic causes (old hosts simply never ack).
+func TestHostAcksPublishesWithCredit(t *testing.T) {
+	r := newRig(t)
+	defer r.close()
+	ceID := guid.New(guid.KindDevice)
+	c, err := NewConnector(ceID, "remote-thermo", r.net, nil, r.clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(r.rng.ServerID(), profile.Profile{
+		Outputs: []ctxtype.Type{ctxtype.TemperatureCelsius},
+		Quality: 0.9,
+	}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.RemoteCredit(); ok {
+		t.Fatal("credit reported before any batch was published")
+	}
+	if err := c.PublishAll([]event.Event{mkReading(ceID, 1), mkReading(ceID, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		_, ok := c.RemoteCredit()
+		return ok
+	})
+	credit, _ := c.RemoteCredit()
+	if credit.Events != 2 {
+		t.Fatalf("ack credit events = %d, want 2", credit.Events)
 	}
 }

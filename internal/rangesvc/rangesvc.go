@@ -33,6 +33,7 @@ import (
 	"sci/internal/clock"
 	"sci/internal/entity"
 	"sci/internal/event"
+	"sci/internal/flow"
 	"sci/internal/guid"
 	"sci/internal/profile"
 	"sci/internal/query"
@@ -95,11 +96,18 @@ type serviceReplyBody struct {
 // Host serves a Range over a transport endpoint. Construct with NewHost.
 //
 // Outbound event deliveries to remote components flow through a
-// per-endpoint coalescer when the Range's BatchMaxEvents enables it: up to
-// BatchMaxEvents events bound for one remote endpoint are collected into a
-// single event.batch wire message, with a BatchMaxDelay timer flushing
-// partially filled batches so a trickle never stalls. N deliveries to one
-// endpoint therefore cost ⌈N/BatchMaxEvents⌉ wire messages instead of N.
+// per-endpoint flow.Coalescer when the Range's BatchMaxEvents enables it:
+// up to BatchMaxEvents events bound for one remote endpoint are collected
+// into a single event.batch wire message, with a BatchMaxDelay timer
+// flushing partially filled batches so a trickle never stalls. N
+// deliveries to one endpoint therefore cost ⌈N/BatchMaxEvents⌉ wire
+// messages instead of N — and with RangeConfig.AdaptiveBatching the
+// per-endpoint batch size and delay follow each endpoint's observed
+// arrival rate between the configured floors and those ceilings. Remote
+// receivers acknowledge event.batch messages with flow credit
+// (wire.BatchCredit); a collapsing credit throttles that endpoint's
+// coalescer flush rate, surfaced through the Range's
+// remote.backpressure.* gauges.
 type Host struct {
 	rng *server.Range
 	ep  transport.Endpoint
@@ -107,27 +115,13 @@ type Host struct {
 
 	maxBatch int
 	maxDelay time.Duration
+	adaptive flow.Adaptive
 
 	mu      sync.Mutex
-	remotes map[guid.GUID]*remoteProxy // remote CE/CAA → proxy
-	out     map[guid.GUID]*outQueue    // remote endpoint → outbound coalescer
-	failing guid.Set                   // endpoints whose last send failed (transition logging)
+	remotes map[guid.GUID]*remoteProxy    // remote CE/CAA → proxy
+	out     map[guid.GUID]*flow.Coalescer // remote endpoint → outbound coalescer
+	failing guid.Set                      // endpoints whose last send failed (transition logging)
 	closed  bool
-}
-
-// outQueue coalesces outbound events for one remote endpoint.
-type outQueue struct {
-	host *Host
-	to   guid.GUID
-
-	// sendMu serialises flushes: a timer flush and a size flush may race,
-	// and sending outside the extraction lock without ordering them could
-	// deliver batches out of per-producer order.
-	sendMu sync.Mutex
-
-	mu      sync.Mutex
-	pending []event.Event
-	timer   clock.Timer // armed while a partial batch waits for maxDelay
 }
 
 // remoteProxy stands in for a remote component inside the Range.
@@ -169,8 +163,9 @@ func NewHost(rng *server.Range, net transport.Network, clk clock.Clock) (*Host, 
 		clk:      clk,
 		maxBatch: rng.BatchMaxEvents(),
 		maxDelay: rng.BatchMaxDelay(),
+		adaptive: rng.AdaptiveBatching(),
 		remotes:  make(map[guid.GUID]*remoteProxy),
-		out:      make(map[guid.GUID]*outQueue),
+		out:      make(map[guid.GUID]*flow.Coalescer),
 		failing:  guid.NewSet(),
 	}
 	ep, err := net.Attach(rng.ServerID(), h.handle)
@@ -205,14 +200,15 @@ func (h *Host) Close() error {
 		return nil
 	}
 	h.closed = true
-	queues := make([]*outQueue, 0, len(h.out))
+	queues := make([]*flow.Coalescer, 0, len(h.out))
 	for _, q := range h.out {
 		queues = append(queues, q)
 	}
-	h.out = make(map[guid.GUID]*outQueue)
+	h.out = make(map[guid.GUID]*flow.Coalescer)
 	h.mu.Unlock()
 	for _, q := range queues {
-		q.flush()
+		q.Flush()
+		q.Discard()
 	}
 	return h.ep.Close()
 }
@@ -234,6 +230,8 @@ func (h *Host) handle(m wire.Message) {
 		h.handleQuery(m)
 	case wire.KindEvent, wire.KindEventBatch:
 		h.handleEvents(m)
+	case wire.KindEventBatchAck:
+		h.handleCredit(m)
 	case wire.KindServiceCall:
 		h.handleServiceCall(m)
 	}
@@ -328,10 +326,26 @@ func (h *Host) handleQuery(m wire.Message) {
 
 // handleEvents ingests events published by a remote CE, accepting both the
 // coalesced event.batch form and the legacy single-event frame (the two may
-// interleave on one connection; EventFrames normalises both).
+// interleave on one connection). The batch body is decoded once: its frames
+// feed dispatch and its optional piggybacked credit feeds the endpoint's
+// outbound coalescer.
 func (h *Host) handleEvents(m wire.Message) {
-	frames, err := m.EventFrames()
-	if err != nil {
+	var frames []json.RawMessage
+	var credit *wire.BatchCredit
+	switch m.Kind {
+	case wire.KindEvent:
+		if len(m.Body) == 0 {
+			return
+		}
+		frames = []json.RawMessage{m.Body}
+	case wire.KindEventBatch:
+		var body wire.EventBatchBody
+		if err := m.DecodeBody(&body); err != nil || len(body.Events) == 0 {
+			return
+		}
+		frames = body.Events
+		credit = body.Credit
+	default:
 		return
 	}
 	events := make([]event.Event, 0, len(frames))
@@ -361,6 +375,45 @@ func (h *Host) handleEvents(m wire.Message) {
 		_ = h.rng.Publish(events[0])
 	default:
 		_ = h.rng.PublishAll(events)
+	}
+	// Batched publishers get a flow-credit ack so remote CEs can see the
+	// drops their traffic causes. Legacy single-event frames predate acks
+	// and stay silent (old peers would not understand the reply either).
+	if m.Kind == wire.KindEventBatch {
+		ackCredit := wire.BatchCredit{
+			Events:    len(frames),
+			Dropped:   h.rng.DispatchStats().Dropped,
+			QueueFree: -1, // dispatch rings are per subscription, not one queue
+		}
+		if ack, err := wire.NewEventBatchAck(h.rng.ServerID(), m.Src, ackCredit); err == nil {
+			_ = h.send(m.Src, ack)
+		}
+	}
+	// A publisher that also receives deliveries may piggyback its credit.
+	if credit != nil {
+		h.applyCredit(m.Src, *credit)
+	}
+}
+
+// handleCredit ingests a standalone event.batch_ack from a remote receiver.
+func (h *Host) handleCredit(m wire.Message) {
+	credit, ok := m.BatchCreditInfo()
+	if !ok {
+		return
+	}
+	h.applyCredit(m.Src, credit)
+}
+
+// applyCredit routes a receiver flow-credit report into the reporting
+// endpoint's outbound coalescer, which throttles its flush rate while the
+// credit stays collapsed. Reports from endpoints we never coalesce to are
+// dropped — a credit must not create a queue.
+func (h *Host) applyCredit(from guid.GUID, credit wire.BatchCredit) {
+	h.mu.Lock()
+	q := h.out[from]
+	h.mu.Unlock()
+	if q != nil {
+		q.UpdateCredit(credit.Dropped, credit.QueueFree)
 	}
 }
 
@@ -426,7 +479,7 @@ func (h *Host) sendEvent(to guid.GUID, e event.Event) {
 		return
 	}
 	if q := h.queueFor(to); q != nil {
-		q.add(e)
+		q.Add(e)
 	}
 }
 
@@ -444,13 +497,15 @@ func (h *Host) sendEvents(to guid.GUID, events []event.Event) {
 		return
 	}
 	if q := h.queueFor(to); q != nil {
-		q.addAll(events)
+		q.AddAll(events)
 	}
 }
 
 // queueFor returns the destination's coalescer, creating it on first use
-// (nil once the host has closed).
-func (h *Host) queueFor(to guid.GUID) *outQueue {
+// (nil once the host has closed). Every endpoint's coalescer shares the
+// Range's flow stats sink, so backpressure across all endpoints reads out
+// of one set of remote.backpressure.* gauges.
+func (h *Host) queueFor(to guid.GUID) *flow.Coalescer {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -458,84 +513,17 @@ func (h *Host) queueFor(to guid.GUID) *outQueue {
 	}
 	q, ok := h.out[to]
 	if !ok {
-		q = &outQueue{host: h, to: to}
+		q = flow.New(flow.Config{
+			Clock:    h.clk,
+			MaxBatch: h.maxBatch,
+			MaxDelay: h.maxDelay,
+			Adaptive: h.adaptive,
+			Stats:    h.rng.FlowStats(),
+			Send:     func(batch []event.Event) { h.sendBatch(to, batch) },
+		})
 		h.out[to] = q
 	}
 	return q
-}
-
-// add appends e to the pending batch, flushing when it reaches the size
-// bound and otherwise arming the delay timer so a partial batch never waits
-// longer than maxDelay.
-func (q *outQueue) add(e event.Event) {
-	q.mu.Lock()
-	q.pending = append(q.pending, e)
-	full := len(q.pending) >= q.host.maxBatch
-	if !full && q.timer == nil {
-		q.timer = q.host.clk.AfterFunc(q.host.maxDelay, q.flush)
-	}
-	q.mu.Unlock()
-	if full {
-		q.doFlush(false)
-	}
-}
-
-// addAll appends a whole run under one lock acquisition — the batch-fed
-// edge from Mediator.SubscribeBatch. The events are copied out of the
-// delivery loop's reused slice.
-func (q *outQueue) addAll(events []event.Event) {
-	q.mu.Lock()
-	q.pending = append(q.pending, events...)
-	full := len(q.pending) >= q.host.maxBatch
-	if !full && q.timer == nil {
-		q.timer = q.host.clk.AfterFunc(q.host.maxDelay, q.flush)
-	}
-	q.mu.Unlock()
-	if full {
-		q.doFlush(false)
-	}
-}
-
-// flush ships everything pending, partial tail included (delay timer and
-// Close path).
-func (q *outQueue) flush() { q.doFlush(true) }
-
-// doFlush ships pending events split so no wire message exceeds
-// BatchMaxEvents. Flushes are serialised by sendMu (taken before the
-// extraction lock), so batches leave in the order their events arrived;
-// anything enqueued while a flush is in flight goes out in the next one.
-// A size-triggered flush (all=false) holds back the partial tail for the
-// delay timer, so N coalesced deliveries cost exactly ⌈N/BatchMaxEvents⌉
-// wire messages however the producer's bursts were sliced.
-func (q *outQueue) doFlush(all bool) {
-	q.sendMu.Lock()
-	defer q.sendMu.Unlock()
-	q.mu.Lock()
-	batch := q.pending
-	cut := len(batch)
-	if !all {
-		cut -= cut % q.host.maxBatch
-	}
-	// The held-back tail keeps its position: later adds append behind it in
-	// the same backing array, never overlapping the chunk being sent.
-	q.pending = batch[cut:]
-	if q.timer != nil && len(q.pending) == 0 {
-		q.timer.Stop()
-		q.timer = nil
-	}
-	if len(q.pending) > 0 && q.timer == nil {
-		q.timer = q.host.clk.AfterFunc(q.host.maxDelay, q.flush)
-	}
-	send := batch[:cut]
-	q.mu.Unlock()
-	for len(send) > 0 {
-		n := len(send)
-		if n > q.host.maxBatch {
-			n = q.host.maxBatch
-		}
-		q.host.sendBatch(q.to, send[:n])
-		send = send[n:]
-	}
 }
 
 // sendBatch encodes a coalesced run of events into one event.batch wire
@@ -588,6 +576,15 @@ func (h *Host) send(to guid.GUID, m wire.Message) error {
 
 // Connector is the client side of the Fig 5 sequence for a remote CE or
 // CAA. Construct with NewConnector, then Register.
+//
+// Pushed events (query results, configuration inputs) land in a bounded
+// delivery queue drained by a dedicated goroutine, so a slow onEvent
+// handler can never stall the transport; when the queue overflows, the
+// oldest events are dropped (context data is freshest-wins) and counted.
+// Every received event.batch is acknowledged with the connector's flow
+// credit — the cumulative drop count and remaining queue capacity — which
+// the Range Service feeds into that endpoint's outbound coalescer to
+// throttle its flush rate while the connector is overloaded.
 type Connector struct {
 	id   guid.GUID
 	name string
@@ -600,9 +597,19 @@ type Connector struct {
 	announced chan announceBody
 	waiters   map[guid.GUID]chan wire.Message
 	onEvent   func(event.Event)
+	dq        []event.Event // bounded delivery queue (onEvent != nil)
+	dqCap     int
+	dqWake    chan struct{}
+	dqDropped uint64 // cumulative overflow drops, reported in acks
+	credit    wire.BatchCredit
+	hasCredit bool
 	hbTimer   clock.Timer
 	closed    bool
 }
+
+// DefaultDeliveryQueueLen is the connector delivery queue capacity when
+// none is set.
+const DefaultDeliveryQueueLen = 1024
 
 // Errors.
 var (
@@ -627,13 +634,99 @@ func NewConnector(id guid.GUID, name string, net transport.Network, onEvent func
 		announced: make(chan announceBody, 1),
 		waiters:   make(map[guid.GUID]chan wire.Message),
 		onEvent:   onEvent,
+		dqCap:     DefaultDeliveryQueueLen,
+		dqWake:    make(chan struct{}, 1),
 	}
 	ep, err := net.Attach(id, c.handle)
 	if err != nil {
 		return nil, fmt.Errorf("rangesvc: attach connector: %w", err)
 	}
 	c.ep = ep
+	if onEvent != nil {
+		go c.deliverLoop()
+	}
 	return c, nil
+}
+
+// SetDeliveryQueueCap bounds the delivery queue (events awaiting onEvent).
+// Shrinking below the current backlog drops the oldest surplus.
+func (c *Connector) SetDeliveryQueueCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.dqCap = n
+	if over := len(c.dq) - n; over > 0 {
+		c.dq = append(c.dq[:0], c.dq[over:]...)
+		c.dqDropped += uint64(over)
+	}
+	c.mu.Unlock()
+}
+
+// DeliveryDrops reports how many pushed events overflowed the delivery
+// queue — the figure acked back to the Range Service as flow credit.
+func (c *Connector) DeliveryDrops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dqDropped
+}
+
+// RemoteCredit returns the last flow-credit report received from the
+// Range Service (acks to this connector's published batches): the Range's
+// cumulative dispatch drops. ok is false until a report arrives — old
+// hosts never send one.
+func (c *Connector) RemoteCredit() (wire.BatchCredit, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.credit, c.hasCredit
+}
+
+// enqueueDeliveries admits pushed events to the bounded delivery queue,
+// dropping the oldest (freshest-wins, like the mediator's rings) on
+// overflow, and reports the queue state for the ack.
+func (c *Connector) enqueueDeliveries(events []event.Event) (dropped uint64, free int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.dqDropped, 0
+	}
+	if over := len(events) - c.dqCap; over > 0 {
+		// The burst alone exceeds the queue: only its freshest tail can
+		// survive, everything older is dropped unseen.
+		c.dqDropped += uint64(over + len(c.dq))
+		c.dq = c.dq[:0]
+		events = events[over:]
+	} else if over := len(c.dq) + len(events) - c.dqCap; over > 0 {
+		c.dq = append(c.dq[:0], c.dq[over:]...)
+		c.dqDropped += uint64(over)
+	}
+	c.dq = append(c.dq, events...)
+	select {
+	case c.dqWake <- struct{}{}:
+	default:
+	}
+	return c.dqDropped, c.dqCap - len(c.dq)
+}
+
+// deliverLoop drains the delivery queue into onEvent, whole backlog per
+// wakeup.
+func (c *Connector) deliverLoop() {
+	var buf []event.Event
+	for range c.dqWake {
+		for {
+			c.mu.Lock()
+			if len(c.dq) == 0 {
+				c.mu.Unlock()
+				break
+			}
+			buf = append(buf[:0], c.dq...)
+			c.dq = c.dq[:0]
+			c.mu.Unlock()
+			for i := range buf {
+				c.onEvent(buf[i])
+			}
+		}
+	}
 }
 
 // ID returns the component's GUID.
@@ -815,6 +908,8 @@ func (c *Connector) Close() error {
 	if c.hbTimer != nil {
 		c.hbTimer.Stop()
 	}
+	c.dq = nil
+	close(c.dqWake)
 	c.mu.Unlock()
 	return c.ep.Close()
 }
@@ -878,11 +973,29 @@ func (c *Connector) handle(m wire.Message) {
 		if err != nil {
 			return
 		}
+		events := make([]event.Event, 0, len(frames))
 		for _, f := range frames {
 			var e event.Event
 			if err := json.Unmarshal(f, &e); err == nil {
-				c.onEvent(e)
+				events = append(events, e)
 			}
+		}
+		dropped, free := c.enqueueDeliveries(events)
+		// Acknowledge batches with flow credit so the host's coalescer can
+		// match its flush rate to what this connector absorbs. Legacy
+		// single-event frames stay silent: their senders predate acks.
+		if m.Kind == wire.KindEventBatch {
+			credit := wire.BatchCredit{Events: len(frames), Dropped: dropped, QueueFree: free}
+			if ack, err := wire.NewEventBatchAck(c.id, m.Src, credit); err == nil {
+				_ = c.ep.Send(ack)
+			}
+		}
+	case wire.KindEventBatchAck:
+		if credit, ok := m.BatchCreditInfo(); ok {
+			c.mu.Lock()
+			c.credit = credit
+			c.hasCredit = true
+			c.mu.Unlock()
 		}
 	default:
 		if !m.Corr.IsNil() {

@@ -131,7 +131,7 @@ func waitCoverage(t *testing.T, fn *fanNet) {
 func (f *Fabric) hasTap() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return !f.tapSub.IsNil()
+	return len(f.taps) > 0
 }
 
 func (f *Fabric) knowsInterest(owner guid.GUID) bool {
@@ -386,11 +386,7 @@ func TestCrossRangeDelayFlush(t *testing.T) {
 	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool {
-		fA.fan.mu.Lock()
-		defer fA.fan.mu.Unlock()
-		return len(fA.fan.pending) == n
-	})
+	waitFor(t, func() bool { return fA.fan.PendingLen() == n })
 	if got := fA.BatchesForwarded.Value(); got != 0 {
 		t.Fatalf("partial batch left early: %d messages", got)
 	}
@@ -571,11 +567,7 @@ func TestCloseFlushesPendingFanOut(t *testing.T) {
 	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool {
-		fA.fan.mu.Lock()
-		defer fA.fan.mu.Unlock()
-		return len(fA.fan.pending) == n
-	})
+	waitFor(t, func() bool { return fA.fan.PendingLen() == n })
 	if err := fA.Close(); err != nil {
 		t.Fatal(err)
 	}

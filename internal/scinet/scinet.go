@@ -44,8 +44,10 @@ import (
 	"time"
 
 	"sci/internal/clock"
+	"sci/internal/ctxtype"
 	"sci/internal/entity"
 	"sci/internal/event"
+	"sci/internal/flow"
 	"sci/internal/guid"
 	"sci/internal/location"
 	"sci/internal/mediator"
@@ -70,6 +72,12 @@ const (
 	// cross-range fan-out path and the batched replacement for per-event
 	// appEvent frames on the routed-query path.
 	appEventBatch = "scinet.event_batch"
+	// appEventBatchAck is the scinet.event_batch reply hint: the receiving
+	// fabric reports its flow credit (cumulative dispatch drops) so the
+	// sender's coalescer can throttle while the receiver is overloaded.
+	// Fabrics that predate it neither send nor understand it — unknown app
+	// kinds are ignored — so mixed fleets interoperate.
+	appEventBatchAck = "scinet.event_batch_ack"
 	// appInterest announces (and re-gossips) a fabric's cross-range event
 	// interests.
 	appInterest = "scinet.interest"
@@ -138,6 +146,19 @@ type interestMsg struct {
 	Filters []event.Filter `json:"filters"`
 	// Remove withdraws all of Owner's interests (departure).
 	Remove bool `json:"remove,omitempty"`
+}
+
+// eventBatchAckMsg is a receiver's flow-credit report for event_batch
+// traffic: Dropped is its Range's cumulative dispatch drop count and
+// QueueFree its remaining queue capacity (negative = unknown). QueryID is
+// set when acking routed-query traffic, so the serving fabric can credit
+// the right per-(peer, query) coalescer.
+type eventBatchAckMsg struct {
+	Origin    guid.GUID `json:"origin"`
+	QueryID   guid.GUID `json:"query_id,omitzero"`
+	Events    int       `json:"events,omitempty"`
+	Dropped   uint64    `json:"dropped"`
+	QueueFree int       `json:"queue_free"`
 }
 
 type leaveMsg struct {
@@ -236,6 +257,7 @@ type Fabric struct {
 
 	maxBatch int
 	maxDelay time.Duration
+	adaptive flow.Adaptive
 
 	mu        sync.Mutex
 	coverage  map[guid.GUID]coverageMsg // fabric node → its coverage
@@ -244,10 +266,11 @@ type Fabric struct {
 	served    map[guid.GUID]*servedQuery   // queryID → serving-side record
 	ownerRefs map[guid.GUID]int            // remote owner → live served queries
 	interests map[guid.GUID][]event.Filter // fabric node → its announced interests
-	local     []event.Filter               // this fabric's own interests
-	tapSub    guid.GUID                    // mediator tap (nil while no peer interest)
-	queues    map[queueKey]*fanQueue       // outbound coalescers, routed-query traffic
-	fan       *fanQueue                    // outbound coalescer, fan-out traffic
+	local     []localInterest              // this fabric's own interests, refcounted
+	taps      map[ctxtype.Type]guid.GUID   // mediator taps by tap type (Wildcard key = residual tap)
+	queues    map[queueKey]*flow.Coalescer // outbound coalescers, routed-query traffic
+	fan       *flow.Coalescer              // outbound coalescer, fan-out traffic
+	peerDrops map[guid.GUID]uint64         // last cumulative drop report per peer (fan-out acks)
 	statsWait map[guid.GUID]chan statsResultMsg
 	seen      guid.Set    // recently ingested batch ids (duplicate window)
 	seenRing  []guid.GUID // eviction order for seen, bounded at seenWindow
@@ -278,6 +301,15 @@ type Fabric struct {
 // ingested batch ids a fabric remembers.
 const seenWindow = 4096
 
+// localInterest is one of this fabric's own announced interests. Two
+// SubscribeRemote calls sharing a filter share one entry: the refcount
+// makes the first withdrawal survive the second subscription, so interest
+// lifetime follows subscription cancellation exactly.
+type localInterest struct {
+	flt  event.Filter
+	refs int
+}
+
 // NewFabric attaches a Range to the SCINET over net. The fabric's overlay
 // node has its own GUID (the Range's transport host, if any, keeps the CS
 // GUID). The Range's BatchMaxEvents/BatchMaxDelay govern the fabric's
@@ -291,13 +323,16 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		clk:       clk,
 		maxBatch:  rng.BatchMaxEvents(),
 		maxDelay:  rng.BatchMaxDelay(),
+		adaptive:  rng.AdaptiveBatching(),
 		coverage:  make(map[guid.GUID]coverageMsg),
 		waiters:   make(map[guid.GUID]chan queryResultMsg),
 		consumers: make(map[guid.GUID]*outQuery),
 		served:    make(map[guid.GUID]*servedQuery),
 		ownerRefs: make(map[guid.GUID]int),
 		interests: make(map[guid.GUID][]event.Filter),
-		queues:    make(map[queueKey]*fanQueue),
+		taps:      make(map[ctxtype.Type]guid.GUID),
+		queues:    make(map[queueKey]*flow.Coalescer),
+		peerDrops: make(map[guid.GUID]uint64),
 		statsWait: make(map[guid.GUID]chan statsResultMsg),
 		seen:      guid.NewSet(),
 	}
@@ -311,7 +346,14 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		return nil, err
 	}
 	f.node = node
-	f.fan = &fanQueue{f: f}
+	f.fan = flow.New(flow.Config{
+		Clock:    clk,
+		MaxBatch: f.maxBatch,
+		MaxDelay: f.maxDelay,
+		Adaptive: f.adaptive,
+		Stats:    rng.FlowStats(),
+		Send:     f.fanOut,
+	})
 	f.coverage[node.ID()] = coverageMsg{
 		Origin:   node.ID(),
 		Coverage: rng.Coverage(),
@@ -547,6 +589,8 @@ func (f *Fabric) deliver(d overlay.Delivery) {
 		}
 	case appEventBatch:
 		f.handleEventBatch(d)
+	case appEventBatchAck:
+		f.handleBatchAck(d)
 	case appInterest:
 		f.handleInterest(d)
 	case appLeave:
@@ -704,7 +748,7 @@ func (f *Fabric) dropServed(qid guid.GUID) {
 	f.mu.Unlock()
 
 	if q != nil {
-		q.discard()
+		q.Discard()
 	}
 	if !sq.cfg.IsNil() {
 		_ = f.rng.Runtime().Teardown(sq.cfg)
@@ -741,28 +785,53 @@ func (f *Fabric) sendResult(to guid.GUID, msg queryResultMsg) {
 // are published in sibling Ranges will be forwarded here in coalesced
 // batches and ingested through the local Range's batched dispatch path.
 // The interest is announced to every known fabric (and re-announced to
-// fabrics learned later).
+// fabrics learned later). Interests are refcounted by filter: a second
+// AddInterest of the same filter bumps the count instead of duplicating
+// the announcement, and only the matching number of RemoveInterest calls
+// withdraws it.
 func (f *Fabric) AddInterest(flt event.Filter) {
 	f.mu.Lock()
-	f.local = append(f.local, flt)
+	found := false
+	for i := range f.local {
+		if f.local[i].flt == flt {
+			f.local[i].refs++
+			found = true
+			break
+		}
+	}
+	if !found {
+		f.local = append(f.local, localInterest{flt: flt, refs: 1})
+	}
 	f.mu.Unlock()
-	f.announceInterests()
+	if !found {
+		f.announceInterests()
+	}
 }
 
-// RemoveInterest withdraws one previously added interest (first match).
-// When it was the last one, peers are told to drop this fabric's entry
-// entirely; otherwise the shrunken set is re-announced.
+// RemoveInterest drops one reference to a previously added interest. The
+// filter is withdrawn from peers only when its last reference goes — two
+// SubscribeRemote calls sharing one filter survive the first withdrawal.
+// When the whole set empties, peers drop this fabric's entry entirely;
+// otherwise the shrunken set is re-announced.
 func (f *Fabric) RemoveInterest(flt event.Filter) {
 	f.mu.Lock()
+	changed := false
 	for i := range f.local {
-		if f.local[i] == flt {
-			f.local = append(f.local[:i], f.local[i+1:]...)
+		if f.local[i].flt == flt {
+			f.local[i].refs--
+			if f.local[i].refs <= 0 {
+				f.local = append(f.local[:i], f.local[i+1:]...)
+				changed = true
+			}
 			break
 		}
 	}
 	empty := len(f.local) == 0
 	closed := f.closed
 	f.mu.Unlock()
+	if !changed {
+		return
+	}
 	if closed {
 		return
 	}
@@ -822,9 +891,19 @@ func (f *Fabric) announceInterests() {
 	}
 }
 
+// localFiltersLocked snapshots this fabric's own interest filters (one
+// entry per distinct filter, whatever its refcount). Callers hold f.mu.
+func (f *Fabric) localFiltersLocked() []event.Filter {
+	out := make([]event.Filter, len(f.local))
+	for i := range f.local {
+		out[i] = f.local[i].flt
+	}
+	return out
+}
+
 func (f *Fabric) announceInterestsTo(peer guid.GUID) {
 	f.mu.Lock()
-	filters := append([]event.Filter(nil), f.local...)
+	filters := f.localFiltersLocked()
 	closed := f.closed
 	f.mu.Unlock()
 	if closed || len(filters) == 0 {
@@ -860,7 +939,7 @@ func (f *Fabric) handleInterest(d overlay.Delivery) {
 		changed = true
 	}
 	f.mu.Unlock()
-	f.ensureTap()
+	f.reconcileTaps()
 	if !changed {
 		return
 	}
@@ -888,47 +967,149 @@ func filtersEqual(a, b []event.Filter) bool {
 	return true
 }
 
-// ensureTap reconciles the mediator tap with demand: the tap exists exactly
-// while some peer holds a non-empty interest set. Demand is recomputed from
+// desiredTapTypesLocked derives the mediator tap set the interest table
+// demands: the minimal set of concrete filter types covering every type a
+// peer announced, with hierarchical overlap deduplicated (an interest in
+// "temperature.celsius" is already covered by a tap on "temperature", and
+// tapping both would forward those events twice). wildcard is true when a
+// peer's filter names no concrete type — or when declared semantic
+// equivalences could make one event match two typed taps — in which case
+// one residual-tier tap serves everything, exactly the pre-typed-tap
+// behaviour. Callers hold f.mu.
+func desiredTapTypesLocked(interests map[guid.GUID][]event.Filter, reg *ctxtype.Registry) (types []ctxtype.Type, wildcard bool) {
+	if len(interests) == 0 {
+		return nil, false
+	}
+	set := make(map[ctxtype.Type]bool)
+	for _, flts := range interests {
+		for _, fl := range flts {
+			if fl.Type == "" || fl.Type == ctxtype.Wildcard {
+				return nil, true
+			}
+			set[fl.Type] = true
+		}
+	}
+	all := make([]ctxtype.Type, 0, len(set))
+	for t := range set {
+		all = append(all, t)
+	}
+	// Shallowest first, name-ordered for determinism: an ancestor always
+	// precedes its descendants, so one pass keeps only uncovered types.
+	sort.Slice(all, func(i, j int) bool {
+		if di, dj := all[i].Depth(), all[j].Depth(); di != dj {
+			return di < dj
+		}
+		return all[i] < all[j]
+	})
+	kept := all[:0]
+outer:
+	for _, t := range all {
+		for _, k := range kept {
+			if t.HasAncestor(k) {
+				continue outer
+			}
+		}
+		kept = append(kept, t)
+	}
+	// Equivalence guard: the dispatch index also matches an event to a tap
+	// through the event type's declared equivalence class, so two kept taps
+	// double-forward when any member of one tap's class reaches another
+	// kept tap. Kept types have no ancestor pairs, so any double match must
+	// route through a class member — scanning the kept types' classes is
+	// sound. Fall back to the single residual tap rather than duplicate.
+	if reg != nil && len(kept) > 1 {
+		for _, k := range kept {
+			for _, u := range reg.EquivSet(k) {
+				hits := 0
+				for _, k2 := range kept {
+					if u.HasAncestor(k2) || reg.Satisfies(u, k2) {
+						hits++
+					}
+				}
+				if hits > 1 {
+					return nil, true
+				}
+			}
+		}
+	}
+	return kept, false
+}
+
+// reconcileTaps reconciles the mediator taps with demand: one batch
+// subscription per type the interest table requires (desiredTapTypesLocked),
+// or a single residual-tier tap when a wildcard interest forces it —
+// typed taps ride the dispatch index's exact-pattern tier, so fan-out no
+// longer drags the publisher's index-hit ratio. Demand is recomputed from
 // the live interest table under the fabric lock on every pass (a caller's
 // snapshot could be stale by the time it acts: a concurrent interest-add
-// and interest-remove must never leave interested peers without a tap), and
-// the loop runs until observation and state agree. The tap is a batch
-// subscription filtered to locally produced events (Range == this Range),
-// so ingested cross-range events — which keep their origin Range stamp —
-// can never re-enter the forwarding path through it. Being type-wildcarded
-// it lives in the dispatch index's residual tier (one extra filter scanned
-// per publish run, and the publisher's index-hit ratio reads lower while it
-// exists); the lazy lifecycle keeps that cost off Ranges nobody watches.
-func (f *Fabric) ensureTap() {
+// and interest-remove must never leave interested peers without a tap),
+// and the loop runs until observation and state agree. Missing taps are
+// established before superseded ones are cancelled, so a reshape (an
+// ancestor interest subsuming a live descendant tap, or a wildcard
+// fallback) never opens a window in which matching publishes reach no
+// tap; the cost is that an event may transiently match both the old and
+// the new tap during the handover and be forwarded twice — context
+// streams are freshest-wins, so a rare duplicate at reconfiguration is
+// preferred over silent loss. Every tap is filtered to locally produced
+// events (Range == this Range), so ingested cross-range events — which
+// keep their origin Range stamp — can never re-enter the forwarding
+// path; no tap exists while no peer is interested, keeping the cost off
+// Ranges nobody watches.
+func (f *Fabric) reconcileTaps() {
 	for {
 		f.mu.Lock()
 		if f.closed {
 			f.mu.Unlock()
 			return
 		}
-		need := len(f.interests) > 0
-		has := !f.tapSub.IsNil()
-		if need == has {
-			f.mu.Unlock()
-			return
+		types, wildcard := desiredTapTypesLocked(f.interests, f.rng.Types())
+		want := make(map[ctxtype.Type]bool, len(types)+1)
+		if wildcard {
+			want[ctxtype.Wildcard] = true
 		}
-		if !need {
-			sub := f.tapSub
-			f.tapSub = guid.Nil
-			f.mu.Unlock()
-			_ = f.rng.Mediator().Cancel(sub)
-			continue // re-check: interest may have arrived meanwhile
+		for _, t := range types {
+			want[t] = true
+		}
+		var add ctxtype.Type
+		added := false
+		for t := range want {
+			if _, ok := f.taps[t]; !ok {
+				add, added = t, true
+				break
+			}
+		}
+		var cancel []guid.GUID
+		if !added {
+			// Only after every wanted tap is live may the superseded ones
+			// go: cancel-first would lose matching publishes in between.
+			for t, id := range f.taps {
+				if !want[t] {
+					cancel = append(cancel, id)
+					delete(f.taps, t)
+				}
+			}
 		}
 		f.mu.Unlock()
-		rec, err := f.rng.Mediator().SubscribeBatch(f.node.ID(),
-			event.Filter{Range: f.rng.ID()}, f.forwardLocal,
+		for _, id := range cancel {
+			_ = f.rng.Mediator().Cancel(id)
+		}
+		if !added {
+			if len(cancel) > 0 {
+				continue // re-check: demand may have shifted during cancels
+			}
+			return
+		}
+		flt := event.Filter{Range: f.rng.ID()}
+		if add != ctxtype.Wildcard {
+			flt.Type = add
+		}
+		rec, err := f.rng.Mediator().SubscribeBatch(f.node.ID(), flt, f.forwardLocal,
 			mediator.SubOptions{QueueLen: tapQueueLen})
 		if err != nil {
 			return
 		}
 		f.mu.Lock()
-		if f.closed || !f.tapSub.IsNil() {
+		if _, dup := f.taps[add]; f.closed || dup {
 			// Lost a race (concurrent establish, or closed meanwhile): ours
 			// is surplus.
 			f.mu.Unlock()
@@ -938,8 +1119,9 @@ func (f *Fabric) ensureTap() {
 			}
 			continue
 		}
-		f.tapSub = rec.ID
+		f.taps[add] = rec.ID
 		f.mu.Unlock()
+		// Loop: more taps may be missing, or demand changed meanwhile.
 	}
 }
 
@@ -957,7 +1139,7 @@ func (f *Fabric) forwardLocal(events []event.Event) {
 		return
 	}
 	if f.maxBatch > 1 {
-		f.fan.addAll(events)
+		f.fan.AddAll(events)
 		return
 	}
 	// Coalescing disabled: each event ships as its own batch message.
@@ -1038,6 +1220,7 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 		}
 		events, _ := decodeFrames(msg.Events, guid.Nil)
 		oq.caa.ConsumeAll(events)
+		f.sendBatchAck(d.Origin, msg.QueryID, len(msg.Events))
 		return
 	}
 
@@ -1048,6 +1231,9 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 		f.DuplicatesDropped.Inc()
 		return
 	}
+	// The reply hint: report this Range's flow credit to whichever fabric
+	// shipped the batch (origin or relay), so its coalescer can throttle.
+	f.sendBatchAck(d.Origin, guid.Nil, len(msg.Events))
 
 	// Events stamped with the local Range are echoes of our own production
 	// regardless of what the envelope claims; events with no Range stamp
@@ -1065,7 +1251,7 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 	// travel so relays can serve peers with different filters), and those
 	// must not leak into local dispatch AddInterest never asked about.
 	f.mu.Lock()
-	local := append([]event.Filter(nil), f.local...)
+	local := f.localFiltersLocked()
 	f.mu.Unlock()
 	keep := make([]event.Event, 0, len(events))
 	for i := range events {
@@ -1102,6 +1288,58 @@ func (f *Fabric) markSeen(id guid.GUID) bool {
 	f.seenRing[f.seenPos] = id
 	f.seenPos = (f.seenPos + 1) % seenWindow
 	return true
+}
+
+// sendBatchAck routes a flow-credit report to the fabric that shipped an
+// event_batch: this Range's cumulative dispatch drop count (its receive
+// health) and an unknown queue depth — drops, not depth, are the signal a
+// Range can honestly report, since its delivery rings are per
+// subscription.
+func (f *Fabric) sendBatchAck(to, qid guid.GUID, events int) {
+	payload, err := json.Marshal(eventBatchAckMsg{
+		Origin:    f.node.ID(),
+		QueryID:   qid,
+		Events:    events,
+		Dropped:   f.rng.DispatchStats().Dropped,
+		QueueFree: -1,
+	})
+	if err != nil {
+		return
+	}
+	_ = f.node.Route(to, appEventBatchAck, payload)
+}
+
+// handleBatchAck feeds a receiver's credit report into the coalescer that
+// serves it: the per-(peer, query) queue for routed-query acks, or the
+// shared fan-out queue — via a per-peer drop baseline, since one coalescer
+// multiplexes every interested peer — for fan-out acks.
+func (f *Fabric) handleBatchAck(d overlay.Delivery) {
+	var msg eventBatchAckMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	if !msg.QueryID.IsNil() {
+		f.mu.Lock()
+		q := f.queues[queueKey{peer: msg.Origin, qid: msg.QueryID}]
+		f.mu.Unlock()
+		if q != nil {
+			q.UpdateCredit(msg.Dropped, msg.QueueFree)
+		}
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	last, seen := f.peerDrops[msg.Origin]
+	f.peerDrops[msg.Origin] = msg.Dropped
+	f.mu.Unlock()
+	var delta uint64
+	if seen && msg.Dropped > last {
+		delta = msg.Dropped - last
+	}
+	f.fan.NoteCredit(delta, msg.QueueFree)
 }
 
 // relay re-forwards an ingested batch to interested peers outside its hop
@@ -1227,7 +1465,7 @@ func (f *Fabric) sendQueryEvents(to, qid guid.GUID, events []event.Event) {
 		return
 	}
 	if q := f.queueFor(to, qid); q != nil {
-		q.addAll(events)
+		q.AddAll(events)
 	}
 }
 
@@ -1248,8 +1486,10 @@ func (f *Fabric) sendQueryBatch(to, qid guid.GUID, events []event.Event) {
 }
 
 // queueFor returns the (peer, query) coalescer, creating it on first use
-// (nil once the fabric has closed).
-func (f *Fabric) queueFor(to, qid guid.GUID) *fanQueue {
+// (nil once the fabric has closed). Like the fan-out queue it reports into
+// the Range's shared flow stats, so SCINET backpressure reads out of the
+// same remote.backpressure.* gauges as the Range Service's.
+func (f *Fabric) queueFor(to, qid guid.GUID) *flow.Coalescer {
 	key := queueKey{peer: to, qid: qid}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -1258,110 +1498,17 @@ func (f *Fabric) queueFor(to, qid guid.GUID) *fanQueue {
 	}
 	q, ok := f.queues[key]
 	if !ok {
-		q = &fanQueue{f: f, to: to, qid: qid}
+		q = flow.New(flow.Config{
+			Clock:    f.clk,
+			MaxBatch: f.maxBatch,
+			MaxDelay: f.maxDelay,
+			Adaptive: f.adaptive,
+			Stats:    f.rng.FlowStats(),
+			Send:     func(batch []event.Event) { f.sendQueryBatch(to, qid, batch) },
+		})
 		f.queues[key] = q
 	}
 	return q
-}
-
-// fanQueue coalesces outbound cross-range events for one destination — or,
-// with a nil destination, for the fan-out path whose recipients are
-// computed per flush from the interest table. It mirrors the Range
-// Service's per-endpoint outQueue: size flush at BatchMaxEvents, time flush
-// at BatchMaxDelay, flushes serialised so batches leave in arrival order.
-type fanQueue struct {
-	f   *Fabric
-	to  guid.GUID // destination fabric; nil for the fan-out queue
-	qid guid.GUID // routed query id; nil for the fan-out queue
-
-	// sendMu serialises flushes (timer vs size) so batches cannot reorder.
-	sendMu sync.Mutex
-
-	mu      sync.Mutex
-	pending []event.Event
-	timer   clock.Timer
-	dead    bool
-}
-
-// addAll appends a whole run under one lock acquisition, flushing full
-// batches at the size bound and otherwise arming the delay timer.
-func (q *fanQueue) addAll(events []event.Event) {
-	q.mu.Lock()
-	if q.dead {
-		q.mu.Unlock()
-		return
-	}
-	q.pending = append(q.pending, events...)
-	full := len(q.pending) >= q.f.maxBatch
-	if !full && q.timer == nil {
-		q.timer = q.f.clk.AfterFunc(q.f.maxDelay, q.flush)
-	}
-	q.mu.Unlock()
-	if full {
-		q.doFlush(false)
-	}
-}
-
-// flush ships everything pending, partial tail included (delay timer and
-// close path).
-func (q *fanQueue) flush() { q.doFlush(true) }
-
-// doFlush ships pending events split so no overlay message exceeds
-// BatchMaxEvents. A size-triggered flush (all=false) holds back the partial
-// tail for the delay timer, so N coalesced events cost exactly
-// ⌈N/BatchMaxEvents⌉ messages per peer however the producer's bursts were
-// sliced. Flushes are serialised by sendMu, so batches leave in arrival
-// order.
-func (q *fanQueue) doFlush(all bool) {
-	q.sendMu.Lock()
-	defer q.sendMu.Unlock()
-	max := q.f.maxBatch
-	if max < 1 {
-		max = 1
-	}
-	q.mu.Lock()
-	batch := q.pending
-	cut := len(batch)
-	if !all {
-		cut -= cut % max
-	}
-	// The held-back tail keeps its position: later adds append behind it in
-	// the same backing array, never overlapping the chunk being sent.
-	q.pending = batch[cut:]
-	if q.timer != nil && len(q.pending) == 0 {
-		q.timer.Stop()
-		q.timer = nil
-	}
-	if len(q.pending) > 0 && q.timer == nil && !q.dead {
-		q.timer = q.f.clk.AfterFunc(q.f.maxDelay, q.flush)
-	}
-	send := batch[:cut]
-	q.mu.Unlock()
-	for len(send) > 0 {
-		n := len(send)
-		if n > max {
-			n = max
-		}
-		if q.to.IsNil() {
-			q.f.fanOut(send[:n])
-		} else {
-			q.f.sendQueryBatch(q.to, q.qid, send[:n])
-		}
-		send = send[n:]
-	}
-}
-
-// discard drops pending events and refuses further adds (the destination
-// departed or its query ended).
-func (q *fanQueue) discard() {
-	q.mu.Lock()
-	q.dead = true
-	q.pending = nil
-	if q.timer != nil {
-		q.timer.Stop()
-		q.timer = nil
-	}
-	q.mu.Unlock()
 }
 
 // ----- peer lifecycle -----
@@ -1379,6 +1526,7 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 	}
 	delete(f.coverage, peer)
 	delete(f.interests, peer)
+	delete(f.peerDrops, peer)
 	for qid, oq := range f.consumers {
 		if oq.target == peer {
 			delete(f.consumers, qid)
@@ -1390,7 +1538,7 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 			gone = append(gone, qid)
 		}
 	}
-	var drop []*fanQueue
+	var drop []*flow.Coalescer
 	for k, q := range f.queues {
 		if k.peer == peer {
 			drop = append(drop, q)
@@ -1400,13 +1548,13 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 	f.mu.Unlock()
 
 	for _, q := range drop {
-		q.discard()
+		q.Discard()
 	}
 	guid.Sort(gone)
 	for _, qid := range gone {
 		f.dropServed(qid)
 	}
-	f.ensureTap()
+	f.reconcileTaps()
 }
 
 // ----- fleet stats -----
@@ -1524,8 +1672,8 @@ func (f *Fabric) Close() error {
 		f.mu.Unlock()
 		return nil
 	}
-	flushed := make(map[*fanQueue]bool, len(f.queues)+1)
-	queues := make([]*fanQueue, 0, len(f.queues)+1)
+	flushed := make(map[*flow.Coalescer]bool, len(f.queues)+1)
+	queues := make([]*flow.Coalescer, 0, len(f.queues)+1)
 	for _, q := range f.queues {
 		queues = append(queues, q)
 		flushed[q] = true
@@ -1534,7 +1682,7 @@ func (f *Fabric) Close() error {
 	flushed[f.fan] = true
 	f.mu.Unlock()
 	for _, q := range queues {
-		q.flush()
+		q.Flush()
 	}
 
 	f.mu.Lock()
@@ -1544,20 +1692,23 @@ func (f *Fabric) Close() error {
 		return nil
 	}
 	f.closed = true
-	tap := f.tapSub
-	f.tapSub = guid.Nil
+	taps := make([]guid.GUID, 0, len(f.taps))
+	for _, id := range f.taps {
+		taps = append(taps, id)
+	}
+	f.taps = make(map[ctxtype.Type]guid.GUID)
 	// Routed-query queues created between the open-phase flush and this
 	// transition (queueFor refuses only once closed is set) join the sweep:
 	// their pending events still go out below and their delay timers are
 	// disarmed rather than left to fire against a closed node.
-	late := make([]*fanQueue, 0)
+	late := make([]*flow.Coalescer, 0)
 	for _, q := range f.queues {
 		if !flushed[q] {
 			late = append(late, q)
 			queues = append(queues, q)
 		}
 	}
-	f.queues = make(map[queueKey]*fanQueue)
+	f.queues = make(map[queueKey]*flow.Coalescer)
 	served := make([]guid.GUID, 0, len(f.served))
 	for qid := range f.served {
 		served = append(served, qid)
@@ -1566,14 +1717,15 @@ func (f *Fabric) Close() error {
 	f.interests = make(map[guid.GUID][]event.Filter)
 	f.mu.Unlock()
 
-	if !tap.IsNil() {
-		_ = f.rng.Mediator().Cancel(tap)
+	guid.Sort(taps)
+	for _, id := range taps {
+		_ = f.rng.Mediator().Cancel(id)
 	}
 	for _, q := range late {
-		q.flush()
+		q.Flush()
 	}
 	for _, q := range queues {
-		q.discard()
+		q.Discard()
 	}
 	if payload, err := json.Marshal(leaveMsg{Origin: f.node.ID()}); err == nil {
 		for _, peer := range f.node.Known() {

@@ -26,6 +26,7 @@ import (
 	"sci/internal/entity"
 	"sci/internal/event"
 	"sci/internal/eventbus"
+	"sci/internal/flow"
 	"sci/internal/guid"
 	"sci/internal/location"
 	"sci/internal/mediator"
@@ -65,6 +66,13 @@ type Config struct {
 	// batch to fill before the pending run is flushed anyway (default
 	// DefaultBatchMaxDelay when BatchMaxEvents enables coalescing).
 	BatchMaxDelay time.Duration
+	// AdaptiveBatching derives each outbound coalescer's effective batch
+	// size and flush delay from its destination's observed arrival rate,
+	// between the configured floors and the BatchMaxEvents/BatchMaxDelay
+	// ceilings: idle endpoints flush near-immediately, hot ones ride full
+	// batches. Applies to the Range Service's per-endpoint queues and the
+	// SCINET fabric's per-peer/fan-out queues alike.
+	AdaptiveBatching flow.Adaptive
 	// AutoRenewEvery renews all local registrations on this period
 	// (0 disables; tests drive renewal manually).
 	AutoRenewEvery time.Duration
@@ -101,6 +109,11 @@ type Range struct {
 
 	batchMaxEvents int
 	batchMaxDelay  time.Duration
+	adaptive       flow.Adaptive
+	// flowStats is the shared backpressure/flush sink every outbound
+	// coalescer shipping on this Range's behalf reports into (Range
+	// Service endpoints and SCINET fabric peers alike).
+	flowStats flow.SharedStats
 
 	// Metrics.
 	QueriesSubmitted metrics.Counter
@@ -183,6 +196,7 @@ func New(cfg Config) *Range {
 
 		batchMaxEvents: cfg.BatchMaxEvents,
 		batchMaxDelay:  cfg.BatchMaxDelay,
+		adaptive:       cfg.AdaptiveBatching,
 	}
 	r.registrar = registry.New(registry.Config{Clock: cfg.Clock, Lease: cfg.Lease})
 	r.med = mediator.New(cfg.Types, mediator.WithShards(cfg.EventShards))
@@ -573,6 +587,15 @@ func (r *Range) BatchMaxEvents() int { return r.batchMaxEvents }
 // outbound batches.
 func (r *Range) BatchMaxDelay() time.Duration { return r.batchMaxDelay }
 
+// AdaptiveBatching reports the rate-derived batch-sizing configuration the
+// Range's outbound coalescers run with.
+func (r *Range) AdaptiveBatching() flow.Adaptive { return r.adaptive }
+
+// FlowStats returns the shared flow-control stats sink the Range's
+// outbound coalescers report into; its counters feed the
+// remote.backpressure.* gauges.
+func (r *Range) FlowStats() *flow.SharedStats { return &r.flowStats }
+
 // DispatchStats returns the Event Mediator's bus-wide dispatch counters.
 func (r *Range) DispatchStats() eventbus.Stats {
 	return r.med.Stats()
@@ -597,6 +620,12 @@ func (r *Range) StatsMap() map[string]float64 {
 		"remote_batches_sent":  float64(r.RemoteBatchesSent.Value()),
 		"remote_events_sent":   float64(r.RemoteEventsSent.Value()),
 		"remote_send_failures": float64(r.RemoteSendFailures.Value()),
+
+		"remote_flushes":                      float64(r.flowStats.Flushes.Value()),
+		"remote_backpressure_throttled":       float64(r.flowStats.Throttled.Value()),
+		"remote_backpressure_drops_reported":  float64(r.flowStats.DropsReported.Value()),
+		"remote_backpressure_throttle_events": float64(r.flowStats.ThrottleEvents.Value()),
+		"remote_backpressure_shed":            float64(r.flowStats.EventsShed.Value()),
 	}
 }
 
@@ -622,6 +651,11 @@ func (r *Range) FillMetrics(m *metrics.Registry) {
 	m.Gauge("remote.batches_sent").Set(int64(r.RemoteBatchesSent.Value()))
 	m.Gauge("remote.events_sent").Set(int64(r.RemoteEventsSent.Value()))
 	m.Gauge("remote.send_failures").Set(int64(r.RemoteSendFailures.Value()))
+	m.Gauge("remote.flushes").Set(int64(r.flowStats.Flushes.Value()))
+	m.Gauge("remote.backpressure.throttled").Set(r.flowStats.Throttled.Value())
+	m.Gauge("remote.backpressure.drops_reported").Set(int64(r.flowStats.DropsReported.Value()))
+	m.Gauge("remote.backpressure.throttle_events").Set(int64(r.flowStats.ThrottleEvents.Value()))
+	m.Gauge("remote.backpressure.shed").Set(int64(r.flowStats.EventsShed.Value()))
 }
 
 // resolveContext builds the resolver context for a query: owner location

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/flow"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/metrics"
+	"sci/internal/profile"
+	"sci/internal/query"
+	"sci/internal/rangesvc"
+	"sci/internal/sensor"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+// E12Row reports one flow-control mode of the hot-vs-idle endpoint
+// experiment: a flooded remote application and a trickle-fed one sharing
+// one Range Service, each behind its own outbound coalescer.
+type E12Row struct {
+	// Mode is "static" (fixed BatchMaxEvents/BatchMaxDelay) or "adaptive"
+	// (rate-derived effective bounds per endpoint).
+	Mode string
+	// Batch is the BatchMaxEvents ceiling.
+	Batch int
+	// HotEvents is the flood size delivered to the hot endpoint.
+	HotEvents int
+	// HotEventsPerSec is the hot endpoint's end-to-end delivered
+	// throughput (publish start → last remote delivery).
+	HotEventsPerSec float64
+	// EventsPerMsg is the achieved wire coalescing ratio across both
+	// endpoints (the hot flood dominates it).
+	EventsPerMsg float64
+	// IdleP50 / IdleP99 are the idle endpoint's delivery latencies
+	// (sensor emission → remote handler). The static coalescer pins the
+	// idle p50 near BatchMaxDelay; the adaptive one flushes at the floor.
+	IdleP50 time.Duration
+	IdleP99 time.Duration
+}
+
+// E12Backpressure reports the induced-overload phase: the same hot flood
+// against a receiver that stops keeping up, with adaptive coalescing on.
+type E12Backpressure struct {
+	// HealthyFlushPerSec / OverloadFlushPerSec are the sender's coalescer
+	// flush rates with a healthy receiver and with a receiver whose credit
+	// collapsed — the throttling the acks buy.
+	HealthyFlushPerSec  float64
+	OverloadFlushPerSec float64
+	// ThrottleEvents / DropsReported / EventsShed mirror the Range's
+	// remote.backpressure.* gauges after the overload phase.
+	ThrottleEvents uint64
+	DropsReported  uint64
+	EventsShed     uint64
+	// Throttled reports whether the endpoint was still marked throttled
+	// when the phase ended.
+	Throttled bool
+}
+
+// e12Rig is one Range Service plus a hot and an idle remote application.
+type e12Rig struct {
+	net  *transport.Memory
+	rng  *server.Range
+	host *rangesvc.Host
+
+	thermo *sensor.TemperatureSensor
+	door   *sensor.DoorSensor
+
+	hot          *rangesvc.Connector
+	hotDelivered atomic.Int64
+	hotSleep     atomic.Int64 // per-event handler delay, ns (overload phase)
+
+	idle          *rangesvc.Connector
+	idleDelivered atomic.Int64
+	idleLatency   metrics.Histogram
+}
+
+func newE12Rig(name string, batch int, maxDelay time.Duration, adaptive bool) (*e12Rig, error) {
+	rig := &e12Rig{net: transport.NewMemory(transport.MemoryConfig{})}
+	rig.rng = server.New(server.Config{
+		Name:             name,
+		Coverage:         location.Path("campus/" + name),
+		BatchMaxEvents:   batch,
+		BatchMaxDelay:    maxDelay,
+		AdaptiveBatching: flow.Adaptive{Enabled: adaptive},
+	})
+	host, err := rangesvc.NewHost(rig.rng, rig.net, nil)
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rig.host = host
+
+	rig.thermo = sensor.NewTemperatureSensor(name+"-probe", location.Ref{}, 294, 2, 1, nil)
+	if err := rig.rng.AddEntity(rig.thermo); err != nil {
+		rig.close()
+		return nil, err
+	}
+	rig.door = sensor.NewDoorSensor(name+"-door", location.Ref{}, nil)
+	if err := rig.rng.AddEntity(rig.door); err != nil {
+		rig.close()
+		return nil, err
+	}
+
+	connect := func(label string, onEvent func(event.Event)) (*rangesvc.Connector, error) {
+		c, err := rangesvc.NewConnector(guid.New(guid.KindApplication), label, rig.net, onEvent, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Register(rig.rng.ServerID(), profile.Profile{}, true); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+	rig.hot, err = connect(name+"-hot", func(event.Event) {
+		if d := rig.hotSleep.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		rig.hotDelivered.Add(1)
+	})
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+	rig.idle, err = connect(name+"-idle", func(e event.Event) {
+		rig.idleLatency.RecordDuration(time.Since(e.Time))
+		rig.idleDelivered.Add(1)
+	})
+	if err != nil {
+		rig.close()
+		return nil, err
+	}
+
+	hotQ := query.New(rig.hot.ID(), query.What{Pattern: ctxtype.TemperatureKelvin}, query.ModeSubscribe)
+	if _, err := rig.hot.Submit(hotQ); err != nil {
+		rig.close()
+		return nil, err
+	}
+	idleQ := query.New(rig.idle.ID(), query.What{Pattern: ctxtype.LocationSightingDoor}, query.ModeSubscribe)
+	if _, err := rig.idle.Submit(idleQ); err != nil {
+		rig.close()
+		return nil, err
+	}
+	return rig, nil
+}
+
+func (rig *e12Rig) close() {
+	// Host first: its Close flushes pending coalescers, which must happen
+	// while the connector endpoints are still attached.
+	if rig.host != nil {
+		_ = rig.host.Close()
+	}
+	if rig.hot != nil {
+		_ = rig.hot.Close()
+	}
+	if rig.idle != nil {
+		_ = rig.idle.Close()
+	}
+	if rig.rng != nil {
+		rig.rng.Close()
+	}
+	_ = rig.net.Close()
+}
+
+// floodHot publishes n temperature events addressed to the hot endpoint's
+// configuration, pacing on aggregate lag so delivery rings never overflow,
+// and returns when every one has been delivered remotely.
+func (rig *e12Rig) floodHot(n, chunk int) error {
+	src := rig.thermo.ID()
+	start := rig.hotDelivered.Load()
+	buf := make([]event.Event, 0, chunk)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		buf = append(buf, event.New(ctxtype.TemperatureKelvin, src, uint64(i+1), now,
+			map[string]any{"value": 294.0, "unit": "kelvin"}))
+		if len(buf) == chunk || i == n-1 {
+			if err := rig.rng.PublishAll(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+			// The root subscription ring holds 1024 events: bounding the
+			// publisher's lead below it keeps freshest-wins drops out of a
+			// throughput measurement.
+			for int64(i+1)-(rig.hotDelivered.Load()-start) > 768 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	waitUntil(func() bool { return rig.hotDelivered.Load()-start >= int64(n) })
+	return nil
+}
+
+// RunE12 (hot vs idle endpoints): one Range Service delivering to a
+// flooded remote application and a trickle-fed one, under static and
+// adaptive coalescing. The adaptive row must show idle p50 below the
+// static BatchMaxDelay (the idle endpoint's effective batch sits at the
+// floor) at hot throughput matching the static ceiling. A final phase
+// induces receiver overload and reports the flush-rate throttling the
+// event.batch credit acks buy.
+func RunE12(hotEvents, batch int, maxDelay time.Duration) ([]E12Row, *E12Backpressure, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	const idleEvents = 40
+	var rows []E12Row
+	for _, mode := range []string{"static", "adaptive"} {
+		rig, err := newE12Rig("e12-"+mode, batch, maxDelay, mode == "adaptive")
+		if err != nil {
+			return nil, nil, err
+		}
+		// Idle trickle: one door sighting at a time, each waiting for
+		// delivery before the next — every event meets an empty coalescer.
+		badge := guid.New(guid.KindPerson)
+		for i := 0; i < idleEvents; i++ {
+			if err := rig.door.Sight(badge, location.PlaceID("lobby")); err != nil {
+				rig.close()
+				return nil, nil, err
+			}
+			want := int64(i + 1)
+			waitUntil(func() bool { return rig.idleDelivered.Load() >= want })
+		}
+		// Hot flood.
+		startMsgs := rig.rng.RemoteBatchesSent.Value()
+		startEvents := rig.rng.RemoteEventsSent.Value()
+		start := time.Now()
+		if err := rig.floodHot(hotEvents, batch); err != nil {
+			rig.close()
+			return nil, nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+
+		lat := rig.idleLatency.Snapshot()
+		row := E12Row{
+			Mode:            mode,
+			Batch:           batch,
+			HotEvents:       hotEvents,
+			HotEventsPerSec: float64(hotEvents) / elapsed,
+			IdleP50:         time.Duration(lat.P50),
+			IdleP99:         time.Duration(lat.P99),
+		}
+		if msgs := rig.rng.RemoteBatchesSent.Value() - startMsgs; msgs > 0 {
+			row.EventsPerMsg = float64(rig.rng.RemoteEventsSent.Value()-startEvents) / float64(msgs)
+		}
+		rows = append(rows, row)
+		rig.close()
+	}
+
+	bp, err := runE12Backpressure(batch, maxDelay)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, bp, nil
+}
+
+// pacedFlood publishes batch-sized chunks of hot events at a steady pace
+// for the given window and returns the sender's flush rate over it.
+func (rig *e12Rig) pacedFlood(batch int, window time.Duration) (flushPerSec float64, err error) {
+	stats := rig.rng.FlowStats()
+	pre := stats.Flushes.Value()
+	src := rig.thermo.ID()
+	buf := make([]event.Event, 0, batch)
+	now := time.Now()
+	deadline := now.Add(window)
+	var seq uint64
+	for time.Now().Before(deadline) {
+		buf = buf[:0]
+		for i := 0; i < batch; i++ {
+			seq++
+			buf = append(buf, event.New(ctxtype.TemperatureKelvin, src, seq, now,
+				map[string]any{"value": 294.0, "unit": "kelvin"}))
+		}
+		if err := rig.rng.PublishAll(buf); err != nil {
+			return 0, err
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return float64(stats.Flushes.Value()-pre) / window.Seconds(), nil
+}
+
+// runE12Backpressure runs the same paced hot flood twice under adaptive
+// coalescing: once against a healthy receiver, once with the receiver
+// slowed and its delivery queue shrunk so overflow drops collapse the
+// acked credit. The sender's flush rate (remote.flushes per second) must
+// fall while throttled; identical pacing makes the two windows directly
+// comparable.
+func runE12Backpressure(batch int, maxDelay time.Duration) (*E12Backpressure, error) {
+	rig, err := newE12Rig("e12-bp", batch, maxDelay, true)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.close()
+	stats := rig.rng.FlowStats()
+	const window = 1500 * time.Millisecond
+
+	// Healthy window: size flushes follow the publish pacing. A deep
+	// delivery queue keeps transient bursts from reading as overload.
+	rig.hot.SetDeliveryQueueCap(1 << 16)
+	healthyRate, err := rig.pacedFlood(batch, window)
+	if err != nil {
+		return nil, err
+	}
+
+	// Overload window: the receiver burns time per event behind a small
+	// queue, so its acks report drops and the coalescer paces itself on
+	// the penalty-stretched timer (deliveries lag far behind, which is
+	// the point).
+	rig.hotSleep.Store(int64(500 * time.Microsecond))
+	rig.hot.SetDeliveryQueueCap(batch)
+	overloadRate, err := rig.pacedFlood(batch, window)
+	if err != nil {
+		return nil, err
+	}
+
+	return &E12Backpressure{
+		HealthyFlushPerSec:  healthyRate,
+		OverloadFlushPerSec: overloadRate,
+		ThrottleEvents:      stats.ThrottleEvents.Value(),
+		DropsReported:       stats.DropsReported.Value(),
+		EventsShed:          stats.EventsShed.Value(),
+		Throttled:           stats.Throttled.Value() > 0,
+	}, nil
+}
+
+// E12Table formats RunE12 rows.
+func E12Table(rows []E12Row) Table {
+	t := Table{
+		Title:  "E12 (ISSUE 4): hot vs idle endpoints under static and adaptive coalescing",
+		Header: []string{"mode", "batch", "hot events", "hot events/s", "events/msg", "idle p50", "idle p99"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Batch),
+			fmt.Sprintf("%d", r.HotEvents),
+			fmt.Sprintf("%.0f", r.HotEventsPerSec),
+			fmt.Sprintf("%.1f", r.EventsPerMsg),
+			r.IdleP50.Round(time.Microsecond).String(),
+			r.IdleP99.Round(time.Microsecond).String(),
+		})
+	}
+	return t
+}
+
+// E12BackpressureTable formats the induced-overload phase.
+func E12BackpressureTable(bp *E12Backpressure) Table {
+	return Table{
+		Title:  "E12 backpressure: receiver overload throttles the sender's flush rate",
+		Header: []string{"healthy flush/s", "overload flush/s", "throttle events", "drops reported", "events shed", "throttled"},
+		Rows: [][]string{{
+			fmt.Sprintf("%.0f", bp.HealthyFlushPerSec),
+			fmt.Sprintf("%.0f", bp.OverloadFlushPerSec),
+			fmt.Sprintf("%d", bp.ThrottleEvents),
+			fmt.Sprintf("%d", bp.DropsReported),
+			fmt.Sprintf("%d", bp.EventsShed),
+			fmt.Sprintf("%v", bp.Throttled),
+		}},
+	}
+}

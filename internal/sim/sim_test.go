@@ -3,6 +3,7 @@ package sim
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNewBuilding(t *testing.T) {
@@ -193,5 +194,41 @@ func TestRunE11CrossRangeFanOut(t *testing.T) {
 	}
 	if fleet.Totals["dropped"] != 0 {
 		t.Fatalf("fleet dropped %v events", fleet.Totals["dropped"])
+	}
+}
+
+func TestRunE12Shape(t *testing.T) {
+	rows, bp, err := RunE12(1500, 16, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "static" || rows[1].Mode != "adaptive" {
+		t.Fatalf("rows = %+v, want a static and an adaptive row", rows)
+	}
+	for _, r := range rows {
+		if r.HotEventsPerSec <= 0 {
+			t.Fatalf("%s row measured no hot throughput", r.Mode)
+		}
+		if r.IdleP50 <= 0 {
+			t.Fatalf("%s row measured no idle latency", r.Mode)
+		}
+	}
+	// The point of adaptation: idle deliveries stop waiting out the static
+	// flush delay.
+	if rows[1].IdleP50 >= 2*time.Millisecond {
+		t.Fatalf("adaptive idle p50 = %v, want below the 2ms static BatchMaxDelay", rows[1].IdleP50)
+	}
+	if bp == nil {
+		t.Fatal("no backpressure phase result")
+	}
+	if bp.ThrottleEvents == 0 || bp.DropsReported == 0 {
+		t.Fatalf("overload induced no throttling: %+v", bp)
+	}
+	if bp.OverloadFlushPerSec >= bp.HealthyFlushPerSec {
+		t.Fatalf("throttling did not reduce the flush rate: healthy %.0f → overload %.0f",
+			bp.HealthyFlushPerSec, bp.OverloadFlushPerSec)
+	}
+	if E12Table(rows).String() == "" || E12BackpressureTable(bp).String() == "" {
+		t.Fatal("empty tables")
 	}
 }

@@ -147,3 +147,114 @@ func TestMixedStreamOldAndNewFrames(t *testing.T) {
 		t.Fatalf("decoded %d events, want 6", len(seqs))
 	}
 }
+
+// TestMixedVersionStreamWithCredit interleaves credit-bearing event.batch
+// frames, legacy single-event frames, credit-free batches (what an
+// old-format peer ships) and standalone event.batch_ack frames on one
+// connection, and checks both decode stances: a new-format reader sees
+// every event in order plus exactly the credit reports that were sent,
+// and an old-format reader — which knows nothing of the credit fields —
+// still extracts every event untouched.
+func TestMixedVersionStreamWithCredit(t *testing.T) {
+	src := guid.New(guid.KindServer)
+	dst := guid.New(guid.KindEntity)
+
+	withCredit, err := NewEventBatch(src, dst, frames(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Piggyback a credit report the old wire format has no field for.
+	var body EventBatchBody
+	if err := withCredit.DecodeBody(&body); err != nil {
+		t.Fatal(err)
+	}
+	body.Credit = &BatchCredit{Dropped: 7, QueueFree: 12}
+	withCredit, err = NewMessage(src, dst, KindEventBatch, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewMessage(src, dst, KindEvent, json.RawMessage(frame(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldBatch, err := NewEventBatch(src, dst, frames(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := NewEventBatchAck(dst, src, BatchCredit{Events: 2, Dropped: 9, QueueFree: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, m := range []Message{withCredit, single, oldBatch, ack} {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// New-format reader: events in order, credit where carried.
+	r := NewReader(&buf)
+	var seqs []int
+	var credits []BatchCredit
+	for i := 0; i < 4; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, ok := m.BatchCreditInfo(); ok {
+			credits = append(credits, c)
+		}
+		if m.Kind != KindEvent && m.Kind != KindEventBatch {
+			continue
+		}
+		fs, err := m.EventFrames()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fs {
+			var b struct {
+				Seq int `json:"seq"`
+			}
+			if err := json.Unmarshal(f, &b); err != nil {
+				t.Fatal(err)
+			}
+			seqs = append(seqs, b.Seq)
+		}
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("decoded %d events, want 5", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("mixed-version stream order: got %v", seqs)
+		}
+	}
+	if len(credits) != 2 {
+		t.Fatalf("decoded %d credit reports, want 2 (piggyback + ack)", len(credits))
+	}
+	if credits[0].Dropped != 7 || credits[0].QueueFree != 12 {
+		t.Fatalf("piggybacked credit = %+v", credits[0])
+	}
+	if credits[1].Dropped != 9 || credits[1].QueueFree != 0 {
+		t.Fatalf("ack credit = %+v", credits[1])
+	}
+	// The credit-free batch must read as "no report", never as all-clear.
+	if _, ok := oldBatch.BatchCreditInfo(); ok {
+		t.Fatal("old-format batch invented a credit report")
+	}
+
+	// Old-format reader stance: decode the same credit-bearing batch with
+	// the pre-credit body shape — the unknown field is skipped and every
+	// event frame survives.
+	var oldBody struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := withCredit.DecodeBody(&oldBody); err != nil {
+		t.Fatal(err)
+	}
+	if len(oldBody.Events) != 2 {
+		t.Fatalf("old-format decode got %d frames, want 2", len(oldBody.Events))
+	}
+}

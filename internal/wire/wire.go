@@ -47,8 +47,13 @@ const (
 	// in the body; KindEventBatch carries an EventBatchBody coalescing many.
 	// Receivers decode both through Message.EventFrames, so a peer that still
 	// ships the single-event form interoperates with a batching one.
-	KindEvent      Kind = "event"
-	KindEventBatch Kind = "event.batch"
+	// KindEventBatchAck flows the other way: the receiver of an event.batch
+	// reports its flow credit (BatchCredit) so the sending coalescer can
+	// throttle. Peers that predate it simply never send it, and ignore it
+	// when received — no negotiation needed.
+	KindEvent         Kind = "event"
+	KindEventBatch    Kind = "event.batch"
+	KindEventBatchAck Kind = "event.batch_ack"
 
 	// Advertisement (service) calls.
 	KindServiceCall  Kind = "service_call"
@@ -114,6 +119,27 @@ func (m Message) Reply(kind Kind, body any) (Message, error) {
 // accept.
 type EventBatchBody struct {
 	Events []json.RawMessage `json:"events"`
+	// Credit optionally piggybacks the sender's receive-side flow-control
+	// state on return traffic, sparing a standalone ack. Absent on frames
+	// from peers that predate it; receivers must treat nil as "no report",
+	// never as an all-clear.
+	Credit *BatchCredit `json:"credit,omitempty"`
+}
+
+// BatchCredit is a receiver's flow-control report: carried on a
+// KindEventBatchAck reply (or piggybacked on an EventBatchBody heading the
+// other way) so the peer's outbound coalescer can match its flush rate to
+// what the receiver absorbs.
+type BatchCredit struct {
+	// Events counts the frames of the batch being acknowledged (0 on pure
+	// piggyback reports).
+	Events int `json:"events,omitempty"`
+	// Dropped is the receiver's cumulative count of events it has had to
+	// discard (full delivery queues); senders throttle on its deltas.
+	Dropped uint64 `json:"dropped"`
+	// QueueFree is the receiver's remaining delivery-queue capacity;
+	// negative means unknown (the receiver has no single bounded queue).
+	QueueFree int `json:"queue_free"`
 }
 
 // NewEventBatch builds a KindEventBatch message coalescing the given
@@ -123,6 +149,35 @@ func NewEventBatch(src, dst guid.GUID, events []json.RawMessage) (Message, error
 		return Message{}, fmt.Errorf("%w: empty event batch", ErrBadMessage)
 	}
 	return NewMessage(src, dst, KindEventBatch, EventBatchBody{Events: events})
+}
+
+// NewEventBatchAck builds the credit reply to an event.batch message.
+func NewEventBatchAck(src, dst guid.GUID, credit BatchCredit) (Message, error) {
+	return NewMessage(src, dst, KindEventBatchAck, credit)
+}
+
+// BatchCreditInfo extracts the flow-credit report a message carries: the
+// body of a KindEventBatchAck, or the optional Credit field piggybacked on
+// a KindEventBatch. ok is false when the message carries none — including
+// every frame from a peer that predates the credit fields, whose JSON
+// simply lacks them.
+func (m Message) BatchCreditInfo() (BatchCredit, bool) {
+	switch m.Kind {
+	case KindEventBatchAck:
+		var c BatchCredit
+		if err := m.DecodeBody(&c); err != nil {
+			return BatchCredit{}, false
+		}
+		return c, true
+	case KindEventBatch:
+		var b EventBatchBody
+		if err := m.DecodeBody(&b); err != nil || b.Credit == nil {
+			return BatchCredit{}, false
+		}
+		return *b.Credit, true
+	default:
+		return BatchCredit{}, false
+	}
 }
 
 // EventFrames returns the encoded events an event-bearing message carries:

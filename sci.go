@@ -42,6 +42,7 @@ import (
 	"sci/internal/entity"
 	"sci/internal/event"
 	"sci/internal/eventbus"
+	"sci/internal/flow"
 	"sci/internal/guid"
 	"sci/internal/location"
 	"sci/internal/mediator"
@@ -224,10 +225,13 @@ type (
 	// PublishAll.
 	Range = server.Range
 	// RangeConfig parameterises NewRange, including EventShards (the Event
-	// Mediator's dispatch lock-stripe count) and BatchMaxEvents /
-	// BatchMaxDelay (the Range Service's per-endpoint outbound wire
-	// coalescer: up to BatchMaxEvents remote deliveries ride one
-	// event.batch message, flushed after at most BatchMaxDelay).
+	// Mediator's dispatch lock-stripe count), BatchMaxEvents /
+	// BatchMaxDelay (the per-endpoint outbound wire coalescer: up to
+	// BatchMaxEvents remote deliveries ride one event.batch message,
+	// flushed after at most BatchMaxDelay) and AdaptiveBatching (the
+	// coalescers derive effective batch size and delay from each
+	// endpoint's observed arrival rate between the configured floors and
+	// those ceilings).
 	RangeConfig = server.Config
 	// QueryResult is the synchronous answer to Submit.
 	QueryResult = server.Result
@@ -255,6 +259,23 @@ const DefaultEventShards = eventbus.DefaultShards
 // DefaultBatchMaxDelay is the outbound coalescer's flush deadline when
 // RangeConfig.BatchMaxEvents enables batching without naming a delay.
 const DefaultBatchMaxDelay = server.DefaultBatchMaxDelay
+
+// Flow control — the unified outbound coalescing layer (internal/flow)
+// shared by the Range Service's per-endpoint delivery queues and the
+// SCINET fabric's per-peer and fan-out queues.
+type (
+	// AdaptiveBatching configures rate-derived batch sizing
+	// (RangeConfig.AdaptiveBatching): idle endpoints flush
+	// near-immediately while hot ones ride full batches.
+	AdaptiveBatching = flow.Adaptive
+	// FlowControlStats is the per-Range sink of outbound flow-control
+	// accounting — flushes, receiver-reported drops, throttle state —
+	// reached via Range.FlowStats and surfaced as the
+	// remote.backpressure.* gauges through Range.FillMetrics and the
+	// dispatch.stats infrastructure call (and, fleet-wide, through
+	// Fabric.FleetDispatchStats).
+	FlowControlStats = flow.SharedStats
+)
 
 // SCINET — the upper layer.
 type (
