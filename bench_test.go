@@ -388,3 +388,23 @@ func BenchmarkE12_AdaptiveFlowControl(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE13_MultiHopOverload — the attributed/transitive credit
+// experiment: a three-fabric chain (origin → relay → collapsed sink) whose
+// relay-reported downstream congestion throttles the origin, plus the
+// hot-bidirectional ack-economy phase. Reports the origin's flush-rate
+// collapse and the standalone-ack cost relative to PR 4's
+// one-ack-per-batch.
+func BenchmarkE13_MultiHopOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE13(64, 5*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Collapse > 0 {
+			b.ReportMetric(res.Collapse, "origin-collapse-x")
+		}
+		b.ReportMetric(float64(res.RelayDownstream), "relay-downstream-drops")
+		b.ReportMetric(res.AckRatioVsPR4, "acks-vs-pr4")
+	}
+}

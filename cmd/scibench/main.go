@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
 	big := flag.Bool("big", false, "larger parameter sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
@@ -132,6 +132,14 @@ func run(exp string, big bool, seed int64) error {
 		if bp != nil {
 			fmt.Println(sim.E12BackpressureTable(bp))
 		}
+	}
+	if all || exp == "e13" {
+		res, err := sim.RunE13(64, 5*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.E13Table(res))
+		fmt.Println(sim.E13AckTable(res))
 	}
 	return nil
 }

@@ -134,6 +134,11 @@ func WithShards(n int) Option {
 	return func(b *Bus) { b.nshards = n }
 }
 
+// maxDropSources bounds each stripe's per-publisher drop table; an
+// overflowing population (adversarial source churn) folds into the nil-GUID
+// bucket so the table cannot grow without bound.
+const maxDropSources = 4096
+
 // shard is one lock stripe: a slice of the exact-pattern index plus a slice
 // of the residual (wildcard) list, with its own dispatch counters.
 type shard struct {
@@ -149,6 +154,58 @@ type shard struct {
 	published atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+
+	// dropTab attributes every event discarded from a full queue in this
+	// stripe to its publisher (the attribution key the enqueue carried, or
+	// the discarded event's own Source). The table is copy-on-write — a
+	// drop during an overload storm costs one pointer load, one map read
+	// and one atomic add, no lock and no allocation; only the first drop
+	// from a new publisher takes dropMu to install a fresh table.
+	dropMu  sync.Mutex // guards table installs only
+	dropTab atomic.Pointer[srcDropTable]
+}
+
+// srcDropTable is an immutable snapshot of a stripe's per-publisher drop
+// counters; the counters themselves are shared across snapshots and
+// mutated atomically.
+type srcDropTable struct {
+	counts map[guid.GUID]*atomic.Uint64
+}
+
+// dropCounter returns the stripe's drop counter for one publisher,
+// installing it on first use (beyond maxDropSources, the nil-GUID overflow
+// bucket). Safe to call under a subscription's lock: the fast path is
+// lock-free and the install path takes only dropMu, a leaf lock.
+func (sh *shard) dropCounter(src guid.GUID) *atomic.Uint64 {
+	if t := sh.dropTab.Load(); t != nil {
+		if c, ok := t.counts[src]; ok {
+			return c
+		}
+	}
+	sh.dropMu.Lock()
+	defer sh.dropMu.Unlock()
+	var old map[guid.GUID]*atomic.Uint64
+	if t := sh.dropTab.Load(); t != nil {
+		if c, ok := t.counts[src]; ok {
+			return c // lost the install race
+		}
+		old = t.counts
+	}
+	key := src
+	if len(old) >= maxDropSources {
+		if c, ok := old[guid.Nil]; ok {
+			return c
+		}
+		key = guid.Nil // overflow bucket
+	}
+	nm := make(map[guid.GUID]*atomic.Uint64, len(old)+1)
+	for k, v := range old {
+		nm[k] = v
+	}
+	c := &atomic.Uint64{}
+	nm[key] = c
+	sh.dropTab.Store(&srcDropTable{counts: nm})
+	return c
 }
 
 // keyTable memoises event type → index lookup keys for one equivalence
@@ -228,6 +285,21 @@ func (b *Bus) idShard(id guid.GUID) *shard {
 type entry struct {
 	e   event.Event
 	run []event.Event // non-nil: a shared batched run; never written through
+	// pub is the publisher/endpoint the entry's events are attributed to for
+	// drop accounting; nil means attribute each discarded event to its own
+	// Source. Wire and overlay ingest set it to the sending endpoint so
+	// credit acks can blame the link whose traffic is being lost.
+	pub guid.GUID
+}
+
+// attribution returns the publisher a discarded event from this entry
+// counts against: the explicit key when one was given, the event's own
+// producer otherwise.
+func (en *entry) attribution(e event.Event) guid.GUID {
+	if !en.pub.IsNil() {
+		return en.pub
+	}
+	return e.Source
 }
 
 // events reports the entry's weight against the queue's event capacity.
@@ -534,7 +606,7 @@ func (b *Bus) PublishAll(events []event.Event) error {
 	// buffer, so it must not alias the caller's (reusable) slice.
 	shared := make([]event.Event, len(events))
 	copy(shared, events)
-	b.dispatchRuns(shared)
+	b.dispatchRuns(shared, guid.Nil)
 	return nil
 }
 
@@ -544,6 +616,17 @@ func (b *Bus) PublishAll(events []event.Event) error {
 // pipelines that already build a private slice per batch (the mediator's
 // stamping layer, wire ingest) the defensive copy.
 func (b *Bus) PublishAllOwned(events []event.Event) error {
+	return b.PublishAllOwnedFrom(guid.Nil, events)
+}
+
+// PublishAllOwnedFrom is PublishAllOwned with an explicit drop-attribution
+// key: every event of the batch later discarded from a full subscription
+// queue is counted against pub (readable through DropsFor) instead of the
+// event's own Source. Wire and overlay ingest pass the sending endpoint, so
+// a credit ack can report the drops that endpoint's traffic caused — not
+// the Range-wide total, and not the blameless co-tenant whose event a flood
+// happened to evict. A nil pub falls back to per-event Source attribution.
+func (b *Bus) PublishAllOwnedFrom(pub guid.GUID, events []event.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
@@ -555,13 +638,14 @@ func (b *Bus) PublishAllOwned(events []event.Event) error {
 	if b.closed.Load() {
 		return ErrClosed
 	}
-	b.dispatchRuns(events)
+	b.dispatchRuns(events, pub)
 	return nil
 }
 
 // dispatchRuns walks a validated, bus-owned batch in type-runs and fans
-// each run out to its matching subscriptions.
-func (b *Bus) dispatchRuns(shared []event.Event) {
+// each run out to its matching subscriptions, attributing eventual drops to
+// pub (nil: to each event's own Source).
+func (b *Bus) dispatchRuns(shared []event.Event, pub guid.GUID) {
 	tp := targetPool.Get().(*[]*Subscription)
 	targets := (*tp)[:0]
 
@@ -633,7 +717,7 @@ func (b *Bus) dispatchRuns(shared []event.Event) {
 			if !s.residual {
 				hits += uint64(len(toSend))
 			}
-			if n := s.enqueueRun(toSend); n > 0 {
+			if n := s.enqueueRun(toSend, pub); n > 0 {
 				b.dropped.Add(uint64(n))
 				s.shard.dropped.Add(uint64(n))
 			}
@@ -679,6 +763,37 @@ func (b *Bus) Stats() Stats {
 		IndexHits:       b.indexHits.Load(),
 		ResidualScanned: b.residualScanned.Load(),
 	}
+}
+
+// DropsFor returns the cumulative count of events discarded from full
+// subscription queues attributed to the given publisher: the figure a
+// flow-credit ack to that publisher's endpoint should carry. Publishers
+// that never caused a drop read 0.
+func (b *Bus) DropsFor(pub guid.GUID) uint64 {
+	var total uint64
+	for _, sh := range b.shards {
+		if t := sh.dropTab.Load(); t != nil {
+			if c, ok := t.counts[pub]; ok {
+				total += c.Load()
+			}
+		}
+	}
+	return total
+}
+
+// DropsBySource returns a merged snapshot of the per-publisher drop
+// attribution across all stripes. The nil-GUID key, when present, is the
+// overflow bucket of publishers beyond the per-stripe tracking bound.
+func (b *Bus) DropsBySource() map[guid.GUID]uint64 {
+	out := make(map[guid.GUID]uint64)
+	for _, sh := range b.shards {
+		if t := sh.dropTab.Load(); t != nil {
+			for src, c := range t.counts {
+				out[src] += c.Load()
+			}
+		}
+	}
+	return out
 }
 
 // ShardStats returns a per-stripe snapshot of dispatch load, index ordered.
@@ -857,20 +972,28 @@ func (s *Subscription) detach() {
 	sh.mu.Unlock()
 }
 
-// evictOldestLocked discards the single oldest queued event: the head of
-// the head entry's run, or the head entry itself when it holds one event.
-func (s *Subscription) evictOldestLocked() {
+// evictOldestLocked discards the single oldest queued event — the head of
+// the head entry's run, or the head entry itself when it holds one event —
+// and returns the publisher the discarded event is attributed to.
+func (s *Subscription) evictOldestLocked() guid.GUID {
 	en := &s.queue[s.head]
 	s.events--
 	if en.run != nil {
+		src := en.attribution(en.run[0])
 		en.run = en.run[1:]
 		if len(en.run) > 0 {
-			return
+			return src
 		}
+		s.queue[s.head] = entry{}
+		s.head = (s.head + 1) % len(s.queue)
+		s.count--
+		return src
 	}
+	src := en.attribution(en.e)
 	s.queue[s.head] = entry{}
 	s.head = (s.head + 1) % len(s.queue)
 	s.count--
+	return src
 }
 
 // pushLocked appends en to the ring. The caller has checked capacity: the
@@ -899,14 +1022,16 @@ func (s *Subscription) enqueue(e event.Event) int {
 		dropped = 1
 		if s.policy == DropNewest {
 			admitted = false
+			s.shard.dropCounter(e.Source).Add(1)
 		} else {
-			s.evictOldestLocked()
+			s.shard.dropCounter(s.evictOldestLocked()).Add(1)
 		}
 	}
 	if admitted {
 		slot := &s.queue[(s.head+s.count)%len(s.queue)]
 		slot.e = e
 		slot.run = nil
+		slot.pub = guid.Nil
 		s.count++
 		s.events++
 	}
@@ -922,13 +1047,27 @@ func (s *Subscription) enqueue(e event.Event) int {
 
 // enqueueRun appends a shared batched run to the ring as one entry — one
 // lock acquisition, one slice header, at most one wakeup — with drop
-// accounting identical to enqueueing the run's events one at a time. The
-// run is retained by the ring and must never be written to again. It
-// returns the number of events discarded; a closed subscription admits
-// nothing and drops nothing.
-func (s *Subscription) enqueueRun(run []event.Event) int {
+// accounting identical to enqueueing the run's events one at a time: every
+// discarded event is attributed to its publisher (pub when set, its own
+// Source otherwise), whichever entry it was discarded from. The run is
+// retained by the ring and must never be written to again. It returns the
+// number of events discarded; a closed subscription admits nothing and
+// drops nothing.
+func (s *Subscription) enqueueRun(run []event.Event, pub guid.GUID) int {
 	if len(run) == 0 {
 		return 0
+	}
+	// dropRun attributes a clipped stretch of the incoming run: one counter
+	// add when the whole ingest carries an attribution key, per-event
+	// Source otherwise.
+	dropRun := func(clipped []event.Event) {
+		if !pub.IsNil() {
+			s.shard.dropCounter(pub).Add(uint64(len(clipped)))
+			return
+		}
+		for i := range clipped {
+			s.shard.dropCounter(clipped[i].Source).Add(1)
+		}
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -943,29 +1082,29 @@ func (s *Subscription) enqueueRun(run []event.Event) int {
 		if free <= 0 {
 			admitted = false
 			dropped = len(run)
+			dropRun(run)
 		} else if len(run) > free {
 			dropped = len(run) - free
+			dropRun(run[free:])
 			run = run[:free]
 		}
 	} else { // DropOldest: final content is the newest capEvents events
 		if len(run) >= capEvents {
 			dropped = s.events + len(run) - capEvents
 			for s.count > 0 {
-				s.queue[s.head] = entry{}
-				s.head = (s.head + 1) % capEvents
-				s.count--
+				s.shard.dropCounter(s.evictOldestLocked()).Add(1)
 			}
-			s.events = 0
+			dropRun(run[:len(run)-capEvents])
 			run = run[len(run)-capEvents:]
 		} else {
 			for s.events+len(run) > capEvents {
 				dropped++
-				s.evictOldestLocked()
+				s.shard.dropCounter(s.evictOldestLocked()).Add(1)
 			}
 		}
 	}
 	if admitted {
-		s.pushLocked(entry{run: run})
+		s.pushLocked(entry{run: run, pub: pub})
 	}
 	s.mu.Unlock()
 	if admitted {

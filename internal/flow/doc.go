@@ -44,6 +44,11 @@
 // bounds equal the ceilings and the Coalescer behaves exactly like the
 // static copies it replaced.
 //
+// The arrival-rate estimator itself is exported as RateTracker, so bounded
+// queues outside this package (the Range Service connector's delivery
+// queue) size themselves from the same EWMA signal the Coalescer adapts on
+// instead of growing private copies.
+//
 // # Credit and backpressure
 //
 // Receivers report flow credit — their cumulative drop count and remaining
@@ -60,4 +65,34 @@
 // rate falls. Every transition and shed event is reported through the
 // optional SharedStats sink, which a Range surfaces as its
 // remote.backpressure.* gauges.
+//
+// # Attributed and transitive credit
+//
+// The cumulative drop count a receiver reports is *attributed*: it names
+// the drops caused by the reporting link's own traffic (the event bus
+// counts every discarded event against its publisher, and receivers ack
+// with the sender's per-publisher figure), never the receiving Range's
+// global total — so one endpoint's flood cannot throttle an innocent
+// neighbour sharing the Range. Credit is also *transitive* across relays:
+// a fabric that forwards batches onward folds the congestion it observes
+// downstream (the Downstream field of its overlay acks, itself a monotone
+// counter) into the figure it reports upstream, so a multi-hop chain
+// throttles at the origin rather than hop by hop. Both counters are
+// monotone per reporter; UpdateCredit treats a regression (a report below
+// the baseline) as a receiver restart and re-baselines rather than
+// freezing drop detection until the fresh counter re-passes the stale
+// high-water mark.
+//
+// The receive side of the loop is AckCoalescer: one per (receiver, peer)
+// pair, it coalesces the credit reports owed to that peer. The leading
+// report is immediate; reports whose figure moved are rate-limited to one
+// per window (cumulative figures mean one frame per window carries
+// everything a per-message flood would); no-news reports wait a longer
+// idle window, because an all-clear decays the sender's penalty and must
+// not outpace the congestion it is meant to confirm gone; and a pending
+// report can be claimed (Take) for piggybacking on reverse-direction
+// batches (wire.EventBatchBody.Credit), sparing the standalone ack frame
+// entirely. A relay reporting downstream congestion excludes what it
+// learned from the very peer it is acking — echoing a peer's own figure
+// back would amplify one finite drop episode around any cycle forever.
 package flow

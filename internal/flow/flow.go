@@ -29,6 +29,56 @@ type Adaptive struct {
 // DefaultRateHalfLife is used when Adaptive.RateHalfLife is zero.
 const DefaultRateHalfLife = 100 * time.Millisecond
 
+// RateTracker is an EWMA arrival-rate estimator: the adaptive-sizing signal
+// the Coalescer is built on, exported so other bounded queues (the Range
+// Service connector's delivery queue) can size themselves from the same
+// estimate instead of growing a private copy. Arrivals sharing one clock
+// instant (manual clocks) accumulate and fold when the clock next moves.
+// Not safe for concurrent use: callers guard it with their own lock.
+type RateTracker struct {
+	tau  float64 // EWMA time constant, seconds
+	rate float64 // events/sec
+	buf  float64 // arrivals since last (folded when the clock moves)
+	last time.Time
+}
+
+// NewRateTracker builds a tracker with the given half-life (how quickly the
+// estimate forgets old traffic); non-positive means DefaultRateHalfLife.
+func NewRateTracker(halfLife time.Duration) *RateTracker {
+	if halfLife <= 0 {
+		halfLife = DefaultRateHalfLife
+	}
+	return &RateTracker{tau: halfLife.Seconds() / math.Ln2}
+}
+
+// Observe folds n arrivals at now into the estimate. It reports whether the
+// estimate moved: false while the clock stands still (the arrivals are
+// buffered and fold on the next tick) and on the very first arrival, which
+// only opens the measurement window.
+func (rt *RateTracker) Observe(n int, now time.Time) bool {
+	if rt.last.IsZero() {
+		// The first arrival sets the window start; it cannot contribute to a
+		// rate until time has passed.
+		rt.last = now
+		return false
+	}
+	rt.buf += float64(n)
+	dt := now.Sub(rt.last).Seconds()
+	if dt <= 0 {
+		return false
+	}
+	inst := rt.buf / dt
+	w := math.Exp(-dt / rt.tau)
+	rt.rate = w*rt.rate + (1-w)*inst
+	rt.buf = 0
+	rt.last = now
+	return true
+}
+
+// Rate returns the current estimate in events per second (0 until time has
+// passed across at least two observations).
+func (rt *RateTracker) Rate() float64 { return rt.rate }
+
 // maxPenalty bounds the credit-collapse flush-rate penalty (and with it the
 // stretched timer delay, at maxPenalty × the effective delay).
 const maxPenalty = 16
@@ -86,7 +136,6 @@ type Config struct {
 // batches. Construct with New; safe for concurrent use.
 type Coalescer struct {
 	cfg Config
-	tau float64 // EWMA time constant, seconds
 
 	// sendMu serialises flushes: a timer flush and a size flush may race,
 	// and sending outside the extraction lock without ordering them could
@@ -99,9 +148,7 @@ type Coalescer struct {
 	dead    bool
 
 	// Adaptive state (guarded by mu).
-	rate     float64 // events/sec EWMA
-	rateBuf  float64 // arrivals since rateLast (folded when the clock moves)
-	rateLast time.Time
+	rt       *RateTracker
 	eff      int           // current effective batch size
 	effDelay time.Duration // current effective flush delay
 
@@ -137,7 +184,7 @@ func New(cfg Config) *Coalescer {
 	}
 	c := &Coalescer{
 		cfg:     cfg,
-		tau:     cfg.Adaptive.RateHalfLife.Seconds() / math.Ln2,
+		rt:      NewRateTracker(cfg.Adaptive.RateHalfLife),
 		penalty: 1,
 	}
 	if cfg.Adaptive.Enabled {
@@ -153,33 +200,19 @@ func New(cfg Config) *Coalescer {
 }
 
 // observe folds n arrivals at now into the EWMA rate and recomputes the
-// effective bounds. Called under mu. Arrivals sharing one clock instant
-// (manual clocks) accumulate and fold when the clock next moves.
+// effective bounds. Called under mu.
 func (c *Coalescer) observe(n int, now time.Time) {
 	if !c.cfg.Adaptive.Enabled {
 		return
 	}
-	if c.rateLast.IsZero() {
-		// First arrival sets the window start; it cannot contribute to a
-		// rate until time has passed.
-		c.rateLast = now
+	if !c.rt.Observe(n, now) {
 		return
 	}
-	c.rateBuf += float64(n)
-	dt := now.Sub(c.rateLast).Seconds()
-	if dt <= 0 {
-		return
-	}
-	inst := c.rateBuf / dt
-	w := math.Exp(-dt / c.tau)
-	c.rate = w*c.rate + (1-w)*inst
-	c.rateBuf = 0
-	c.rateLast = now
 
 	a := c.cfg.Adaptive
 	// The batch worth waiting for is the arrivals expected within one
 	// ceiling delay window; beyond that, waiting buys nothing.
-	want := int(math.Round(c.rate * c.cfg.MaxDelay.Seconds()))
+	want := int(math.Round(c.rt.Rate() * c.cfg.MaxDelay.Seconds()))
 	c.eff = clampInt(want, a.MinBatch, c.cfg.MaxBatch)
 	if c.cfg.MaxBatch > a.MinBatch {
 		frac := float64(c.eff-a.MinBatch) / float64(c.cfg.MaxBatch-a.MinBatch)
@@ -337,11 +370,16 @@ func (c *Coalescer) Discard() {
 // UpdateCredit ingests one receiver credit report: the receiver's
 // cumulative drop count and its remaining queue capacity (negative =
 // unknown). The first report establishes the drop baseline; later reports
-// feed the delta to NoteCredit.
+// feed the delta to NoteCredit. A report below the baseline means the
+// receiver restarted (its counter reset to zero, possibly under a reused
+// GUID): the baseline is reset to the regressed value rather than held, so
+// the very next genuine drop is detected instead of drop detection freezing
+// until the fresh counter re-passes the stale high-water mark. The
+// regressing report itself carries no delta — a restart is not congestion.
 func (c *Coalescer) UpdateCredit(dropped uint64, queueFree int) {
 	c.mu.Lock()
 	var delta uint64
-	if c.creditSeen && dropped > c.lastDropped {
+	if c.creditSeen && dropped >= c.lastDropped {
 		delta = dropped - c.lastDropped
 	}
 	c.creditSeen = true

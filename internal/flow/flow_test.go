@@ -409,3 +409,168 @@ func TestConcurrentAddFlushCredit(t *testing.T) {
 		t.Fatalf("delivered %d events, want %d", got, 4*200*3)
 	}
 }
+
+// TestReceiverRestartRebaselinesCredit: a credit report below the baseline
+// (the receiver restarted and its cumulative counter reset) re-baselines
+// drop detection instead of freezing it until the fresh counter re-passes
+// the stale high-water mark — the very next genuine drop must throttle.
+func TestReceiverRestartRebaselinesCredit(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	rec := &recorder{}
+	st := &SharedStats{}
+	c := newStatic(clk, 8, 10*time.Millisecond, rec, st)
+
+	c.UpdateCredit(1000, 100) // baseline, far along the old counter
+	c.UpdateCredit(1050, 3)   // 50 new drops: throttled
+	if !c.Throttled() {
+		t.Fatal("drop report did not throttle")
+	}
+	for i := 0; i < 10 && c.Throttled(); i++ {
+		c.UpdateCredit(1050, 100)
+	}
+	if c.Throttled() {
+		t.Fatal("healthy reports did not recover")
+	}
+
+	// Restart: the counter regresses to zero. Not congestion — no throttle.
+	c.UpdateCredit(0, 100)
+	if c.Throttled() {
+		t.Fatal("counter regression read as congestion")
+	}
+	// The stale 1050 baseline must be gone: 5 post-restart drops are a
+	// fresh delta, not a report still 1045 short of the high-water mark.
+	c.UpdateCredit(5, 3)
+	if !c.Throttled() {
+		t.Fatal("post-restart drops frozen behind the stale baseline")
+	}
+	if got := st.DropsReported.Value(); got != 55 {
+		t.Fatalf("DropsReported = %d, want 55 (50 pre-restart + 5 post)", got)
+	}
+}
+
+// TestRateTrackerEstimate: the exported tracker converges on a steady
+// arrival rate, buffers same-instant arrivals until the clock moves, and
+// decays when traffic stops.
+func TestRateTrackerEstimate(t *testing.T) {
+	rt := NewRateTracker(100 * time.Millisecond)
+	now := epoch
+	if rt.Observe(10, now) {
+		t.Fatal("first observation cannot move the estimate")
+	}
+	if rt.Rate() != 0 {
+		t.Fatalf("rate before time passed = %v, want 0", rt.Rate())
+	}
+	// 100 events every 10ms = 10k events/s, for 50 ticks (5 half-lives).
+	for i := 0; i < 50; i++ {
+		now = now.Add(10 * time.Millisecond)
+		if !rt.Observe(100, now) {
+			t.Fatal("observation across a clock tick did not fold")
+		}
+	}
+	if r := rt.Rate(); r < 9000 || r > 11000 {
+		t.Fatalf("steady 10k/s stream estimated at %.0f", r)
+	}
+	// Same-instant arrivals buffer and fold on the next tick.
+	if rt.Observe(100, now) {
+		t.Fatal("same-instant arrival folded without time passing")
+	}
+	now = now.Add(10 * time.Millisecond)
+	rt.Observe(0, now)
+	if r := rt.Rate(); r < 9000 || r > 11000 {
+		t.Fatalf("buffered same-instant arrivals lost: %.0f", r)
+	}
+	// A long silent gap collapses the estimate.
+	now = now.Add(2 * time.Second)
+	rt.Observe(0, now)
+	if r := rt.Rate(); r > 100 {
+		t.Fatalf("estimate after 20 half-lives of silence = %.0f, want ~0", r)
+	}
+}
+
+// TestAckCoalescerRateLimitsReports: the leading report is immediate,
+// figure-moving reports are rate-limited to one per window, no-news
+// reports wait the idle window, and Take claims a pending report for
+// piggybacking (suppressing its standalone send).
+func TestAckCoalescerRateLimitsReports(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	var figure uint64
+	type sent struct{ events int }
+	var mu sync.Mutex
+	var sends []sent
+	a := NewAckCoalescer(AckConfig{
+		Clock:      clk,
+		Window:     2 * time.Millisecond,
+		IdleWindow: 20 * time.Millisecond,
+		Figure:     func() uint64 { return figure },
+		Send: func(events int) bool {
+			mu.Lock()
+			sends = append(sends, sent{events})
+			mu.Unlock()
+			return true
+		},
+	})
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(sends)
+	}
+
+	a.Note(4) // leading edge: immediate
+	if count() != 1 {
+		t.Fatalf("leading report not immediate: %d sends", count())
+	}
+	// A drop storm: the figure moves on every ingest, but reports stay
+	// rate-limited to one per window.
+	for i := 0; i < 100; i++ {
+		figure += 3
+		a.Note(1)
+	}
+	if count() != 1 {
+		t.Fatalf("drop storm provoked %d sends within one window, want the initial 1", count())
+	}
+	clk.Advance(2 * time.Millisecond)
+	if count() != 2 {
+		t.Fatalf("window expiry sent %d reports, want exactly 1 more", count())
+	}
+	mu.Lock()
+	if sends[1].events != 100 {
+		mu.Unlock()
+		t.Fatalf("deferred report covers %d frames, want the accumulated 100", sends[1].events)
+	}
+	mu.Unlock()
+
+	// No-news reports wait the idle window, not the urgent one.
+	a.Note(5)
+	clk.Advance(2 * time.Millisecond)
+	if count() != 2 {
+		t.Fatal("no-news report left at the urgent window")
+	}
+	// An urgent note shortens the armed idle deferral to the window edge.
+	figure += 1
+	a.Note(1)
+	clk.Advance(2 * time.Millisecond)
+	if count() != 3 {
+		t.Fatalf("urgent note did not shorten the idle deferral: %d sends", count())
+	}
+
+	// Take claims the pending report; nothing standalone follows.
+	a.Note(7)
+	clk.Advance(2 * time.Millisecond) // within idle window: still pending
+	events, ok := a.Take()
+	if !ok || events != 7 {
+		t.Fatalf("Take = (%d, %v), want (7, true)", events, ok)
+	}
+	clk.Advance(40 * time.Millisecond)
+	if count() != 3 {
+		t.Fatalf("claimed report still went standalone: %d sends", count())
+	}
+	if _, ok := a.Take(); ok {
+		t.Fatal("second Take claimed an already-taken report")
+	}
+	a.Stop()
+	a.Note(1)
+	clk.Advance(40 * time.Millisecond)
+	if count() != 3 {
+		t.Fatal("stopped coalescer still reported")
+	}
+}

@@ -308,6 +308,15 @@ func (m *Mediator) PublishAllOwned(events []event.Event) error {
 	return m.bus.PublishAllOwned(events)
 }
 
+// PublishAllOwnedFrom is PublishAllOwned with an explicit drop-attribution
+// key: events of this batch later discarded from full subscription queues
+// count against pub (see DropsFor) instead of their own Source — the wire
+// and overlay ingest paths pass the sending endpoint so credit acks can
+// name the link responsible.
+func (m *Mediator) PublishAllOwnedFrom(pub guid.GUID, events []event.Event) error {
+	return m.bus.PublishAllOwnedFrom(pub, events)
+}
+
 // Cancel removes one subscription.
 func (m *Mediator) Cancel(id guid.GUID) error {
 	ls := m.remove(id)
@@ -425,6 +434,17 @@ func (m *Mediator) Stats() eventbus.Stats {
 // ShardStats exposes the bus's per-stripe dispatch counters.
 func (m *Mediator) ShardStats() []eventbus.ShardStats {
 	return m.bus.ShardStats()
+}
+
+// DropsFor exposes the bus's cumulative drop count attributed to one
+// publisher/endpoint.
+func (m *Mediator) DropsFor(pub guid.GUID) uint64 {
+	return m.bus.DropsFor(pub)
+}
+
+// DropsBySource exposes the bus's per-publisher drop attribution snapshot.
+func (m *Mediator) DropsBySource() map[guid.GUID]uint64 {
+	return m.bus.DropsBySource()
 }
 
 // IndexHitRatio reports the fraction of dispatch work the bus resolved

@@ -430,12 +430,21 @@ func TestReceiverOverloadThrottlesHostCoalescer(t *testing.T) {
 		return out
 	}
 	// Three full batches against a blocked two-slot queue: overflow drops
-	// are certain, their acks must throttle the sender.
+	// are certain, their acks must throttle the sender. Drop-bearing
+	// reports are rate-limited to one per ack window, so the manual clock
+	// must run the windows out for the later reports to leave.
 	r.host.sendEvents(dest, burst(0, 12))
 	r.host.mu.Lock()
 	q := r.host.out[dest]
 	r.host.mu.Unlock()
-	waitFor(t, func() bool { return q.Throttled() })
+	deadline := time.Now().Add(5 * time.Second)
+	for !q.Throttled() {
+		if time.Now().After(deadline) {
+			t.Fatal("collapsing credit never throttled the host coalescer")
+		}
+		r.clk.Advance(2 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
 	if got := r.rng.FlowStats().DropsReported.Value(); got == 0 {
 		t.Fatal("receiver drops never reached the sender's stats")
 	}

@@ -35,6 +35,7 @@ import (
 	"sci/internal/event"
 	"sci/internal/flow"
 	"sci/internal/guid"
+	"sci/internal/metrics"
 	"sci/internal/profile"
 	"sci/internal/query"
 	"sci/internal/server"
@@ -108,20 +109,40 @@ type serviceReplyBody struct {
 // (wire.BatchCredit); a collapsing credit throttles that endpoint's
 // coalescer flush rate, surfaced through the Range's
 // remote.backpressure.* gauges.
+//
+// Credit flows the other way too: batches a remote CE publishes are
+// acknowledged with the drops *that endpoint's traffic* caused (the bus's
+// per-publisher attribution, Range.DispatchDropsFor), never the Range-wide
+// total. Acks are coalesced per endpoint — a report carrying fresh drops
+// leaves immediately, redundant healthy reports are rate-limited to one
+// per ack window with a timer fallback — and, toward endpoints known to
+// speak the credit protocol, ride outbound event.batch messages
+// (EventBatchBody.Credit) instead of standalone event.batch_ack frames
+// when reverse-direction traffic is available to carry them.
 type Host struct {
 	rng *server.Range
 	ep  transport.Endpoint
 	clk clock.Clock
 
-	maxBatch int
-	maxDelay time.Duration
-	adaptive flow.Adaptive
+	maxBatch  int
+	maxDelay  time.Duration
+	adaptive  flow.Adaptive
+	ackWindow time.Duration
 
-	mu      sync.Mutex
-	remotes map[guid.GUID]*remoteProxy    // remote CE/CAA → proxy
-	out     map[guid.GUID]*flow.Coalescer // remote endpoint → outbound coalescer
-	failing guid.Set                      // endpoints whose last send failed (transition logging)
-	closed  bool
+	mu          sync.Mutex
+	remotes     map[guid.GUID]*remoteProxy       // remote CE/CAA → proxy
+	out         map[guid.GUID]*flow.Coalescer    // remote endpoint → outbound coalescer
+	acks        map[guid.GUID]*flow.AckCoalescer // publishing endpoint → coalesced ack owed
+	creditAware guid.Set                         // endpoints that have sent us credit (decode piggybacks)
+	failing     guid.Set                         // endpoints whose last send failed (transition logging)
+	closed      bool
+
+	// AcksSent counts standalone event.batch_ack frames shipped;
+	// AcksPiggybacked counts credit reports that rode an outbound
+	// event.batch instead. Their ratio is the frame saving on
+	// bidirectional links.
+	AcksSent        metrics.Counter
+	AcksPiggybacked metrics.Counter
 }
 
 // remoteProxy stands in for a remote component inside the Range.
@@ -159,14 +180,20 @@ func NewHost(rng *server.Range, net transport.Network, clk clock.Clock) (*Host, 
 		clk = clock.Real()
 	}
 	h := &Host{
-		rng:      rng,
-		clk:      clk,
-		maxBatch: rng.BatchMaxEvents(),
-		maxDelay: rng.BatchMaxDelay(),
-		adaptive: rng.AdaptiveBatching(),
-		remotes:  make(map[guid.GUID]*remoteProxy),
-		out:      make(map[guid.GUID]*flow.Coalescer),
-		failing:  guid.NewSet(),
+		rng:         rng,
+		clk:         clk,
+		maxBatch:    rng.BatchMaxEvents(),
+		maxDelay:    rng.BatchMaxDelay(),
+		adaptive:    rng.AdaptiveBatching(),
+		ackWindow:   rng.BatchMaxDelay(),
+		remotes:     make(map[guid.GUID]*remoteProxy),
+		out:         make(map[guid.GUID]*flow.Coalescer),
+		acks:        make(map[guid.GUID]*flow.AckCoalescer),
+		creditAware: guid.NewSet(),
+		failing:     guid.NewSet(),
+	}
+	if h.ackWindow <= 0 {
+		h.ackWindow = server.DefaultBatchMaxDelay
 	}
 	ep, err := net.Attach(rng.ServerID(), h.handle)
 	if err != nil {
@@ -205,7 +232,15 @@ func (h *Host) Close() error {
 		queues = append(queues, q)
 	}
 	h.out = make(map[guid.GUID]*flow.Coalescer)
+	acks := make([]*flow.AckCoalescer, 0, len(h.acks))
+	for _, a := range h.acks {
+		acks = append(acks, a)
+	}
+	h.acks = make(map[guid.GUID]*flow.AckCoalescer)
 	h.mu.Unlock()
+	for _, a := range acks {
+		a.Stop()
+	}
 	for _, q := range queues {
 		q.Flush()
 		q.Discard()
@@ -369,30 +404,103 @@ func (h *Host) handleEvents(m wire.Message) {
 		e.Range = guid.Nil
 		events = append(events, e)
 	}
-	switch len(events) {
-	case 0:
-	case 1:
-		_ = h.rng.Publish(events[0])
-	default:
-		_ = h.rng.PublishAll(events)
+	// The whole ingest is attributed to the publishing endpoint, so any
+	// drops it causes downstream are counted against it — the figure its
+	// acks carry (every event's Source equals m.Src here, but the explicit
+	// key documents the contract and survives future relaxations).
+	if len(events) > 0 {
+		_ = h.rng.PublishAllFrom(m.Src, events)
 	}
 	// Batched publishers get a flow-credit ack so remote CEs can see the
-	// drops their traffic causes. Legacy single-event frames predate acks
-	// and stay silent (old peers would not understand the reply either).
-	if m.Kind == wire.KindEventBatch {
-		ackCredit := wire.BatchCredit{
-			Events:    len(frames),
-			Dropped:   h.rng.DispatchStats().Dropped,
-			QueueFree: -1, // dispatch rings are per subscription, not one queue
-		}
-		if ack, err := wire.NewEventBatchAck(h.rng.ServerID(), m.Src, ackCredit); err == nil {
-			_ = h.send(m.Src, ack)
-		}
-	}
+	// drops their traffic causes — attributed to this endpoint, never the
+	// Range-wide total. Acks are coalesced per endpoint: fresh drops leave
+	// immediately, redundant healthy reports at most once per ack window
+	// (timer fallback), and pending reports ride outbound batches when the
+	// reverse direction is hot. Endpoints that have only ever sent legacy
+	// single-event frames predate acks and stay silent (they would not
+	// understand the reply either).
+	h.noteIngest(m.Src, len(frames), m.Kind == wire.KindEventBatch)
 	// A publisher that also receives deliveries may piggyback its credit.
 	if credit != nil {
 		h.applyCredit(m.Src, *credit)
 	}
+}
+
+// noteIngest records frames ingested from a publishing endpoint with the
+// endpoint's ack coalescer (flow.AckCoalescer): the leading report and
+// reports whose attributed drop figure moved leave promptly (rate-limited
+// to one per ack window even under a drop storm — the figure is
+// cumulative, so one frame per window says everything), redundant healthy
+// reports ride the window timer, and a pending report is claimed by the
+// next outbound batch that can carry it. batch marks the message form:
+// only endpoints that have sent at least one event.batch are ack-aware.
+func (h *Host) noteIngest(src guid.GUID, frames int, batch bool) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	a := h.acks[src]
+	if a == nil {
+		if !batch {
+			h.mu.Unlock()
+			return // legacy-only peer: never ack
+		}
+		a = flow.NewAckCoalescer(flow.AckConfig{
+			Clock:  h.clk,
+			Window: h.ackWindow,
+			Figure: func() uint64 { return h.rng.DispatchDropsFor(src) },
+			Send:   func(events int) bool { return h.sendAck(src, events) },
+		})
+		h.acks[src] = a
+	}
+	h.mu.Unlock()
+	a.Note(frames)
+}
+
+// ackCredit builds the credit report an ack to one endpoint carries: the
+// drops attributed to that endpoint's traffic, and an unknown queue depth
+// (dispatch rings are per subscription, not one queue).
+func (h *Host) ackCredit(to guid.GUID, events int) wire.BatchCredit {
+	return wire.BatchCredit{
+		Events:    events,
+		Dropped:   h.rng.DispatchDropsFor(to),
+		QueueFree: -1,
+	}
+}
+
+// sendAck ships one standalone event.batch_ack frame, reporting success.
+func (h *Host) sendAck(to guid.GUID, events int) bool {
+	ack, err := wire.NewEventBatchAck(h.rng.ServerID(), to, h.ackCredit(to, events))
+	if err != nil {
+		return true // unencodable: dropping the report is all we can do
+	}
+	if h.send(to, ack) != nil {
+		return false
+	}
+	h.AcksSent.Inc()
+	return true
+}
+
+// takePiggybackCredit claims the pending credit report owed to an endpoint
+// for carriage on an outbound event.batch, suppressing the standalone ack
+// frame. Only endpoints that have demonstrated credit awareness (sent us a
+// credit report of their own) qualify: an older peer reads credit solely
+// from standalone acks, and a report piggybacked to it would be lost.
+func (h *Host) takePiggybackCredit(to guid.GUID) *wire.BatchCredit {
+	h.mu.Lock()
+	a := h.acks[to]
+	aware := h.creditAware.Has(to) && !h.closed
+	h.mu.Unlock()
+	if a == nil || !aware {
+		return nil
+	}
+	events, ok := a.Take()
+	if !ok {
+		return nil
+	}
+	credit := h.ackCredit(to, events)
+	return &credit
 }
 
 // handleCredit ingests a standalone event.batch_ack from a remote receiver.
@@ -407,9 +515,11 @@ func (h *Host) handleCredit(m wire.Message) {
 // applyCredit routes a receiver flow-credit report into the reporting
 // endpoint's outbound coalescer, which throttles its flush rate while the
 // credit stays collapsed. Reports from endpoints we never coalesce to are
-// dropped — a credit must not create a queue.
+// dropped — a credit must not create a queue. Any report also marks the
+// endpoint credit-aware, unlocking piggybacked acks toward it.
 func (h *Host) applyCredit(from guid.GUID, credit wire.BatchCredit) {
 	h.mu.Lock()
+	h.creditAware.Add(from)
 	q := h.out[from]
 	h.mu.Unlock()
 	if q != nil {
@@ -527,7 +637,9 @@ func (h *Host) queueFor(to guid.GUID) *flow.Coalescer {
 }
 
 // sendBatch encodes a coalesced run of events into one event.batch wire
-// message.
+// message, folding in any pending flow-credit ack owed to the destination —
+// on a hot bidirectional link the reverse traffic carries the credit and
+// the standalone ack frame is never paid.
 func (h *Host) sendBatch(to guid.GUID, events []event.Event) {
 	frames := make([]json.RawMessage, 0, len(events))
 	for i := range events {
@@ -540,13 +652,26 @@ func (h *Host) sendBatch(to guid.GUID, events []event.Event) {
 	if len(frames) == 0 {
 		return
 	}
-	m, err := wire.NewEventBatch(h.rng.ServerID(), to, frames)
+	credit := h.takePiggybackCredit(to)
+	m, err := wire.NewEventBatchWithCredit(h.rng.ServerID(), to, frames, credit)
 	if err != nil {
 		return
 	}
 	if h.send(to, m) == nil {
 		h.rng.RemoteBatchesSent.Inc()
 		h.rng.RemoteEventsSent.Add(uint64(len(frames)))
+		if credit != nil {
+			h.AcksPiggybacked.Inc()
+		}
+	} else if credit != nil {
+		// The claimed report must survive the failed carrier: re-note it so
+		// the standalone path retries.
+		h.mu.Lock()
+		a := h.acks[to]
+		h.mu.Unlock()
+		if a != nil {
+			a.Note(credit.Events)
+		}
 	}
 }
 
@@ -575,16 +700,26 @@ func (h *Host) send(to guid.GUID, m wire.Message) error {
 }
 
 // Connector is the client side of the Fig 5 sequence for a remote CE or
-// CAA. Construct with NewConnector, then Register.
+// CAA. Construct with NewConnector (per-event delivery) or
+// NewBatchConnector (whole-backlog slices), then Register.
 //
 // Pushed events (query results, configuration inputs) land in a bounded
-// delivery queue drained by a dedicated goroutine, so a slow onEvent
-// handler can never stall the transport; when the queue overflows, the
-// oldest events are dropped (context data is freshest-wins) and counted.
-// Every received event.batch is acknowledged with the connector's flow
+// delivery queue drained by a dedicated goroutine, so a slow handler can
+// never stall the transport; when the queue overflows, the oldest events
+// are dropped (context data is freshest-wins) and counted. The queue may
+// size itself from the observed arrival rate (EnableAdaptiveQueue, backed
+// by flow.RateTracker): idle connectors keep a shallow queue and low
+// staleness, hot ones grow headroom for bursts up to the configured
+// ceiling.
+//
+// Received event.batch messages are acknowledged with the connector's flow
 // credit — the cumulative drop count and remaining queue capacity — which
 // the Range Service feeds into that endpoint's outbound coalescer to
-// throttle its flush rate while the connector is overloaded.
+// throttle its flush rate while the connector is overloaded. Acks are
+// coalesced: a report carrying fresh drops leaves immediately, redundant
+// healthy reports at most once per ack window (timer fallback), and a
+// pending report rides the next published batch (EventBatchBody.Credit)
+// instead of paying a standalone event.batch_ack frame.
 type Connector struct {
 	id   guid.GUID
 	name string
@@ -597,19 +732,39 @@ type Connector struct {
 	announced chan announceBody
 	waiters   map[guid.GUID]chan wire.Message
 	onEvent   func(event.Event)
-	dq        []event.Event // bounded delivery queue (onEvent != nil)
+	onBatch   func([]event.Event)
+	dq        []event.Event // bounded delivery queue (onEvent/onBatch != nil)
 	dqCap     int
 	dqWake    chan struct{}
-	dqDropped uint64 // cumulative overflow drops, reported in acks
+	dqDropped uint64            // cumulative overflow drops, reported in acks
+	dqRate    *flow.RateTracker // non-nil: adaptive queue sizing
+	dqMin     int
+	dqMax     int
 	credit    wire.BatchCredit
 	hasCredit bool
 	hbTimer   clock.Timer
 	closed    bool
+
+	// Coalesced ack state, one flow.AckCoalescer per delivering endpoint
+	// (acks answer the sender of the batch they cover).
+	acks      map[guid.GUID]*flow.AckCoalescer
+	acksSent  metrics.Counter
+	acksPiggy metrics.Counter
 }
 
 // DefaultDeliveryQueueLen is the connector delivery queue capacity when
 // none is set.
 const DefaultDeliveryQueueLen = 1024
+
+// connAckWindow is the connector's ack-coalescing window: redundant healthy
+// credit reports are rate-limited to one per window (reports carrying new
+// drops always leave immediately).
+const connAckWindow = server.DefaultBatchMaxDelay
+
+// adaptiveQueueWindow is how much traffic, at the observed arrival rate, an
+// adaptively sized delivery queue provisions for: bursts shorter than this
+// window at the estimated rate fit without drops.
+const adaptiveQueueWindow = 50 * time.Millisecond
 
 // Errors.
 var (
@@ -624,6 +779,19 @@ const RequestTimeout = 5 * time.Second
 // receives pushed events (query results for CAAs, configuration inputs for
 // CEs); it may be nil.
 func NewConnector(id guid.GUID, name string, net transport.Network, onEvent func(event.Event), clk clock.Clock) (*Connector, error) {
+	return newConnector(id, name, net, onEvent, nil, clk)
+}
+
+// NewBatchConnector attaches a component endpoint whose handler consumes
+// the whole delivery backlog as one slice per wakeup — the same batch-fed
+// edge the mediator gives local consumers — so per-event overhead (locks,
+// encoding, downstream writes) amortises across a burst. The slice is
+// reused between invocations and must not be retained.
+func NewBatchConnector(id guid.GUID, name string, net transport.Network, onBatch func([]event.Event), clk clock.Clock) (*Connector, error) {
+	return newConnector(id, name, net, nil, onBatch, clk)
+}
+
+func newConnector(id guid.GUID, name string, net transport.Network, onEvent func(event.Event), onBatch func([]event.Event), clk clock.Clock) (*Connector, error) {
 	if clk == nil {
 		clk = clock.Real()
 	}
@@ -634,33 +802,71 @@ func NewConnector(id guid.GUID, name string, net transport.Network, onEvent func
 		announced: make(chan announceBody, 1),
 		waiters:   make(map[guid.GUID]chan wire.Message),
 		onEvent:   onEvent,
+		onBatch:   onBatch,
 		dqCap:     DefaultDeliveryQueueLen,
 		dqWake:    make(chan struct{}, 1),
+		acks:      make(map[guid.GUID]*flow.AckCoalescer),
 	}
 	ep, err := net.Attach(id, c.handle)
 	if err != nil {
 		return nil, fmt.Errorf("rangesvc: attach connector: %w", err)
 	}
 	c.ep = ep
-	if onEvent != nil {
+	if onEvent != nil || onBatch != nil {
 		go c.deliverLoop()
 	}
 	return c, nil
 }
 
-// SetDeliveryQueueCap bounds the delivery queue (events awaiting onEvent).
-// Shrinking below the current backlog drops the oldest surplus.
+// SetDeliveryQueueCap bounds the delivery queue (events awaiting the
+// handler) at a fixed capacity, disabling adaptive sizing. Shrinking below
+// the current backlog drops the oldest surplus.
 func (c *Connector) SetDeliveryQueueCap(n int) {
 	if n < 1 {
 		n = 1
 	}
 	c.mu.Lock()
+	c.dqRate = nil
+	c.setQueueCapLocked(n)
+	c.mu.Unlock()
+}
+
+// EnableAdaptiveQueue sizes the delivery queue from the observed arrival
+// rate instead of a fixed cap: capacity = clamp(rate × adaptiveQueueWindow,
+// min, max), re-derived as deliveries arrive, reusing the flow layer's
+// EWMA rate tracker (halfLife ≤ 0 means flow.DefaultRateHalfLife). A hot
+// connector grows burst headroom toward max; an idle one shrinks toward
+// min, bounding how stale a queued event can get before freshest-wins
+// eviction.
+func (c *Connector) EnableAdaptiveQueue(min, max int, halfLife time.Duration) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	c.mu.Lock()
+	c.dqRate = flow.NewRateTracker(halfLife)
+	c.dqMin, c.dqMax = min, max
+	c.setQueueCapLocked(min)
+	c.mu.Unlock()
+}
+
+// setQueueCapLocked applies a new queue bound, evicting the oldest surplus.
+// Callers hold c.mu.
+func (c *Connector) setQueueCapLocked(n int) {
 	c.dqCap = n
 	if over := len(c.dq) - n; over > 0 {
 		c.dq = append(c.dq[:0], c.dq[over:]...)
 		c.dqDropped += uint64(over)
 	}
-	c.mu.Unlock()
+}
+
+// DeliveryQueueCap reports the current (possibly rate-derived) queue bound.
+func (c *Connector) DeliveryQueueCap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dqCap
 }
 
 // DeliveryDrops reports how many pushed events overflowed the delivery
@@ -672,23 +878,116 @@ func (c *Connector) DeliveryDrops() uint64 {
 }
 
 // RemoteCredit returns the last flow-credit report received from the
-// Range Service (acks to this connector's published batches): the Range's
-// cumulative dispatch drops. ok is false until a report arrives — old
-// hosts never send one.
+// Range Service (acks to this connector's published batches, standalone or
+// piggybacked on a delivery batch): the drops this connector's own traffic
+// caused in the Range. ok is false until a report arrives — old hosts
+// never send one.
 func (c *Connector) RemoteCredit() (wire.BatchCredit, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.credit, c.hasCredit
 }
 
+// AcksSent reports how many standalone event.batch_ack frames this
+// connector has shipped; AcksPiggybacked how many credit reports rode a
+// published batch instead.
+func (c *Connector) AcksSent() uint64        { return c.acksSent.Value() }
+func (c *Connector) AcksPiggybacked() uint64 { return c.acksPiggy.Value() }
+
+// noteDeliveryAck records an owed flow-credit report after ingesting one
+// delivery message from the given endpoint, through that endpoint's ack
+// coalescer: the leading report and reports whose drop figure moved leave
+// promptly (one per window even under a drop storm), redundant healthy
+// reports ride the window timer or the next published batch that can carry
+// them.
+func (c *Connector) noteDeliveryAck(from guid.GUID, frames int) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	a := c.acks[from]
+	if a == nil {
+		a = flow.NewAckCoalescer(flow.AckConfig{
+			Clock:  c.clk,
+			Window: connAckWindow,
+			Figure: func() uint64 { return c.DeliveryDrops() },
+			Send:   func(events int) bool { return c.sendAck(from, events) },
+		})
+		c.acks[from] = a
+	}
+	c.mu.Unlock()
+	a.Note(frames)
+}
+
+// deliveryCredit builds the credit report an ack carries: the delivery
+// queue's cumulative drops and remaining capacity.
+func (c *Connector) deliveryCredit(events int) wire.BatchCredit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return wire.BatchCredit{
+		Events:    events,
+		Dropped:   c.dqDropped,
+		QueueFree: c.dqCap - len(c.dq),
+	}
+}
+
+// sendAck ships one standalone event.batch_ack frame, reporting success.
+func (c *Connector) sendAck(to guid.GUID, events int) bool {
+	ack, err := wire.NewEventBatchAck(c.id, to, c.deliveryCredit(events))
+	if err != nil {
+		return true // unencodable: dropping the report is all we can do
+	}
+	if c.ep.Send(ack) != nil {
+		return false
+	}
+	c.acksSent.Inc()
+	return true
+}
+
+// takePiggybackCredit claims the report pending toward the given endpoint
+// for carriage on a published batch — a report is never piggybacked past
+// its addressee; per-endpoint coalescers make that structural. (Hosts have
+// always decoded EventBatchBody.Credit, so no capability gate is needed in
+// this direction.)
+func (c *Connector) takePiggybackCredit(to guid.GUID) *wire.BatchCredit {
+	c.mu.Lock()
+	a := c.acks[to]
+	closed := c.closed
+	c.mu.Unlock()
+	if a == nil || closed {
+		return nil
+	}
+	events, ok := a.Take()
+	if !ok {
+		return nil
+	}
+	credit := c.deliveryCredit(events)
+	return &credit
+}
+
 // enqueueDeliveries admits pushed events to the bounded delivery queue,
 // dropping the oldest (freshest-wins, like the mediator's rings) on
-// overflow, and reports the queue state for the ack.
-func (c *Connector) enqueueDeliveries(events []event.Event) (dropped uint64, free int) {
+// overflow. With adaptive sizing enabled the bound is re-derived from the
+// arrival-rate estimate first. The ack path reads the queue state live
+// (deliveryCredit) at report time, not here.
+func (c *Connector) enqueueDeliveries(events []event.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return c.dqDropped, 0
+		return
+	}
+	if c.dqRate != nil && c.dqRate.Observe(len(events), c.clk.Now()) {
+		want := int(c.dqRate.Rate() * adaptiveQueueWindow.Seconds())
+		if want < c.dqMin {
+			want = c.dqMin
+		}
+		if want > c.dqMax {
+			want = c.dqMax
+		}
+		if want != c.dqCap {
+			c.setQueueCapLocked(want)
+		}
 	}
 	if over := len(events) - c.dqCap; over > 0 {
 		// The burst alone exceeds the queue: only its freshest tail can
@@ -705,11 +1004,11 @@ func (c *Connector) enqueueDeliveries(events []event.Event) (dropped uint64, fre
 	case c.dqWake <- struct{}{}:
 	default:
 	}
-	return c.dqDropped, c.dqCap - len(c.dq)
 }
 
-// deliverLoop drains the delivery queue into onEvent, whole backlog per
-// wakeup.
+// deliverLoop drains the delivery queue whole-backlog per wakeup into the
+// batch handler when one is set (one slice per drain, the mediator's
+// batch-fed edge), or event by event into onEvent.
 func (c *Connector) deliverLoop() {
 	var buf []event.Event
 	for range c.dqWake {
@@ -722,6 +1021,10 @@ func (c *Connector) deliverLoop() {
 			buf = append(buf[:0], c.dq...)
 			c.dq = c.dq[:0]
 			c.mu.Unlock()
+			if c.onBatch != nil {
+				c.onBatch(buf)
+				continue
+			}
 			for i := range buf {
 				c.onEvent(buf[i])
 			}
@@ -873,7 +1176,9 @@ func (c *Connector) Publish(e event.Event) error {
 
 // PublishAll sends a batch of events to the Range's mediator as one
 // event.batch wire message; the Range ingests it through the bus's batched
-// dispatch path. An empty batch is a no-op.
+// dispatch path. A pending delivery-credit report rides along in the batch
+// body (suppressing its standalone ack frame) when the batch heads to the
+// endpoint the report answers. An empty batch is a no-op.
 func (c *Connector) PublishAll(events []event.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -890,14 +1195,34 @@ func (c *Connector) PublishAll(events []event.Event) error {
 		}
 		frames = append(frames, raw)
 	}
-	m, err := wire.NewEventBatch(c.id, srv, frames)
+	credit := c.takePiggybackCredit(srv)
+	m, err := wire.NewEventBatchWithCredit(c.id, srv, frames, credit)
 	if err != nil {
 		return err
 	}
-	return c.ep.Send(m)
+	err = c.ep.Send(m)
+	if credit != nil {
+		if err == nil {
+			c.acksPiggy.Inc()
+		} else {
+			// The claimed report must survive the failed carrier.
+			c.mu.Lock()
+			a := c.acks[srv]
+			c.mu.Unlock()
+			if a != nil {
+				a.Note(credit.Events)
+			}
+		}
+	}
+	return err
 }
 
-// Close detaches the connector.
+// Close detaches the connector. Events still waiting in the delivery queue
+// are discarded deterministically and counted as delivery drops (the
+// consumer is gone; feeding a closing handler would race its teardown), the
+// drain goroutine is woken so it can observe the closed channel and exit
+// rather than parking forever, and DeliveryDrops is stable from here on —
+// no post-close enqueue or drain mutates it.
 func (c *Connector) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -908,10 +1233,28 @@ func (c *Connector) Close() error {
 	if c.hbTimer != nil {
 		c.hbTimer.Stop()
 	}
+	acks := make([]*flow.AckCoalescer, 0, len(c.acks))
+	for _, a := range c.acks {
+		acks = append(acks, a)
+	}
+	c.acks = make(map[guid.GUID]*flow.AckCoalescer)
+	c.dqDropped += uint64(len(c.dq))
 	c.dq = nil
 	close(c.dqWake)
 	c.mu.Unlock()
+	for _, a := range acks {
+		a.Stop()
+	}
 	return c.ep.Close()
+}
+
+// storeRemoteCredit records the Range Service's latest flow-credit report
+// for this connector's published traffic (RemoteCredit).
+func (c *Connector) storeRemoteCredit(credit wire.BatchCredit) {
+	c.mu.Lock()
+	c.credit = credit
+	c.hasCredit = true
+	c.mu.Unlock()
 }
 
 func (c *Connector) scheduleHeartbeat() {
@@ -966,7 +1309,12 @@ func (c *Connector) handle(m wire.Message) {
 			}
 		}
 	case wire.KindEvent, wire.KindEventBatch:
-		if c.onEvent == nil {
+		// A delivery batch may itself piggyback the host's ack to our
+		// published batches — read it before the events.
+		if credit, ok := m.BatchCreditInfo(); ok {
+			c.storeRemoteCredit(credit)
+		}
+		if c.onEvent == nil && c.onBatch == nil {
 			return
 		}
 		frames, err := m.EventFrames()
@@ -980,22 +1328,18 @@ func (c *Connector) handle(m wire.Message) {
 				events = append(events, e)
 			}
 		}
-		dropped, free := c.enqueueDeliveries(events)
-		// Acknowledge batches with flow credit so the host's coalescer can
-		// match its flush rate to what this connector absorbs. Legacy
-		// single-event frames stay silent: their senders predate acks.
+		c.enqueueDeliveries(events)
+		// Acknowledge with flow credit so the host's coalescer can match its
+		// flush rate to what this connector absorbs — coalesced per the ack
+		// window, urgent on fresh drops, piggybacked on the next publish
+		// when one beats the timer. Legacy single-event frames stay silent:
+		// their senders predate acks.
 		if m.Kind == wire.KindEventBatch {
-			credit := wire.BatchCredit{Events: len(frames), Dropped: dropped, QueueFree: free}
-			if ack, err := wire.NewEventBatchAck(c.id, m.Src, credit); err == nil {
-				_ = c.ep.Send(ack)
-			}
+			c.noteDeliveryAck(m.Src, len(frames))
 		}
 	case wire.KindEventBatchAck:
 		if credit, ok := m.BatchCreditInfo(); ok {
-			c.mu.Lock()
-			c.credit = credit
-			c.hasCredit = true
-			c.mu.Unlock()
+			c.storeRemoteCredit(credit)
 		}
 	default:
 		if !m.Corr.IsNil() {

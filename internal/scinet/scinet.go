@@ -149,16 +149,33 @@ type interestMsg struct {
 }
 
 // eventBatchAckMsg is a receiver's flow-credit report for event_batch
-// traffic: Dropped is its Range's cumulative dispatch drop count and
-// QueueFree its remaining queue capacity (negative = unknown). QueryID is
-// set when acking routed-query traffic, so the serving fabric can credit
-// the right per-(peer, query) coalescer.
+// traffic: Dropped is the cumulative count of dispatch drops *attributed to
+// the acked sender's traffic* (the bus's per-publisher attribution — never
+// the Range-wide total, which would blame one link for another's flood)
+// and QueueFree its remaining queue capacity (negative = unknown).
+//
+// Downstream/DownstreamBy make credit transitive across relays.
+// DownstreamBy carries per-origin *accounts*: cumulative drop figures keyed
+// by the fabric that observed them at its own receivers, merged by max at
+// every hop. Max-merging is idempotent, so a figure that travels a cycle —
+// or returns to the fabric that first reported it — converges instead of
+// being re-counted as fresh congestion on every lap; the sender also
+// excludes accounts keyed by the recipient, so nobody is told about its
+// own receivers' drops twice. Downstream is the sum of DownstreamBy (the
+// back-compat scalar a peer that predates the map still understands —
+// summed figures are monotone per sender because the excluded key set per
+// recipient is fixed). Peers that predate both fields simply omit them
+// (read as 0). QueryID is set when acking routed-query traffic, so the
+// serving fabric can credit the right per-(peer, query) coalescer; those
+// acks carry no downstream figures at all.
 type eventBatchAckMsg struct {
-	Origin    guid.GUID `json:"origin"`
-	QueryID   guid.GUID `json:"query_id,omitzero"`
-	Events    int       `json:"events,omitempty"`
-	Dropped   uint64    `json:"dropped"`
-	QueueFree int       `json:"queue_free"`
+	Origin       guid.GUID            `json:"origin"`
+	QueryID      guid.GUID            `json:"query_id,omitzero"`
+	Events       int                  `json:"events,omitempty"`
+	Dropped      uint64               `json:"dropped"`
+	Downstream   uint64               `json:"downstream,omitempty"`
+	DownstreamBy map[guid.GUID]uint64 `json:"downstream_by,omitempty"`
+	QueueFree    int                  `json:"queue_free"`
 }
 
 type leaveMsg struct {
@@ -255,22 +272,25 @@ type Fabric struct {
 	node *overlay.Node
 	clk  clock.Clock
 
-	maxBatch int
-	maxDelay time.Duration
-	adaptive flow.Adaptive
+	maxBatch  int
+	maxDelay  time.Duration
+	adaptive  flow.Adaptive
+	ackWindow time.Duration
 
 	mu        sync.Mutex
 	coverage  map[guid.GUID]coverageMsg // fabric node → its coverage
 	waiters   map[guid.GUID]chan queryResultMsg
-	consumers map[guid.GUID]*outQuery      // queryID → origin-side consumer
-	served    map[guid.GUID]*servedQuery   // queryID → serving-side record
-	ownerRefs map[guid.GUID]int            // remote owner → live served queries
-	interests map[guid.GUID][]event.Filter // fabric node → its announced interests
-	local     []localInterest              // this fabric's own interests, refcounted
-	taps      map[ctxtype.Type]guid.GUID   // mediator taps by tap type (Wildcard key = residual tap)
-	queues    map[queueKey]*flow.Coalescer // outbound coalescers, routed-query traffic
-	fan       *flow.Coalescer              // outbound coalescer, fan-out traffic
-	peerDrops map[guid.GUID]uint64         // last cumulative drop report per peer (fan-out acks)
+	consumers map[guid.GUID]*outQuery          // queryID → origin-side consumer
+	served    map[guid.GUID]*servedQuery       // queryID → serving-side record
+	ownerRefs map[guid.GUID]int                // remote owner → live served queries
+	interests map[guid.GUID][]event.Filter     // fabric node → its announced interests
+	local     []localInterest                  // this fabric's own interests, refcounted
+	taps      map[ctxtype.Type]guid.GUID       // mediator taps by tap type (Wildcard key = residual tap)
+	queues    map[queueKey]*flow.Coalescer     // outbound coalescers, routed-query traffic
+	fan       *flow.Coalescer                  // outbound coalescer, fan-out traffic
+	peerDrops map[guid.GUID]uint64             // last combined (drops+downstream) report per peer (fan-out acks)
+	downObs   map[guid.GUID]uint64             // downstream accounts: observing fabric → max cumulative drops seen
+	facks     map[guid.GUID]*flow.AckCoalescer // coalesced fan-path ack owed per peer
 	statsWait map[guid.GUID]chan statsResultMsg
 	seen      guid.Set    // recently ingested batch ids (duplicate window)
 	seenRing  []guid.GUID // eviction order for seen, bounded at seenWindow
@@ -324,6 +344,7 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		maxBatch:  rng.BatchMaxEvents(),
 		maxDelay:  rng.BatchMaxDelay(),
 		adaptive:  rng.AdaptiveBatching(),
+		ackWindow: rng.BatchMaxDelay(),
 		coverage:  make(map[guid.GUID]coverageMsg),
 		waiters:   make(map[guid.GUID]chan queryResultMsg),
 		consumers: make(map[guid.GUID]*outQuery),
@@ -333,8 +354,13 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		taps:      make(map[ctxtype.Type]guid.GUID),
 		queues:    make(map[queueKey]*flow.Coalescer),
 		peerDrops: make(map[guid.GUID]uint64),
+		downObs:   make(map[guid.GUID]uint64),
+		facks:     make(map[guid.GUID]*flow.AckCoalescer),
 		statsWait: make(map[guid.GUID]chan statsResultMsg),
 		seen:      guid.NewSet(),
+	}
+	if f.ackWindow <= 0 {
+		f.ackWindow = server.DefaultBatchMaxDelay
 	}
 	node, err := overlay.NewNode(overlay.Config{
 		Network: net,
@@ -364,6 +390,11 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 
 // NodeID returns the fabric's overlay node id.
 func (f *Fabric) NodeID() guid.GUID { return f.node.ID() }
+
+// FanoutPenalty reports the fan-out coalescer's current flush-rate penalty
+// (1 = unthrottled) — a diagnostics window into how hard peer credit is
+// braking this fabric's forwarding.
+func (f *Fabric) FanoutPenalty() float64 { return f.fan.Penalty() }
 
 // Range returns the attached Range.
 func (f *Fabric) Range() *server.Range { return f.rng }
@@ -871,6 +902,20 @@ func (f *Fabric) UnsubscribeRemote(rec mediator.Record) error {
 	return err
 }
 
+// ForgetInterest drops one fabric's entry from the local interest table
+// without touching the peer itself — a partial-knowledge hook for tests
+// and experiments (a fabric that never learned of an interested peer must
+// rely on relays to cover it, the multi-hop topology E13 exercises).
+// In-flight gossip may re-add the entry; callers loop until it stays gone.
+// It reports whether an entry was present.
+func (f *Fabric) ForgetInterest(owner guid.GUID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.interests[owner]
+	delete(f.interests, owner)
+	return ok
+}
+
 // Interests returns the known interest table: fabric node → announced
 // filters (diagnostics; the forwarding decisions read the live table).
 func (f *Fabric) Interests() map[guid.GUID][]event.Filter {
@@ -1231,9 +1276,6 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 		f.DuplicatesDropped.Inc()
 		return
 	}
-	// The reply hint: report this Range's flow credit to whichever fabric
-	// shipped the batch (origin or relay), so its coalescer can throttle.
-	f.sendBatchAck(d.Origin, guid.Nil, len(msg.Events))
 
 	// Events stamped with the local Range are echoes of our own production
 	// regardless of what the envelope claims; events with no Range stamp
@@ -1242,9 +1284,6 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 	events, echoes := decodeFrames(msg.Events, f.rng.ID())
 	if echoes > 0 {
 		f.EchoesDropped.Add(uint64(echoes))
-	}
-	if len(events) == 0 {
-		return
 	}
 	// Ingest only what this fabric asked for: a coalesced chunk may carry
 	// co-batched events matching none of our interests (whole batches
@@ -1265,7 +1304,19 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 	if len(keep) > 0 {
 		f.BatchesIngested.Inc()
 		f.EventsIngested.Add(uint64(len(keep)))
-		_ = f.rng.PublishAll(keep)
+		// Attribute the ingest to the fabric that shipped it (origin or
+		// relay): any drops it causes count against that link, and the ack
+		// below reports them.
+		_ = f.rng.PublishAllFrom(d.Origin, keep)
+	}
+	// The reply hint: report this Range's flow credit to whichever fabric
+	// shipped the batch, so its coalescer can throttle. Noted after the
+	// ingest so the report covers this batch's own drops, not last
+	// batch's; coalesced per peer so a relayed burst answers with one
+	// frame, not one per message.
+	f.noteFanAck(d.Origin, len(msg.Events))
+	if len(events) == 0 {
+		return
 	}
 	// Relays match against the full batch: peers' filters differ from ours.
 	f.relay(msg, events)
@@ -1291,39 +1342,151 @@ func (f *Fabric) markSeen(id guid.GUID) bool {
 }
 
 // sendBatchAck routes a flow-credit report to the fabric that shipped an
-// event_batch: this Range's cumulative dispatch drop count (its receive
-// health) and an unknown queue depth — drops, not depth, are the signal a
-// Range can honestly report, since its delivery rings are per
-// subscription.
-func (f *Fabric) sendBatchAck(to, qid guid.GUID, events int) {
-	payload, err := json.Marshal(eventBatchAckMsg{
+// event_batch: the cumulative dispatch drops attributed to *that fabric's*
+// traffic (its receive health on this link — never the Range-wide total,
+// which would blame it for other links' floods), the congestion this
+// fabric has itself observed downstream of its relays (the transitive
+// half, fan-out path only), and an unknown queue depth — drops, not
+// depth, are the signal a Range can honestly report, since its delivery
+// rings are per subscription. Routed-query acks carry no Downstream:
+// query results are consumed here, not relayed, and folding unrelated
+// fan-out congestion into them would throttle a healthy query stream for
+// another link's collapse.
+func (f *Fabric) sendBatchAck(to, qid guid.GUID, events int) error {
+	msg := eventBatchAckMsg{
 		Origin:    f.node.ID(),
 		QueryID:   qid,
 		Events:    events,
-		Dropped:   f.rng.DispatchStats().Dropped,
+		Dropped:   f.rng.DispatchDropsFor(to),
 		QueueFree: -1,
-	})
+	}
+	if qid.IsNil() {
+		msg.DownstreamBy, msg.Downstream = f.downstreamByFor(to)
+	}
+	payload, err := json.Marshal(msg)
 	if err != nil {
+		return nil // unencodable: dropping the report is all we can do
+	}
+	return f.node.Route(to, appEventBatchAck, payload)
+}
+
+// DownstreamDrops reports the congestion this fabric has observed
+// downstream of its forwarding: the sum over all per-origin accounts (max
+// cumulative drops each observing fabric has reported, directly or via
+// relays) — the transitive half of the credit loop that lets a multi-hop
+// chain throttle at its origin.
+func (f *Fabric) DownstreamDrops() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total uint64
+	for _, v := range f.downObs {
+		total += v
+	}
+	return total
+}
+
+// downstreamByFor snapshots the accounts reported to one peer, excluding
+// the account that peer itself observed — telling a fabric about its own
+// receivers' drops would double-count them — and returns the map alongside
+// its sum (the back-compat scalar). The excluded key set per recipient is
+// fixed and every account is monotone, so both figures are monotone per
+// recipient.
+func (f *Fabric) downstreamByFor(peer guid.GUID) (map[guid.GUID]uint64, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var sum uint64
+	var out map[guid.GUID]uint64
+	for o, v := range f.downObs {
+		if o == peer {
+			continue
+		}
+		if out == nil {
+			out = make(map[guid.GUID]uint64, len(f.downObs))
+		}
+		out[o] = v
+		sum += v
+	}
+	return out, sum
+}
+
+// downstreamFor returns just the scalar figure of downstreamByFor,
+// allocation-free — it runs in the ack coalescer's Figure callback on
+// every ingested fan-out message.
+func (f *Fabric) downstreamFor(peer guid.GUID) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var sum uint64
+	for o, v := range f.downObs {
+		if o != peer {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// noteFanAck records an owed fan-path credit report toward one peer
+// through its flow.AckCoalescer: the leading report and reports whose
+// combined figure moved leave promptly (one per ack window even under a
+// sustained drop storm — the figure is cumulative), while no-news reports
+// wait out a fallback stretched past the deepest throttled flush cycle
+// (flow's maxPenalty of 16 × the delay ceiling) — an all-clear decays the
+// sender's penalty, so answering a relayed burst with per-message
+// "nothing new" frames would wind the throttle down between the bursts
+// still causing congestion downstream.
+func (f *Fabric) noteFanAck(to guid.GUID, events int) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
 		return
 	}
-	_ = f.node.Route(to, appEventBatchAck, payload)
+	a := f.facks[to]
+	if a == nil {
+		a = flow.NewAckCoalescer(flow.AckConfig{
+			Clock:      f.clk,
+			Window:     f.ackWindow,
+			IdleWindow: f.ackWindow * fanAckIdleFactor,
+			Figure: func() uint64 {
+				return f.rng.DispatchDropsFor(to) + f.downstreamFor(to)
+			},
+			Send: func(events int) bool {
+				return f.sendBatchAck(to, guid.Nil, events) == nil
+			},
+		})
+		f.facks[to] = a
+	}
+	f.mu.Unlock()
+	a.Note(events)
 }
+
+// fanAckIdleFactor stretches the no-news ack fallback beyond the deepest
+// throttled flush cycle; see noteFanAck.
+const fanAckIdleFactor = 20
 
 // handleBatchAck feeds a receiver's credit report into the coalescer that
 // serves it: the per-(peer, query) queue for routed-query acks, or the
-// shared fan-out queue — via a per-peer drop baseline, since one coalescer
-// multiplexes every interested peer — for fan-out acks.
+// shared fan-out queue — via a per-peer baseline, since one coalescer
+// multiplexes every interested peer — for fan-out acks. The baseline
+// tracks the *combined* figure (the peer's own attributed drops plus the
+// congestion it reports from further downstream; both monotone per
+// reporter, so their sum is too): a delta from either throttles here, and
+// the report's per-origin accounts are folded into this fabric's own
+// downstream table so the next ack upstream carries them — a 3-hop
+// collapse reaches the origin in two ack round trips. A combined figure
+// below the baseline means the peer restarted under a reused GUID; the
+// baseline resets so drop detection resumes immediately instead of
+// freezing until the fresh counters re-pass the stale high-water mark.
 func (f *Fabric) handleBatchAck(d overlay.Delivery) {
 	var msg eventBatchAckMsg
 	if json.Unmarshal(d.Payload, &msg) != nil {
 		return
 	}
+	combined := msg.Dropped + msg.Downstream
 	if !msg.QueryID.IsNil() {
 		f.mu.Lock()
 		q := f.queues[queueKey{peer: msg.Origin, qid: msg.QueryID}]
 		f.mu.Unlock()
 		if q != nil {
-			q.UpdateCredit(msg.Dropped, msg.QueueFree)
+			q.UpdateCredit(combined, msg.QueueFree)
 		}
 		return
 	}
@@ -1333,12 +1496,37 @@ func (f *Fabric) handleBatchAck(d overlay.Delivery) {
 		return
 	}
 	last, seen := f.peerDrops[msg.Origin]
-	f.peerDrops[msg.Origin] = msg.Dropped
-	f.mu.Unlock()
+	f.peerDrops[msg.Origin] = combined
 	var delta uint64
-	if seen && msg.Dropped > last {
-		delta = msg.Dropped - last
+	if seen && combined > last {
+		delta = combined - last
 	}
+	// Fold what this report teaches into the per-origin downstream
+	// accounts. The peer's own receive-side figure is authoritative for
+	// its account — set outright, so an adjacent restarted peer's reset
+	// counter propagates one hop as a regression (which receivers
+	// re-baseline on) instead of freezing behind a stale max. Accounts the
+	// peer merely relays are merged by max: idempotent, so a figure
+	// arriving twice — two relays, a cycle, or our own account echoed back
+	// (skipped outright) — converges instead of amplifying. The max-merge
+	// does mean a restarted sink's reset account un-freezes only at its
+	// direct upstream until the fresh counter re-passes the old maximum;
+	// versioned accounts (incarnation numbers) would lift that and are on
+	// the roadmap — hop-by-hop credit keeps throttling correctly
+	// meanwhile, since every adjacent pair exchanges live Dropped figures.
+	if _, ok := f.downObs[msg.Origin]; ok || msg.Dropped > 0 {
+		f.downObs[msg.Origin] = msg.Dropped
+	}
+	self := f.node.ID()
+	for o, v := range msg.DownstreamBy {
+		if o == self {
+			continue
+		}
+		if v > f.downObs[o] {
+			f.downObs[o] = v
+		}
+	}
+	f.mu.Unlock()
 	f.fan.NoteCredit(delta, msg.QueueFree)
 }
 
@@ -1527,6 +1715,11 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 	delete(f.coverage, peer)
 	delete(f.interests, peer)
 	delete(f.peerDrops, peer)
+	// The departed peer's downstream account (downObs) is deliberately
+	// retained: figures reported to the remaining peers must stay
+	// monotone, and max-merge makes a stale account harmless.
+	ack := f.facks[peer]
+	delete(f.facks, peer)
 	for qid, oq := range f.consumers {
 		if oq.target == peer {
 			delete(f.consumers, qid)
@@ -1547,6 +1740,9 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 	}
 	f.mu.Unlock()
 
+	if ack != nil {
+		ack.Stop()
+	}
 	for _, q := range drop {
 		q.Discard()
 	}
@@ -1715,7 +1911,15 @@ func (f *Fabric) Close() error {
 	}
 	f.consumers = make(map[guid.GUID]*outQuery)
 	f.interests = make(map[guid.GUID][]event.Filter)
+	acks := make([]*flow.AckCoalescer, 0, len(f.facks))
+	for _, a := range f.facks {
+		acks = append(acks, a)
+	}
+	f.facks = make(map[guid.GUID]*flow.AckCoalescer)
 	f.mu.Unlock()
+	for _, a := range acks {
+		a.Stop()
+	}
 
 	guid.Sort(taps)
 	for _, id := range taps {

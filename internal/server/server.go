@@ -564,6 +564,17 @@ func (r *Range) Publish(e event.Event) error {
 // this Range's id; already-stamped events (batches forwarded from a sibling
 // Range) keep their origin stamp. The caller's slice is not modified.
 func (r *Range) PublishAll(events []event.Event) error {
+	return r.PublishAllFrom(guid.Nil, events)
+}
+
+// PublishAllFrom is PublishAll with an explicit drop-attribution key:
+// events of this batch later discarded from full subscription queues count
+// against pub (see DispatchDropsFor) rather than their own Source. The
+// Range Service and SCINET ingest paths pass the sending endpoint/fabric,
+// so the flow-credit acks they return carry the drops caused by that
+// link's traffic instead of the Range-wide total. A nil pub attributes per
+// event Source.
+func (r *Range) PublishAllFrom(pub guid.GUID, events []event.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
@@ -576,7 +587,7 @@ func (r *Range) PublishAll(events []event.Event) error {
 	}
 	// The stamping copy is already private, so hand it to the bus instead
 	// of paying a second defensive copy.
-	return r.med.PublishAllOwned(stamped)
+	return r.med.PublishAllOwnedFrom(pub, stamped)
 }
 
 // BatchMaxEvents reports the configured per-endpoint outbound coalescing
@@ -601,6 +612,19 @@ func (r *Range) DispatchStats() eventbus.Stats {
 	return r.med.Stats()
 }
 
+// DispatchDropsFor returns the cumulative count of dispatched events
+// discarded from full subscription queues attributed to one publisher or
+// ingest endpoint — the figure a flow-credit ack to that endpoint carries.
+func (r *Range) DispatchDropsFor(pub guid.GUID) uint64 {
+	return r.med.DropsFor(pub)
+}
+
+// DispatchDropsBySource returns the per-publisher dispatch-drop attribution
+// snapshot (nil-GUID key: the overflow bucket).
+func (r *Range) DispatchDropsBySource() map[guid.GUID]uint64 {
+	return r.med.DropsBySource()
+}
+
 // StatsMap renders the Range's dispatch health as the flat float64 map the
 // "dispatch.stats" infrastructure call answers with — shared between the
 // Range Service (per-Range over the wire) and the SCINET fabric (fleet-wide
@@ -608,7 +632,7 @@ func (r *Range) DispatchStats() eventbus.Stats {
 // wire round trip unchanged.
 func (r *Range) StatsMap() map[string]float64 {
 	st := r.med.Stats()
-	return map[string]float64{
+	out := map[string]float64{
 		"published":            float64(st.Published),
 		"delivered":            float64(st.Delivered),
 		"dropped":              float64(st.Dropped),
@@ -627,6 +651,67 @@ func (r *Range) StatsMap() map[string]float64 {
 		"remote_backpressure_throttle_events": float64(r.flowStats.ThrottleEvents.Value()),
 		"remote_backpressure_shed":            float64(r.flowStats.EventsShed.Value()),
 	}
+	// Per-publisher drop attribution: one gauge per top dropping publisher,
+	// keyed by its short GUID form, with the long tail folded into
+	// dropped_from_other — the full map stays queryable via
+	// DispatchDropsBySource, but a stats round trip must not ship a key
+	// per device a high-churn Range has ever dropped for. The keys sum
+	// cleanly in fleet rollups (a publisher's drops across Ranges add up).
+	for _, e := range r.topDropSources() {
+		key := "dropped_from_other"
+		if !e.src.IsNil() {
+			key = "dropped_from_" + e.src.Short()
+		}
+		out[key] += float64(e.n)
+	}
+	return out
+}
+
+// maxDropSourceGauges bounds how many per-publisher drop gauges StatsMap
+// and FillMetrics export by name; everything beyond the top offenders is
+// aggregated under "other".
+const maxDropSourceGauges = 8
+
+// dropSourceEntry is one exported per-publisher drop figure; a nil source
+// is the aggregated remainder.
+type dropSourceEntry struct {
+	src guid.GUID
+	n   uint64
+}
+
+// topDropSources returns up to maxDropSourceGauges named publishers by
+// descending drop count, plus (last, nil-keyed) the aggregated remainder
+// when one exists.
+func (r *Range) topDropSources() []dropSourceEntry {
+	all := r.med.DropsBySource()
+	if len(all) == 0 {
+		return nil
+	}
+	entries := make([]dropSourceEntry, 0, len(all))
+	var other uint64
+	for src, n := range all {
+		if src.IsNil() {
+			other += n // the bus's own overflow bucket
+			continue
+		}
+		entries = append(entries, dropSourceEntry{src: src, n: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return guid.Less(entries[i].src, entries[j].src)
+	})
+	if len(entries) > maxDropSourceGauges {
+		for _, e := range entries[maxDropSourceGauges:] {
+			other += e.n
+		}
+		entries = entries[:maxDropSourceGauges]
+	}
+	if other > 0 {
+		entries = append(entries, dropSourceEntry{n: other})
+	}
+	return entries
 }
 
 // FillMetrics publishes the Range's dispatch health into m: query counters,
@@ -644,6 +729,13 @@ func (r *Range) FillMetrics(m *metrics.Registry) {
 		m.Gauge(fmt.Sprintf("eventbus.shard%02d.published", i)).Set(int64(ss.Published))
 		m.Gauge(fmt.Sprintf("eventbus.shard%02d.delivered", i)).Set(int64(ss.Delivered))
 		m.Gauge(fmt.Sprintf("eventbus.shard%02d.dropped", i)).Set(int64(ss.Dropped))
+	}
+	for _, e := range r.topDropSources() {
+		name := "eventbus.dropped.from.other"
+		if !e.src.IsNil() {
+			name = "eventbus.dropped.from." + e.src.Short()
+		}
+		m.Gauge(name).Set(int64(e.n))
 	}
 	m.Gauge("queries.submitted").Set(int64(r.QueriesSubmitted.Value()))
 	m.Gauge("queries.deferred").Set(int64(r.QueriesDeferred.Value()))

@@ -113,8 +113,14 @@ func NewCAPAWorld() (*CAPAWorld, error) {
 		}
 		cw.Printers[name] = p
 	}
-	// Scenario state: P2 out of paper.
+	// Scenario state: P2 out of paper. The stored profile is refreshed
+	// synchronously: the paper state otherwise reaches the profile store
+	// through an async status event, and a query resolving before it lands
+	// (heavily loaded test runs) would still see P2 as idle.
 	cw.Printers["P2"].SetOutOfPaper(true)
+	if err := rng.Profiles().Put(cw.Printers["P2"].Profile()); err != nil {
+		return nil, err
+	}
 
 	// Actors.
 	cw.Bob = guid.New(guid.KindPerson)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-sensitive experiment assertions (E13's flush-rate collapse) are
+// gated on it: under -race the CPU-bound stages slow 10-20×, which moves
+// the bottleneck off the experiment's intended contention point.
+const raceEnabled = false

@@ -232,3 +232,65 @@ func TestRunE12Shape(t *testing.T) {
 		t.Fatal("empty tables")
 	}
 }
+
+func TestRunE13Shape(t *testing.T) {
+	res, err := RunE13(64, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HealthyFlushPerSec <= 0 {
+		t.Fatal("healthy window measured no origin flushes")
+	}
+	// The timing assertions hold on real builds only: under -race the
+	// CPU-bound decode at the relay slows 10-20×, its unbounded transport
+	// inbox buffers the backlog instead of any ring overflowing, and the
+	// experiment's contention point (the sink's slow consumer) never
+	// engages — no drops, no credit, no collapse to measure. The credit
+	// mechanism itself is race-covered deterministically by the scinet
+	// chain suite (TestChainOriginThrottlesOnRelayDownstream); here the
+	// race build only exercises the experiment machinery for data races.
+	if !raceEnabled {
+		if res.OverloadFlushPerSec >= res.HealthyFlushPerSec {
+			t.Fatalf("relay-side overload did not slow the origin: healthy %.0f → overload %.0f",
+				res.HealthyFlushPerSec, res.OverloadFlushPerSec)
+		}
+		// The acceptance bar: origin flush rate collapses ≥10× on
+		// relay-reported downstream congestion (scibench/BenchmarkE13
+		// measure ~45-56× on an unloaded box).
+		if res.Collapse < 10 {
+			t.Fatalf("origin flush-rate collapse = %.1f×, want ≥ 10×", res.Collapse)
+		}
+		if !res.OriginThrottled {
+			t.Fatal("origin not throttled at the end of the overload window")
+		}
+		if res.RelayDownstream == 0 {
+			t.Fatal("relay accumulated no downstream drops")
+		}
+		if res.SinkDropsFromRelay == 0 {
+			t.Fatal("sink attributed no drops to the relay's traffic")
+		}
+		if res.FleetDropGauges == 0 {
+			t.Fatal("no per-publisher drop gauges in the fleet rollup")
+		}
+	}
+	// Ack economy: standalone frames on a hot bidirectional link must cost
+	// at most 55% of PR 4's one-ack-per-batch. Same gate: a race build
+	// overloads the link for real (slowed handlers overflow the delivery
+	// queue), and genuine drops rightly make every report urgent — the
+	// deterministic piggyback coverage lives in rangesvc's
+	// TestPiggybackedCreditSuppressesStandaloneAcks.
+	if res.BatchesEachWay == 0 {
+		t.Fatalf("ack phase shipped no batches: %+v", res)
+	}
+	if !raceEnabled {
+		if res.PiggybackedAcks == 0 {
+			t.Fatalf("hot bidirectional link piggybacked nothing: %+v", res)
+		}
+		if res.AckRatioVsPR4 > 0.55 {
+			t.Fatalf("standalone-ack ratio vs PR4 = %.2f, want ≤ 0.55", res.AckRatioVsPR4)
+		}
+	}
+	if E13Table(res).String() == "" || E13AckTable(res).String() == "" {
+		t.Fatal("empty tables")
+	}
+}

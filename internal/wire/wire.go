@@ -145,10 +145,18 @@ type BatchCredit struct {
 // NewEventBatch builds a KindEventBatch message coalescing the given
 // encoded events into one wire frame.
 func NewEventBatch(src, dst guid.GUID, events []json.RawMessage) (Message, error) {
+	return NewEventBatchWithCredit(src, dst, events, nil)
+}
+
+// NewEventBatchWithCredit builds a KindEventBatch message that additionally
+// piggybacks the sender's pending receive-side flow-credit report, sparing
+// the standalone event.batch_ack frame on a hot bidirectional link. A nil
+// credit yields a plain batch.
+func NewEventBatchWithCredit(src, dst guid.GUID, events []json.RawMessage, credit *BatchCredit) (Message, error) {
 	if len(events) == 0 {
 		return Message{}, fmt.Errorf("%w: empty event batch", ErrBadMessage)
 	}
-	return NewMessage(src, dst, KindEventBatch, EventBatchBody{Events: events})
+	return NewMessage(src, dst, KindEventBatch, EventBatchBody{Events: events, Credit: credit})
 }
 
 // NewEventBatchAck builds the credit reply to an event.batch message.

@@ -243,7 +243,11 @@ var NewRange = server.New
 // Event dispatch introspection. The Event Mediator routes publishes through
 // a sharded two-tier subscription index; these snapshots (via
 // Range.DispatchStats and Range.Mediator) expose its throughput, drops and
-// index effectiveness.
+// index effectiveness. Drops are additionally attributed per publisher
+// (Range.DispatchDropsFor / Range.DispatchDropsBySource): every event
+// discarded from a full subscription queue counts against the endpoint
+// whose traffic caused it, which is the figure remote flow-credit acks
+// carry.
 type (
 	// DispatchStats counts bus-wide publishes, deliveries, drops and
 	// index-hit/residual-scan work.
@@ -275,7 +279,13 @@ type (
 	// dispatch.stats infrastructure call (and, fleet-wide, through
 	// Fabric.FleetDispatchStats).
 	FlowControlStats = flow.SharedStats
+	// FlowRateTracker is the EWMA arrival-rate estimator the adaptive
+	// coalescers and the connector's self-sizing delivery queue share.
+	FlowRateTracker = flow.RateTracker
 )
+
+// NewFlowRateTracker builds a rate estimator with the given half-life.
+var NewFlowRateTracker = flow.NewRateTracker
 
 // SCINET — the upper layer.
 type (
@@ -285,6 +295,11 @@ type (
 	// events published in sibling Ranges arrive in coalesced
 	// scinet.event_batch overlay messages (loop-suppressed via an
 	// origin-fabric id and hop set), ingested through Range.PublishAll.
+	// Flow credit crosses the overlay in both directions: receivers ack
+	// with the drops the sender's traffic caused (per-publisher
+	// attribution), relays fold the congestion they observe downstream
+	// into the acks they send upstream (Fabric.DownstreamDrops), so a
+	// multi-hop chain throttles at its origin (Fabric.FanoutPenalty).
 	Fabric = scinet.Fabric
 	// Subscription is a live event subscription record (returned by
 	// Fabric.SubscribeRemote; cancel through Fabric.UnsubscribeRemote so
