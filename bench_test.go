@@ -408,3 +408,23 @@ func BenchmarkE13_MultiHopOverload(b *testing.B) {
 		b.ReportMetric(res.AckRatioVsPR4, "acks-vs-pr4")
 	}
 }
+
+// BenchmarkE14_HostileTenant — the tenant-isolation experiment: a hostile
+// flood sharing first a Range and then a fabric link with a paced
+// publisher, contained by per-publisher admission quotas and weighted-fair
+// flushing. Reports the well tenant's p99 degradation with the quota on
+// (vs its solo baseline), the hostile tenant's admission clip error, and
+// the DRR evictions charged to the flooding source during the
+// weights-only collapse.
+func BenchmarkE14_HostileTenant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunE14(2000, 64, 5*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LocalQuotaX, "range-p99-x-solo")
+		b.ReportMetric(res.RemoteQuotaX, "fabric-p99-x-solo")
+		b.ReportMetric(100*res.FloodClipErr, "clip-err-pct")
+		b.ReportMetric(float64(res.ShedHostile), "hostile-shed-events")
+	}
+}

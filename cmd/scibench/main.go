@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e14 or all")
 	big := flag.Bool("big", false, "larger parameter sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()
@@ -140,6 +140,13 @@ func run(exp string, big bool, seed int64) error {
 		}
 		fmt.Println(sim.E13Table(res))
 		fmt.Println(sim.E13AckTable(res))
+	}
+	if all || exp == "e14" {
+		res, err := sim.RunE14(2000, 64, 5*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.E14Table(res))
 	}
 	return nil
 }

@@ -107,6 +107,9 @@ type Stats struct {
 	Delivered uint64 // handler invocations completed
 	Dropped   uint64 // events discarded by full queues
 	Subs      int    // current live subscriptions
+	// QuotaRejected counts events refused by per-publisher admission
+	// control (WithQuota) before any dispatch work.
+	QuotaRejected uint64
 	// IndexHits counts targets resolved through the exact-pattern index.
 	IndexHits uint64
 	// ResidualScanned counts residual-tier filter evaluations: wildcard
@@ -163,6 +166,13 @@ type shard struct {
 	// from a new publisher takes dropMu to install a fresh table.
 	dropMu  sync.Mutex // guards table installs only
 	dropTab atomic.Pointer[srcDropTable]
+
+	// quotaTab holds the per-publisher admission buckets homed in this
+	// stripe (the stripe the publisher's id hashes to), with the same
+	// copy-on-write install discipline and nil-GUID overflow bucket as
+	// dropTab. Unused (never populated) when the bus has no quota.
+	quotaMu  sync.Mutex // guards table installs only
+	quotaTab atomic.Pointer[srcQuotaTable]
 }
 
 // srcDropTable is an immutable snapshot of a stripe's per-publisher drop
@@ -234,6 +244,11 @@ type Bus struct {
 	residuals       atomic.Int64 // live residual subs; publishes skip the sweep at 0
 
 	keys atomic.Pointer[keyTable]
+
+	// quota, when non-nil, is the per-publisher admission config; the
+	// disabled path costs one nil check per publish.
+	quota         *Quota
+	quotaRejected atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -518,6 +533,12 @@ func (b *Bus) Publish(e event.Event) error {
 	if b.closed.Load() {
 		return ErrClosed
 	}
+	if b.quota != nil {
+		ok, err := b.admitOne(e)
+		if !ok {
+			return err
+		}
+	}
 
 	tp := targetPool.Get().(*[]*Subscription)
 	targets := (*tp)[:0]
@@ -601,6 +622,16 @@ func (b *Bus) PublishAll(events []event.Event) error {
 	if b.closed.Load() {
 		return ErrClosed
 	}
+	if b.quota != nil {
+		admitted, err := b.admitBatch(guid.Nil, events)
+		if err != nil {
+			return err
+		}
+		if len(admitted) == 0 {
+			return nil
+		}
+		events = admitted
+	}
 
 	// One copy for the whole fan-out: subscriber rings hold views of this
 	// buffer, so it must not alias the caller's (reusable) slice.
@@ -637,6 +668,16 @@ func (b *Bus) PublishAllOwnedFrom(pub guid.GUID, events []event.Event) error {
 	}
 	if b.closed.Load() {
 		return ErrClosed
+	}
+	if b.quota != nil {
+		admitted, err := b.admitBatch(pub, events)
+		if err != nil {
+			return err
+		}
+		if len(admitted) == 0 {
+			return nil
+		}
+		events = admitted
 	}
 	b.dispatchRuns(events, pub)
 	return nil
@@ -760,6 +801,7 @@ func (b *Bus) Stats() Stats {
 		Delivered:       b.delivered.Load(),
 		Dropped:         b.dropped.Load(),
 		Subs:            n,
+		QuotaRejected:   b.quotaRejected.Load(),
 		IndexHits:       b.indexHits.Load(),
 		ResidualScanned: b.residualScanned.Load(),
 	}

@@ -66,6 +66,38 @@
 // optional SharedStats sink, which a Range surfaces as its
 // remote.backpressure.* gauges.
 //
+// # Weighted-fair flushing and publisher quotas
+//
+// With Fair.Enabled, the pending queue becomes per-source sub-queues keyed
+// by Event.Source and every chunk is assembled by deficit round-robin
+// across them: each source earns quantum × weight (Fair.Weights, default
+// 1) per round and contributes up to its deficit, so a backlogged pair
+// with weights 3:1 splits a full chunk 48:16 and a flooding source can
+// saturate only its own share of every flush — a paced tenant's events
+// ride the next chunk out however deep the flood's backlog is. Order is
+// preserved per source (each sub-queue is FIFO) but not across sources;
+// consumers needing cross-source ordering already cannot assume it from
+// concurrent publishers. The throttle-buffer shed (previous section)
+// becomes targeted under Fair: the oldest events of the *deepest*
+// sub-queue are shed first, and every shed is attributed to its source
+// through SharedStats.ShedBySource — the flooding tenant eats its own
+// losses, and the gauges name it. The sub-queue table is bounded
+// (maxFairSources); past the bound, newcomers share a nil-GUID overflow
+// queue so an adversary minting sources cannot grow it without limit.
+//
+// Fair scheduling shares the wire once events are admitted; the admission
+// edge itself is the event bus's per-publisher token-bucket quota
+// (eventbus.Quota, surfaced as server.PublisherQuota): each source earns
+// Rate events/s up to a Burst ceiling, charged at PublishAll* before any
+// dispatch work, with the caller choosing shed-and-count or a typed
+// ErrOverQuota reject. Rejections are counted per source (the
+// quota_rejected_from_* gauges) by the same attribution discipline as
+// drops and sheds. The two layers compose: quotas clip what a tenant may
+// offer, weighted-fair flushing divides what the link can carry, and both
+// charge the offender — so one hostile publisher can neither starve a
+// shared Range at the publish edge nor push a shared link's backlog onto
+// its neighbours (experiment E14).
+//
 // # Attributed and transitive credit
 //
 // The cumulative drop count a receiver reports is *attributed*: it names

@@ -6,6 +6,7 @@ import (
 
 	"sci/internal/clock"
 	"sci/internal/event"
+	"sci/internal/guid"
 	"sci/internal/metrics"
 	"sync"
 )
@@ -109,6 +110,57 @@ type SharedStats struct {
 	// Throttled gauges how many Coalescers currently hold a penalty above
 	// one.
 	Throttled metrics.Gauge
+
+	// shedBy attributes sender-side sheds to the publishing source the
+	// evicted events belonged to (bounded; overflow folds into the nil
+	// GUID), so a throttled Range can report which tenant's backlog is
+	// being cut.
+	shedMu sync.Mutex
+	shedBy map[guid.GUID]uint64
+}
+
+// noteShed counts n events shed from src's backlog: the EventsShed total
+// plus the bounded per-source attribution table.
+func (s *SharedStats) noteShed(src guid.GUID, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.EventsShed.Add(n)
+	s.shedMu.Lock()
+	if s.shedBy == nil {
+		s.shedBy = make(map[guid.GUID]uint64)
+	}
+	key := src
+	if _, ok := s.shedBy[src]; !ok && len(s.shedBy) >= maxShedSources {
+		key = guid.Nil // overflow bucket
+	}
+	s.shedBy[key] += n
+	s.shedMu.Unlock()
+}
+
+// noteShedEvents attributes a shed stretch event by event (per-event
+// Source), walking it in runs so each run costs one table update.
+func (s *SharedStats) noteShedEvents(events []event.Event) {
+	for i := 0; i < len(events); {
+		j := i + 1
+		for j < len(events) && events[j].Source == events[i].Source {
+			j++
+		}
+		s.noteShed(events[i].Source, uint64(j-i))
+		i = j
+	}
+}
+
+// ShedBySource returns a snapshot of the per-source shed attribution. The
+// nil-GUID key, when present, is the overflow bucket.
+func (s *SharedStats) ShedBySource() map[guid.GUID]uint64 {
+	s.shedMu.Lock()
+	defer s.shedMu.Unlock()
+	out := make(map[guid.GUID]uint64, len(s.shedBy))
+	for k, v := range s.shedBy {
+		out[k] = v
+	}
+	return out
 }
 
 // Config parameterises a Coalescer. Clock, MaxBatch (≥1), MaxDelay and
@@ -128,6 +180,9 @@ type Config struct {
 	Send func(batch []event.Event)
 	// Adaptive optionally derives effective bounds from the arrival rate.
 	Adaptive Adaptive
+	// Fair optionally drains per-source sub-queues by weighted deficit
+	// round robin instead of one global FIFO.
+	Fair Fair
 	// Stats is an optional shared sink for flush/backpressure accounting.
 	Stats *SharedStats
 }
@@ -146,6 +201,12 @@ type Coalescer struct {
 	pending []event.Event
 	timer   clock.Timer // armed while a partial batch waits for the delay
 	dead    bool
+
+	// Weighted-fair state (guarded by mu; replaces pending when
+	// cfg.Fair.Enabled).
+	subs  map[guid.GUID]*subQueue
+	ring  []guid.GUID // backlogged sources in DRR order
+	total int         // events across all sub-queues
 
 	// Adaptive state (guarded by mu).
 	rt       *RateTracker
@@ -237,6 +298,10 @@ func clampInt(v, lo, hi int) int {
 // batch never waits longer than the effective delay (stretched by the
 // backpressure penalty while credit is collapsed).
 func (c *Coalescer) Add(e event.Event) {
+	if c.cfg.Fair.Enabled {
+		c.addFairN(func() { c.enqueueFairLocked(e) }, 1)
+		return
+	}
 	c.addN(func() { c.pending = append(c.pending, e) }, 1)
 }
 
@@ -245,6 +310,10 @@ func (c *Coalescer) Add(e event.Event) {
 // delivery loop's reused slice.
 func (c *Coalescer) AddAll(events []event.Event) {
 	if len(events) == 0 {
+		return
+	}
+	if c.cfg.Fair.Enabled {
+		c.addFairN(func() { c.enqueueFairRunsLocked(events) }, len(events))
 		return
 	}
 	c.addN(func() { c.pending = append(c.pending, events...) }, len(events))
@@ -265,10 +334,10 @@ func (c *Coalescer) addN(app func(), n int) {
 		// so the buffer stays bounded.
 		if limit := c.cfg.MaxBatch * throttleBufferFactor; len(c.pending) > limit {
 			shed := len(c.pending) - limit
-			c.pending = append(c.pending[:0], c.pending[shed:]...)
 			if c.cfg.Stats != nil {
-				c.cfg.Stats.EventsShed.Add(uint64(shed))
+				c.cfg.Stats.noteShedEvents(c.pending[:shed])
 			}
+			c.pending = append(c.pending[:0], c.pending[shed:]...)
 		}
 	} else {
 		full = len(c.pending) >= c.eff
@@ -319,22 +388,32 @@ func (c *Coalescer) doFlush(all bool) {
 		eff = 1
 	}
 	chunk := c.cfg.MaxBatch
-	batch := c.pending
-	cut := len(batch)
-	if !all {
-		cut -= cut % eff
+	var send []event.Event
+	if c.cfg.Fair.Enabled {
+		cut := c.total
+		if !all {
+			cut -= cut % eff
+		}
+		send = c.extractFairLocked(cut)
+	} else {
+		batch := c.pending
+		cut := len(batch)
+		if !all {
+			cut -= cut % eff
+		}
+		// The held-back tail keeps its position: later adds append behind it
+		// in the same backing array, never overlapping the chunk being sent.
+		c.pending = batch[cut:]
+		send = batch[:cut]
 	}
-	// The held-back tail keeps its position: later adds append behind it in
-	// the same backing array, never overlapping the chunk being sent.
-	c.pending = batch[cut:]
-	if c.timer != nil && len(c.pending) == 0 {
+	rest := c.pendingLocked()
+	if c.timer != nil && rest == 0 {
 		c.timer.Stop()
 		c.timer = nil
 	}
-	if len(c.pending) > 0 && c.timer == nil && !c.dead {
+	if rest > 0 && c.timer == nil && !c.dead {
 		c.timer = c.cfg.Clock.AfterFunc(c.flushDelayLocked(), c.Flush)
 	}
-	send := batch[:cut]
 	c.mu.Unlock()
 	if len(send) > 0 && c.cfg.Stats != nil {
 		c.cfg.Stats.Flushes.Inc()
@@ -355,6 +434,9 @@ func (c *Coalescer) Discard() {
 	c.mu.Lock()
 	c.dead = true
 	c.pending = nil
+	c.subs = nil
+	c.ring = nil
+	c.total = 0
 	if c.timer != nil {
 		c.timer.Stop()
 		c.timer = nil
@@ -431,11 +513,20 @@ func (c *Coalescer) NoteCredit(dropDelta uint64, queueFree int) {
 	}
 }
 
+// pendingLocked reports how many events await a flush, whichever queue
+// shape is in use. Called under mu.
+func (c *Coalescer) pendingLocked() int {
+	if c.cfg.Fair.Enabled {
+		return c.total
+	}
+	return len(c.pending)
+}
+
 // PendingLen reports how many events await a flush (tests, diagnostics).
 func (c *Coalescer) PendingLen() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.pending)
+	return c.pendingLocked()
 }
 
 // EffectiveBatch reports the current rate-derived batch size (the ceiling

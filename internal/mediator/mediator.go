@@ -91,12 +91,18 @@ type Option func(*config)
 
 type config struct {
 	shards int
+	quota  *eventbus.Quota
 }
 
 // WithShards sets the lock-stripe count for both the underlying bus and the
 // Mediator's own record bookkeeping (0 = default).
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
+}
+
+// WithQuota enables per-publisher admission control on the underlying bus.
+func WithQuota(q eventbus.Quota) Option {
+	return func(c *config) { c.quota = &q }
 }
 
 // maxShards mirrors the bus's clamp.
@@ -112,6 +118,9 @@ func New(reg *ctxtype.Registry, opts ...Option) *Mediator {
 	var busOpts []eventbus.Option
 	if c.shards > 0 {
 		busOpts = append(busOpts, eventbus.WithShards(c.shards))
+	}
+	if c.quota != nil {
+		busOpts = append(busOpts, eventbus.WithQuota(*c.quota))
 	}
 	want := c.shards
 	if want <= 0 {
@@ -445,6 +454,18 @@ func (m *Mediator) DropsFor(pub guid.GUID) uint64 {
 // DropsBySource exposes the bus's per-publisher drop attribution snapshot.
 func (m *Mediator) DropsBySource() map[guid.GUID]uint64 {
 	return m.bus.DropsBySource()
+}
+
+// QuotaRejectedFor exposes the bus's per-publisher quota-refusal count: the
+// number of events admission control refused charged against pub.
+func (m *Mediator) QuotaRejectedFor(pub guid.GUID) uint64 {
+	return m.bus.QuotaRejectedFor(pub)
+}
+
+// QuotaRejectedBySource exposes the bus's per-publisher quota-refusal
+// snapshot (nil-GUID key: the overflow bucket).
+func (m *Mediator) QuotaRejectedBySource() map[guid.GUID]uint64 {
+	return m.bus.QuotaRejectedBySource()
 }
 
 // IndexHitRatio reports the fraction of dispatch work the bus resolved

@@ -628,6 +628,7 @@ func (h *Host) queueFor(to guid.GUID) *flow.Coalescer {
 			MaxBatch: h.maxBatch,
 			MaxDelay: h.maxDelay,
 			Adaptive: h.adaptive,
+			Fair:     h.rng.FairFlush(),
 			Stats:    h.rng.FlowStats(),
 			Send:     func(batch []event.Event) { h.sendBatch(to, batch) },
 		})

@@ -161,6 +161,7 @@ func (f *Fabric) setInterests(table map[guid.GUID][]event.Filter) {
 				fresh[owner] = flts
 			}
 			f.interests = fresh
+			f.refreshInterestSnapLocked()
 		}
 		f.mu.Unlock()
 		if same {
@@ -236,7 +237,10 @@ func TestCrossRangeRelayViaMiddle(t *testing.T) {
 	for settled := 0; settled < 25; {
 		fA.mu.Lock()
 		_, present := fA.interests[fC.NodeID()]
-		delete(fA.interests, fC.NodeID())
+		if present {
+			delete(fA.interests, fC.NodeID())
+			fA.refreshInterestSnapLocked()
+		}
 		fA.mu.Unlock()
 		if present {
 			settled = 0

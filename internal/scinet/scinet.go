@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sci/internal/clock"
@@ -165,12 +166,16 @@ type interestMsg struct {
 // back-compat scalar a peer that predates the map still understands —
 // summed figures are monotone per sender because the excluded key set per
 // recipient is fixed). Peers that predate both fields simply omit them
-// (read as 0). QueryID is set when acking routed-query traffic, so the
-// serving fabric can credit the right per-(peer, query) coalescer; those
-// acks carry no downstream figures at all.
+// (read as 0). QueryAck marks a cumulative routed-query credit frame that
+// applies to every per-(peer, query) coalescer the serving fabric keeps
+// toward the sender — all of them track the same per-peer drop figure, so
+// one frame per peer per window replaces a frame per result batch; those
+// acks carry no downstream figures at all. QueryID is the legacy
+// per-query form retained for peers that predate QueryAck.
 type eventBatchAckMsg struct {
 	Origin       guid.GUID            `json:"origin"`
 	QueryID      guid.GUID            `json:"query_id,omitzero"`
+	QueryAck     bool                 `json:"query_ack,omitempty"`
 	Events       int                  `json:"events,omitempty"`
 	Dropped      uint64               `json:"dropped"`
 	Downstream   uint64               `json:"downstream,omitempty"`
@@ -291,11 +296,18 @@ type Fabric struct {
 	peerDrops map[guid.GUID]uint64             // last combined (drops+downstream) report per peer (fan-out acks)
 	downObs   map[guid.GUID]uint64             // downstream accounts: observing fabric → max cumulative drops seen
 	facks     map[guid.GUID]*flow.AckCoalescer // coalesced fan-path ack owed per peer
+	qacks     map[guid.GUID]*flow.AckCoalescer // coalesced routed-query ack owed per peer
+	relays    map[guid.GUID]*relayQueue        // bounded relay backlog per throttled peer
 	statsWait map[guid.GUID]chan statsResultMsg
 	seen      guid.Set    // recently ingested batch ids (duplicate window)
 	seenRing  []guid.GUID // eviction order for seen, bounded at seenWindow
 	seenPos   int
 	closed    bool
+
+	// interestSnap is the lock-free copy-on-write view of interests that
+	// fanOut and relay match against; rebuilt under mu whenever the live
+	// table changes.
+	interestSnap atomic.Pointer[[]interestEntry]
 
 	// BatchesForwarded / EventsForwarded count the fan-out and routed-query
 	// batches this fabric originated (one batch per overlay message per
@@ -315,6 +327,12 @@ type Fabric struct {
 	// DuplicatesDropped counts batches whose id was already ingested — two
 	// relays covering the same gap in a sender's hop set.
 	DuplicatesDropped metrics.Counter
+	// BatchesRelayShed counts relayed batches evicted from a throttled
+	// peer's bounded relay backlog instead of being forwarded at line rate.
+	BatchesRelayShed metrics.Counter
+	// AcksSent counts flow-credit ack frames this fabric put on the wire
+	// (fan-path, routed-query, and legacy per-batch forms alike).
+	AcksSent metrics.Counter
 }
 
 // seenWindow bounds the duplicate-suppression window: how many recently
@@ -356,9 +374,12 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		peerDrops: make(map[guid.GUID]uint64),
 		downObs:   make(map[guid.GUID]uint64),
 		facks:     make(map[guid.GUID]*flow.AckCoalescer),
+		qacks:     make(map[guid.GUID]*flow.AckCoalescer),
+		relays:    make(map[guid.GUID]*relayQueue),
 		statsWait: make(map[guid.GUID]chan statsResultMsg),
 		seen:      guid.NewSet(),
 	}
+	f.refreshInterestSnapLocked()
 	if f.ackWindow <= 0 {
 		f.ackWindow = server.DefaultBatchMaxDelay
 	}
@@ -377,6 +398,7 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		MaxBatch: f.maxBatch,
 		MaxDelay: f.maxDelay,
 		Adaptive: f.adaptive,
+		Fair:     rng.FairFlush(),
 		Stats:    rng.FlowStats(),
 		Send:     f.fanOut,
 	})
@@ -913,6 +935,9 @@ func (f *Fabric) ForgetInterest(owner guid.GUID) bool {
 	defer f.mu.Unlock()
 	_, ok := f.interests[owner]
 	delete(f.interests, owner)
+	if ok {
+		f.refreshInterestSnapLocked()
+	}
 	return ok
 }
 
@@ -982,6 +1007,9 @@ func (f *Fabric) handleInterest(d overlay.Delivery) {
 	} else if !filtersEqual(f.interests[msg.Owner], msg.Filters) {
 		f.interests[msg.Owner] = append([]event.Filter(nil), msg.Filters...)
 		changed = true
+	}
+	if changed {
+		f.refreshInterestSnapLocked()
 	}
 	f.mu.Unlock()
 	f.reconcileTaps()
@@ -1198,26 +1226,22 @@ func (f *Fabric) forwardLocal(events []event.Event) {
 // covering origin plus all recipients — the loop-suppression contract that
 // lets relays extend coverage without ever duplicating or echoing.
 func (f *Fabric) fanOut(events []event.Event) {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return
-	}
+	// Interest matching runs against the lock-free snapshot: a wide table
+	// of per-peer filters must not serialize every flush behind f.mu. Close
+	// empties the snapshot, so a closed fabric matches nothing.
 	self := f.node.ID()
 	var recips []guid.GUID
-	for owner, filters := range f.interests {
-		if owner == self {
+	for _, ent := range f.interestSnapshot() {
+		if ent.owner == self {
 			continue
 		}
-		if matchAny(filters, events, f.rng) {
-			recips = append(recips, owner)
+		if matchAny(ent.filters, events, f.rng) {
+			recips = append(recips, ent.owner)
 		}
 	}
-	f.mu.Unlock()
 	if len(recips) == 0 {
 		return
 	}
-	guid.Sort(recips)
 	frames := encodeFrames(events)
 	if len(frames) == 0 {
 		return
@@ -1265,7 +1289,10 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 		}
 		events, _ := decodeFrames(msg.Events, guid.Nil)
 		oq.caa.ConsumeAll(events)
-		f.sendBatchAck(d.Origin, msg.QueryID, len(msg.Events))
+		// Credit reports for routed-query traffic coalesce per peer: every
+		// (peer, query) coalescer at the sender tracks the same cumulative
+		// figure, so one frame per window covers them all.
+		f.noteQueryAck(d.Origin, len(msg.Events))
 		return
 	}
 
@@ -1367,7 +1394,11 @@ func (f *Fabric) sendBatchAck(to, qid guid.GUID, events int) error {
 	if err != nil {
 		return nil // unencodable: dropping the report is all we can do
 	}
-	return f.node.Route(to, appEventBatchAck, payload)
+	err = f.node.Route(to, appEventBatchAck, payload)
+	if err == nil {
+		f.AcksSent.Inc()
+	}
+	return err
 }
 
 // DownstreamDrops reports the congestion this fabric has observed
@@ -1481,7 +1512,24 @@ func (f *Fabric) handleBatchAck(d overlay.Delivery) {
 		return
 	}
 	combined := msg.Dropped + msg.Downstream
+	if msg.QueryAck {
+		// One cumulative routed-query frame credits every coalescer toward
+		// that peer: they all track the same per-peer drop figure.
+		f.mu.Lock()
+		var qs []*flow.Coalescer
+		for k, q := range f.queues {
+			if k.peer == msg.Origin {
+				qs = append(qs, q)
+			}
+		}
+		f.mu.Unlock()
+		for _, q := range qs {
+			q.UpdateCredit(combined, msg.QueueFree)
+		}
+		return
+	}
 	if !msg.QueryID.IsNil() {
+		// Legacy per-query ack from a peer that predates QueryAck.
 		f.mu.Lock()
 		q := f.queues[queueKey{peer: msg.Origin, qid: msg.QueryID}]
 		f.mu.Unlock()
@@ -1537,25 +1585,20 @@ func (f *Fabric) relay(msg eventBatchMsg, events []event.Event) {
 	via := guid.NewSet(msg.Via...)
 	via.Add(msg.Origin)
 	via.Add(f.node.ID())
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return
-	}
+	// Interest matching runs against the lock-free snapshot, same as fanOut:
+	// relays sit on the ingest path and must not serialize behind f.mu.
 	var extra []guid.GUID
-	for owner, filters := range f.interests {
-		if via.Has(owner) {
+	for _, ent := range f.interestSnapshot() {
+		if via.Has(ent.owner) {
 			continue
 		}
-		if matchAny(filters, events, f.rng) {
-			extra = append(extra, owner)
+		if matchAny(ent.filters, events, f.rng) {
+			extra = append(extra, ent.owner)
 		}
 	}
-	f.mu.Unlock()
 	if len(extra) == 0 {
 		return
 	}
-	guid.Sort(extra)
 	for _, id := range extra {
 		via.Add(id)
 	}
@@ -1569,10 +1612,12 @@ func (f *Fabric) relay(msg eventBatchMsg, events []event.Event) {
 	if err != nil {
 		return
 	}
+	// Forwarding honors this fabric's own credit state: while the fan-out
+	// penalty is engaged, relayed batches queue into a bounded drop-oldest
+	// backlog per peer instead of amplifying the origin's burst at line
+	// rate into receivers already reporting collapse.
 	for _, to := range extra {
-		if f.node.Route(to, appEventBatch, payload) == nil {
-			f.BatchesRelayed.Inc()
-		}
+		f.relayTo(to, payload)
 	}
 }
 
@@ -1691,6 +1736,7 @@ func (f *Fabric) queueFor(to, qid guid.GUID) *flow.Coalescer {
 			MaxBatch: f.maxBatch,
 			MaxDelay: f.maxDelay,
 			Adaptive: f.adaptive,
+			Fair:     f.rng.FairFlush(),
 			Stats:    f.rng.FlowStats(),
 			Send:     func(batch []event.Event) { f.sendQueryBatch(to, qid, batch) },
 		})
@@ -1713,13 +1759,20 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 		return
 	}
 	delete(f.coverage, peer)
-	delete(f.interests, peer)
+	if _, ok := f.interests[peer]; ok {
+		delete(f.interests, peer)
+		f.refreshInterestSnapLocked()
+	}
 	delete(f.peerDrops, peer)
 	// The departed peer's downstream account (downObs) is deliberately
 	// retained: figures reported to the remaining peers must stay
 	// monotone, and max-merge makes a stale account harmless.
 	ack := f.facks[peer]
 	delete(f.facks, peer)
+	qack := f.qacks[peer]
+	delete(f.qacks, peer)
+	relay := f.relays[peer]
+	delete(f.relays, peer)
 	for qid, oq := range f.consumers {
 		if oq.target == peer {
 			delete(f.consumers, qid)
@@ -1742,6 +1795,12 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 
 	if ack != nil {
 		ack.Stop()
+	}
+	if qack != nil {
+		qack.Stop()
+	}
+	if relay != nil {
+		relay.discard()
 	}
 	for _, q := range drop {
 		q.Discard()
@@ -1859,8 +1918,8 @@ func (f *Fabric) Names() []string {
 // node.
 func (f *Fabric) Close() error {
 	// Flush while the fabric is still open: the fan-out queue's recipients
-	// come from the interest table and fanOut refuses to run closed, so the
-	// pending batches must leave before the closed transition. (Fan-out
+	// come from the interest snapshot, which the closed transition empties,
+	// so the pending batches must leave before it. (Fan-out
 	// events published concurrently with Close may land after this flush;
 	// they are dropped with the rest of the closing fabric's state.)
 	f.mu.Lock()
@@ -1911,14 +1970,27 @@ func (f *Fabric) Close() error {
 	}
 	f.consumers = make(map[guid.GUID]*outQuery)
 	f.interests = make(map[guid.GUID][]event.Filter)
-	acks := make([]*flow.AckCoalescer, 0, len(f.facks))
+	f.refreshInterestSnapLocked() // fanOut/relay match nothing once closed
+	acks := make([]*flow.AckCoalescer, 0, len(f.facks)+len(f.qacks))
 	for _, a := range f.facks {
 		acks = append(acks, a)
 	}
 	f.facks = make(map[guid.GUID]*flow.AckCoalescer)
+	for _, a := range f.qacks {
+		acks = append(acks, a)
+	}
+	f.qacks = make(map[guid.GUID]*flow.AckCoalescer)
+	relays := make([]*relayQueue, 0, len(f.relays))
+	for _, rq := range f.relays {
+		relays = append(relays, rq)
+	}
+	f.relays = make(map[guid.GUID]*relayQueue)
 	f.mu.Unlock()
 	for _, a := range acks {
 		a.Stop()
+	}
+	for _, rq := range relays {
+		rq.discard()
 	}
 
 	guid.Sort(taps)

@@ -76,7 +76,39 @@ type Config struct {
 	// AutoRenewEvery renews all local registrations on this period
 	// (0 disables; tests drive renewal manually).
 	AutoRenewEvery time.Duration
+	// PublisherQuota enforces per-publisher admission and weighted-fair
+	// flushing: PR 5's drop attribution turned into isolation.
+	PublisherQuota PublisherQuota
 }
+
+// PublisherQuota configures per-publisher enforcement on a Range. Rate > 0
+// arms a token bucket per publishing source at the mediator's admission
+// edge (Publish/PublishAll/PublishAllFrom), clipping a flooding tenant
+// before it costs dispatch work; over-quota events are shed-and-counted
+// (readable via QuotaRejectedFor) or, with Reject, refused with an error
+// wrapping eventbus.ErrOverQuota. Enabling enforcement (Rate > 0 or any
+// Weights) also switches the Range's outbound coalescers — Range Service
+// endpoints and SCINET fabric queues alike — to weighted-fair per-source
+// draining, so a credit-throttled link sheds the offender's backlog rather
+// than every tenant's.
+type PublisherQuota struct {
+	// Rate is the sustained per-publisher admission rate, events/second
+	// (0 disables admission control).
+	Rate float64
+	// Burst is the token-bucket depth (default: one second's worth of
+	// Rate).
+	Burst int
+	// Reject refuses over-quota publishes with a typed error instead of
+	// shedding the excess.
+	Reject bool
+	// Weights sets per-source weighted-fair drain shares for outbound
+	// coalescers (absent sources weigh 1).
+	Weights map[guid.GUID]int
+}
+
+// enabled reports whether any enforcement (admission or fair flushing) is
+// configured.
+func (q PublisherQuota) enabled() bool { return q.Rate > 0 || len(q.Weights) > 0 }
 
 // Range is one administrative area: a Context Server plus its utilities and
 // locally hosted components.
@@ -110,6 +142,7 @@ type Range struct {
 	batchMaxEvents int
 	batchMaxDelay  time.Duration
 	adaptive       flow.Adaptive
+	quota          PublisherQuota
 	// flowStats is the shared backpressure/flush sink every outbound
 	// coalescer shipping on this Range's behalf reports into (Range
 	// Service endpoints and SCINET fabric peers alike).
@@ -197,9 +230,19 @@ func New(cfg Config) *Range {
 		batchMaxEvents: cfg.BatchMaxEvents,
 		batchMaxDelay:  cfg.BatchMaxDelay,
 		adaptive:       cfg.AdaptiveBatching,
+		quota:          cfg.PublisherQuota,
 	}
 	r.registrar = registry.New(registry.Config{Clock: cfg.Clock, Lease: cfg.Lease})
-	r.med = mediator.New(cfg.Types, mediator.WithShards(cfg.EventShards))
+	medOpts := []mediator.Option{mediator.WithShards(cfg.EventShards)}
+	if cfg.PublisherQuota.Rate > 0 {
+		medOpts = append(medOpts, mediator.WithQuota(eventbus.Quota{
+			Rate:   cfg.PublisherQuota.Rate,
+			Burst:  cfg.PublisherQuota.Burst,
+			Reject: cfg.PublisherQuota.Reject,
+			Clock:  cfg.Clock,
+		}))
+	}
+	r.med = mediator.New(cfg.Types, medOpts...)
 	r.res = resolver.New(r.profiles, cfg.Types, cfg.Places)
 	r.runtime = configuration.New(r.med, r.res, configuration.ComponentsFunc(r.Component), cfg.MaxRepairs)
 
@@ -607,6 +650,26 @@ func (r *Range) AdaptiveBatching() flow.Adaptive { return r.adaptive }
 // remote.backpressure.* gauges.
 func (r *Range) FlowStats() *flow.SharedStats { return &r.flowStats }
 
+// FairFlush reports the weighted-fair drain configuration the Range's
+// outbound coalescers should run with: enabled whenever per-publisher
+// enforcement is configured.
+func (r *Range) FairFlush() flow.Fair {
+	return flow.Fair{Enabled: r.quota.enabled(), Weights: r.quota.Weights}
+}
+
+// QuotaRejectedFor returns the cumulative count of events refused by
+// per-publisher admission control charged against pub (0 with quotas
+// disabled).
+func (r *Range) QuotaRejectedFor(pub guid.GUID) uint64 {
+	return r.med.QuotaRejectedFor(pub)
+}
+
+// QuotaRejectedBySource returns the per-publisher quota-refusal snapshot
+// (nil-GUID key: the overflow bucket).
+func (r *Range) QuotaRejectedBySource() map[guid.GUID]uint64 {
+	return r.med.QuotaRejectedBySource()
+}
+
 // DispatchStats returns the Event Mediator's bus-wide dispatch counters.
 func (r *Range) DispatchStats() eventbus.Stats {
 	return r.med.Stats()
@@ -651,16 +714,31 @@ func (r *Range) StatsMap() map[string]float64 {
 		"remote_backpressure_throttle_events": float64(r.flowStats.ThrottleEvents.Value()),
 		"remote_backpressure_shed":            float64(r.flowStats.EventsShed.Value()),
 	}
-	// Per-publisher drop attribution: one gauge per top dropping publisher,
-	// keyed by its short GUID form, with the long tail folded into
-	// dropped_from_other — the full map stays queryable via
-	// DispatchDropsBySource, but a stats round trip must not ship a key
-	// per device a high-churn Range has ever dropped for. The keys sum
-	// cleanly in fleet rollups (a publisher's drops across Ranges add up).
+	out["quota_rejected"] = float64(st.QuotaRejected)
+	// Per-publisher attribution: one gauge per top publisher, keyed by its
+	// short GUID form, with the long tail folded into the _other key — the
+	// full maps stay queryable via DispatchDropsBySource and friends, but a
+	// stats round trip must not ship a key per device a high-churn Range
+	// has ever dropped for. The keys sum cleanly in fleet rollups (a
+	// publisher's figures across Ranges add up).
 	for _, e := range r.topDropSources() {
 		key := "dropped_from_other"
 		if !e.src.IsNil() {
 			key = "dropped_from_" + e.src.Short()
+		}
+		out[key] += float64(e.n)
+	}
+	for _, e := range topSources(r.med.QuotaRejectedBySource()) {
+		key := "quota_rejected_from_other"
+		if !e.src.IsNil() {
+			key = "quota_rejected_from_" + e.src.Short()
+		}
+		out[key] += float64(e.n)
+	}
+	for _, e := range topSources(r.flowStats.ShedBySource()) {
+		key := "throttled_by_source_other"
+		if !e.src.IsNil() {
+			key = "throttled_by_source_" + e.src.Short()
 		}
 		out[key] += float64(e.n)
 	}
@@ -683,7 +761,14 @@ type dropSourceEntry struct {
 // descending drop count, plus (last, nil-keyed) the aggregated remainder
 // when one exists.
 func (r *Range) topDropSources() []dropSourceEntry {
-	all := r.med.DropsBySource()
+	return topSources(r.med.DropsBySource())
+}
+
+// topSources reduces a per-publisher attribution map to its top
+// maxDropSourceGauges entries by descending count, plus (last, nil-keyed)
+// the aggregated remainder — the bounding every per-tenant gauge family
+// shares.
+func topSources(all map[guid.GUID]uint64) []dropSourceEntry {
 	if len(all) == 0 {
 		return nil
 	}
@@ -734,6 +819,21 @@ func (r *Range) FillMetrics(m *metrics.Registry) {
 		name := "eventbus.dropped.from.other"
 		if !e.src.IsNil() {
 			name = "eventbus.dropped.from." + e.src.Short()
+		}
+		m.Gauge(name).Set(int64(e.n))
+	}
+	m.Gauge("eventbus.quota.rejected").Set(int64(st.QuotaRejected))
+	for _, e := range topSources(r.med.QuotaRejectedBySource()) {
+		name := "eventbus.quota.rejected.from.other"
+		if !e.src.IsNil() {
+			name = "eventbus.quota.rejected.from." + e.src.Short()
+		}
+		m.Gauge(name).Set(int64(e.n))
+	}
+	for _, e := range topSources(r.flowStats.ShedBySource()) {
+		name := "remote.backpressure.throttled.by_source.other"
+		if !e.src.IsNil() {
+			name = "remote.backpressure.throttled.by_source." + e.src.Short()
 		}
 		m.Gauge(name).Set(int64(e.n))
 	}

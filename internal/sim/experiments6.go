@@ -1,0 +1,464 @@
+package sim
+
+// E14 (ISSUE 6): hostile-tenant isolation. Two tenants share first a Range
+// and then a SCINET fabric: a well-behaved publisher pacing one event per
+// 2ms, and a hostile one flooding as fast as the CPU allows. Phase A
+// measures the shared Range's dispatch edge — with a per-publisher
+// admission quota the hostile flood is clipped to its configured rate at
+// the publish call and the well tenant's delivery p99 stays within 3× its
+// solo baseline; a no-quota control shows what the flood does otherwise.
+// Phase B repeats the contest across a fabric link whose remote consumer
+// is the shared bottleneck: the admission quota keeps total inflow under
+// the consumer's capacity (so the credit throttle never engages and the
+// well tenant's cross-fabric p99 holds the same 3× bar), and a
+// weights-only control — fair flushing on, admission off — collapses the
+// link to prove the deficit-round-robin shed discipline charges evictions
+// to the flooding source and none to the paced one.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/flow"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/mediator"
+	"sci/internal/scinet"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+// E14Result reports the hostile-tenant isolation experiment.
+type E14Result struct {
+	// Rate/Burst are the per-publisher admission quota; Batch the
+	// BatchMaxEvents ceiling.
+	Rate  float64
+	Burst int
+	Batch int
+
+	// Phase A: shared Range, local dispatch.
+	LocalSoloP99    time.Duration // well tenant alone
+	LocalQuotaP99   time.Duration // hostile flood, quota on
+	LocalQuotaX     float64       // LocalQuotaP99 / LocalSoloP99
+	LocalControlP99 time.Duration // hostile flood, quota off
+	LocalControlX   float64
+
+	// Hostile admission accounting from the quota run: Offered events at
+	// the publish edge, Admitted past the token bucket, the Expected
+	// admission (burst + rate × flood duration) and the relative clip
+	// error |admitted − expected| / expected (acceptance bar ≤ 0.10).
+	FloodOffered  uint64
+	FloodAdmitted uint64
+	FloodExpected float64
+	FloodClipErr  float64
+	// QuotaGauge reports whether the hostile source surfaced in the
+	// Range's quota_rejected_from_* stats gauges.
+	QuotaGauge bool
+
+	// Phase B: shared fabric, remote consumer is the bottleneck.
+	RemoteSoloP99    time.Duration
+	RemoteQuotaP99   time.Duration
+	RemoteQuotaX     float64
+	RemoteControlP99 time.Duration // weights-only control (no admission)
+	// Shed attribution from the weights-only collapse: DRR evictions
+	// charged to the hostile source vs the well-behaved one (acceptance:
+	// hostile > 0, well == 0).
+	ShedHostile uint64
+	ShedWell    uint64
+	// ControlThrottled reports whether the fan path actually engaged its
+	// credit throttle during the collapse (the shed discipline's
+	// precondition).
+	ControlThrottled bool
+}
+
+// e14Latencies collects per-event delivery latencies for one tenant.
+type e14Latencies struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (l *e14Latencies) note(e event.Event) {
+	ns, ok := e14SentNs(e)
+	if !ok {
+		return
+	}
+	d := time.Duration(time.Now().UnixNano() - ns)
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+func (l *e14Latencies) p99() time.Duration {
+	l.mu.Lock()
+	ds := append([]time.Duration(nil), l.ds...)
+	l.mu.Unlock()
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[(len(ds)*99)/100]
+}
+
+// e14SentNs extracts the send timestamp a well-tenant event carries. Local
+// dispatch hands the payload back untouched (int64); the fabric path
+// round-trips it through JSON (float64).
+func e14SentNs(e event.Event) (int64, bool) {
+	switch v := e.Payload["sent"].(type) {
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
+}
+
+func e14WellEvent(src guid.GUID, seq uint64) event.Event {
+	now := time.Now()
+	return event.New(ctxtype.TemperatureCelsius, src, seq, now,
+		map[string]any{"value": 294.0, "sent": now.UnixNano()})
+}
+
+// e14Flood publishes hostile batches of 64 every millisecond (~60k events/s
+// offered, 30× the quota) until stop flips, counting the offered events. The
+// inter-batch sleep keeps the flood an event flood rather than a CPU-starvation
+// attack: on a small host a spin loop would monopolize the scheduler and
+// degrade the well tenant through the OS, which no dispatch-layer quota can
+// prevent and which is not what E14 measures.
+func e14Flood(pub func([]event.Event) error, src guid.GUID, stop *atomic.Bool, offered *atomic.Uint64) {
+	var seq uint64
+	buf := make([]event.Event, 0, 64)
+	for !stop.Load() {
+		buf = buf[:0]
+		now := time.Now()
+		for i := 0; i < 64; i++ {
+			seq++
+			buf = append(buf, event.New(ctxtype.TemperatureCelsius, src, seq, now,
+				map[string]any{"value": 512.0}))
+		}
+		offered.Add(64)
+		if pub(buf) != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// e14SlowConsumer returns a handler that burns amortized perEvent time per
+// hostile event, sleeping in every-16th-event chunks so timer-wakeup
+// overhead does not swamp the budget on a single-core host.
+func e14SlowConsumer(perEvent time.Duration) func(event.Event) {
+	var n atomic.Uint64
+	return func(event.Event) {
+		if n.Add(1)%16 == 0 {
+			time.Sleep(16 * perEvent)
+		}
+	}
+}
+
+// e14Pace publishes one well-tenant event every 2ms for the window.
+func e14Pace(pub func([]event.Event) error, src guid.GUID, window time.Duration) {
+	var seq uint64
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		seq++
+		if pub([]event.Event{e14WellEvent(src, seq)}) != nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runE14Local runs one Phase A window on a fresh shared Range: the well
+// tenant paces, the hostile tenant floods if contended, and the well
+// tenant's p99 comes from its own Source-filtered subscription.
+func runE14Local(rate float64, burst, batch int, maxDelay time.Duration,
+	contended bool) (p99 time.Duration, res *E14Result, err error) {
+	wellSrc := guid.New(guid.KindDevice)
+	hotSrc := guid.New(guid.KindDevice)
+	cfg := server.Config{
+		Name:             "e14-local",
+		Coverage:         location.Path("campus/e14-local"),
+		BatchMaxEvents:   batch,
+		BatchMaxDelay:    maxDelay,
+		AdaptiveBatching: flow.Adaptive{Enabled: true},
+	}
+	if rate > 0 {
+		cfg.PublisherQuota = server.PublisherQuota{Rate: rate, Burst: burst}
+	}
+	rng := server.New(cfg)
+	defer rng.Close()
+
+	lat := &e14Latencies{}
+	if _, err := rng.Mediator().Subscribe(guid.New(guid.KindApplication),
+		event.Filter{Type: ctxtype.TemperatureCelsius, Source: wellSrc},
+		lat.note, mediator.SubOptions{}); err != nil {
+		return 0, nil, err
+	}
+	// The hostile tenant has its own (slow) consumer: realistic floods are
+	// published to be read, and the slow ring is what unquota'd dispatch
+	// contends on.
+	if _, err := rng.Mediator().Subscribe(guid.New(guid.KindApplication),
+		event.Filter{Type: ctxtype.TemperatureCelsius, Source: hotSrc},
+		e14SlowConsumer(50*time.Microsecond),
+		mediator.SubOptions{}); err != nil {
+		return 0, nil, err
+	}
+
+	const window = 1200 * time.Millisecond
+	var stop atomic.Bool
+	var offered atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	if contended {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e14Flood(func(evs []event.Event) error {
+				return rng.PublishAllFrom(hotSrc, evs)
+			}, hotSrc, &stop, &offered)
+		}()
+	}
+	e14Pace(func(evs []event.Event) error {
+		return rng.PublishAllFrom(wellSrc, evs)
+	}, wellSrc, window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	time.Sleep(100 * time.Millisecond) // drain the delivery rings
+
+	p99 = lat.p99()
+	if contended && rate > 0 {
+		res = &E14Result{
+			FloodOffered:  offered.Load(),
+			FloodAdmitted: offered.Load() - rng.QuotaRejectedFor(hotSrc),
+			FloodExpected: float64(burst) + rate*elapsed.Seconds(),
+		}
+		if res.FloodExpected > 0 {
+			res.FloodClipErr = (float64(res.FloodAdmitted) - res.FloodExpected) / res.FloodExpected
+			if res.FloodClipErr < 0 {
+				res.FloodClipErr = -res.FloodClipErr
+			}
+		}
+		prefix := "quota_rejected_from_"
+		for k, v := range rng.StatsMap() {
+			if len(k) > len(prefix) && k[:len(prefix)] == prefix && v > 0 {
+				res.QuotaGauge = true
+			}
+		}
+	}
+	return p99, res, nil
+}
+
+// runE14Remote runs one Phase B window: both tenants publish into Range A,
+// whose fabric fans out to Range B's remote subscriber — the shared
+// bottleneck (its hostile-event handler burns 100µs per event). The well
+// tenant's p99 is measured at B.
+func runE14Remote(quota server.PublisherQuota, batch int, maxDelay time.Duration,
+	contended bool) (p99 time.Duration, shedWell, shedHot uint64, throttled bool, err error) {
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer func() { _ = net.Close() }()
+	wellSrc := guid.New(guid.KindDevice)
+	hotSrc := guid.New(guid.KindDevice)
+	perEvent := 100 * time.Microsecond
+	if quota.Weights != nil {
+		// The caller's weight map is keyed by role; rebuild it on the
+		// per-run GUIDs.
+		quota.Weights = map[guid.GUID]int{wellSrc: 1, hotSrc: 1}
+	}
+	if quota.Weights != nil && quota.Rate <= 0 {
+		// The weights-only collapse control exists to prove shed
+		// attribution, so the bottleneck must actually collapse during the
+		// window even on a heavily loaded host: a slower consumer and a
+		// smaller batch (and with it a smaller throttle buffer) turn the
+		// overflow from timing-lucky into certain.
+		perEvent = 400 * time.Microsecond
+		if batch > 8 {
+			batch = 8
+		}
+	}
+
+	rngA := server.New(server.Config{
+		Name:             "e14-a",
+		Coverage:         location.Path("campus/e14-a"),
+		BatchMaxEvents:   batch,
+		BatchMaxDelay:    maxDelay,
+		AdaptiveBatching: flow.Adaptive{Enabled: true},
+		PublisherQuota:   quota,
+	})
+	defer rngA.Close()
+	rngB := server.New(server.Config{
+		Name:             "e14-b",
+		Coverage:         location.Path("campus/e14-b"),
+		BatchMaxEvents:   batch,
+		BatchMaxDelay:    maxDelay,
+		AdaptiveBatching: flow.Adaptive{Enabled: true},
+	})
+	defer rngB.Close()
+
+	fA, err := scinet.NewFabric(rngA, net, nil)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	defer func() { _ = fA.Close() }()
+	fB, err := scinet.NewFabric(rngB, net, nil)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	defer func() { _ = fB.Close() }()
+	if err := fB.Join(fA.NodeID()); err != nil {
+		return 0, 0, 0, false, err
+	}
+
+	lat := &e14Latencies{}
+	slow := e14SlowConsumer(perEvent)
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication),
+		event.Filter{Type: ctxtype.TemperatureCelsius},
+		func(e event.Event) {
+			if e.Source == wellSrc {
+				lat.note(e)
+				return
+			}
+			slow(e)
+		}); err != nil {
+		return 0, 0, 0, false, err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(fA.Interests()[fB.NodeID()]) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const window = 1200 * time.Millisecond
+	var stop atomic.Bool
+	var offered atomic.Uint64
+	var wg sync.WaitGroup
+	if contended {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e14Flood(func(evs []event.Event) error {
+				return rngA.PublishAllFrom(hotSrc, evs)
+			}, hotSrc, &stop, &offered)
+		}()
+	}
+	e14Pace(func(evs []event.Event) error {
+		return rngA.PublishAllFrom(wellSrc, evs)
+	}, wellSrc, window)
+	stop.Store(true)
+	wg.Wait()
+	time.Sleep(500 * time.Millisecond) // drain the link and the rings
+
+	sheds := rngA.FlowStats().ShedBySource()
+	return lat.p99(), sheds[wellSrc], sheds[hotSrc],
+		rngA.FlowStats().Throttled.Value() > 0, nil
+}
+
+// RunE14 runs both phases of the hostile-tenant isolation experiment.
+func RunE14(rate float64, batch int, maxDelay time.Duration) (*E14Result, error) {
+	if rate <= 0 {
+		rate = 2000
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	burst := int(rate / 20)
+	if burst < 1 {
+		burst = 1
+	}
+	res := &E14Result{Rate: rate, Burst: burst, Batch: batch}
+
+	// Phase A: shared Range.
+	solo, _, err := runE14Local(rate, burst, batch, maxDelay, false)
+	if err != nil {
+		return nil, err
+	}
+	res.LocalSoloP99 = solo
+	quotaP99, acct, err := runE14Local(rate, burst, batch, maxDelay, true)
+	if err != nil {
+		return nil, err
+	}
+	res.LocalQuotaP99 = quotaP99
+	if acct != nil {
+		res.FloodOffered = acct.FloodOffered
+		res.FloodAdmitted = acct.FloodAdmitted
+		res.FloodExpected = acct.FloodExpected
+		res.FloodClipErr = acct.FloodClipErr
+		res.QuotaGauge = acct.QuotaGauge
+	}
+	controlP99, _, err := runE14Local(0, 0, batch, maxDelay, true)
+	if err != nil {
+		return nil, err
+	}
+	res.LocalControlP99 = controlP99
+	if solo > 0 {
+		res.LocalQuotaX = float64(quotaP99) / float64(solo)
+		res.LocalControlX = float64(controlP99) / float64(solo)
+	}
+
+	// Phase B: shared fabric link. The quota runs clip hostile admission
+	// below the remote consumer's capacity, so the credit throttle never
+	// engages; the weights-only control lets the flood through to collapse
+	// the link and exercise the DRR shed discipline.
+	admission := server.PublisherQuota{Rate: rate, Burst: burst}
+	rSolo, _, _, _, err := runE14Remote(admission, batch, maxDelay, false)
+	if err != nil {
+		return nil, err
+	}
+	res.RemoteSoloP99 = rSolo
+	rQuota, _, _, _, err := runE14Remote(admission, batch, maxDelay, true)
+	if err != nil {
+		return nil, err
+	}
+	res.RemoteQuotaP99 = rQuota
+	if rSolo > 0 {
+		res.RemoteQuotaX = float64(rQuota) / float64(rSolo)
+	}
+	rCtl, shedWell, shedHot, throttled, err := runE14Remote(
+		server.PublisherQuota{Weights: map[guid.GUID]int{}}, batch, maxDelay, true)
+	if err != nil {
+		return nil, err
+	}
+	res.RemoteControlP99 = rCtl
+	res.ShedWell = shedWell
+	res.ShedHostile = shedHot
+	res.ControlThrottled = throttled
+	return res, nil
+}
+
+// E14Table formats the result.
+func E14Table(r *E14Result) Table {
+	return Table{
+		Title: "E14 (ISSUE 6): per-publisher quota + weighted-fair flushing vs a hostile tenant",
+		Header: []string{"phase", "solo p99", "quota p99", "×solo", "no-quota p99",
+			"clip err", "shed hot/well", "throttled"},
+		Rows: [][]string{
+			{
+				"shared range",
+				fmt.Sprintf("%v", r.LocalSoloP99),
+				fmt.Sprintf("%v", r.LocalQuotaP99),
+				fmt.Sprintf("%.2f", r.LocalQuotaX),
+				fmt.Sprintf("%v", r.LocalControlP99),
+				fmt.Sprintf("%.3f", r.FloodClipErr),
+				"-",
+				"-",
+			},
+			{
+				"shared fabric",
+				fmt.Sprintf("%v", r.RemoteSoloP99),
+				fmt.Sprintf("%v", r.RemoteQuotaP99),
+				fmt.Sprintf("%.2f", r.RemoteQuotaX),
+				fmt.Sprintf("%v", r.RemoteControlP99),
+				"-",
+				fmt.Sprintf("%d/%d", r.ShedHostile, r.ShedWell),
+				fmt.Sprintf("%v", r.ControlThrottled),
+			},
+		},
+	}
+}

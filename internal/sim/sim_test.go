@@ -294,3 +294,58 @@ func TestRunE13Shape(t *testing.T) {
 		t.Fatal("empty tables")
 	}
 }
+
+func TestRunE14Shape(t *testing.T) {
+	res, err := RunE14(2000, 64, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalSoloP99 <= 0 || res.RemoteSoloP99 <= 0 {
+		t.Fatalf("solo baselines unmeasured: %+v", res)
+	}
+	if res.FloodOffered == 0 || res.FloodAdmitted == 0 {
+		t.Fatalf("hostile flood unmeasured: %+v", res)
+	}
+	if !res.QuotaGauge {
+		t.Fatal("hostile source never surfaced in quota_rejected_from_* gauges")
+	}
+	// The timing bars hold on real builds only: under -race every handler
+	// and the flood loop slow 10-20× and the p99 ratios measure scheduler
+	// noise, not the isolation mechanism (which the eventbus, flow, and
+	// scinet -race suites cover deterministically).
+	if !raceEnabled {
+		// The hostile tenant's admitted throughput is clipped to the quota
+		// within ±10%.
+		if res.FloodClipErr > 0.10 {
+			t.Fatalf("hostile admission off quota by %.1f%% (admitted %d, expected %.0f)",
+				100*res.FloodClipErr, res.FloodAdmitted, res.FloodExpected)
+		}
+		// The well tenant's p99 stays within 3× its solo baseline on the
+		// shared Range and across the shared fabric. Micro-scale baselines
+		// make a pure ratio noise-dominated, so each bar carries a small
+		// absolute floor.
+		if res.LocalQuotaP99 > 3*res.LocalSoloP99 && res.LocalQuotaP99 > 10*time.Millisecond {
+			t.Fatalf("shared-range p99 %v vs solo %v: hostile tenant leaked through the quota",
+				res.LocalQuotaP99, res.LocalSoloP99)
+		}
+		if res.RemoteQuotaP99 > 3*res.RemoteSoloP99 && res.RemoteQuotaP99 > 50*time.Millisecond {
+			t.Fatalf("shared-fabric p99 %v vs solo %v: hostile tenant leaked through the quota",
+				res.RemoteQuotaP99, res.RemoteSoloP99)
+		}
+		// The weights-only collapse must shed from the flooding source and
+		// never from the paced one.
+		if !res.ControlThrottled {
+			t.Fatal("weights-only control never engaged the credit throttle")
+		}
+		if res.ShedHostile == 0 {
+			t.Fatal("collapse shed nothing from the hostile source")
+		}
+	}
+	// Shed attribution to the paced source must be zero on every build.
+	if res.ShedWell != 0 {
+		t.Fatalf("fair shed charged %d events to the well-behaved source", res.ShedWell)
+	}
+	if E14Table(res).String() == "" {
+		t.Fatal("empty table")
+	}
+}

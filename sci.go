@@ -282,7 +282,25 @@ type (
 	// FlowRateTracker is the EWMA arrival-rate estimator the adaptive
 	// coalescers and the connector's self-sizing delivery queue share.
 	FlowRateTracker = flow.RateTracker
+	// PublisherQuota is the per-publisher enforcement config
+	// (RangeConfig.PublisherQuota): token-bucket admission at the publish
+	// edge (Rate events/s up to Burst per source, shed-and-count or
+	// Reject with ErrOverQuota) and weighted-fair flush shares (Weights)
+	// inside the outbound coalescers, so one flooding tenant saturates
+	// its own share of a Range and its links rather than its neighbours'.
+	// Rejections and targeted sheds are attributed per source and
+	// surfaced as the quota_rejected_from_* / throttled_by_source_*
+	// gauges through Range.FillMetrics.
+	PublisherQuota = server.PublisherQuota
+	// OverQuotaError carries the offending publisher and rejected count
+	// when PublisherQuota.Reject refuses a publish; it unwraps to
+	// ErrOverQuota.
+	OverQuotaError = eventbus.OverQuotaError
 )
+
+// ErrOverQuota is the sentinel matched by errors.Is for publishes refused
+// under PublisherQuota.Reject.
+var ErrOverQuota = eventbus.ErrOverQuota
 
 // NewFlowRateTracker builds a rate estimator with the given half-life.
 var NewFlowRateTracker = flow.NewRateTracker
