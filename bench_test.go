@@ -7,6 +7,7 @@ package sci
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"sci/internal/server"
 	"sci/internal/sim"
 	"sci/internal/transport"
+	"sci/internal/wire"
 )
 
 var t0 = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
@@ -261,24 +263,83 @@ func BenchmarkE10_ScaleOut(b *testing.B) {
 	}
 }
 
-// BenchmarkCrossRangeFanout — SCINET cross-range event fan-out: events
-// published in one Range reach remote subscribers in sibling Ranges as
-// coalesced scinet.event_batch overlay messages (batch=1 is the unbatched
-// per-event baseline). Reports delivered events/s end to end and the
-// coalescing ratio actually achieved on the wire.
-func BenchmarkCrossRangeFanout(b *testing.B) {
-	for _, peers := range []int{1, 3} {
-		for _, batch := range []int{1, 16, 64} {
-			b.Run(fmt.Sprintf("peers=%d/batch=%d", peers, batch), func(b *testing.B) {
-				benchCrossRangeFanout(b, peers, batch)
+// BenchmarkWireCodec — the PR 7 wire-path grid: one event batch encoded as
+// a legacy JSON envelope (per-event frames re-marshaled into the body) vs
+// the negotiated binary codec (contiguous batch, interned type/GUID
+// dictionaries), across batch sizes. Binary steady state — dictionaries
+// warmed by the first frame — must report 0 allocs/op.
+func BenchmarkWireCodec(b *testing.B) {
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecBinary} {
+		for _, batch := range []int{1, 16, 64, 256} {
+			b.Run(fmt.Sprintf("codec=%s/batch=%d", codec, batch), func(b *testing.B) {
+				benchWireCodec(b, codec, batch)
 			})
 		}
 	}
 }
 
-func benchCrossRangeFanout(b *testing.B, peers, batch int) {
+func benchWireCodec(b *testing.B, codec wire.Codec, batch int) {
+	src, dst := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	dev, rangeID := guid.New(guid.KindDevice), guid.New(guid.KindServer)
+	events := make([]event.Event, batch)
+	for i := range events {
+		e := event.New(ctxtype.TemperatureCelsius, dev, uint64(i+1), t0,
+			map[string]any{"value": float64(i)})
+		e.Range = rangeID
+		events[i] = e
+	}
+	m, err := wire.NewNativeEventBatch(src, dst, events, &wire.BatchCredit{Dropped: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := wire.NewEncoder(io.Discard, codec)
+	defer enc.Release()
+	// Warm the path: the first binary frame ships the dictionary entries;
+	// steady state begins at the second.
+	if err := enc.Write(m); err != nil {
+		b.Fatal(err)
+	}
+	start := enc.BytesWritten()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Write(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(enc.BytesWritten()-start)/float64(b.N), "bytes/frame")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*float64(batch)/secs, "events/s")
+	}
+}
+
+// BenchmarkCrossRangeFanout — SCINET cross-range event fan-out: events
+// published in one Range reach remote subscribers in sibling Ranges as
+// coalesced scinet.event_batch overlay messages (batch=1 is the unbatched
+// per-event baseline). The codec dimension compares the native batch path
+// (events cross the transport un-serialized, as over a binary TCP link)
+// against the forced legacy JSON materialization every hop (the pre-PR-7
+// wire path). Reports delivered events/s end to end and the coalescing
+// ratio actually achieved on the wire.
+func BenchmarkCrossRangeFanout(b *testing.B) {
+	for _, codec := range []string{"native", "json"} {
+		for _, peers := range []int{1, 3} {
+			for _, batch := range []int{1, 16, 64} {
+				b.Run(fmt.Sprintf("codec=%s/peers=%d/batch=%d", codec, peers, batch), func(b *testing.B) {
+					benchCrossRangeFanout(b, codec, peers, batch)
+				})
+			}
+		}
+	}
+}
+
+func benchCrossRangeFanout(b *testing.B, codec string, peers, batch int) {
 	net := transport.NewMemory(transport.MemoryConfig{})
 	defer net.Close()
+	if codec == "json" {
+		net.SetDefaultCodec(wire.CodecJSON)
+	}
 	mk := func(name string) (*server.Range, *scinet.Fabric) {
 		rng := server.New(server.Config{
 			Name:           name,

@@ -1,0 +1,67 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"sci/internal/wire"
+)
+
+// AppBatchFolder folds a native event batch back into one application
+// payload for a legacy hop: it receives the payload RouteBatch shipped (the
+// application body minus its events), the batch's events as per-event JSON
+// frames, and the batch credit, and returns the complete legacy payload.
+// Applications that route batches (the SCINET fabric's event fan-out)
+// register one per AppKind.
+type AppBatchFolder func(payload json.RawMessage, frames []json.RawMessage, credit *wire.BatchCredit) (json.RawMessage, error)
+
+var (
+	appFolderMu sync.RWMutex
+	appFolders  = make(map[string]AppBatchFolder)
+)
+
+// RegisterAppBatchFolder installs the legacy fold for one application kind.
+func RegisterAppBatchFolder(appKind string, f AppBatchFolder) {
+	appFolderMu.Lock()
+	defer appFolderMu.Unlock()
+	appFolders[appKind] = f
+}
+
+func appFolderFor(appKind string) AppBatchFolder {
+	appFolderMu.RLock()
+	defer appFolderMu.RUnlock()
+	return appFolders[appKind]
+}
+
+// foldRouteBatch is the wire-level batch folder for KindOverlayRoute: a
+// routed message's batch lives inside the application payload, so folding
+// delegates to the AppKind's registered folder and re-marshals the route
+// body around the result.
+func foldRouteBatch(m wire.Message, frames []json.RawMessage, credit *wire.BatchCredit) (wire.Message, error) {
+	var body routeBody
+	if err := m.DecodeBody(&body); err != nil {
+		return wire.Message{}, fmt.Errorf("overlay: fold route body: %w", err)
+	}
+	f := appFolderFor(body.AppKind)
+	if f == nil {
+		return wire.Message{}, fmt.Errorf("%w: no app batch folder registered for %q",
+			wire.ErrBadMessage, body.AppKind)
+	}
+	payload, err := f(body.Payload, frames, credit)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	body.Payload = payload
+	out, err := wire.NewMessage(m.Src, m.Dst, m.Kind, body)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	out.Corr = m.Corr
+	out.TTL = m.TTL
+	return out, nil
+}
+
+func init() {
+	wire.RegisterBatchFolder(wire.KindOverlayRoute, foldRouteBatch)
+}

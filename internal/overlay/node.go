@@ -24,6 +24,11 @@ type Delivery struct {
 	AppKind string
 	// Payload is the opaque application body.
 	Payload json.RawMessage
+	// Batch carries the native event batch when the payload was routed with
+	// RouteBatch and every hop spoke a batch-aware codec. Consumers must
+	// treat it as shared and read-only: the same pointer may fan out to
+	// several local deliveries.
+	Batch *wire.NativeBatch
 	// Hops is the number of overlay forwards taken.
 	Hops int
 }
@@ -297,6 +302,16 @@ func (n *Node) forget(id guid.GUID) {
 // is delivered at target itself, or at the closest reachable node when the
 // target is unknown (key-based routing semantics).
 func (n *Node) Route(target guid.GUID, appKind string, payload []byte) error {
+	return n.RouteBatch(target, appKind, payload, nil)
+}
+
+// RouteBatch routes an application payload accompanied by a native event
+// batch. The batch rides the envelope, not the JSON payload: batch-aware
+// codecs ship (or pass through) it natively, and legacy hops fold it into
+// the payload via the folder registered for appKind with
+// RegisterAppBatchFolder. The batch is shared from this call on — neither
+// the caller nor any consumer may mutate it.
+func (n *Node) RouteBatch(target guid.GUID, appKind string, payload []byte, batch *wire.NativeBatch) error {
 	body := routeBody{
 		Target:  target,
 		Origin:  n.id,
@@ -304,19 +319,19 @@ func (n *Node) Route(target guid.GUID, appKind string, payload []byte) error {
 		Payload: payload,
 		Hops:    0,
 	}
-	return n.forward(body)
+	return n.forward(body, batch)
 }
 
 // forward advances a route body one step from this node.
-func (n *Node) forward(body routeBody) error {
+func (n *Node) forward(body routeBody, batch *wire.NativeBatch) error {
 	if body.Target == n.id {
-		n.deliverLocal(body)
+		n.deliverLocal(body, batch)
 		return nil
 	}
 	hop := n.st.nextHop(body.Target)
 	if hop.IsNil() {
 		// No strictly closer node known: deliver here (closest node).
-		n.deliverLocal(body)
+		n.deliverLocal(body, batch)
 		return nil
 	}
 	if body.Hops >= n.maxTTL {
@@ -328,6 +343,7 @@ func (n *Node) forward(body routeBody) error {
 		return err
 	}
 	m.TTL = n.maxTTL - body.Hops
+	m.Batch = batch
 	if err := n.ep.Send(m); err != nil {
 		// The hop is unreachable: drop it from our tables and retry once
 		// with the next best candidate (self-healing routing).
@@ -339,13 +355,13 @@ func (n *Node) forward(body routeBody) error {
 			}
 			n.forget(retry)
 		}
-		n.deliverLocal(body)
+		n.deliverLocal(body, batch)
 		return nil
 	}
 	return nil
 }
 
-func (n *Node) deliverLocal(body routeBody) {
+func (n *Node) deliverLocal(body routeBody, batch *wire.NativeBatch) {
 	n.delivered.Inc()
 	n.RouteHops.Record(int64(body.Hops))
 	if n.cfg.Deliver != nil {
@@ -354,6 +370,7 @@ func (n *Node) deliverLocal(body routeBody) {
 			Origin:  body.Origin,
 			AppKind: body.AppKind,
 			Payload: body.Payload,
+			Batch:   batch,
 			Hops:    body.Hops,
 		})
 	}
@@ -391,7 +408,7 @@ func (n *Node) handle(m wire.Message) {
 		if body.Target != n.id {
 			n.relayed.Inc()
 		}
-		_ = n.forward(body)
+		_ = n.forward(body, m.Batch)
 	case wire.KindOverlayPing:
 		var gb gossipBody
 		if err := m.DecodeBody(&gb); err == nil {

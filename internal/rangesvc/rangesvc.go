@@ -200,6 +200,21 @@ func NewHost(rng *server.Range, net transport.Network, clk clock.Clock) (*Host, 
 		return nil, fmt.Errorf("rangesvc: attach host: %w", err)
 	}
 	h.ep = ep
+	// Surface the endpoint's wire-level state — which codec each live
+	// connection negotiated and the bytes that crossed the wire — through
+	// the Range's stats surfaces (StatsMap / FillMetrics / dispatch.stats).
+	if ws, ok := ep.(transport.WireStatser); ok {
+		rng.AddStatsSource(func() map[string]float64 {
+			st := ws.WireStats()
+			out := make(map[string]float64, len(st.Codecs)+2)
+			for codec, n := range st.Codecs {
+				out["remote.codec."+codec] = float64(n)
+			}
+			out["remote.bytes_sent"] = float64(st.BytesSent)
+			out["remote.bytes_received"] = float64(st.BytesReceived)
+			return out
+		})
+	}
 	return h, nil
 }
 
@@ -365,6 +380,10 @@ func (h *Host) handleQuery(m wire.Message) {
 // feed dispatch and its optional piggybacked credit feeds the endpoint's
 // outbound coalescer.
 func (h *Host) handleEvents(m wire.Message) {
+	if m.Kind == wire.KindEventBatch && m.Batch != nil {
+		h.ingestNativeBatch(m)
+		return
+	}
 	var frames []json.RawMessage
 	var credit *wire.BatchCredit
 	switch m.Kind {
@@ -423,6 +442,35 @@ func (h *Host) handleEvents(m wire.Message) {
 	// A publisher that also receives deliveries may piggyback its credit.
 	if credit != nil {
 		h.applyCredit(m.Src, *credit)
+	}
+}
+
+// ingestNativeBatch is handleEvents for a batch that arrived decoded
+// (binary wire connection or in-process native pass-through): the same
+// per-event source check, validation and Range-stamp strip, without the
+// per-frame JSON decode. The batch is shared — the memory transport may
+// hand one pointer to several receivers — so events are copied by value
+// before the stamp strip and payload maps are never touched.
+func (h *Host) ingestNativeBatch(m wire.Message) {
+	in := m.Batch.Events
+	events := make([]event.Event, 0, len(in))
+	for i := range in {
+		e := in[i]
+		if e.Source != m.Src {
+			continue // a remote may only publish as itself
+		}
+		if err := e.Validate(); err != nil {
+			continue
+		}
+		e.Range = guid.Nil
+		events = append(events, e)
+	}
+	if len(events) > 0 {
+		_ = h.rng.PublishAllFrom(m.Src, events)
+	}
+	h.noteIngest(m.Src, len(in), true)
+	if m.Batch.Credit != nil {
+		h.applyCredit(m.Src, *m.Batch.Credit)
 	}
 }
 
@@ -642,25 +690,24 @@ func (h *Host) queueFor(to guid.GUID) *flow.Coalescer {
 // on a hot bidirectional link the reverse traffic carries the credit and
 // the standalone ack frame is never paid.
 func (h *Host) sendBatch(to guid.GUID, events []event.Event) {
-	frames := make([]json.RawMessage, 0, len(events))
-	for i := range events {
-		raw, err := json.Marshal(events[i])
-		if err != nil {
-			continue
-		}
-		frames = append(frames, raw)
-	}
-	if len(frames) == 0 {
+	if len(events) == 0 {
 		return
 	}
+	// The coalescer's flush slice aliases its pending buffer and is reused
+	// after this callback returns; the native batch escapes with the wire
+	// message, so it gets its own storage. Encoding happens at the wire —
+	// binary connections ship the batch contiguously, JSON and in-process
+	// legacy peers get it materialized into the classic body.
+	owned := make([]event.Event, len(events))
+	copy(owned, events)
 	credit := h.takePiggybackCredit(to)
-	m, err := wire.NewEventBatchWithCredit(h.rng.ServerID(), to, frames, credit)
+	m, err := wire.NewNativeEventBatch(h.rng.ServerID(), to, owned, credit)
 	if err != nil {
 		return
 	}
 	if h.send(to, m) == nil {
 		h.rng.RemoteBatchesSent.Inc()
-		h.rng.RemoteEventsSent.Add(uint64(len(frames)))
+		h.rng.RemoteEventsSent.Add(uint64(len(owned)))
 		if credit != nil {
 			h.AcksPiggybacked.Inc()
 		}
@@ -1188,16 +1235,11 @@ func (c *Connector) PublishAll(events []event.Event) error {
 	if srv.IsNil() {
 		return ErrNotRegistered
 	}
-	frames := make([]json.RawMessage, 0, len(events))
-	for i := range events {
-		raw, err := json.Marshal(events[i])
-		if err != nil {
-			return err
-		}
-		frames = append(frames, raw)
-	}
+	// The caller keeps its slice; the native batch escapes with the message.
+	owned := make([]event.Event, len(events))
+	copy(owned, events)
 	credit := c.takePiggybackCredit(srv)
-	m, err := wire.NewEventBatchWithCredit(c.id, srv, frames, credit)
+	m, err := wire.NewNativeEventBatch(c.id, srv, owned, credit)
 	if err != nil {
 		return err
 	}
@@ -1318,15 +1360,25 @@ func (c *Connector) handle(m wire.Message) {
 		if c.onEvent == nil && c.onBatch == nil {
 			return
 		}
-		frames, err := m.EventFrames()
-		if err != nil {
-			return
-		}
-		events := make([]event.Event, 0, len(frames))
-		for _, f := range frames {
-			var e event.Event
-			if err := json.Unmarshal(f, &e); err == nil {
-				events = append(events, e)
+		var events []event.Event
+		var got int
+		if m.Batch != nil {
+			// Native delivery: the queue copies event values on admission and
+			// never mutates the slice, so the shared batch is read directly.
+			events = m.Batch.Events
+			got = len(events)
+		} else {
+			frames, err := m.EventFrames()
+			if err != nil {
+				return
+			}
+			got = len(frames)
+			events = make([]event.Event, 0, len(frames))
+			for _, f := range frames {
+				var e event.Event
+				if err := json.Unmarshal(f, &e); err == nil {
+					events = append(events, e)
+				}
 			}
 		}
 		c.enqueueDeliveries(events)
@@ -1336,7 +1388,7 @@ func (c *Connector) handle(m wire.Message) {
 		// when one beats the timer. Legacy single-event frames stay silent:
 		// their senders predate acks.
 		if m.Kind == wire.KindEventBatch {
-			c.noteDeliveryAck(m.Src, len(frames))
+			c.noteDeliveryAck(m.Src, got)
 		}
 	case wire.KindEventBatchAck:
 		if credit, ok := m.BatchCreditInfo(); ok {

@@ -1,0 +1,158 @@
+package scinet
+
+// Mixed-codec fleet interop tests for the zero-copy wire path (PR 7):
+// fabrics whose endpoints are pinned to the legacy JSON codec (the
+// in-process stand-in for a pre-binary peer) must keep exchanging
+// interests, fan-out event batches, relays and routed-query results with
+// fabrics riding native batches, with exactly-once delivery intact.
+
+import (
+	"testing"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/entity"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/wire"
+)
+
+// TestMixedCodecFleetFanOut: a three-range fleet where C's endpoint is
+// pinned to the legacy JSON wire path while A and B ride native batches.
+// A's publish reaches both subscribers exactly once — B via the zero-copy
+// batch, C via the overlay fold back to legacy per-event frames — and
+// nothing echoes into A.
+func TestMixedCodecFleetFanOut(t *testing.T) {
+	fn := newFanNet(t, 3, 8)
+	defer fn.close()
+	fA, fB, fC := fn.fabrics[0], fn.fabrics[1], fn.fabrics[2]
+	fn.net.ConfigureCodec(fC.NodeID(), wire.CodecJSON)
+	waitCoverage(t, fn)
+
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	bRecv, cRecv := newCounter(), newCounter()
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, bRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fC.SubscribeRemote(guid.New(guid.KindApplication), flt, cRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return fA.knowsInterest(fB.NodeID()) && fA.knowsInterest(fC.NodeID()) && fA.hasTap()
+	})
+
+	const n = 16
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return bRecv.total() >= n && cRecv.total() >= n })
+	time.Sleep(20 * time.Millisecond)
+	if !bRecv.exactlyOnce(n) {
+		t.Fatalf("native peer deliveries not exactly-once: %d events, %d deliveries",
+			len(bRecv.seen), bRecv.total())
+	}
+	if !cRecv.exactlyOnce(n) {
+		t.Fatalf("legacy peer deliveries not exactly-once: %d events, %d deliveries",
+			len(cRecv.seen), cRecv.total())
+	}
+	if got := fA.BatchesIngested.Value(); got != 0 {
+		t.Fatalf("A ingested %d of its own batches", got)
+	}
+}
+
+// TestMixedCodecRelayThroughLegacyHop: A does not know C's interest; the
+// relay in the middle (B) is a legacy JSON-only peer. A's native batch
+// materializes on the hop into B, B re-forwards it as legacy frames, and
+// the native fabric C still ingests every event exactly once.
+func TestMixedCodecRelayThroughLegacyHop(t *testing.T) {
+	fn := newFanNet(t, 3, 8)
+	defer fn.close()
+	fA, fB, fC := fn.fabrics[0], fn.fabrics[1], fn.fabrics[2]
+	fn.net.ConfigureCodec(fB.NodeID(), wire.CodecJSON)
+	waitCoverage(t, fn)
+
+	flt := event.Filter{Type: ctxtype.TemperatureCelsius}
+	bRecv := newCounter()
+	if _, err := fB.SubscribeRemote(guid.New(guid.KindApplication), flt, bRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	cRecv := newCounter()
+	if _, err := fC.SubscribeRemote(guid.New(guid.KindApplication), flt, cRecv.handle); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return fA.knowsInterest(fB.NodeID()) && fA.knowsInterest(fC.NodeID()) &&
+			fB.knowsInterest(fC.NodeID()) && fA.hasTap()
+	})
+	// Partial knowledge: A never learned of C's subscription, so C is only
+	// reachable through B's relay. Re-gossiped interest records may still be
+	// in flight, so delete until the entry stays gone.
+	for settled := 0; settled < 25; {
+		fA.mu.Lock()
+		_, present := fA.interests[fC.NodeID()]
+		if present {
+			delete(fA.interests, fC.NodeID())
+			fA.refreshInterestSnapLocked()
+		}
+		fA.mu.Unlock()
+		if present {
+			settled = 0
+		} else {
+			settled++
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	const n = 8
+	if err := fn.ranges[0].PublishAll(makeEvents(n, fn.clk)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return cRecv.total() >= n && bRecv.total() >= n })
+	time.Sleep(20 * time.Millisecond)
+	if !cRecv.exactlyOnce(n) {
+		t.Fatalf("C deliveries via legacy relay not exactly-once: %d events, %d deliveries",
+			len(cRecv.seen), cRecv.total())
+	}
+	if got := fB.BatchesRelayed.Value(); got == 0 {
+		t.Fatal("legacy B never relayed: C cannot have been reached via B")
+	}
+	if got := fA.BatchesIngested.Value(); got != 0 {
+		t.Fatalf("A ingested %d batches of its own events", got)
+	}
+}
+
+// TestMixedCodecRoutedQueryResults: routed-query result batches ship
+// natively from the serving fabric and materialize on the hop into a
+// legacy JSON-only consumer, which still consumes every result and answers
+// with the coalesced credit report.
+func TestMixedCodecRoutedQueryResults(t *testing.T) {
+	fn := newFanNet(t, 2, 8)
+	defer fn.close()
+	fA, fB := fn.fabrics[0], fn.fabrics[1]
+	fn.net.ConfigureCodec(fB.NodeID(), wire.CodecJSON)
+	waitCoverage(t, fn)
+
+	// B holds a waiting consumer for a routed query it submitted to A.
+	qid := guid.New(guid.KindQuery)
+	recv := newCounter()
+	sink := entity.NewCAA("sink", recv.handle, fn.clk)
+	fB.mu.Lock()
+	fB.consumers[qid] = &outQuery{caa: sink, target: fA.NodeID()}
+	fB.mu.Unlock()
+
+	acksBase := fB.AcksSent.Value()
+	const n = 8
+	events := makeEvents(n, fn.clk)
+	for i := range events {
+		events[i].Range = fn.ranges[0].ID()
+	}
+	// The serving side ships results through the native batch path; the
+	// transport materializes them for B's legacy endpoint.
+	fA.sendQueryBatch(fB.NodeID(), qid, events)
+	waitFor(t, func() bool { return recv.total() >= n })
+	if !recv.exactlyOnce(n) {
+		t.Fatalf("legacy consumer results not exactly-once: %d events, %d deliveries",
+			len(recv.seen), recv.total())
+	}
+	waitFor(t, func() bool { return fB.AcksSent.Value() > acksBase })
+}

@@ -10,6 +10,7 @@ import (
 	"sci/internal/event"
 	"sci/internal/flow"
 	"sci/internal/guid"
+	"sci/internal/wire"
 )
 
 // ----- interest snapshot -----
@@ -50,6 +51,14 @@ func (f *Fabric) interestSnapshot() []interestEntry {
 // throttled peer before the oldest are shed.
 const maxRelayBacklog = 64
 
+// relayItem is one queued relayed batch: the encoded envelope payload plus
+// the shared native batch when the events arrived un-serialized (nil on the
+// legacy path, where the events are already spliced into the payload).
+type relayItem struct {
+	payload []byte
+	batch   *wire.NativeBatch
+}
+
 // relayQueue buffers relayed batch payloads toward one peer while this
 // fabric's forwarding is credit-throttled. Relayed payloads are queued
 // already encoded — re-coalescing their events would mint new batch ids and
@@ -59,7 +68,7 @@ const maxRelayBacklog = 64
 // receiver.
 type relayQueue struct {
 	mu      sync.Mutex
-	pending [][]byte
+	pending []relayItem
 	timer   clock.Timer
 	dead    bool
 }
@@ -108,7 +117,7 @@ func (f *Fabric) relayDrainDelay() time.Duration {
 // relayTo forwards one relayed batch payload toward a peer: at line rate
 // while forwarding is unthrottled and nothing is queued (the historical
 // path), otherwise through the peer's bounded drop-oldest backlog.
-func (f *Fabric) relayTo(to guid.GUID, payload []byte) {
+func (f *Fabric) relayTo(to guid.GUID, payload []byte, batch *wire.NativeBatch) {
 	rq := f.relayQueueFor(to)
 	if rq == nil {
 		return
@@ -117,7 +126,7 @@ func (f *Fabric) relayTo(to guid.GUID, payload []byte) {
 		rq.mu.Lock()
 		if !rq.dead && len(rq.pending) == 0 && rq.timer == nil {
 			rq.mu.Unlock()
-			if f.node.Route(to, appEventBatch, payload) == nil {
+			if f.node.RouteBatch(to, appEventBatch, payload, batch) == nil {
 				f.BatchesRelayed.Inc()
 			}
 			return
@@ -131,7 +140,7 @@ func (f *Fabric) relayTo(to guid.GUID, payload []byte) {
 		rq.mu.Unlock()
 		return
 	}
-	rq.pending = append(rq.pending, payload)
+	rq.pending = append(rq.pending, relayItem{payload: payload, batch: batch})
 	if over := len(rq.pending) - maxRelayBacklog; over > 0 {
 		rq.pending = append(rq.pending[:0], rq.pending[over:]...)
 		f.BatchesRelayShed.Add(uint64(over))
@@ -156,8 +165,8 @@ func (f *Fabric) drainRelay(to guid.GUID, rq *relayQueue) {
 	pending := rq.pending
 	rq.pending = nil
 	rq.mu.Unlock()
-	for _, payload := range pending {
-		if f.node.Route(to, appEventBatch, payload) == nil {
+	for _, it := range pending {
+		if f.node.RouteBatch(to, appEventBatch, it.payload, it.batch) == nil {
 			f.BatchesRelayed.Inc()
 		}
 	}

@@ -178,7 +178,7 @@ func TestInterestScanRunsWithoutFabricLock(t *testing.T) {
 			Origin: fB.NodeID(),
 			Via:    []guid.GUID{fA.NodeID(), fB.NodeID()},
 			Events: encodeFrames(events),
-		}, events)
+		}, events, nil)
 	}()
 	select {
 	case <-done:

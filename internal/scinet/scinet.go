@@ -57,7 +57,26 @@ import (
 	"sci/internal/query"
 	"sci/internal/server"
 	"sci/internal/transport"
+	"sci/internal/wire"
 )
+
+// init registers the legacy fold for scinet.event_batch payloads: when a
+// routed native batch must leave on a JSON-only hop, the overlay hands the
+// batch's per-event frames back here to be spliced into the eventBatchMsg a
+// legacy fabric expects. The wire batch credit is ignored by design —
+// scinet flow credit rides separate event_batch_ack messages, never
+// piggybacked batch credit.
+func init() {
+	overlay.RegisterAppBatchFolder(appEventBatch,
+		func(payload json.RawMessage, frames []json.RawMessage, _ *wire.BatchCredit) (json.RawMessage, error) {
+			var msg eventBatchMsg
+			if err := json.Unmarshal(payload, &msg); err != nil {
+				return nil, err
+			}
+			msg.Events = frames
+			return json.Marshal(msg)
+		})
+}
 
 // App kinds for overlay payloads.
 const (
@@ -1242,10 +1261,14 @@ func (f *Fabric) fanOut(events []event.Event) {
 	if len(recips) == 0 {
 		return
 	}
-	frames := encodeFrames(events)
-	if len(frames) == 0 {
-		return
-	}
+	// Events travel as one native batch shared across every recipient: the
+	// envelope (origin, batch id, hop set) is the only JSON this path
+	// marshals, and binary or in-memory hops never serialize the events at
+	// all. The flush slice aliases the coalescer's buffer, so copy before it
+	// escapes into routed messages that outlive this call; legacy JSON hops
+	// fold the events back into the payload via the registered app folder.
+	owned := make([]event.Event, len(events))
+	copy(owned, events)
 	via := make([]guid.GUID, 0, len(recips)+1)
 	via = append(via, self)
 	via = append(via, recips...)
@@ -1253,15 +1276,15 @@ func (f *Fabric) fanOut(events []event.Event) {
 		Origin:  self,
 		BatchID: guid.New(guid.KindEvent),
 		Via:     via,
-		Events:  frames,
 	})
 	if err != nil {
 		return
 	}
+	batch := &wire.NativeBatch{Events: owned}
 	for _, to := range recips {
-		if f.node.Route(to, appEventBatch, payload) == nil {
+		if f.node.RouteBatch(to, appEventBatch, payload, batch) == nil {
 			f.BatchesForwarded.Inc()
-			f.EventsForwarded.Add(uint64(len(frames)))
+			f.EventsForwarded.Add(uint64(len(owned)))
 		}
 	}
 }
@@ -1287,12 +1310,19 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 		if !ok {
 			return
 		}
-		events, _ := decodeFrames(msg.Events, guid.Nil)
+		var events []event.Event
+		got := len(msg.Events)
+		if d.Batch != nil {
+			events, _ = nativeEvents(d.Batch, guid.Nil)
+			got = len(d.Batch.Events)
+		} else {
+			events, _ = decodeFrames(msg.Events, guid.Nil)
+		}
 		oq.caa.ConsumeAll(events)
 		// Credit reports for routed-query traffic coalesce per peer: every
 		// (peer, query) coalescer at the sender tracks the same cumulative
 		// figure, so one frame per window covers them all.
-		f.noteQueryAck(d.Origin, len(msg.Events))
+		f.noteQueryAck(d.Origin, got)
 		return
 	}
 
@@ -1307,8 +1337,17 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 	// Events stamped with the local Range are echoes of our own production
 	// regardless of what the envelope claims; events with no Range stamp
 	// would be restamped as local by PublishAll and re-enter the forwarding
-	// tap, so both are dropped for loop safety.
-	events, echoes := decodeFrames(msg.Events, f.rng.ID())
+	// tap, so both are dropped for loop safety. A native batch applies the
+	// same rules without ever touching JSON.
+	var events []event.Event
+	var echoes int
+	got := len(msg.Events)
+	if d.Batch != nil {
+		events, echoes = nativeEvents(d.Batch, f.rng.ID())
+		got = len(d.Batch.Events)
+	} else {
+		events, echoes = decodeFrames(msg.Events, f.rng.ID())
+	}
 	if echoes > 0 {
 		f.EchoesDropped.Add(uint64(echoes))
 	}
@@ -1341,12 +1380,32 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 	// ingest so the report covers this batch's own drops, not last
 	// batch's; coalesced per peer so a relayed burst answers with one
 	// frame, not one per message.
-	f.noteFanAck(d.Origin, len(msg.Events))
+	f.noteFanAck(d.Origin, got)
 	if len(events) == 0 {
 		return
 	}
 	// Relays match against the full batch: peers' filters differ from ours.
-	f.relay(msg, events)
+	f.relay(msg, events, d.Batch)
+}
+
+// nativeEvents applies decodeFrames' validation and loop-safety rules to a
+// natively delivered batch. The batch is shared — the memory transport may
+// hand one pointer to several local receivers — so event values are copied
+// out and the batch itself is never mutated.
+func nativeEvents(b *wire.NativeBatch, localRange guid.GUID) (events []event.Event, echoes int) {
+	events = make([]event.Event, 0, len(b.Events))
+	for i := range b.Events {
+		e := b.Events[i]
+		if err := e.Validate(); err != nil {
+			continue
+		}
+		if !localRange.IsNil() && (e.Range.IsNil() || e.Range == localRange) {
+			echoes++
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, echoes
 }
 
 // markSeen records a batch id in the bounded duplicate window, reporting
@@ -1581,7 +1640,10 @@ func (f *Fabric) handleBatchAck(d overlay.Delivery) {
 // relay re-forwards an ingested batch to interested peers outside its hop
 // set — the case where the origin did not know an interested fabric that
 // this one does — extending the hop set with every new recipient.
-func (f *Fabric) relay(msg eventBatchMsg, events []event.Event) {
+// When the batch arrived natively, the same shared batch pointer rides the
+// relayed copies — events stay un-serialized across the whole relay chain
+// unless a legacy hop forces a fold.
+func (f *Fabric) relay(msg eventBatchMsg, events []event.Event, batch *wire.NativeBatch) {
 	via := guid.NewSet(msg.Via...)
 	via.Add(msg.Origin)
 	via.Add(f.node.ID())
@@ -1606,7 +1668,9 @@ func (f *Fabric) relay(msg eventBatchMsg, events []event.Event) {
 		Origin:  msg.Origin,
 		BatchID: msg.BatchID, // preserved, so receivers can dedup relayed copies
 		Via:     via.Members(),
-		Events:  msg.Events,
+	}
+	if batch == nil {
+		out.Events = msg.Events
 	}
 	payload, err := json.Marshal(out)
 	if err != nil {
@@ -1617,7 +1681,7 @@ func (f *Fabric) relay(msg eventBatchMsg, events []event.Event) {
 	// backlog per peer instead of amplifying the origin's burst at line
 	// rate into receivers already reporting collapse.
 	for _, to := range extra {
-		f.relayTo(to, payload)
+		f.relayTo(to, payload, batch)
 	}
 }
 
@@ -1703,18 +1767,21 @@ func (f *Fabric) sendQueryEvents(to, qid guid.GUID, events []event.Event) {
 }
 
 // sendQueryBatch ships one bounded chunk as a scinet.event_batch message.
+// Result events ride natively: the chunk aliases the coalescer's buffer, so
+// it is copied before escaping, and legacy hops fold it back to frames.
 func (f *Fabric) sendQueryBatch(to, qid guid.GUID, events []event.Event) {
-	frames := encodeFrames(events)
-	if len(frames) == 0 {
+	if len(events) == 0 {
 		return
 	}
-	payload, err := json.Marshal(eventBatchMsg{Origin: f.node.ID(), QueryID: qid, Events: frames})
+	owned := make([]event.Event, len(events))
+	copy(owned, events)
+	payload, err := json.Marshal(eventBatchMsg{Origin: f.node.ID(), QueryID: qid})
 	if err != nil {
 		return
 	}
-	if f.node.Route(to, appEventBatch, payload) == nil {
+	if f.node.RouteBatch(to, appEventBatch, payload, &wire.NativeBatch{Events: owned}) == nil {
 		f.BatchesForwarded.Inc()
-		f.EventsForwarded.Add(uint64(len(frames)))
+		f.EventsForwarded.Add(uint64(len(owned)))
 	}
 }
 

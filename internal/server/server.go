@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +80,13 @@ type Config struct {
 	// PublisherQuota enforces per-publisher admission and weighted-fair
 	// flushing: PR 5's drop attribution turned into isolation.
 	PublisherQuota PublisherQuota
+	// WireCodec names the wire codec the Range's transport endpoints should
+	// run: "" negotiates (binary with capable peers, JSON with legacy ones),
+	// "json" pins the legacy format. The Range itself never serialises —
+	// deployment glue (simulations, cmd/scid) reads this through WireCodec()
+	// and applies it to the transport via transport.CodecConfigurer or the
+	// factory's Codec knob.
+	WireCodec string
 }
 
 // PublisherQuota configures per-publisher enforcement on a Range. Rate > 0
@@ -143,6 +151,11 @@ type Range struct {
 	batchMaxDelay  time.Duration
 	adaptive       flow.Adaptive
 	quota          PublisherQuota
+	wireCodec      string
+	// statsSources are external contributors to StatsMap/FillMetrics —
+	// layers owning state the Range can't see (the Range Service's wire
+	// codec and byte gauges). Each returns dotted metric names.
+	statsSources []func() map[string]float64
 	// flowStats is the shared backpressure/flush sink every outbound
 	// coalescer shipping on this Range's behalf reports into (Range
 	// Service endpoints and SCINET fabric peers alike).
@@ -231,6 +244,7 @@ func New(cfg Config) *Range {
 		batchMaxDelay:  cfg.BatchMaxDelay,
 		adaptive:       cfg.AdaptiveBatching,
 		quota:          cfg.PublisherQuota,
+		wireCodec:      cfg.WireCodec,
 	}
 	r.registrar = registry.New(registry.Config{Clock: cfg.Clock, Lease: cfg.Lease})
 	medOpts := []mediator.Option{mediator.WithShards(cfg.EventShards)}
@@ -645,6 +659,10 @@ func (r *Range) BatchMaxDelay() time.Duration { return r.batchMaxDelay }
 // Range's outbound coalescers run with.
 func (r *Range) AdaptiveBatching() flow.Adaptive { return r.adaptive }
 
+// WireCodec reports the configured wire codec name ("" = negotiate) for
+// deployment glue to apply to the Range's transport endpoints.
+func (r *Range) WireCodec() string { return r.wireCodec }
+
 // FlowStats returns the shared flow-control stats sink the Range's
 // outbound coalescers report into; its counters feed the
 // remote.backpressure.* gauges.
@@ -742,7 +760,32 @@ func (r *Range) StatsMap() map[string]float64 {
 		}
 		out[key] += float64(e.n)
 	}
+	for _, src := range r.snapshotStatsSources() {
+		for name, v := range src() {
+			out[strings.ReplaceAll(name, ".", "_")] = v
+		}
+	}
 	return out
+}
+
+// AddStatsSource registers an external gauge contributor: f is called on
+// every StatsMap/FillMetrics render and returns dotted metric names
+// (StatsMap flattens the dots to underscores to match its key style). Used
+// by the Range Service to surface wire-level state — negotiated codecs,
+// bytes on the wire — the Range itself never sees.
+func (r *Range) AddStatsSource(f func() map[string]float64) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.statsSources = append(r.statsSources, f)
+	r.mu.Unlock()
+}
+
+func (r *Range) snapshotStatsSources() []func() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]func() map[string]float64(nil), r.statsSources...)
 }
 
 // maxDropSourceGauges bounds how many per-publisher drop gauges StatsMap
@@ -848,6 +891,11 @@ func (r *Range) FillMetrics(m *metrics.Registry) {
 	m.Gauge("remote.backpressure.drops_reported").Set(int64(r.flowStats.DropsReported.Value()))
 	m.Gauge("remote.backpressure.throttle_events").Set(int64(r.flowStats.ThrottleEvents.Value()))
 	m.Gauge("remote.backpressure.shed").Set(int64(r.flowStats.EventsShed.Value()))
+	for _, src := range r.snapshotStatsSources() {
+		for name, v := range src() {
+			m.FloatGauge(name).Set(v)
+		}
+	}
 }
 
 // resolveContext builds the resolver context for a query: owner location

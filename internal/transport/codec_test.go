@@ -1,0 +1,327 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/wire"
+)
+
+func shortHelloTimeout(t *testing.T) {
+	t.Helper()
+	old := helloTimeout
+	helloTimeout = 50 * time.Millisecond
+	t.Cleanup(func() { helloTimeout = old })
+}
+
+type msgSink struct {
+	mu   sync.Mutex
+	msgs []wire.Message
+	cond *sync.Cond
+}
+
+func newMsgSink() *msgSink {
+	s := &msgSink{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *msgSink) handler(m wire.Message) {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, m)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *msgSink) waitFor(t *testing.T, n int) []wire.Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.msgs) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d messages, have %d", n, len(s.msgs))
+		}
+		done := make(chan struct{})
+		go func() { time.Sleep(10 * time.Millisecond); s.cond.Broadcast(); close(done) }()
+		s.cond.Wait()
+		<-done
+	}
+	return append([]wire.Message(nil), s.msgs...)
+}
+
+func testBatchMsg(t *testing.T, src, dst guid.GUID, n int) wire.Message {
+	t.Helper()
+	events := make([]event.Event, n)
+	dev := guid.New(guid.KindDevice)
+	for i := range events {
+		events[i] = event.New(ctxtype.TemperatureCelsius, dev, uint64(i),
+			time.Unix(1700000000, int64(i)), map[string]any{"value": float64(i)})
+	}
+	m, err := wire.NewNativeEventBatch(src, dst, events, &wire.BatchCredit{Dropped: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTCPNegotiatesBinary(t *testing.T) {
+	shortHelloTimeout(t)
+	tn := NewTCP(nil)
+	defer tn.Close()
+
+	a, b := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	sink := newMsgSink()
+	if _, err := tn.Attach(b, sink.handler); err != nil {
+		t.Fatal(err)
+	}
+	epA, err := tn.Attach(a, func(wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := testBatchMsg(t, a, b, 8)
+	if err := epA.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, 1)
+	if got[0].Batch == nil {
+		t.Fatal("binary connection should deliver a native batch")
+	}
+	if len(got[0].Batch.Events) != 8 || got[0].Batch.Credit == nil || got[0].Batch.Credit.Dropped != 5 {
+		t.Fatalf("batch content: %+v", got[0].Batch)
+	}
+
+	st := epA.(WireStatser).WireStats()
+	if st.Codecs[string(wire.CodecBinary)] != 1 {
+		t.Fatalf("expected one binary connection, stats %+v", st)
+	}
+	if st.BytesSent == 0 {
+		t.Fatalf("bytes sent not counted: %+v", st)
+	}
+}
+
+func TestTCPForcedJSONSkipsNegotiation(t *testing.T) {
+	shortHelloTimeout(t)
+	tn := NewTCP(nil)
+	defer tn.Close()
+
+	a, b := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	tn.ConfigureCodec(a, wire.CodecJSON)
+	sink := newMsgSink()
+	if _, err := tn.Attach(b, sink.handler); err != nil {
+		t.Fatal(err)
+	}
+	epA, err := tn.Attach(a, func(wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := epA.Send(testBatchMsg(t, a, b, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, 1)
+	if got[0].Batch != nil {
+		t.Fatal("JSON-forced sender must deliver a legacy body, not a native batch")
+	}
+	frames, err := got[0].EventFrames()
+	if err != nil || len(frames) != 4 {
+		t.Fatalf("legacy frames: %d, %v", len(frames), err)
+	}
+	if c, ok := got[0].BatchCreditInfo(); !ok || c.Dropped != 5 {
+		t.Fatalf("credit lost in materialization: %+v ok=%v", c, ok)
+	}
+	st := epA.(WireStatser).WireStats()
+	if st.Codecs[string(wire.CodecJSON)] != 1 {
+		t.Fatalf("expected one json connection, stats %+v", st)
+	}
+}
+
+func TestTCPJSONForcedAcceptSideDeclinesBinary(t *testing.T) {
+	shortHelloTimeout(t)
+	tn := NewTCP(nil)
+	defer tn.Close()
+
+	a, b := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	tn.ConfigureCodec(b, wire.CodecJSON) // receiver is "legacy"
+	sink := newMsgSink()
+	if _, err := tn.Attach(b, sink.handler); err != nil {
+		t.Fatal(err)
+	}
+	epA, err := tn.Attach(a, func(wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := epA.Send(testBatchMsg(t, a, b, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, 1)
+	if got[0].Batch != nil {
+		t.Fatal("receiver declined binary; sender must fall back to JSON")
+	}
+	st := epA.(WireStatser).WireStats()
+	if st.Codecs[string(wire.CodecJSON)] != 1 {
+		t.Fatalf("expected json fallback connection, stats %+v", st)
+	}
+}
+
+// TestTCPLegacyPeerFallback dials a hand-rolled listener that never answers
+// the hello — a pre-negotiation peer — and checks the dialer times out into
+// JSON and the peer receives well-formed legacy frames, hello included
+// (which legacy stacks ignore by kind).
+func TestTCPLegacyPeerFallback(t *testing.T) {
+	shortHelloTimeout(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		msgs []wire.Message
+		err  error
+	}
+	results := make(chan result, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		defer conn.Close()
+		r := wire.NewReader(conn) // legacy peers use the JSON-era reader
+		var got []wire.Message
+		for len(got) < 2 {
+			m, err := r.Read()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			got = append(got, m)
+		}
+		results <- result{msgs: got}
+	}()
+
+	tn := NewTCP(nil)
+	defer tn.Close()
+	a, b := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	tn.Directory().Register(b, ln.Addr().String())
+	epA, err := tn.Attach(a, func(wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := epA.Send(testBatchMsg(t, a, b, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < helloTimeout/2 {
+		t.Fatalf("dialer should have waited out the hello deadline, took %v", waited)
+	}
+
+	res := <-results
+	if res.err != nil {
+		t.Fatalf("legacy peer read: %v", res.err)
+	}
+	if res.msgs[0].Kind != wire.KindCodecHello {
+		t.Fatalf("first frame should be the hello, got %s", res.msgs[0].Kind)
+	}
+	batch := res.msgs[1]
+	if batch.Kind != wire.KindEventBatch || batch.Batch != nil {
+		t.Fatalf("legacy peer must get a JSON event.batch, got %+v", batch)
+	}
+	frames, err := batch.EventFrames()
+	if err != nil || len(frames) != 4 {
+		t.Fatalf("legacy frames: %d, %v", len(frames), err)
+	}
+}
+
+func TestMemoryNativePassthroughAndForcedJSON(t *testing.T) {
+	n := NewMemory(MemoryConfig{})
+	defer n.Close()
+
+	a, b, c := guid.New(guid.KindServer), guid.New(guid.KindServer), guid.New(guid.KindServer)
+	n.ConfigureCodec(c, wire.CodecJSON)
+
+	sinkB, sinkC := newMsgSink(), newMsgSink()
+	if _, err := n.Attach(b, sinkB.handler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach(c, sinkC.handler); err != nil {
+		t.Fatal(err)
+	}
+	epA, err := n.Attach(a, func(wire.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mB := testBatchMsg(t, a, b, 3)
+	if err := epA.Send(mB); err != nil {
+		t.Fatal(err)
+	}
+	got := sinkB.waitFor(t, 1)
+	if got[0].Batch != mB.Batch {
+		t.Fatal("memory delivery must pass the native batch pointer through untouched")
+	}
+
+	if err := epA.Send(testBatchMsg(t, a, c, 3)); err != nil {
+		t.Fatal(err)
+	}
+	gotC := sinkC.waitFor(t, 1)
+	if gotC[0].Batch != nil {
+		t.Fatal("JSON-forced receiver must get a materialized legacy body")
+	}
+	if frames, err := gotC[0].EventFrames(); err != nil || len(frames) != 3 {
+		t.Fatalf("materialized frames: %d, %v", len(frames), err)
+	}
+
+	if st := epA.(WireStatser).WireStats(); st.Codecs["native"] != 1 {
+		t.Fatalf("default memory endpoint should report native: %+v", st)
+	}
+	n.mu.RLock()
+	cEp := n.eps[c]
+	n.mu.RUnlock()
+	if st := cEp.WireStats(); st.Codecs["json"] != 1 {
+		t.Fatalf("forced endpoint should report json: %+v", st)
+	}
+}
+
+func TestFactoryBackends(t *testing.T) {
+	n, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(*Memory); !ok {
+		t.Fatalf("default backend should be memory, got %T", n)
+	}
+	_ = n.Close()
+
+	tcp, err := New(Config{Backend: "tcp", Codec: wire.CodecJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := tcp.(*TCP)
+	if tt.codecFor(guid.New(guid.KindServer)) != wire.CodecJSON {
+		t.Fatal("factory Codec knob should set the default codec")
+	}
+	_ = tcp.Close()
+
+	if _, err := New(Config{Backend: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	found := false
+	for _, name := range Backends() {
+		if name == "tcp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Backends() missing tcp: %v", Backends())
+	}
+}

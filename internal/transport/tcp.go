@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sci/internal/guid"
 	"sci/internal/wire"
@@ -53,16 +55,24 @@ func (d *Directory) Len() int {
 	return len(d.addrs)
 }
 
+// helloTimeout bounds how long a dialing endpoint waits for the accept
+// side's codec-hello answer before falling back to JSON (a legacy peer never
+// answers). Package variable so negotiation tests can shorten it.
+var helloTimeout = 250 * time.Millisecond
+
 // TCP is a Network over real TCP sockets. Each attached endpoint owns a
-// listener; outbound connections are cached per destination. Construct with
-// NewTCP.
+// listener; outbound connections are cached per destination and negotiate
+// their codec at dial time (see internal/wire: version negotiation).
+// Construct with NewTCP.
 type TCP struct {
 	dir *Directory
 
-	mu     sync.Mutex
-	eps    map[guid.GUID]*tcpEndpoint
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	eps      map[guid.GUID]*tcpEndpoint
+	codecs   map[guid.GUID]wire.Codec
+	defCodec wire.Codec
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewTCP builds a TCP network resolving destinations through dir. A nil dir
@@ -71,7 +81,33 @@ func NewTCP(dir *Directory) *TCP {
 	if dir == nil {
 		dir = &Directory{}
 	}
-	return &TCP{dir: dir, eps: make(map[guid.GUID]*tcpEndpoint)}
+	return &TCP{dir: dir, eps: make(map[guid.GUID]*tcpEndpoint), codecs: make(map[guid.GUID]wire.Codec)}
+}
+
+// ConfigureCodec implements CodecConfigurer. Forcing wire.CodecJSON makes id
+// skip negotiation on outbound dials and answer inbound hellos with "json" —
+// indistinguishable, on the wire, from a legacy peer.
+func (t *TCP) ConfigureCodec(id guid.GUID, codec wire.Codec) {
+	t.mu.Lock()
+	t.codecs[id] = codec
+	t.mu.Unlock()
+}
+
+// SetDefaultCodec forces every endpoint without an explicit ConfigureCodec
+// entry (used by the transport factory's Codec knob).
+func (t *TCP) SetDefaultCodec(codec wire.Codec) {
+	t.mu.Lock()
+	t.defCodec = codec
+	t.mu.Unlock()
+}
+
+func (t *TCP) codecFor(id guid.GUID) wire.Codec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.codecs[id]; ok {
+		return c
+	}
+	return t.defCodec
 }
 
 // Directory exposes the GUID→address directory (for seeding remote peers).
@@ -105,11 +141,12 @@ func (t *TCP) AttachAddr(id guid.GUID, listenAddr string, h Handler) (Endpoint, 
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	ep := &tcpEndpoint{
-		id:    id,
-		net:   t,
-		ln:    ln,
-		h:     h,
-		conns: make(map[guid.GUID]*tcpConn),
+		id:       id,
+		net:      t,
+		ln:       ln,
+		h:        h,
+		conns:    make(map[guid.GUID]*tcpConn),
+		liveDecs: make(map[*wire.Decoder]struct{}),
 	}
 	t.mu.Lock()
 	if t.closed {
@@ -158,18 +195,38 @@ type tcpEndpoint struct {
 	ln  net.Listener
 	h   Handler
 
-	mu     sync.Mutex
-	conns  map[guid.GUID]*tcpConn
-	served []net.Conn // inbound connections, closed on shutdown
-	closed bool
+	mu       sync.Mutex
+	conns    map[guid.GUID]*tcpConn
+	served   []net.Conn // inbound connections, closed on shutdown
+	liveDecs map[*wire.Decoder]struct{}
+	closed   bool
+
+	// Bytes accumulated from connections that have since died; live
+	// connections are summed on top in WireStats.
+	deadSent atomic.Uint64
+	deadRecv atomic.Uint64
 
 	wg sync.WaitGroup
 }
 
 type tcpConn struct {
-	mu sync.Mutex // serialises writers
-	c  net.Conn
-	w  *wire.Writer
+	mu   sync.Mutex // serialises writers
+	c    net.Conn
+	enc  *wire.Encoder
+	dead bool
+}
+
+// finalize marks the connection dead exactly once, folds its byte count into
+// the endpoint totals, returns its pooled buffer, and closes the socket.
+func (c *tcpConn) finalize(ep *tcpEndpoint) {
+	c.mu.Lock()
+	if !c.dead {
+		c.dead = true
+		ep.deadSent.Add(c.enc.BytesWritten())
+		c.enc.Release()
+	}
+	c.mu.Unlock()
+	_ = c.c.Close()
 }
 
 // ID implements Endpoint.
@@ -188,7 +245,11 @@ func (ep *tcpEndpoint) Send(m wire.Message) error {
 		return err
 	}
 	conn.mu.Lock()
-	err = conn.w.Write(m)
+	if conn.dead {
+		conn.mu.Unlock()
+		return fmt.Errorf("transport: send to %s: %w", m.Dst.Short(), net.ErrClosed)
+	}
+	err = conn.enc.Write(m)
 	conn.mu.Unlock()
 	if err != nil {
 		// Connection went bad: forget it so the next send redials.
@@ -196,6 +257,28 @@ func (ep *tcpEndpoint) Send(m wire.Message) error {
 		return fmt.Errorf("transport: send to %s: %w", m.Dst.Short(), err)
 	}
 	return nil
+}
+
+// WireStats implements WireStatser: codec counts over live outbound
+// connections plus bytes across every connection this endpoint ever had.
+func (ep *tcpEndpoint) WireStats() WireStats {
+	st := WireStats{Codecs: make(map[string]int)}
+	ep.mu.Lock()
+	for _, c := range ep.conns {
+		c.mu.Lock()
+		if !c.dead {
+			st.Codecs[string(c.enc.Codec())]++
+			st.BytesSent += c.enc.BytesWritten()
+		}
+		c.mu.Unlock()
+	}
+	for d := range ep.liveDecs {
+		st.BytesReceived += d.BytesRead()
+	}
+	ep.mu.Unlock()
+	st.BytesSent += ep.deadSent.Load()
+	st.BytesReceived += ep.deadRecv.Load()
+	return st
 }
 
 // Close implements Endpoint.
@@ -226,7 +309,7 @@ func (ep *tcpEndpoint) shutdown() {
 	ep.net.dir.Unregister(ep.id)
 	_ = ep.ln.Close()
 	for _, c := range conns {
-		_ = c.c.Close()
+		c.finalize(ep)
 	}
 	for _, c := range served {
 		_ = c.Close()
@@ -260,18 +343,45 @@ func (ep *tcpEndpoint) connTo(dst guid.GUID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s (%s): %w", dst.Short(), addr, err)
 	}
-	c := &tcpConn{c: raw, w: wire.NewWriter(raw)}
+	enc := wire.NewEncoder(raw, wire.CodecJSON)
+	if ep.net.codecFor(ep.id) != wire.CodecJSON {
+		// Negotiate: offer our codecs as a JSON frame every peer decodes, and
+		// give a codec-aware accept side a brief window to answer. A legacy
+		// peer ignores the unknown kind and the deadline expires into the
+		// JSON fallback. This is the only read we ever issue on an outbound
+		// connection; past it, reverse traffic drains to io.Discard below.
+		negotiated := wire.CodecJSON
+		if hello, err := wire.NewCodecHello(ep.id, dst, wire.CodecBinary, wire.CodecJSON); err == nil {
+			if err := enc.Write(hello); err != nil {
+				enc.Release()
+				_ = raw.Close()
+				return nil, fmt.Errorf("transport: hello to %s: %w", dst.Short(), err)
+			}
+			_ = raw.SetReadDeadline(time.Now().Add(helloTimeout))
+			dec := wire.NewDecoder(raw)
+			if m, err := dec.Read(); err == nil && m.Kind == wire.KindCodecHello {
+				var h wire.CodecHello
+				if m.DecodeBody(&h) == nil && h.Chosen == wire.CodecBinary {
+					negotiated = wire.CodecBinary
+				}
+			}
+			dec.Release()
+			_ = raw.SetReadDeadline(time.Time{})
+		}
+		enc.SetCodec(negotiated)
+	}
+	c := &tcpConn{c: raw, enc: enc}
 
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
-		_ = raw.Close()
+		c.finalize(ep)
 		return nil, ErrClosed
 	}
 	if existing, ok := ep.conns[dst]; ok {
 		// Lost a dial race; use the winner.
 		ep.mu.Unlock()
-		_ = raw.Close()
+		c.finalize(ep)
 		return existing, nil
 	}
 	ep.conns[dst] = c
@@ -294,7 +404,7 @@ func (ep *tcpEndpoint) dropConn(dst guid.GUID, c *tcpConn) {
 		delete(ep.conns, dst)
 	}
 	ep.mu.Unlock()
-	_ = c.c.Close()
+	c.finalize(ep)
 }
 
 func (ep *tcpEndpoint) acceptLoop() {
@@ -325,20 +435,53 @@ func (ep *tcpEndpoint) acceptLoop() {
 
 func (ep *tcpEndpoint) serveConn(conn net.Conn) {
 	defer conn.Close()
-	r := wire.NewReader(conn)
+	dec := wire.NewDecoder(conn)
+	ep.mu.Lock()
+	ep.liveDecs[dec] = struct{}{}
+	ep.mu.Unlock()
+	defer func() {
+		ep.mu.Lock()
+		delete(ep.liveDecs, dec)
+		ep.mu.Unlock()
+		ep.deadRecv.Add(dec.BytesRead())
+		dec.Release()
+	}()
+	answered := false
 	for {
-		m, err := r.Read()
+		m, err := dec.Read()
 		if err != nil {
 			return // EOF, peer close, or framing error: drop the connection
 		}
 		if ep.isClosed() {
 			return
 		}
+		if m.Kind == wire.KindCodecHello {
+			// Answer the dialer's codec offer once — the only bytes this side
+			// ever writes on an inbound connection — and keep the hello away
+			// from the application handler. An endpoint forced to JSON
+			// answers "json", declining binary.
+			if !answered {
+				answered = true
+				chosen := wire.CodecJSON
+				var h wire.CodecHello
+				if m.DecodeBody(&h) == nil && ep.net.codecFor(ep.id) != wire.CodecJSON {
+					chosen = wire.ChooseCodec(h.Codecs)
+				}
+				if ack, err := wire.NewCodecHelloAck(m, chosen); err == nil {
+					aw := wire.NewWriter(conn)
+					_ = aw.Write(ack)
+					aw.Release()
+				}
+			}
+			continue
+		}
 		ep.h(m)
 	}
 }
 
 var (
-	_ Network  = (*TCP)(nil)
-	_ Endpoint = (*tcpEndpoint)(nil)
+	_ Network         = (*TCP)(nil)
+	_ Endpoint        = (*tcpEndpoint)(nil)
+	_ WireStatser     = (*tcpEndpoint)(nil)
+	_ CodecConfigurer = (*TCP)(nil)
 )

@@ -55,6 +55,29 @@ var (
 	ErrClosed             = errors.New("transport: closed")
 )
 
+// WireStats summarises an endpoint's wire-level activity: how many live
+// connections (or, for wireless transports, the endpoint itself) run each
+// codec, and the total bytes that crossed the wire in each direction.
+type WireStats struct {
+	Codecs        map[string]int
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// WireStatser is implemented by endpoints that can report wire statistics.
+type WireStatser interface {
+	WireStats() WireStats
+}
+
+// CodecConfigurer is implemented by networks whose per-endpoint codec can be
+// forced. Forcing wire.CodecJSON makes the endpoint behave exactly like a
+// pre-binary peer: it emits only legacy JSON frames (TCP) or only
+// materialized legacy bodies (Memory), and never negotiates. Configure
+// before or after Attach; new connections pick the setting up.
+type CodecConfigurer interface {
+	ConfigureCodec(id guid.GUID, codec wire.Codec)
+}
+
 // inbox is an unbounded FIFO with a wake channel, drained by one goroutine.
 // Unbounded is the right choice here: senders must never block (a Memory
 // send may run on a clock callback), and the simulation experiments bound

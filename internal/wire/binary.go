@@ -1,0 +1,693 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+	"time"
+	"unicode/utf8"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+// Binary frame layout (after the shared 4-byte big-endian length prefix;
+// full contract in doc.go):
+//
+//	magic(0xB5) version(0x01) kindID(u8) flags(u8)
+//	[kind uvarint-len + bytes]     when kindID == 0 (kind not in the table)
+//	src(16) dst(16)
+//	[corr(16)]                     flags&flagCorr
+//	[ttl varint]                   flags&flagTTL
+//	[body uvarint-len + bytes]     flags&flagBody (opaque JSON sub-blob)
+//	[batch section]                flags&flagBatch
+//
+// The magic byte can never open a JSON document, so a decoder distinguishes
+// the codecs per frame without negotiation state.
+const (
+	magicByte     = 0xB5
+	binaryVersion = 1
+)
+
+// Envelope flags.
+const (
+	flagCorr byte = 1 << iota
+	flagTTL
+	flagBody
+	flagBatch
+)
+
+// Per-event flags inside a batch section.
+const (
+	evfTime byte = 1 << iota
+	evfQuality
+	evfPayload
+)
+
+// maxDictEntries bounds each per-connection interning dictionary (types and
+// GUIDs separately). Beyond it, values ship as literals; both sides enforce
+// the bound so a hostile peer cannot grow decoder state without limit.
+const maxDictEntries = 4096
+
+// kindTable assigns the well-known kinds their one-byte wire ids. The order
+// is wire ABI: append only. Index 0 is reserved for "kind shipped inline".
+var kindTable = []Kind{
+	0:  "",
+	1:  KindAnnounce,
+	2:  KindRegister,
+	3:  KindRegisterAck,
+	4:  KindDeregister,
+	5:  KindDeregisterAck,
+	6:  KindHeartbeat,
+	7:  KindQuery,
+	8:  KindQueryResult,
+	9:  KindQueryError,
+	10: KindEvent,
+	11: KindEventBatch,
+	12: KindEventBatchAck,
+	13: KindServiceCall,
+	14: KindServiceReply,
+	15: KindOverlayJoin,
+	16: KindOverlayJoinReply,
+	17: KindOverlayPing,
+	18: KindOverlayPong,
+	19: KindOverlayRoute,
+	20: KindCodecHello,
+}
+
+var kindIDs = func() map[Kind]byte {
+	m := make(map[Kind]byte, len(kindTable))
+	for i, k := range kindTable {
+		if i > 0 {
+			m[k] = byte(i)
+		}
+	}
+	return m
+}()
+
+// ----- encoding -----
+
+func (e *Encoder) appendBinary(b []byte, m Message) ([]byte, error) {
+	var flags byte
+	if !m.Corr.IsNil() {
+		flags |= flagCorr
+	}
+	if m.TTL != 0 {
+		flags |= flagTTL
+	}
+	if len(m.Body) > 0 {
+		flags |= flagBody
+	}
+	if m.Batch != nil {
+		flags |= flagBatch
+	}
+	id := kindIDs[m.Kind]
+	b = append(b, magicByte, binaryVersion, id, flags)
+	if id == 0 {
+		b = binary.AppendUvarint(b, uint64(len(m.Kind)))
+		b = append(b, m.Kind...)
+	}
+	b = append(b, m.Src[:]...)
+	b = append(b, m.Dst[:]...)
+	if flags&flagCorr != 0 {
+		b = append(b, m.Corr[:]...)
+	}
+	if flags&flagTTL != 0 {
+		b = binary.AppendVarint(b, int64(m.TTL))
+	}
+	if flags&flagBody != 0 {
+		b = binary.AppendUvarint(b, uint64(len(m.Body)))
+		b = append(b, m.Body...)
+	}
+	if flags&flagBatch != 0 {
+		return e.appendBatch(b, m.Batch)
+	}
+	return b, nil
+}
+
+func (e *Encoder) appendBatch(b []byte, nb *NativeBatch) ([]byte, error) {
+	if nb.Credit != nil {
+		b = append(b, 1)
+		b = binary.AppendVarint(b, int64(nb.Credit.Events))
+		b = binary.AppendUvarint(b, nb.Credit.Dropped)
+		b = binary.AppendVarint(b, int64(nb.Credit.QueueFree))
+	} else {
+		b = append(b, 0)
+	}
+
+	// Dictionary deltas: every type/GUID of this batch not yet shipped to
+	// the peer is assigned the next index and sent once, here, before the
+	// events that reference it. Both sides append in stream order, so the
+	// index spaces stay aligned on an ordered connection.
+	if e.types == nil {
+		e.types = make(map[string]uint32)
+		e.guids = make(map[guid.GUID]uint32)
+	}
+	e.newTypes = e.newTypes[:0]
+	e.newGUIDs = e.newGUIDs[:0]
+	for i := range nb.Events {
+		ev := &nb.Events[i]
+		e.internType(string(ev.Type))
+		e.internGUID(ev.Source)
+		e.internGUID(ev.Subject)
+		e.internGUID(ev.Range)
+	}
+	b = binary.AppendUvarint(b, uint64(len(e.newTypes)))
+	for _, t := range e.newTypes {
+		b = binary.AppendUvarint(b, uint64(len(t)))
+		b = append(b, t...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(e.newGUIDs)))
+	for _, g := range e.newGUIDs {
+		b = append(b, g[:]...)
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(nb.Events)))
+	for i := range nb.Events {
+		var err error
+		if b, err = e.appendEvent(b, &nb.Events[i]); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+func (e *Encoder) appendEvent(b []byte, ev *event.Event) ([]byte, error) {
+	var fl byte
+	if !ev.Time.IsZero() {
+		fl |= evfTime
+	}
+	if ev.Quality != 0 {
+		fl |= evfQuality
+	}
+	if ev.Payload != nil {
+		fl |= evfPayload
+	}
+	b = append(b, fl)
+	b = append(b, ev.ID[:]...) // event ids are unique: never interned
+	b = e.appendTypeRef(b, string(ev.Type))
+	b = e.appendGUIDRef(b, ev.Source)
+	b = e.appendGUIDRef(b, ev.Subject)
+	b = e.appendGUIDRef(b, ev.Range)
+	b = binary.AppendUvarint(b, ev.Seq)
+	if fl&evfTime != 0 {
+		b = binary.BigEndian.AppendUint64(b, uint64(ev.Time.UnixNano()))
+	}
+	if fl&evfQuality != 0 {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(ev.Quality))
+	}
+	if fl&evfPayload != 0 {
+		if e.payloadBuf == nil {
+			e.payloadBuf = poolGetBuf()
+		}
+		var err error
+		e.payloadBuf, err = e.appendJSONMap(e.payloadBuf[:0], ev.Payload, 0)
+		if err != nil {
+			return b, err
+		}
+		b = binary.AppendUvarint(b, uint64(len(e.payloadBuf)))
+		b = append(b, e.payloadBuf...)
+	}
+	return b, nil
+}
+
+// internType records t as a dictionary delta of the current frame if it is
+// new and the dictionary has room.
+func (e *Encoder) internType(t string) {
+	if t == "" {
+		return
+	}
+	if _, ok := e.types[t]; ok {
+		return
+	}
+	if len(e.types) >= maxDictEntries {
+		return
+	}
+	e.types[t] = uint32(len(e.types))
+	e.newTypes = append(e.newTypes, t)
+}
+
+func (e *Encoder) internGUID(g guid.GUID) {
+	if g.IsNil() {
+		return
+	}
+	if _, ok := e.guids[g]; ok {
+		return
+	}
+	if len(e.guids) >= maxDictEntries {
+		return
+	}
+	e.guids[g] = uint32(len(e.guids))
+	e.newGUIDs = append(e.newGUIDs, g)
+}
+
+// appendTypeRef writes a type reference: 0 = literal follows (uvarint len +
+// bytes), n ≥ 1 = dictionary index n-1.
+func (e *Encoder) appendTypeRef(b []byte, t string) []byte {
+	if idx, ok := e.types[t]; ok {
+		return binary.AppendUvarint(b, uint64(idx)+1)
+	}
+	b = binary.AppendUvarint(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(t)))
+	return append(b, t...)
+}
+
+// appendGUIDRef writes a GUID reference: 0 = nil, 1 = literal 16 bytes
+// follow, n ≥ 2 = dictionary index n-2.
+func (e *Encoder) appendGUIDRef(b []byte, g guid.GUID) []byte {
+	if g.IsNil() {
+		return binary.AppendUvarint(b, 0)
+	}
+	if idx, ok := e.guids[g]; ok {
+		return binary.AppendUvarint(b, uint64(idx)+2)
+	}
+	b = binary.AppendUvarint(b, 1)
+	return append(b, g[:]...)
+}
+
+// commitDict accepts the current frame's dictionary deltas (the frame
+// shipped); rollbackDict discards them (the frame never reached the peer,
+// so the peer's mirror must not learn the entries).
+func (e *Encoder) commitDict() {
+	e.newTypes = e.newTypes[:0]
+	e.newGUIDs = e.newGUIDs[:0]
+}
+
+func (e *Encoder) rollbackDict() {
+	for _, t := range e.newTypes {
+		delete(e.types, t)
+	}
+	for _, g := range e.newGUIDs {
+		delete(e.guids, g)
+	}
+	e.newTypes = e.newTypes[:0]
+	e.newGUIDs = e.newGUIDs[:0]
+}
+
+// ----- payload JSON encoding -----
+
+const hexdigits = "0123456789abcdef"
+
+// appendJSONMap appends the JSON encoding of a payload map with sorted keys
+// (deterministic output, like encoding/json) without allocating in steady
+// state: the per-depth key slices are reused across calls.
+func (e *Encoder) appendJSONMap(b []byte, m map[string]any, depth int) ([]byte, error) {
+	for len(e.keyStack) <= depth {
+		e.keyStack = append(e.keyStack, nil)
+	}
+	keys := e.keyStack[depth][:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	e.keyStack[depth] = keys
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, k)
+		b = append(b, ':')
+		var err error
+		if b, err = e.appendJSONValue(b, m[k], depth+1); err != nil {
+			return b, err
+		}
+	}
+	return append(b, '}'), nil
+}
+
+func (e *Encoder) appendJSONValue(b []byte, v any, depth int) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, "null"...), nil
+	case bool:
+		if x {
+			return append(b, "true"...), nil
+		}
+		return append(b, "false"...), nil
+	case string:
+		return appendJSONString(b, x), nil
+	case float64:
+		return appendJSONFloat(b, x)
+	case float32:
+		return appendJSONFloat(b, float64(x))
+	case int:
+		return strconv.AppendInt(b, int64(x), 10), nil
+	case int64:
+		return strconv.AppendInt(b, x, 10), nil
+	case uint64:
+		return strconv.AppendUint(b, x, 10), nil
+	case json.Number:
+		if !json.Valid([]byte(x)) {
+			return b, fmt.Errorf("%w: invalid json.Number %q", ErrBadMessage, string(x))
+		}
+		return append(b, x...), nil
+	case json.RawMessage:
+		if !json.Valid(x) {
+			return b, fmt.Errorf("%w: invalid raw payload value", ErrBadMessage)
+		}
+		return append(b, x...), nil
+	case map[string]any:
+		return e.appendJSONMap(b, x, depth)
+	case []any:
+		b = append(b, '[')
+		for i, el := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			var err error
+			if b, err = e.appendJSONValue(b, el, depth); err != nil {
+				return b, err
+			}
+		}
+		return append(b, ']'), nil
+	default:
+		// Uncommon payload value types take the reflective slow path.
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return b, fmt.Errorf("wire: encode payload value: %w", err)
+		}
+		return append(b, raw...), nil
+	}
+}
+
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, fmt.Errorf("%w: unsupported float value in payload", ErrBadMessage)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	return strconv.AppendFloat(b, f, format, -1, 64), nil
+}
+
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c == '"' || c == '\\' || c < 0x20 {
+				b = append(b, s[start:i]...)
+				switch c {
+				case '"':
+					b = append(b, '\\', '"')
+				case '\\':
+					b = append(b, '\\', '\\')
+				case '\n':
+					b = append(b, '\\', 'n')
+				case '\r':
+					b = append(b, '\\', 'r')
+				case '\t':
+					b = append(b, '\\', 't')
+				default:
+					b = append(b, '\\', 'u', '0', '0', hexdigits[c>>4], hexdigits[c&0x0f])
+				}
+				start = i + 1
+			}
+			i++
+			continue
+		}
+		// Invalid UTF-8 becomes U+FFFD, matching encoding/json, so encoded
+		// payloads always decode to the same string they re-encode from.
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, "�"...)
+			start = i + 1
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// ----- decoding -----
+
+// cursor walks a binary frame with sticky bounds checking: the first
+// failure latches and every later read returns zero values, so decode paths
+// stay linear and the error surfaces once at the end.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) rem() int { return len(c.b) - c.off }
+
+func (c *cursor) u8() byte {
+	if c.err != nil || c.off >= len(c.b) {
+		c.fail("truncated frame at byte %d", c.off)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.rem() < n {
+		c.fail("truncated frame: need %d bytes at offset %d, have %d", n, c.off, c.rem())
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("bad varint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail("bad varint at offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if c.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *cursor) guid() guid.GUID {
+	b := c.take(guid.Size)
+	var g guid.GUID
+	if c.err == nil {
+		copy(g[:], b)
+	}
+	return g
+}
+
+// blob reads a uvarint-length-prefixed byte run, bounds-checked against the
+// remaining frame.
+func (c *cursor) blob() []byte {
+	n := c.uvarint()
+	if c.err == nil && n > uint64(c.rem()) {
+		c.fail("blob length %d exceeds remaining %d bytes", n, c.rem())
+		return nil
+	}
+	return c.take(int(n))
+}
+
+func (d *Decoder) decodeBinaryFrame(data []byte) (Message, error) {
+	c := cursor{b: data}
+	c.u8() // magic, already matched by Read
+	if ver := c.u8(); c.err == nil && ver != binaryVersion {
+		return Message{}, fmt.Errorf("%w: unsupported binary version %d", ErrBadMessage, ver)
+	}
+	kid := c.u8()
+	flags := c.u8()
+	var m Message
+	switch {
+	case c.err != nil:
+	case kid == 0:
+		m.Kind = Kind(c.blob())
+	case int(kid) < len(kindTable):
+		m.Kind = kindTable[kid]
+	default:
+		return Message{}, fmt.Errorf("%w: unknown kind id %d", ErrBadMessage, kid)
+	}
+	m.Src = c.guid()
+	m.Dst = c.guid()
+	if flags&flagCorr != 0 {
+		m.Corr = c.guid()
+	}
+	if flags&flagTTL != 0 {
+		m.TTL = int(c.varint())
+	}
+	if flags&flagBody != 0 {
+		if raw := c.blob(); c.err == nil {
+			m.Body = append(json.RawMessage(nil), raw...)
+		}
+	}
+	if flags&flagBatch != 0 {
+		m.Batch = d.decodeBatch(&c)
+	}
+	if c.err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrBadMessage, c.err)
+	}
+	if n := c.rem(); n != 0 {
+		return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, n)
+	}
+	if err := m.Validate(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+func (d *Decoder) decodeBatch(c *cursor) *NativeBatch {
+	nb := &NativeBatch{}
+	switch v := c.u8(); v {
+	case 0:
+	case 1:
+		nb.Credit = &BatchCredit{
+			Events:    int(c.varint()),
+			Dropped:   c.uvarint(),
+			QueueFree: int(c.varint()),
+		}
+	default:
+		c.fail("bad credit flag %d", v)
+	}
+
+	ntypes := c.uvarint()
+	if c.err == nil && ntypes > uint64(c.rem()) {
+		c.fail("type delta count %d exceeds frame", ntypes)
+	}
+	for i := uint64(0); i < ntypes && c.err == nil; i++ {
+		t := string(c.blob())
+		if c.err != nil {
+			break
+		}
+		if len(d.types) >= maxDictEntries {
+			c.fail("type dictionary overflow")
+			break
+		}
+		d.types = append(d.types, t)
+	}
+	nguids := c.uvarint()
+	if c.err == nil && nguids > uint64(c.rem())/guid.Size {
+		c.fail("guid delta count %d exceeds frame", nguids)
+	}
+	for i := uint64(0); i < nguids && c.err == nil; i++ {
+		g := c.guid()
+		if c.err != nil {
+			break
+		}
+		if len(d.guids) >= maxDictEntries {
+			c.fail("guid dictionary overflow")
+			break
+		}
+		d.guids = append(d.guids, g)
+	}
+
+	nevents := c.uvarint()
+	// Every event costs at least its flag byte + raw id, so the count is
+	// bounded by the remaining frame; reject inflated counts before the
+	// slice allocation trusts them.
+	if c.err == nil && nevents > uint64(c.rem()/(1+guid.Size)) {
+		c.fail("event count %d exceeds frame", nevents)
+	}
+	if c.err != nil {
+		return nil
+	}
+	events := make([]event.Event, 0, nevents)
+	for i := uint64(0); i < nevents && c.err == nil; i++ {
+		events = append(events, d.decodeEvent(c))
+	}
+	if c.err != nil {
+		return nil
+	}
+	nb.Events = events
+	return nb
+}
+
+func (d *Decoder) decodeEvent(c *cursor) event.Event {
+	var ev event.Event
+	fl := c.u8()
+	ev.ID = c.guid()
+	ev.Type = d.typeRef(c)
+	ev.Source = d.guidRef(c)
+	ev.Subject = d.guidRef(c)
+	ev.Range = d.guidRef(c)
+	ev.Seq = c.uvarint()
+	if fl&evfTime != 0 {
+		ev.Time = time.Unix(0, int64(c.u64()))
+	}
+	if fl&evfQuality != 0 {
+		ev.Quality = math.Float64frombits(c.u64())
+	}
+	if fl&evfPayload != 0 {
+		raw := c.blob()
+		if c.err == nil {
+			if err := json.Unmarshal(raw, &ev.Payload); err != nil {
+				c.fail("event payload: %v", err)
+			}
+		}
+	}
+	return ev
+}
+
+func (d *Decoder) typeRef(c *cursor) ctxtype.Type {
+	r := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if r == 0 {
+		return ctxtype.Type(c.blob())
+	}
+	if r-1 >= uint64(len(d.types)) {
+		c.fail("type ref %d out of dictionary range %d", r, len(d.types))
+		return ""
+	}
+	return ctxtype.Type(d.types[r-1])
+}
+
+func (d *Decoder) guidRef(c *cursor) guid.GUID {
+	r := c.uvarint()
+	switch {
+	case c.err != nil || r == 0:
+		return guid.Nil
+	case r == 1:
+		return c.guid()
+	case r-2 < uint64(len(d.guids)):
+		return d.guids[r-2]
+	default:
+		c.fail("guid ref %d out of dictionary range %d", r, len(d.guids))
+		return guid.Nil
+	}
+}

@@ -1,0 +1,436 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+func testEvents(t *testing.T, n int) []event.Event {
+	t.Helper()
+	src := guid.New(guid.KindDevice)
+	rng := guid.New(guid.KindRange)
+	events := make([]event.Event, n)
+	for i := range events {
+		events[i] = event.New(ctxtype.TemperatureCelsius, src, uint64(i),
+			time.Unix(1700000000, int64(i)*1e6), map[string]any{"value": float64(i) + 0.5})
+		events[i].Range = rng
+	}
+	return events
+}
+
+// eventsEquivalent compares events modulo time representation (zone and
+// monotonic clock are not wire properties).
+func eventsEquivalent(t *testing.T, want, got []event.Event) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("event count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if !w.Time.Equal(g.Time) {
+			t.Fatalf("event %d time: want %v, got %v", i, w.Time, g.Time)
+		}
+		w.Time, g.Time = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("event %d: want %+v, got %+v", i, w, g)
+		}
+	}
+}
+
+func TestBinaryRoundTripEnvelope(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, CodecBinary)
+	dec := NewDecoder(&buf)
+
+	msgs := []Message{
+		{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindServer), Kind: KindHeartbeat},
+		{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindServer), Kind: KindQuery,
+			Corr: guid.New(guid.KindQuery), TTL: 7, Body: json.RawMessage(`{"q":"x"}`)},
+		{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindServer), Kind: Kind("custom.kind"),
+			Body: json.RawMessage(`[1,2,3]`)},
+	}
+	for _, m := range msgs {
+		if err := enc.Write(m); err != nil {
+			t.Fatalf("write %s: %v", m.Kind, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := dec.Read()
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round trip: want %+v, got %+v", want, got)
+		}
+	}
+	if _, err := dec.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBinaryRoundTripBatch(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, CodecBinary)
+	dec := NewDecoder(&buf)
+
+	events := testEvents(t, 16)
+	events[3].Subject = guid.New(guid.KindPerson)
+	events[5].Quality = 0.75
+	events[7].Time = time.Time{}
+	events[9].Payload = nil
+	events[11].Payload = map[string]any{
+		"s": "text\nwith \"escapes\"", "b": true, "n": nil,
+		"nested": map[string]any{"k": []any{1.0, "two", false}},
+	}
+	credit := &BatchCredit{Events: 16, Dropped: 42, QueueFree: -1}
+	m, err := NewNativeEventBatch(guid.New(guid.KindServer), guid.New(guid.KindServer), events, credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Write(m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	firstLen := buf.Len()
+
+	got, err := dec.Read()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Kind != KindEventBatch || got.Batch == nil {
+		t.Fatalf("expected native batch, got %+v", got)
+	}
+	if !reflect.DeepEqual(credit, got.Batch.Credit) {
+		t.Fatalf("credit: want %+v, got %+v", credit, got.Batch.Credit)
+	}
+	eventsEquivalent(t, events, got.Batch.Events)
+	if c, ok := got.BatchCreditInfo(); !ok || c.Dropped != 42 {
+		t.Fatalf("BatchCreditInfo on native batch: %+v ok=%v", c, ok)
+	}
+
+	// A second batch over the same connection rides the dictionary: no new
+	// type/GUID deltas, so the frame is much smaller.
+	if err := enc.Write(m); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	secondLen := buf.Len()
+	if secondLen >= firstLen {
+		t.Fatalf("dictionary-interned frame not smaller: first %dB, second %dB", firstLen, secondLen)
+	}
+	got2, err := dec.Read()
+	if err != nil {
+		t.Fatalf("read 2: %v", err)
+	}
+	eventsEquivalent(t, events, got2.Batch.Events)
+}
+
+func TestBinaryDeterministicReencode(t *testing.T) {
+	events := testEvents(t, 8)
+	events[2].Payload = map[string]any{"z": 1.0, "a": "x", "m": map[string]any{"q": 2.0, "p": 3.0}}
+	m, err := NewNativeEventBatch(guid.New(guid.KindServer), guid.New(guid.KindServer), events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf1 bytes.Buffer
+	if err := NewEncoder(&buf1, CodecBinary).Write(m); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := NewDecoder(bytes.NewReader(buf1.Bytes())).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := NewEncoder(&buf2, CodecBinary).Write(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("encode(decode(frame)) not byte-identical: %d vs %d bytes", buf1.Len(), buf2.Len())
+	}
+}
+
+func TestMixedCodecStream(t *testing.T) {
+	var buf bytes.Buffer
+	jenc := NewEncoder(&buf, CodecJSON)
+	benc := NewEncoder(&buf, CodecBinary)
+	dec := NewDecoder(&buf)
+
+	src, dst := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	events := testEvents(t, 4)
+	native, err := NewNativeEventBatch(src, dst, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Message{Src: src, Dst: dst, Kind: KindHeartbeat}
+
+	if err := jenc.Write(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := benc.Write(native); err != nil {
+		t.Fatal(err)
+	}
+	if err := jenc.Write(native); err != nil { // JSON encoder folds the batch
+		t.Fatal(err)
+	}
+
+	if m, err := dec.Read(); err != nil || m.Kind != KindHeartbeat {
+		t.Fatalf("frame 1: %+v, %v", m, err)
+	}
+	m2, err := dec.Read()
+	if err != nil || m2.Batch == nil {
+		t.Fatalf("frame 2 should be native: %+v, %v", m2, err)
+	}
+	m3, err := dec.Read()
+	if err != nil {
+		t.Fatalf("frame 3: %v", err)
+	}
+	if m3.Batch != nil {
+		t.Fatal("JSON-encoded frame must not carry a native batch")
+	}
+	frames, err := m3.EventFrames()
+	if err != nil || len(frames) != 4 {
+		t.Fatalf("legacy frames: %d, %v", len(frames), err)
+	}
+	var first event.Event
+	if err := json.Unmarshal(frames[0], &first); err != nil {
+		t.Fatalf("legacy frame decode: %v", err)
+	}
+	if first.ID != events[0].ID || first.Type != events[0].Type {
+		t.Fatalf("legacy frame mismatch: %+v vs %+v", first, events[0])
+	}
+}
+
+func TestWriterEnvelopeMatchesJSONMarshal(t *testing.T) {
+	msgs := []Message{
+		{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindServer), Kind: KindHeartbeat},
+		{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindDevice), Kind: KindQueryResult,
+			Corr: guid.New(guid.KindQuery), TTL: 3, Body: json.RawMessage(`{"a":[1,2,{"b":"c"}]}`)},
+	}
+	for _, m := range msgs {
+		want, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendEnvelopeJSON(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("envelope mismatch:\n marshal: %s\n  manual: %s", want, got)
+		}
+	}
+}
+
+func TestWriterRejectsInvalidBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	m := Message{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindServer),
+		Kind: KindQuery, Body: json.RawMessage(`{"broken`)}
+	if err := w.Write(m); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("want ErrBadMessage for invalid body, got %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected write must emit nothing, wrote %d bytes", buf.Len())
+	}
+}
+
+func TestMaterializeEventBatch(t *testing.T) {
+	events := testEvents(t, 3)
+	credit := &BatchCredit{Dropped: 7, QueueFree: 12}
+	m, err := NewNativeEventBatch(guid.New(guid.KindServer), guid.New(guid.KindServer), events, credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := Materialize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Batch != nil {
+		t.Fatal("materialized message still carries a native batch")
+	}
+	var body EventBatchBody
+	if err := folded.DecodeBody(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Events) != 3 || body.Credit == nil || body.Credit.Dropped != 7 {
+		t.Fatalf("legacy body: %+v", body)
+	}
+}
+
+func TestMaterializeUnknownKindFails(t *testing.T) {
+	m := Message{Src: guid.New(guid.KindServer), Dst: guid.New(guid.KindServer),
+		Kind: Kind("no.folder"), Batch: &NativeBatch{Events: testEvents(t, 1)}}
+	if _, err := Materialize(m); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("want ErrBadMessage, got %v", err)
+	}
+}
+
+func TestDecoderCorruptInputTypedErrors(t *testing.T) {
+	src, dst := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	events := testEvents(t, 4)
+	m, err := NewNativeEventBatch(src, dst, events, &BatchCredit{Dropped: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf, CodecBinary).Write(m); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	// Truncations at every boundary must yield a typed error, never a panic.
+	for cut := 0; cut < len(frame); cut++ {
+		d := NewDecoder(bytes.NewReader(frame[:cut]))
+		_, err := d.Read()
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+		if !isTypedWireError(err) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+	// Flipping each payload byte must never panic, and any error is typed.
+	for i := 4; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0xFF
+		d := NewDecoder(bytes.NewReader(mut))
+		if _, err := d.Read(); err != nil && !isTypedWireError(err) {
+			t.Fatalf("corruption at %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func isTypedWireError(err error) bool {
+	return errors.Is(err, ErrBadMessage) || errors.Is(err, ErrFrameTooLarge) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, event.ErrBadEvent)
+}
+
+func TestEncoderDictRollbackOnFailedEncode(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, CodecBinary)
+	dec := NewDecoder(&buf)
+
+	bad := testEvents(t, 2)
+	bad[1].Payload = map[string]any{"inf": math.Inf(1)} // unencodable
+	src, dst := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	mBad, _ := NewNativeEventBatch(src, dst, bad, nil)
+	if err := enc.Write(mBad); err == nil {
+		t.Fatal("expected encode failure for Inf payload")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed encode must ship nothing, wrote %d bytes", buf.Len())
+	}
+
+	// The dictionary must have rolled back: the next good frame re-ships its
+	// deltas and the decoder — which never saw the failed frame — stays in
+	// sync.
+	good := testEvents(t, 4)
+	mGood, _ := NewNativeEventBatch(src, dst, good, nil)
+	if err := enc.Write(mGood); err != nil {
+		t.Fatalf("write after rollback: %v", err)
+	}
+	got, err := dec.Read()
+	if err != nil {
+		t.Fatalf("read after rollback: %v", err)
+	}
+	eventsEquivalent(t, good, got.Batch.Events)
+}
+
+func FuzzDecoderRobustness(f *testing.F) {
+	// Seed with valid frames of both codecs plus near-miss corruptions.
+	src, dst := guid.New(guid.KindServer), guid.New(guid.KindServer)
+	ev := event.New(ctxtype.TemperatureCelsius, guid.New(guid.KindDevice), 1,
+		time.Unix(1700000000, 0), map[string]any{"value": 1.5})
+	m, _ := NewNativeEventBatch(src, dst, []event.Event{ev}, &BatchCredit{Dropped: 3, QueueFree: -1})
+	var bin bytes.Buffer
+	_ = NewEncoder(&bin, CodecBinary).Write(m)
+	f.Add(bin.Bytes())
+	var js bytes.Buffer
+	_ = NewEncoder(&js, CodecJSON).Write(m)
+	f.Add(js.Bytes())
+	f.Add([]byte{0, 0, 0, 2, magicByte, binaryVersion})
+	f.Add([]byte{0, 0, 0, 1, '{'})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded: a frame per loop or an error out
+			msg, err := d.Read()
+			if err != nil {
+				if !isTypedWireError(err) && !errors.Is(err, ErrBadMessage) {
+					// Allow the generic framing wrappers too.
+					t.Fatalf("untyped decoder error: %v", err)
+				}
+				return
+			}
+			// Whatever decoded must re-encode on both codecs without panic.
+			var sink bytes.Buffer
+			_ = NewEncoder(&sink, CodecBinary).Write(msg)
+			if msg.Batch == nil {
+				_ = NewEncoder(&sink, CodecJSON).Write(msg)
+			}
+		}
+	})
+}
+
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add("temperature.celsius", "room-1", uint64(7), 0.5, int64(1700000000), 3)
+	f.Fuzz(func(t *testing.T, typ, payloadStr string, seq uint64, quality float64, unixSec int64, n int) {
+		if n <= 0 || n > 64 {
+			return
+		}
+		if math.IsNaN(quality) || math.IsInf(quality, 0) {
+			return
+		}
+		// Invalid UTF-8 is coerced to U+FFFD by every JSON layer (ours and
+		// encoding/json alike), so it cannot round-trip to the original.
+		if !utf8.ValidString(typ) || !utf8.ValidString(payloadStr) {
+			return
+		}
+		const maxSec = int64(1 << 33) // keep UnixNano in range
+		if unixSec > maxSec || unixSec < -maxSec {
+			return
+		}
+		src := guid.New(guid.KindDevice)
+		events := make([]event.Event, n)
+		for i := range events {
+			events[i] = event.Event{
+				ID: guid.New(guid.KindEvent), Type: ctxtype.Type(typ), Source: src,
+				Seq: seq + uint64(i), Time: time.Unix(unixSec, int64(i)),
+				Quality: quality,
+				Payload: map[string]any{"s": payloadStr, "i": float64(i)},
+			}
+		}
+		m, err := NewNativeEventBatch(src, guid.New(guid.KindServer), events, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf1 bytes.Buffer
+		if err := NewEncoder(&buf1, CodecBinary).Write(m); err != nil {
+			t.Skip() // unencodable inputs (e.g. huge frames) are not round-trip subjects
+		}
+		got, err := NewDecoder(bytes.NewReader(buf1.Bytes())).Read()
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		eventsEquivalent(t, events, got.Batch.Events)
+		var buf2 bytes.Buffer
+		if err := NewEncoder(&buf2, CodecBinary).Write(got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatal("round trip not byte-identical")
+		}
+	})
+}

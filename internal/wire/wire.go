@@ -1,21 +1,16 @@
-// Package wire defines the message envelope and framing used for all
-// point-to-point communication in SCI: registration, query submission,
-// advertisement calls, overlay routing and inter-range event forwarding.
-//
 // The paper's hybrid communication model (Section 4) pairs distributed
-// events with point-to-point messages. This package is the point-to-point
-// half: a Message envelope addressed by GUIDs (never by network addresses,
-// per Section 3's overlay premise) with a JSON body, framed on the wire as
-// a 4-byte big-endian length followed by the JSON encoding of the envelope.
+// events with point-to-point messages. This file is the point-to-point
+// half's envelope: a Message addressed by GUIDs (never by network
+// addresses, per Section 3's overlay premise) with a JSON body. Framing and
+// codecs live in codec.go/binary.go; the full wire contract is in doc.go.
 package wire
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 
 	"sci/internal/guid"
 )
@@ -65,6 +60,14 @@ const (
 	KindOverlayPing      Kind = "overlay_ping"
 	KindOverlayPong      Kind = "overlay_pong"
 	KindOverlayRoute     Kind = "overlay_route" // encapsulated routed payload
+
+	// Codec negotiation. A dialer opens each connection with a codec.hello
+	// listing the codecs it speaks; a codec-aware accept side answers once
+	// on the same socket with its choice. Legacy peers never answer (the
+	// dialer falls back to JSON after a short deadline) and ignore the
+	// unknown kind when they receive it — the same no-negotiation-required
+	// stance the event.batch and credit fields already rely on.
+	KindCodecHello Kind = "codec.hello"
 )
 
 // Message is the wire envelope. Payload semantics depend on Kind.
@@ -80,6 +83,13 @@ type Message struct {
 	TTL int `json:"ttl,omitempty"`
 	// Body is the kind-specific JSON payload.
 	Body json.RawMessage `json:"body,omitempty"`
+	// Batch optionally carries a whole event batch natively: decoded events
+	// instead of per-event JSON frames. It rides pointer-identical through
+	// the in-process memory transport and as one contiguous dictionary-
+	// interned section of a binary frame on binary-negotiated connections;
+	// encoders targeting a JSON-only peer fold it back into the legacy body
+	// format via Materialize. It is never part of the JSON envelope.
+	Batch *NativeBatch `json:"-"`
 }
 
 // Errors.
@@ -170,6 +180,12 @@ func NewEventBatchAck(src, dst guid.GUID, credit BatchCredit) (Message, error) {
 // every frame from a peer that predates the credit fields, whose JSON
 // simply lacks them.
 func (m Message) BatchCreditInfo() (BatchCredit, bool) {
+	if m.Batch != nil {
+		if m.Batch.Credit == nil {
+			return BatchCredit{}, false
+		}
+		return *m.Batch.Credit, true
+	}
 	switch m.Kind {
 	case KindEventBatchAck:
 		var c BatchCredit
@@ -201,6 +217,9 @@ func (m Message) EventFrames() ([]json.RawMessage, error) {
 		}
 		return []json.RawMessage{m.Body}, nil
 	case KindEventBatch:
+		if m.Batch != nil {
+			return m.Batch.EncodeFrames()
+		}
 		var b EventBatchBody
 		if err := m.DecodeBody(&b); err != nil {
 			return nil, err
@@ -241,77 +260,65 @@ func (m Message) String() string {
 	return fmt.Sprintf("msg{%s %s→%s}", m.Kind, m.Src.Short(), m.Dst.Short())
 }
 
-// Writer frames messages onto an io.Writer. Not safe for concurrent use;
-// callers serialise (internal/transport does).
-type Writer struct {
-	w   *bufio.Writer
-	buf [4]byte
-}
+// Writer frames messages onto an io.Writer with the JSON codec. It is the
+// historical name for a JSON-fixed Encoder; new code that negotiates a
+// codec uses NewEncoder directly. Not safe for concurrent use; callers
+// serialise (internal/transport does).
+type Writer = Encoder
 
-// NewWriter wraps w.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriter(w)}
-}
+// NewWriter wraps w with a JSON-codec encoder.
+func NewWriter(w io.Writer) *Writer { return NewEncoder(w, CodecJSON) }
 
-// Write frames and flushes one message.
-func (w *Writer) Write(m Message) error {
-	if err := m.Validate(); err != nil {
-		return err
-	}
-	data, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
-	}
-	if len(data) > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	binary.BigEndian.PutUint32(w.buf[:], uint32(len(data)))
-	if _, err := w.w.Write(w.buf[:]); err != nil {
-		return fmt.Errorf("wire: write length: %w", err)
-	}
-	if _, err := w.w.Write(data); err != nil {
-		return fmt.Errorf("wire: write frame: %w", err)
-	}
-	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("wire: flush: %w", err)
-	}
-	return nil
-}
-
-// Reader unframes messages from an io.Reader. Not safe for concurrent use.
-type Reader struct {
-	r   *bufio.Reader
-	buf [4]byte
-}
+// Reader unframes messages from an io.Reader. It is the historical name for
+// a Decoder, which detects the codec of every frame from its leading byte,
+// so mixed JSON/binary streams decode transparently. Not safe for
+// concurrent use.
+type Reader = Decoder
 
 // NewReader wraps r.
-func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+func NewReader(r io.Reader) *Reader { return NewDecoder(r) }
+
+// appendEnvelopeJSON appends the JSON wire form of m to b. It produces what
+// json.Marshal(m) would, assembled by hand so the pre-encoded Body splices
+// into the envelope once instead of being re-validated, re-compacted and
+// copied a second time by the marshaller — the frame is built in a single
+// pass over a reused buffer. The one property kept from json.Marshal is
+// rejecting a Body that is not valid JSON (a hand-spliced frame must never
+// ship an unparseable envelope).
+func appendEnvelopeJSON(b []byte, m Message) ([]byte, error) {
+	b = append(b, `{"src":"`...)
+	b = appendGUIDText(b, m.Src)
+	b = append(b, `","dst":"`...)
+	b = appendGUIDText(b, m.Dst)
+	b = append(b, `","kind":`...)
+	b = appendJSONString(b, string(m.Kind))
+	if !m.Corr.IsNil() {
+		b = append(b, `,"corr":"`...)
+		b = appendGUIDText(b, m.Corr)
+		b = append(b, '"')
+	}
+	if m.TTL != 0 {
+		b = append(b, `,"ttl":`...)
+		b = strconv.AppendInt(b, int64(m.TTL), 10)
+	}
+	if len(m.Body) > 0 {
+		if !json.Valid(m.Body) {
+			return b, fmt.Errorf("%w: body is not valid JSON", ErrBadMessage)
+		}
+		b = append(b, `,"body":`...)
+		b = append(b, m.Body...)
+	}
+	return append(b, '}'), nil
 }
 
-// Read reads one framed message. On clean EOF between frames it returns
-// io.EOF; a truncated frame yields io.ErrUnexpectedEOF.
-func (r *Reader) Read() (Message, error) {
-	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return Message{}, io.EOF
-		}
-		return Message{}, fmt.Errorf("wire: read length: %w", err)
+// appendGUIDText appends the canonical "kind:hex32" form of g — what
+// g.MarshalText produces — without allocating.
+func appendGUIDText(b []byte, g guid.GUID) []byte {
+	const hexdigits = "0123456789abcdef"
+	b = append(b, g.Kind().String()...)
+	b = append(b, ':')
+	for _, x := range g {
+		b = append(b, hexdigits[x>>4], hexdigits[x&0x0f])
 	}
-	n := binary.BigEndian.Uint32(r.buf[:])
-	if n > MaxFrame {
-		return Message{}, ErrFrameTooLarge
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Message{}, fmt.Errorf("wire: read frame: %w", err)
-	}
-	var m Message
-	if err := json.Unmarshal(data, &m); err != nil {
-		return Message{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
-	}
-	if err := m.Validate(); err != nil {
-		return Message{}, err
-	}
-	return m, nil
+	return b
 }

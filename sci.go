@@ -54,6 +54,7 @@ import (
 	"sci/internal/server"
 	"sci/internal/sim"
 	"sci/internal/transport"
+	"sci/internal/wire"
 )
 
 // Identity.
@@ -339,7 +340,29 @@ type (
 	Network = transport.Network
 	// MemoryNetwork is the in-process simulation network.
 	MemoryNetwork = transport.Memory
+	// TransportConfig selects and parameterises a transport backend for
+	// NewNetwork: Backend names a registered builder ("memory", "tcp"),
+	// Codec sets the network's default wire codec.
+	TransportConfig = transport.Config
+	// WireCodec names a negotiated wire encoding: CodecBinary (the
+	// zero-copy batch path) or CodecJSON (the legacy line-delimited form
+	// every peer understands).
+	WireCodec = wire.Codec
 )
+
+// Wire codecs. TCP endpoints negotiate per connection at setup — a hello
+// exchange settles on binary when both ends support it and falls back to
+// JSON for legacy peers — so mixed fleets interoperate; forcing CodecJSON
+// on an endpoint (or network default) skips negotiation entirely.
+const (
+	CodecBinary = wire.CodecBinary
+	CodecJSON   = wire.CodecJSON
+)
+
+// NewNetwork builds a transport from a declarative config via the backend
+// factory (empty Backend means "memory"). Additional backends can be
+// registered with transport.Register.
+var NewNetwork = transport.New
 
 // NewMemoryNetwork builds an in-process network (zero latency by default).
 func NewMemoryNetwork() *MemoryNetwork {
