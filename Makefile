@@ -1,0 +1,27 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: build vet fmt lint test fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	test -z "$$(gofmt -l . | tee /dev/stderr)"
+
+# The repository's invariant analyzers (clockcheck, batchshare, guardedby,
+# gaugekey). Any diagnostic fails the build; see internal/analysis/doc.go.
+lint:
+	$(GO) run ./cmd/scilint ./...
+
+test:
+	$(GO) test -race -shuffle=on ./...
+
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/wire/
+
+check: build vet fmt lint test

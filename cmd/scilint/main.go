@@ -1,0 +1,83 @@
+// Command scilint runs the repository's invariant analyzers — clockcheck,
+// batchshare, guardedby and gaugekey (internal/analysis) — over the given
+// package patterns and exits non-zero on any diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/scilint ./...
+//	go run ./cmd/scilint -only clockcheck ./internal/scinet/
+//
+// Suppressions: //lint:allow <analyzer> <reason> on the flagged line or the
+// line above. See internal/analysis/doc.go for the enforced contracts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/batchshare"
+	"sci/internal/analysis/clockcheck"
+	"sci/internal/analysis/gaugekey"
+	"sci/internal/analysis/guardedby"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: scilint [-only a,b] <packages>\n\nanalyzers:\n")
+		for _, a := range all() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-11s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := all()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "scilint: no analyzer matches -only %q\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	diags, fset, err := analysis.Run("", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scilint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: %s (%s)\n", p.Filename, p.Line, p.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scilint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func all() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		clockcheck.Analyzer,
+		batchshare.Analyzer,
+		guardedby.Analyzer,
+		gaugekey.Analyzer,
+	}
+}

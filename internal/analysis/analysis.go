@@ -1,0 +1,76 @@
+// This file defines the analyzer/pass core. The API deliberately mirrors
+// golang.org/x/tools/go/analysis so the analyzers under
+// internal/analysis/... can be ported to the upstream multichecker
+// unchanged if the dependency ever becomes available; only the loader
+// (go list -export + the gc export-data importer, see load.go) is local.
+// See doc.go for the package documentation and invariant catalogue.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> <reason> suppression comments.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports diagnostics via pass.Report.
+	// The returned error aborts the whole scilint run (loader faults,
+	// not findings).
+	Run func(pass *Pass) error
+	// Packages optionally restricts the analyzer to packages whose import
+	// path's last element is in the list. The driver applies the filter;
+	// analysistest ignores it so fixtures can use any package name.
+	Packages []string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report collects diagnostics; installed by the driver.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// appliesTo reports whether the analyzer's package filter admits path.
+func (a *Analyzer) appliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			base = path[i+1:]
+			break
+		}
+	}
+	for _, p := range a.Packages {
+		if p == base {
+			return true
+		}
+	}
+	return false
+}

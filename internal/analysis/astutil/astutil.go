@@ -1,0 +1,158 @@
+// Package astutil holds the small AST/type helpers the scilint analyzers
+// share: expression path rendering, leftmost-base resolution and the
+// freshly-constructed-local analysis behind every "this object has not
+// escaped yet" exemption.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BaseIdent returns the leftmost identifier of a selector/index/deref
+// chain (the x of x.a.b[i].c), or nil when the chain is rooted in a call
+// or literal.
+func BaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isFreshExpr reports whether e constructs a new object: a composite
+// literal, its address, or new(T).
+func isFreshExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if _, ok := x.X.(*ast.CompositeLit); ok {
+			return true
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// FreshLocals returns the local objects in body that only ever hold a
+// value constructed inside the function (composite literal, &literal or
+// new). Writes through such a local cannot race or mutate shared state —
+// the object has not escaped the constructor yet — so the mutation
+// analyzers exempt them. A local ever assigned anything else is tainted
+// and excluded.
+func FreshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	tainted := make(map[types.Object]bool)
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if rhs != nil && isFreshExpr(rhs) {
+			fresh[obj] = true
+		} else {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				note(id, rhs)
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				var rhs ast.Expr
+				if i < len(st.Values) {
+					rhs = st.Values[i]
+				}
+				if rhs == nil && len(st.Values) == 0 {
+					// var nb wire.NativeBatch — zero value, local storage.
+					fresh[info.Defs[id]] = true
+					continue
+				}
+				note(id, rhs)
+			}
+		}
+		return true
+	})
+	for obj := range tainted {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+// IsFreshBase reports whether the chain rooted at e is based on a fresh
+// local per FreshLocals.
+func IsFreshBase(info *types.Info, fresh map[types.Object]bool, e ast.Expr) bool {
+	id := BaseIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && fresh[obj]
+}
+
+// Named unwraps pointers and aliases down to the named type of t, or nil.
+func Named(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Alias:
+			t = types.Unalias(x)
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamed reports whether t (through pointers) is the named type
+// pkgSuffix.name, where pkgSuffix is matched against the end of the
+// defining package's path (so "internal/wire".NativeBatch matches both the
+// real module path and a test module's).
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	n := Named(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}

@@ -1,0 +1,153 @@
+// Package batchshare enforces the PR 7 native-batch sharing contract
+// (internal/wire/doc.go): a wire.NativeBatch attached to a Message is a
+// shared read-only pointer — the memory transport delivers it
+// pointer-identical, possibly to several receivers — so once a batch may
+// have escaped, its Events slice must be neither reassigned, appended to
+// nor mutated element-wise. Copy on escape, copy before mutate.
+//
+// The analyzer flags, outside the wire package itself (which owns the
+// codec and the sanctioned clone/materialize helpers):
+//
+//   - assignment to the Events or Credit field of a NativeBatch
+//   - assignment through the Events slice (nb.Events[i] = e,
+//     nb.Events[i].Seq = 7, ++/--, op-assign)
+//   - append whose first argument is a NativeBatch's Events slice
+//
+// A batch the function itself constructed (nb := &wire.NativeBatch{...},
+// new(wire.NativeBatch), or a zero-valued local) has not escaped yet and
+// is exempt — that exemption is exactly the sanctioned clone idiom: build
+// a fresh batch, then attach it. Anything subtler carries a
+// //lint:allow batchshare <reason> suppression.
+package batchshare
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/astutil"
+)
+
+// Analyzer is the batchshare pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchshare",
+	Doc:  "an escaped wire.NativeBatch is shared read-only: no field writes, element mutation or append outside the clone helpers",
+	Run:  run,
+}
+
+// batchField reports whether sel selects the Events or Credit field of a
+// wire.NativeBatch.
+func batchField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Events" && sel.Sel.Name != "Credit" {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return astutil.IsNamed(s.Recv(), "internal/wire", "NativeBatch")
+}
+
+// writesThroughBatch reports the innermost NativeBatch field selector an
+// assignment target writes through, or nil: nb.Events, nb.Events[i],
+// nb.Events[i].Seq, m.Batch.Credit all qualify.
+func writesThroughBatch(pass *analysis.Pass, lhs ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			if batchField(pass, x) {
+				return x
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/wire") {
+		return nil // the codec owns its batches; its contract is the doc + fuzz suite
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd.Body)
+			return false
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	fresh := astutil.FreshLocals(pass.TypesInfo, body)
+	exempt := func(e ast.Expr) bool { return astutil.IsFreshBase(pass.TypesInfo, fresh, e) }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if sel := writesThroughBatch(pass, lhs); sel != nil && !exempt(sel) {
+					pass.Reportf(lhs.Pos(), "write through %s.%s mutates a shared NativeBatch; copy before mutate (wire/doc.go)",
+						render(sel.X), sel.Sel.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := writesThroughBatch(pass, st.X); sel != nil && !exempt(sel) {
+				pass.Reportf(st.X.Pos(), "write through %s.%s mutates a shared NativeBatch; copy before mutate (wire/doc.go)",
+					render(sel.X), sel.Sel.Name)
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" && len(st.Args) > 0 {
+				if sel, ok := unparen(st.Args[0]).(*ast.SelectorExpr); ok && batchField(pass, sel) && !exempt(sel) {
+					pass.Reportf(st.Args[0].Pos(), "append to %s.%s may grow into a shared NativeBatch's backing array; copy on escape (wire/doc.go)",
+						render(sel.X), sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// render prints the receiver chain of a diagnostic compactly.
+func render(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return render(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return render(x.X)
+	case *ast.StarExpr:
+		return "*" + render(x.X)
+	case *ast.CallExpr:
+		return render(x.Fun) + "(...)"
+	default:
+		return "batch"
+	}
+}

@@ -1,0 +1,12 @@
+package batchshare_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/batchshare"
+)
+
+func TestBatchShare(t *testing.T) {
+	analysistest.Run(t, "testdata/batch", batchshare.Analyzer)
+}

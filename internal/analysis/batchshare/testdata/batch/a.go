@@ -1,0 +1,66 @@
+// Package batchfix is the batchshare fixture: mutating a NativeBatch that
+// may have escaped must diagnose; the fresh-clone idiom must not.
+package batchfix
+
+import (
+	"sci/internal/event"
+	"sci/internal/wire"
+)
+
+// stampRange rewrites events in place — the canonical violation: the batch
+// arrived on a Message and may be shared with other receivers.
+func stampRange(m wire.Message, e event.Event) {
+	m.Batch.Events[0] = e                      // want `write through m\.Batch\.Events mutates a shared NativeBatch`
+	m.Batch.Events[1].Seq = 7                  // want `write through m\.Batch\.Events mutates a shared NativeBatch`
+	m.Batch.Events[2].Seq++                    // want `write through m\.Batch\.Events mutates a shared NativeBatch`
+	m.Batch.Credit = nil                       // want `write through m\.Batch\.Credit mutates a shared NativeBatch`
+	m.Batch.Events = append(m.Batch.Events, e) // want `write through m\.Batch\.Events mutates a shared NativeBatch` `append to m\.Batch\.Events may grow into a shared NativeBatch`
+	_ = append(m.Batch.Events, e)              // want `append to m\.Batch\.Events may grow into a shared NativeBatch`
+}
+
+// reslice through a parameter batch is equally shared.
+func truncate(nb *wire.NativeBatch) {
+	nb.Events = nb.Events[:0] // want `write through nb\.Events mutates a shared NativeBatch`
+}
+
+// cloneAndFilter is the sanctioned copy-on-escape idiom: a freshly
+// constructed batch is private until attached, so building it is clean.
+func cloneAndFilter(m wire.Message, keep func(event.Event) bool) *wire.NativeBatch {
+	out := &wire.NativeBatch{Events: make([]event.Event, 0, len(m.Batch.Events))}
+	for _, e := range m.Batch.Events {
+		if keep(e) {
+			out.Events = append(out.Events, e)
+		}
+	}
+	out.Credit = m.Batch.Credit
+	return out
+}
+
+// zeroValueLocal is private local storage until it escapes.
+func zeroValueLocal(events []event.Event) wire.NativeBatch {
+	var nb wire.NativeBatch
+	nb.Events = events
+	return nb
+}
+
+// attach sets the Batch pointer itself — handing over a batch is the
+// contract, not a violation of it.
+func attach(m *wire.Message, nb *wire.NativeBatch) {
+	m.Batch = nb
+}
+
+// reads never diagnose.
+func reads(m wire.Message) int {
+	n := 0
+	for _, e := range m.Batch.Events {
+		n += int(e.Seq)
+	}
+	dst := make([]event.Event, len(m.Batch.Events))
+	copy(dst, m.Batch.Events)
+	return n
+}
+
+// suppressed documents a reviewed exception.
+func suppressed(nb *wire.NativeBatch) {
+	nb.Credit = nil //lint:allow batchshare single-owner batch never attached to a message
+}

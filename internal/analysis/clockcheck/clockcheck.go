@@ -1,0 +1,72 @@
+// Package clockcheck enforces the injected-clock invariant: the fabric's
+// core packages take time from an injected clock.Clock (internal/clock), so
+// tests and the simulation harness can drive timers deterministically.
+// Reading the system clock directly reintroduces wall-clock nondeterminism
+// — timer-dependent logic that cannot be unit-tested and drifts from the
+// simulated world.
+//
+// Within the core packages (eventbus, flow, rangesvc, scinet, wire,
+// transport, overlay) any use of time.Now, time.Since, time.Until,
+// time.Sleep, time.After, time.AfterFunc, time.Tick, time.NewTimer or
+// time.NewTicker outside _test.go files is a diagnostic. Code that
+// genuinely needs the wall clock (e.g. socket deadlines handed to the
+// kernel) carries a //lint:allow clockcheck <reason> suppression.
+package clockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sci/internal/analysis"
+)
+
+// banned maps the forbidden time package functions to the injected
+// replacement named in the diagnostic.
+var banned = map[string]string{
+	"Now":       "clock.Clock.Now",
+	"Since":     "clock.Clock.Now and Sub",
+	"Until":     "clock.Clock.Now and Sub",
+	"Sleep":     "clock.Clock.Sleep",
+	"After":     "clock.Clock.After",
+	"AfterFunc": "clock.Clock.AfterFunc",
+	"Tick":      "clock.Clock.After in a loop",
+	"NewTimer":  "clock.Clock.AfterFunc",
+	"NewTicker": "clock.Clock.AfterFunc",
+}
+
+// Analyzer is the clockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "clockcheck",
+	Doc:      "core packages must take time from the injected clock.Clock, never package time directly",
+	Packages: []string{"eventbus", "flow", "rangesvc", "scinet", "wire", "transport", "overlay"},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests may pin real time
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if repl, bad := banned[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(), "time.%s bypasses the injected clock; use %s (internal/clock)", sel.Sel.Name, repl)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/clockcheck"
+)
+
+func TestClockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/clock", clockcheck.Analyzer)
+}

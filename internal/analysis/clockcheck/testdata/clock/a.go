@@ -1,0 +1,57 @@
+// Package clockfix is the clockcheck fixture: raw time reads must
+// diagnose, injected-clock use and sanctioned suppressions must not.
+package clockfix
+
+import (
+	"time"
+
+	"sci/internal/clock"
+)
+
+type timed struct {
+	clk clock.Clock
+}
+
+func (t *timed) deadline(d time.Duration) time.Time {
+	return time.Now().Add(d) // want `time\.Now bypasses the injected clock`
+}
+
+func (t *timed) wait(d time.Duration) {
+	<-time.After(d) // want `time\.After bypasses the injected clock`
+}
+
+func (t *timed) nap(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep bypasses the injected clock`
+}
+
+func (t *timed) age(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since bypasses the injected clock`
+}
+
+func (t *timed) timer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want `time\.NewTimer bypasses the injected clock`
+}
+
+// asValue escapes as a function value, not a call — still a read of the
+// system clock.
+func (t *timed) asValue() func() time.Time {
+	return time.Now // want `time\.Now bypasses the injected clock`
+}
+
+// good takes every instant from the injected clock.
+func (t *timed) good(d time.Duration) time.Time {
+	t.clk.Sleep(d)
+	<-t.clk.After(d)
+	return t.clk.Now().Add(d)
+}
+
+// socketDeadline is the sanctioned wall-clock escape hatch: deadlines
+// handed to the kernel must be absolute wall time.
+func (t *timed) socketDeadline(d time.Duration) time.Time {
+	return time.Now().Add(d) //lint:allow clockcheck kernel socket deadlines are wall-clock absolute
+}
+
+// durations and zero values are not clock reads.
+func (t *timed) harmless() (time.Duration, time.Time) {
+	return 5 * time.Millisecond, time.Time{}
+}

@@ -1,0 +1,10 @@
+package clockfix
+
+import "time"
+
+// Test files are exempt: tests may pin real time for timeouts and
+// wall-clock assertions.
+func realTimeInTests() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

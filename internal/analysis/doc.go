@@ -1,0 +1,75 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// go/analysis driver pattern, plus the repository's invariant analyzers.
+// It exists because the invariants below are load-bearing for correctness
+// and cannot be expressed to go vet: they encode contracts between
+// packages (clock injection, batch sharing, lock discipline, metric-key
+// cardinality) that only hold if every call site cooperates.
+//
+// Run the suite with
+//
+//	go run ./cmd/scilint ./...
+//
+// or `make lint`. CI runs it as a required step and
+// internal/analysis.TestTreeIsLintClean enforces it under `go test ./...`
+// as well. Analyzer unit tests use internal/analysis/analysistest with
+// `// want "rx"` fixtures under each analyzer's testdata directory.
+//
+// # Enforced invariants
+//
+// clockcheck — core packages (eventbus, flow, rangesvc, scinet, wire,
+// transport, overlay) must route every time source through the injected
+// internal/clock.Clock: time.Now, time.Sleep, time.After, time.Tick,
+// time.NewTimer, time.NewTicker, time.Since, time.Until and time.AfterFunc
+// are banned outside _test.go files. Rationale: the simulation harness and
+// the deterministic tests drive these packages on a clock.Manual; one
+// stray wall-clock read silently decouples a timeout from the simulated
+// timeline (the FleetDispatchStats deadline bug fixed alongside this
+// analyzer). cmd/ and sim entrypoints, which own the real clock, are
+// exempt.
+//
+// batchshare — wire.NativeBatch rides the fan-out path by reference: one
+// decoded batch is shared by every local subscriber. Writing through
+// Events/Credit, mutating an element in place, or appending into the
+// Events slice outside internal/wire's sanctioned clone/materialize
+// helpers corrupts a neighbour's view (the copy-on-escape /
+// copy-before-mutate contract in wire/doc.go). The analyzer exempts
+// batches provably constructed fresh in the current function.
+//
+// guardedby — struct fields carrying a `// guarded by <mu>` comment may
+// only be accessed while that mutex is held, checked intra-procedurally:
+// Lock/RLock bring the named lock into the held set, Unlock/RUnlock drop
+// it (a deferred Unlock keeps it held to function end), branch bodies
+// cannot leak lock state outward, `go` closures start with nothing held,
+// and *Locked-suffixed methods assume their receiver's guards. Freshly
+// constructed, never-escaped locals are exempt. Rationale: the hot
+// structs in eventbus, flow, scinet and rangesvc interleave locked and
+// lock-free fields in one struct; the annotation makes the discipline
+// machine-checked instead of tribal.
+//
+// gaugekey — metrics.Registry keys (Counter/Gauge/FloatGauge/Histogram)
+// and StatsMap entries must be compile-time constants or flow through a
+// bounded top-K reducer (a function marked `//lint:bounded`, or listed in
+// gaugekey.BoundedHelpers). Rationale: gauge maps are exported on every
+// stats probe; an attacker-influenced or per-entity key (publisher GUIDs,
+// source names) makes the registry grow without bound — PR 6's shedding
+// work specifically bounds per-source gauges to a top-K.
+//
+// # Suppressions
+//
+// A deliberate exception is written as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line immediately above. The reason is
+// mandatory — a bare allow is itself a diagnostic — and an allow that no
+// longer suppresses anything is reported as unused so suppressions cannot
+// outlive the code they excused.
+//
+// # Writing a new analyzer
+//
+// Implement an *analysis.Analyzer whose Run inspects Pass.Files with
+// Pass.TypesInfo, report through Pass.Reportf, restrict it to the packages
+// whose contract it checks via Packages, add it to cmd/scilint and the
+// self-test, and give it positive and negative fixtures under
+// testdata/<dir> driven by analysistest.Run.
+package analysis

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+	used     bool
+}
+
+// parseAllows collects every //lint:allow directive in the package,
+// reporting malformed ones (an allow without a reason is itself a finding:
+// the reason is the audit trail that makes the escape hatch reviewable).
+func parseAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lint",
+						Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				out = append(out, &allowDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     fset.Position(c.Pos()).Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by an allow directive for the same
+// analyzer on the same line or the line directly above, then reports any
+// directive that suppressed nothing (stale hatches must not linger once
+// the code they excused is gone).
+func suppress(fset *token.FileSet, diags []Diagnostic, allows []*allowDirective) []Diagnostic {
+	byFileLine := make(map[string]map[int][]*allowDirective)
+	for _, a := range allows {
+		file := fset.Position(a.pos).Filename
+		if byFileLine[file] == nil {
+			byFileLine[file] = make(map[int][]*allowDirective)
+		}
+		byFileLine[file][a.line] = append(byFileLine[file][a.line], a)
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		matched := false
+		for _, line := range []int{p.Line, p.Line - 1} {
+			for _, a := range byFileLine[p.Filename][line] {
+				if a.analyzer == d.Analyzer {
+					a.used = true
+					matched = true
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		if !a.used {
+			kept = append(kept, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("unused suppression for %s (%s): nothing here trips that analyzer", a.analyzer, a.reason),
+			})
+		}
+	}
+	return kept
+}
+
+// RunPackage applies the analyzers to one loaded package, honouring
+// //lint:allow suppressions. When applyFilter is false the analyzers'
+// package filters are ignored (analysistest mode).
+func RunPackage(p *Package, analyzers []*Analyzer, applyFilter bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if applyFilter && !a.appliesTo(p.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.TypesInfo,
+			report:    collect,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, p.Path, err)
+		}
+	}
+	allows := parseAllows(p.Fset, p.Files, collect)
+	diags = suppress(p.Fset, diags, allows)
+	sortDiags(p.Fset, diags)
+	return diags, nil
+}
+
+// Run loads the packages matching patterns (relative to dir; "" = cwd) and
+// applies every analyzer, returning the surviving diagnostics sorted by
+// position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		fset = p.Fset
+		diags, err := RunPackage(p, analyzers, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, diags...)
+	}
+	if fset != nil {
+		sortDiags(fset, all)
+	}
+	return all, fset, nil
+}
+
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

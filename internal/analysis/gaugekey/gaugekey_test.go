@@ -1,0 +1,12 @@
+package gaugekey_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/gaugekey"
+)
+
+func TestGaugeKey(t *testing.T) {
+	analysistest.Run(t, "testdata/gauge", gaugekey.Analyzer)
+}

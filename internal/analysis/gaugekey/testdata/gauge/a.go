@@ -1,0 +1,83 @@
+// Package gaugefix is the gaugekey fixture.
+package gaugefix
+
+import (
+	"fmt"
+
+	"sci/internal/metrics"
+)
+
+const quotaKey = "quota.rejected"
+
+type src struct {
+	name string
+	n    uint64
+}
+
+// topSrc reduces the unbounded attribution map to its top entries plus an
+// "other" bucket.
+//
+//lint:bounded
+func topSrc(all map[string]uint64) []src {
+	out := make([]src, 0, 8)
+	for k, v := range all {
+		if len(out) < 8 {
+			out = append(out, src{name: k, n: v})
+		}
+	}
+	return out
+}
+
+// unboundedKeys mints a gauge per device: the canonical violation.
+func unboundedKeys(m *metrics.Registry, device string, n int) {
+	m.Gauge("per.device." + device).Set(int64(n))       // want `unbounded Gauge key`
+	m.Counter(fmt.Sprintf("dev.%s.seen", device)).Inc() // want `unbounded Counter key`
+}
+
+// constKeys are always fine.
+func constKeys(m *metrics.Registry) {
+	m.Gauge("eventbus.published").Set(1)
+	m.FloatGauge(quotaKey).Set(0.5)
+	m.Histogram("dispatch." + "latency").Record(1)
+}
+
+// boundedLoop derives keys inside a loop over a bounded reducer: at most
+// K+1 distinct keys can exist.
+func boundedLoop(m *metrics.Registry, all map[string]uint64) {
+	for _, e := range topSrc(all) {
+		key := "dropped.from.other"
+		if e.name != "" {
+			key = "dropped.from." + e.name
+		}
+		m.Gauge(key).Set(int64(e.n))
+	}
+}
+
+// rawLoop ranges over the raw unbounded map: still a violation.
+func rawLoop(m *metrics.Registry, all map[string]uint64) {
+	for k, v := range all {
+		m.Gauge("dropped.from." + k).Set(int64(v)) // want `unbounded Gauge key`
+	}
+}
+
+// StatsMap writes follow the same rules inside a StatsMap method.
+type rng struct{ all map[string]uint64 }
+
+func (r *rng) StatsMap() map[string]float64 {
+	out := map[string]float64{"published": 1}
+	out["delivered"] = 2
+	for _, e := range topSrc(r.all) {
+		out["dropped_from_"+e.name] = float64(e.n)
+	}
+	for k, v := range r.all {
+		out["dropped_from_"+k] = float64(v) // want `unbounded StatsMap key`
+	}
+	return out
+}
+
+// suppressed documents a contributor whose boundedness is contractual.
+func suppressed(m *metrics.Registry, external func() map[string]float64) {
+	for name, v := range external() {
+		m.FloatGauge(name).Set(v) //lint:allow gaugekey stats-source contributors are contractually bounded
+	}
+}

@@ -1,0 +1,392 @@
+// Package guardedby enforces "// guarded by <mu>" field annotations: a
+// struct field whose declaration carries that comment may only be read or
+// written while the named sibling mutex is held on the same receiver
+// chain. The check is intra-procedural and deliberately simple — it is a
+// convention enforcer, not a proof system.
+//
+// Semantics, in the order they matter:
+//
+//   - p.Lock() / p.RLock() adds the lock path p to the held set;
+//     p.Unlock() / p.RUnlock() removes it. defer p.Unlock() removes
+//     nothing: the lock is held until return.
+//   - An access x.f (f annotated "guarded by mu") requires "x.mu" in the
+//     held set, matched textually on the rendered receiver chain.
+//   - Branch bodies (if/else, for, range, switch, select cases) are
+//     analyzed with a copy of the held set; lock-state changes inside a
+//     branch do not leak out. Straight-line code propagates normally.
+//   - A function whose name ends in "Locked" is assumed to be called with
+//     every annotated guard of its receiver held — the repository's
+//     existing naming convention for lock-requiring helpers.
+//   - Objects freshly constructed in the function (x := &T{...}, new(T),
+//     zero-valued var) are exempt: they have not escaped yet.
+//   - A go statement's function literal starts with an empty held set (it
+//     runs concurrently); other function literals are likewise analyzed
+//     conservatively with an empty set, except deferred literals, which
+//     inherit a copy of the current set (the defer-after-lock cleanup
+//     idiom).
+//
+// RLock is treated as Lock (the read/write distinction is not modeled),
+// and aliasing through intermediate variables is not tracked. Code the
+// approximation cannot follow carries //lint:allow guardedby <reason>.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/astutil"
+)
+
+// Analyzer is the guardedby pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated // guarded by <mu> must only be accessed with that mutex held",
+	Run:  run,
+}
+
+var guardRx = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// annotations maps a struct type's fields to their guard field names.
+type annotations map[*types.TypeName]map[string]string
+
+// collect finds every "guarded by <mu>" field annotation in the package.
+func collect(pass *analysis.Pass) annotations {
+	ann := make(annotations)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if obj == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardOf(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if ann[obj] == nil {
+						ann[obj] = make(map[string]string)
+					}
+					ann[obj][name.Name] = guard
+				}
+			}
+			return true
+		})
+	}
+	return ann
+}
+
+func guardOf(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRx.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	ann   annotations
+	fresh map[types.Object]bool
+}
+
+func run(pass *analysis.Pass) error {
+	ann := collect(pass)
+	if len(ann) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, ann: ann, fresh: astutil.FreshLocals(pass.TypesInfo, fd.Body)}
+			held := make(lockSet)
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				c.assumeReceiverLocks(fd, held)
+			}
+			c.stmts(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// assumeReceiverLocks seeds held with every guard of the receiver's
+// annotated fields, honouring the *Locked naming convention.
+func (c *checker) assumeReceiverLocks(fd *ast.FuncDecl, held lockSet) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	obj := c.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return
+	}
+	named := astutil.Named(obj.Type())
+	if named == nil {
+		return
+	}
+	if guards, ok := c.ann[named.Obj()]; ok {
+		for _, g := range guards {
+			held[recvName+"."+g] = true
+		}
+	}
+}
+
+// stmts walks straight-line statements, threading lock-state through.
+func (c *checker) stmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, held lockSet) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if c.lockCall(st.X, held) {
+			return
+		}
+		c.expr(st.X, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.expr(st.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			c.expr(e, held)
+		}
+	case *ast.IfStmt:
+		c.stmt(st.Init, held)
+		c.expr(st.Cond, held)
+		c.stmts(st.Body.List, held.clone())
+		if st.Else != nil {
+			c.stmt(st.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		c.stmt(st.Init, held)
+		if st.Cond != nil {
+			c.expr(st.Cond, held)
+		}
+		body := held.clone()
+		c.stmts(st.Body.List, body)
+		if st.Post != nil {
+			c.stmt(st.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.expr(st.X, held)
+		c.stmts(st.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		c.stmt(st.Init, held)
+		if st.Tag != nil {
+			c.expr(st.Tag, held)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				h := held.clone()
+				for _, e := range clause.List {
+					c.expr(e, h)
+				}
+				c.stmts(clause.Body, h)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(st.Init, held)
+		c.stmt(st.Assign, held)
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(clause.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				h := held.clone()
+				c.stmt(clause.Comm, h)
+				c.stmts(clause.Body, h)
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt, held)
+	case *ast.DeferStmt:
+		c.deferred(st.Call, held)
+	case *ast.GoStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range st.Call.Args {
+				c.expr(a, held)
+			}
+			c.stmts(lit.Body.List, make(lockSet)) // new goroutine: nothing held
+		} else {
+			c.expr(st.Call, held)
+		}
+	case *ast.SendStmt:
+		c.expr(st.Chan, held)
+		c.expr(st.Value, held)
+	}
+}
+
+// deferred handles defer statements: deferred unlocks are ignored (the
+// lock stays held to return), deferred closures inherit a copy of the
+// current set (the defer-after-lock cleanup idiom).
+func (c *checker) deferred(call *ast.CallExpr, held lockSet) {
+	if p, _, isLockOp := lockPath(call); isLockOp && p != "" {
+		return // defer p.Unlock(): held until return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			c.expr(a, held)
+		}
+		c.stmts(lit.Body.List, held.clone())
+		return
+	}
+	c.expr(call, held)
+}
+
+// lockPath decodes a mutex method call: the rendered lock path, whether it
+// acquires (vs releases), and whether it is a lock operation at all.
+func lockPath(call *ast.CallExpr) (path string, acquires, isLockOp bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return renderExpr(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return renderExpr(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// lockCall applies a top-level mutex call's effect on held; reports
+// whether e was one.
+func (c *checker) lockCall(e ast.Expr, held lockSet) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	p, acquires, isLockOp := lockPath(call)
+	if !isLockOp || p == "" {
+		return false
+	}
+	if acquires {
+		held[p] = true
+	} else {
+		delete(held, p)
+	}
+	return true
+}
+
+// expr checks every guarded-field access inside e against held.
+func (c *checker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Callback: runs who-knows-where; assume nothing held.
+			c.stmts(x.Body.List, make(lockSet))
+			return false
+		case *ast.SelectorExpr:
+			c.access(x, held)
+		}
+		return true
+	})
+}
+
+// access validates one selector against the annotations.
+func (c *checker) access(sel *ast.SelectorExpr, held lockSet) {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	named := astutil.Named(s.Recv())
+	if named == nil {
+		return
+	}
+	guards, ok := c.ann[named.Obj()]
+	if !ok {
+		return
+	}
+	guard, ok := guards[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	if astutil.IsFreshBase(c.pass.TypesInfo, c.fresh, sel) {
+		return // not escaped yet
+	}
+	base := renderExpr(sel.X)
+	if held[base+"."+guard] {
+		return
+	}
+	c.pass.Reportf(sel.Pos(), "%s.%s is guarded by %s.%s, which is not held here", base, sel.Sel.Name, base, guard)
+}
+
+// renderExpr prints a receiver chain the way lock paths are matched:
+// identifiers, selectors and derefs; anything else renders opaquely.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	case *ast.StarExpr:
+		return renderExpr(x.X)
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[i]"
+	case *ast.CallExpr:
+		return renderExpr(x.Fun) + "()"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata/guarded", guardedby.Analyzer)
+}

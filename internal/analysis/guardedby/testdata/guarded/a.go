@@ -1,0 +1,118 @@
+// Package guardfix is the guardedby fixture.
+package guardfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	// queue is the pending backlog.
+	// guarded by mu
+	queue []int
+
+	statsMu sync.RWMutex
+	stats   map[string]int // guarded by statsMu
+
+	unguarded int
+}
+
+// bare access without the lock: the canonical violation.
+func (c *counter) bad() int {
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}
+
+func (c *counter) badWrite(v int) {
+	c.queue = append(c.queue, v) // want `c\.queue is guarded by c\.mu` `c\.queue is guarded by c\.mu`
+}
+
+// the wrong mutex does not satisfy the annotation.
+func (c *counter) wrongLock() int {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}
+
+// released too early: after Unlock the guard no longer covers the access.
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `c\.n is guarded by c\.mu, which is not held here`
+}
+
+// good: classic lock/defer-unlock.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// good: RLock counts, and an early-return unlock inside a branch does not
+// poison the straight-line path.
+func (c *counter) read(key string) int {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	if v, ok := c.stats[key]; ok {
+		return v
+	}
+	return c.stats[""]
+}
+
+func (c *counter) earlyReturn(v int) bool {
+	c.mu.Lock()
+	if v < 0 {
+		c.mu.Unlock()
+		return false
+	}
+	c.n = v
+	c.mu.Unlock()
+	return true
+}
+
+// good: the *Locked suffix convention assumes the receiver's guards held.
+func (c *counter) bumpLocked(v int) {
+	c.n += v
+	c.queue = append(c.queue, v)
+}
+
+// good: a goroutine must take the lock itself.
+func (c *counter) async(v int) {
+	go func() {
+		c.mu.Lock()
+		c.n = v
+		c.mu.Unlock()
+	}()
+}
+
+// a goroutine that skips the lock is a violation even if the spawner held it.
+func (c *counter) asyncBad(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n = v // want `c\.n is guarded by c\.mu, which is not held here`
+	}()
+}
+
+// good: freshly constructed, not escaped yet.
+func newCounter(v int) *counter {
+	c := &counter{unguarded: v}
+	c.n = v
+	c.queue = []int{v}
+	return c
+}
+
+// good: deferred cleanup closures inherit the held set.
+func (c *counter) deferredCleanup() {
+	c.mu.Lock()
+	defer func() {
+		c.queue = nil
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// suppressed: a reviewed exception the heuristic cannot follow.
+func (c *counter) snapshotDuringInit() int {
+	return c.n //lint:allow guardedby init-time read before the object is published
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs one `go list -export -deps -json` invocation and decodes the
+// JSON stream. CGO is disabled so every listed package has a pure-Go build
+// (and therefore export data) on machines without a C toolchain.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,ImportMap,Standard,DepOnly,Module,Error",
+	}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export data `go list -export`
+// reported, through one shared gc importer whose lookup serves the files.
+type exportImporter struct {
+	exports   map[string]string // import path -> export file
+	importMap map[string]string // per-package source path -> resolved path
+	gc        types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := ei.exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := ei.importMap[path]; ok {
+		path = mapped
+	}
+	return ei.gc.Import(path)
+}
+
+// newInfo returns a types.Info with every map analyzers consume populated.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckFiles type-checks parsed files as one package using export data for
+// its imports. Shared by the driver and analysistest.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp *exportImporter) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Load resolves patterns with the go tool, parses every matched package and
+// type-checks it against the toolchain's export data. It never compiles
+// dependencies itself — `go list -export` does, through the ordinary build
+// cache — so a tree that builds is a tree that loads.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		imp := newExportImporter(fset, exports)
+		imp.importMap = p.ImportMap
+		pkg, info, err := CheckFiles(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info})
+	}
+	return out, nil
+}
+
+// LoadFixture parses and type-checks one directory of fixture files as a
+// standalone package (import path = directory base name). Imports resolve
+// against the enclosing module, so fixtures may use the real sci/internal
+// packages. Used by analysistest.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, im := range f.Imports {
+			if p, err := strconv.Unquote(im.Path.Value); err == nil && p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		args := make([]string, 0, len(importSet))
+		for p := range importSet {
+			args = append(args, p)
+		}
+		listed, err := goList(dir, args)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			if p.Error != nil {
+				return nil, fmt.Errorf("fixture import %s: %s", p.ImportPath, p.Error.Err)
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	path := filepath.Base(dir)
+	pkg, info, err := CheckFiles(fset, path, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}

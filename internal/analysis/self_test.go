@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/batchshare"
+	"sci/internal/analysis/clockcheck"
+	"sci/internal/analysis/gaugekey"
+	"sci/internal/analysis/guardedby"
+)
+
+// TestTreeIsLintClean runs the full analyzer suite over the repository the
+// same way CI's scilint step does and fails on any diagnostic, so the
+// invariants are enforced by `go test ./...` as well as by the dedicated CI
+// step. New violations (or stale //lint:allow suppressions) break this test.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	analyzers := []*analysis.Analyzer{
+		clockcheck.Analyzer,
+		batchshare.Analyzer,
+		guardedby.Analyzer,
+		gaugekey.Analyzer,
+	}
+	diags, fset, err := analysis.Run("../..", []string{"./..."}, analyzers)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		t.Errorf("%s:%d:%d: %s (%s)", p.Filename, p.Line, p.Column, d.Message, d.Analyzer)
+	}
+}

@@ -146,8 +146,8 @@ const maxDropSources = 4096
 // of the residual (wildcard) list, with its own dispatch counters.
 type shard struct {
 	mu       sync.RWMutex
-	exact    map[ctxtype.Type][]*Subscription
-	residual []*Subscription
+	exact    map[ctxtype.Type][]*Subscription // guarded by mu
+	residual []*Subscription                  // guarded by mu
 
 	// nresidual mirrors len(residual) so publishes can skip empty stripes
 	// without taking the lock — with many stripes and few wildcard
@@ -342,13 +342,13 @@ type Subscription struct {
 	matchAll bool
 
 	mu     sync.Mutex
-	queue  []entry // ring of entries; capacity bounds total queued *events*
-	head   int
-	count  int // entries in the ring
-	events int // events across those entries
+	queue  []entry // guarded by mu; ring of entries; capacity bounds total queued *events*
+	head   int     // guarded by mu
+	count  int     // guarded by mu; entries in the ring
+	events int     // guarded by mu; events across those entries
 	policy DropPolicy
 	wake   chan struct{}
-	closed bool
+	closed bool // guarded by mu
 
 	oneShot bool
 	fired   atomic.Bool
@@ -363,6 +363,7 @@ func WithQueueLen(n int) SubOption {
 		if n < 1 {
 			n = 1
 		}
+		//lint:allow guardedby options run at Subscribe time, before the subscription is indexed
 		s.queue = make([]entry, n)
 	}
 }

@@ -102,7 +102,7 @@ func (c *Coalescer) addFairN(app func(), n int) {
 		c.mu.Unlock()
 		return
 	}
-	c.observe(n, c.cfg.Clock.Now())
+	c.observeLocked(n, c.cfg.Clock.Now())
 	app()
 	full := false
 	if c.penalty > 1 {

@@ -198,25 +198,24 @@ type Coalescer struct {
 	sendMu sync.Mutex
 
 	mu      sync.Mutex
-	pending []event.Event
-	timer   clock.Timer // armed while a partial batch waits for the delay
-	dead    bool
+	pending []event.Event // guarded by mu
+	timer   clock.Timer   // guarded by mu; armed while a partial batch waits for the delay
+	dead    bool          // guarded by mu
 
-	// Weighted-fair state (guarded by mu; replaces pending when
-	// cfg.Fair.Enabled).
-	subs  map[guid.GUID]*subQueue
-	ring  []guid.GUID // backlogged sources in DRR order
-	total int         // events across all sub-queues
+	// Weighted-fair state (replaces pending when cfg.Fair.Enabled).
+	subs  map[guid.GUID]*subQueue // guarded by mu
+	ring  []guid.GUID             // guarded by mu; backlogged sources in DRR order
+	total int                     // guarded by mu; events across all sub-queues
 
-	// Adaptive state (guarded by mu).
-	rt       *RateTracker
-	eff      int           // current effective batch size
-	effDelay time.Duration // current effective flush delay
+	// Adaptive state.
+	rt       *RateTracker  // guarded by mu
+	eff      int           // guarded by mu; current effective batch size
+	effDelay time.Duration // guarded by mu; current effective flush delay
 
-	// Backpressure state (guarded by mu).
-	penalty     float64 // flush-rate penalty; 1 = none
-	lastDropped uint64  // last cumulative receiver drop report
-	creditSeen  bool    // a credit report has established the baseline
+	// Backpressure state.
+	penalty     float64 // guarded by mu; flush-rate penalty; 1 = none
+	lastDropped uint64  // guarded by mu; last cumulative receiver drop report
+	creditSeen  bool    // guarded by mu; a credit report has established the baseline
 }
 
 // New builds a Coalescer. MaxBatch below 1 is raised to 1; adaptive floors
@@ -260,9 +259,9 @@ func New(cfg Config) *Coalescer {
 	return c
 }
 
-// observe folds n arrivals at now into the EWMA rate and recomputes the
-// effective bounds. Called under mu.
-func (c *Coalescer) observe(n int, now time.Time) {
+// observeLocked folds n arrivals at now into the EWMA rate and recomputes
+// the effective bounds. Called under mu.
+func (c *Coalescer) observeLocked(n int, now time.Time) {
 	if !c.cfg.Adaptive.Enabled {
 		return
 	}
@@ -302,6 +301,7 @@ func (c *Coalescer) Add(e event.Event) {
 		c.addFairN(func() { c.enqueueFairLocked(e) }, 1)
 		return
 	}
+	//lint:allow guardedby the append closure runs under mu inside addN
 	c.addN(func() { c.pending = append(c.pending, e) }, 1)
 }
 
@@ -316,6 +316,7 @@ func (c *Coalescer) AddAll(events []event.Event) {
 		c.addFairN(func() { c.enqueueFairRunsLocked(events) }, len(events))
 		return
 	}
+	//lint:allow guardedby the append closure runs under mu inside addN
 	c.addN(func() { c.pending = append(c.pending, events...) }, len(events))
 }
 
@@ -325,7 +326,7 @@ func (c *Coalescer) addN(app func(), n int) {
 		c.mu.Unlock()
 		return
 	}
-	c.observe(n, c.cfg.Clock.Now())
+	c.observeLocked(n, c.cfg.Clock.Now())
 	app()
 	full := false
 	if c.penalty > 1 {

@@ -238,7 +238,7 @@ func (n *Node) Join(bootstrap guid.GUID) error {
 		n.st.consider(reply.Src)
 		n.announce()
 		return nil
-	case <-time.After(joinTimeout):
+	case <-n.clk.After(joinTimeout):
 		return ErrJoinTimeout
 	}
 }
@@ -272,7 +272,7 @@ func (n *Node) announce() {
 			corrs = corrs[:len(corrs)-1]
 		}
 	}
-	deadline := time.After(joinTimeout)
+	deadline := n.clk.After(joinTimeout)
 	for range corrs {
 		select {
 		case <-waitCh:

@@ -130,12 +130,12 @@ type Host struct {
 	ackWindow time.Duration
 
 	mu          sync.Mutex
-	remotes     map[guid.GUID]*remoteProxy       // remote CE/CAA → proxy
-	out         map[guid.GUID]*flow.Coalescer    // remote endpoint → outbound coalescer
-	acks        map[guid.GUID]*flow.AckCoalescer // publishing endpoint → coalesced ack owed
-	creditAware guid.Set                         // endpoints that have sent us credit (decode piggybacks)
-	failing     guid.Set                         // endpoints whose last send failed (transition logging)
-	closed      bool
+	remotes     map[guid.GUID]*remoteProxy       // guarded by mu; remote CE/CAA → proxy
+	out         map[guid.GUID]*flow.Coalescer    // guarded by mu; remote endpoint → outbound coalescer
+	acks        map[guid.GUID]*flow.AckCoalescer // guarded by mu; publishing endpoint → coalesced ack owed
+	creditAware guid.Set                         // guarded by mu; endpoints that have sent us credit (decode piggybacks)
+	failing     guid.Set                         // guarded by mu; endpoints whose last send failed (transition logging)
+	closed      bool                             // guarded by mu
 
 	// AcksSent counts standalone event.batch_ack frames shipped;
 	// AcksPiggybacked counts credit reports that rode an outbound
@@ -775,23 +775,23 @@ type Connector struct {
 	clk  clock.Clock
 
 	mu        sync.Mutex
-	server    guid.GUID
-	lease     time.Duration
+	server    guid.GUID     // guarded by mu
+	lease     time.Duration // guarded by mu
 	announced chan announceBody
-	waiters   map[guid.GUID]chan wire.Message
+	waiters   map[guid.GUID]chan wire.Message // guarded by mu
 	onEvent   func(event.Event)
 	onBatch   func([]event.Event)
-	dq        []event.Event // bounded delivery queue (onEvent/onBatch != nil)
-	dqCap     int
+	dq        []event.Event // guarded by mu; bounded delivery queue (onEvent/onBatch != nil)
+	dqCap     int           // guarded by mu
 	dqWake    chan struct{}
-	dqDropped uint64            // cumulative overflow drops, reported in acks
-	dqRate    *flow.RateTracker // non-nil: adaptive queue sizing
-	dqMin     int
-	dqMax     int
-	credit    wire.BatchCredit
-	hasCredit bool
-	hbTimer   clock.Timer
-	closed    bool
+	dqDropped uint64            // guarded by mu; cumulative overflow drops, reported in acks
+	dqRate    *flow.RateTracker // guarded by mu; non-nil: adaptive queue sizing
+	dqMin     int               // guarded by mu
+	dqMax     int               // guarded by mu
+	credit    wire.BatchCredit  // guarded by mu
+	hasCredit bool              // guarded by mu
+	hbTimer   clock.Timer       // guarded by mu
+	closed    bool              // guarded by mu
 
 	// Coalesced ack state, one flow.AckCoalescer per delivering endpoint
 	// (acks answer the sender of the batch they cover).
@@ -1096,7 +1096,7 @@ func (c *Connector) AwaitAnnounce(timeout time.Duration) (rangeID, serverID guid
 	select {
 	case a := <-c.announced:
 		return a.Range, a.Server, nil
-	case <-time.After(timeout):
+	case <-c.clk.After(timeout):
 		return guid.Nil, guid.Nil, ErrTimeout
 	}
 }
@@ -1336,7 +1336,7 @@ func (c *Connector) roundTrip(m wire.Message) (wire.Message, error) {
 	select {
 	case reply := <-ch:
 		return reply, nil
-	case <-time.After(RequestTimeout):
+	case <-c.clk.After(RequestTimeout):
 		return wire.Message{}, ErrTimeout
 	}
 }

@@ -1,0 +1,83 @@
+package scinet
+
+import (
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+	"sci/internal/overlay"
+	"sci/internal/server"
+	"sci/internal/transport"
+)
+
+// TestFleetDispatchStatsDeadlineUsesInjectedClock pins the routed-stats
+// probe deadline to the fabric's injected clock. A mute overlay node (no
+// Deliver handler) joins the SCINET so the fabric probes it and never
+// hears back; the probe must wait out the timeout on the *manual* clock —
+// real time passing alone may not expire it, and advancing the manual
+// clock must. This is the regression test for the former time.Now()-based
+// deadline in FleetDispatchStats.
+func TestFleetDispatchStatsDeadlineUsesInjectedClock(t *testing.T) {
+	clk := clock.NewManual(epoch)
+	net := transport.NewMemory(transport.MemoryConfig{Clock: clk})
+	rng := server.New(server.Config{Name: "solo", Clock: clk, Coverage: "campus"})
+	defer rng.Close()
+
+	f, err := NewFabric(rng, net, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	mute, err := overlay.NewNode(overlay.Config{Network: net, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	if err := mute.Join(f.NodeID()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		for _, id := range f.node.Known() {
+			if id == mute.ID() {
+				return true
+			}
+		}
+		return false
+	})
+
+	const timeout = 3 * time.Second
+	base := clk.PendingCount()
+	done := make(chan *FleetStats, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		fs, err := f.FleetDispatchStats(timeout)
+		errCh <- err
+		done <- fs
+	}()
+
+	// The probe's deadline timer must land on the manual clock.
+	waitFor(t, func() bool { return clk.PendingCount() > base })
+
+	// With the manual clock standing still, real time cannot expire the
+	// probe.
+	select {
+	case <-done:
+		t.Fatal("FleetDispatchStats returned before the injected clock advanced")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	clk.Advance(timeout)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := <-done
+		if fs.Ranges != 1 {
+			t.Fatalf("Ranges = %d, want 1 (mute peer must be left out)", fs.Ranges)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FleetDispatchStats did not return after advancing the injected clock")
+	}
+}

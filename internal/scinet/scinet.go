@@ -302,26 +302,26 @@ type Fabric struct {
 	ackWindow time.Duration
 
 	mu        sync.Mutex
-	coverage  map[guid.GUID]coverageMsg // fabric node → its coverage
-	waiters   map[guid.GUID]chan queryResultMsg
-	consumers map[guid.GUID]*outQuery          // queryID → origin-side consumer
-	served    map[guid.GUID]*servedQuery       // queryID → serving-side record
-	ownerRefs map[guid.GUID]int                // remote owner → live served queries
-	interests map[guid.GUID][]event.Filter     // fabric node → its announced interests
-	local     []localInterest                  // this fabric's own interests, refcounted
-	taps      map[ctxtype.Type]guid.GUID       // mediator taps by tap type (Wildcard key = residual tap)
-	queues    map[queueKey]*flow.Coalescer     // outbound coalescers, routed-query traffic
-	fan       *flow.Coalescer                  // outbound coalescer, fan-out traffic
-	peerDrops map[guid.GUID]uint64             // last combined (drops+downstream) report per peer (fan-out acks)
-	downObs   map[guid.GUID]uint64             // downstream accounts: observing fabric → max cumulative drops seen
-	facks     map[guid.GUID]*flow.AckCoalescer // coalesced fan-path ack owed per peer
-	qacks     map[guid.GUID]*flow.AckCoalescer // coalesced routed-query ack owed per peer
-	relays    map[guid.GUID]*relayQueue        // bounded relay backlog per throttled peer
-	statsWait map[guid.GUID]chan statsResultMsg
-	seen      guid.Set    // recently ingested batch ids (duplicate window)
-	seenRing  []guid.GUID // eviction order for seen, bounded at seenWindow
-	seenPos   int
-	closed    bool
+	coverage  map[guid.GUID]coverageMsg         // guarded by mu; fabric node → its coverage
+	waiters   map[guid.GUID]chan queryResultMsg // guarded by mu
+	consumers map[guid.GUID]*outQuery           // guarded by mu; queryID → origin-side consumer
+	served    map[guid.GUID]*servedQuery        // guarded by mu; queryID → serving-side record
+	ownerRefs map[guid.GUID]int                 // guarded by mu; remote owner → live served queries
+	interests map[guid.GUID][]event.Filter      // guarded by mu; fabric node → its announced interests
+	local     []localInterest                   // guarded by mu; this fabric's own interests, refcounted
+	taps      map[ctxtype.Type]guid.GUID        // guarded by mu; mediator taps by tap type (Wildcard key = residual tap)
+	queues    map[queueKey]*flow.Coalescer      // guarded by mu; outbound coalescers, routed-query traffic
+	fan       *flow.Coalescer                   // outbound coalescer, fan-out traffic
+	peerDrops map[guid.GUID]uint64              // guarded by mu; last combined (drops+downstream) report per peer (fan-out acks)
+	downObs   map[guid.GUID]uint64              // guarded by mu; downstream accounts: observing fabric → max cumulative drops seen
+	facks     map[guid.GUID]*flow.AckCoalescer  // guarded by mu; coalesced fan-path ack owed per peer
+	qacks     map[guid.GUID]*flow.AckCoalescer  // guarded by mu; coalesced routed-query ack owed per peer
+	relays    map[guid.GUID]*relayQueue         // guarded by mu; bounded relay backlog per throttled peer
+	statsWait map[guid.GUID]chan statsResultMsg // guarded by mu
+	seen      guid.Set                          // guarded by mu; recently ingested batch ids (duplicate window)
+	seenRing  []guid.GUID                       // guarded by mu; eviction order for seen, bounded at seenWindow
+	seenPos   int                               // guarded by mu
+	closed    bool                              // guarded by mu
 
 	// interestSnap is the lock-free copy-on-write view of interests that
 	// fanOut and relay match against; rebuilt under mu whenever the live
@@ -565,7 +565,7 @@ func (f *Fabric) Submit(q query.Query, owner *entity.CAA) (*Result, error) {
 			Configuration: res.Configuration,
 			Provider:      res.Provider,
 		}, nil
-	case <-time.After(RequestTimeout):
+	case <-f.clk.After(RequestTimeout):
 		// The consumer entry must not outlive the failed round trip: an
 		// abandoned entry would leak and keep routing stray events to an
 		// application that was told its query failed. The serving side may
@@ -1945,12 +1945,12 @@ func (f *Fabric) FleetDispatchStats(timeout time.Duration) (*FleetStats, error) 
 	}
 	add(f.node.ID(), f.rng.Name(), f.rng.StatsMap())
 
-	deadline := time.Now().Add(timeout)
+	deadline := f.clk.Now().Add(timeout)
 	for _, p := range probes {
 		select {
 		case res := <-p.ch:
 			add(p.peer, res.Name, res.Stats)
-		case <-time.After(time.Until(deadline)):
+		case <-f.clk.After(deadline.Sub(f.clk.Now())):
 		}
 		f.mu.Lock()
 		delete(f.statsWait, p.corr)

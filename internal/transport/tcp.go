@@ -357,6 +357,7 @@ func (ep *tcpEndpoint) connTo(dst guid.GUID) (*tcpConn, error) {
 				_ = raw.Close()
 				return nil, fmt.Errorf("transport: hello to %s: %w", dst.Short(), err)
 			}
+			//lint:allow clockcheck kernel socket deadlines are absolute wall-clock instants
 			_ = raw.SetReadDeadline(time.Now().Add(helloTimeout))
 			dec := wire.NewDecoder(raw)
 			if m, err := dec.Read(); err == nil && m.Kind == wire.KindCodecHello {
