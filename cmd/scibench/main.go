@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,19 +18,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e14 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e16 or all")
 	big := flag.Bool("big", false, "larger parameter sweeps (slower)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	codec := flag.String("codec", "native",
 		"wire path for e11: native (zero-copy batches) or json (legacy baseline)")
+	jsonPath := flag.String("json", "", "write e16 rows and verdict to this file as JSON")
 	flag.Parse()
-	if err := run(*exp, *big, *seed, *codec); err != nil {
+	if err := run(*exp, *codec, *jsonPath, *big, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "scibench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, big bool, seed int64, codec string) error {
+func run(exp, codec, jsonPath string, big bool, seed int64) error {
 	var wireCodec wire.Codec
 	switch codec {
 	case "native", "binary", "":
@@ -159,6 +161,34 @@ func run(exp string, big bool, seed int64, codec string) error {
 			return err
 		}
 		fmt.Println(sim.E14Table(res))
+	}
+	if all || exp == "e16" {
+		rows, err := sim.RunE16(sizes([]int{32, 64, 128}, []int{32, 64, 128, 256}), 100)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sim.E16Table(rows))
+		checkErr := sim.E16Check(rows)
+		if jsonPath != "" {
+			verdict := "pass"
+			if checkErr != nil {
+				verdict = checkErr.Error()
+			}
+			artifact := struct {
+				Rows  []sim.E16Row `json:"rows"`
+				Check string       `json:"check"`
+			}{rows, verdict}
+			blob, err := json.MarshalIndent(artifact, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if checkErr != nil {
+			return checkErr
+		}
 	}
 	return nil
 }

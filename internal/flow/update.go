@@ -1,0 +1,122 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"sci/internal/clock"
+)
+
+// UpdateConfig parameterises an UpdateCoalescer. Clock, Window and Send are
+// required.
+type UpdateConfig struct {
+	// Clock schedules the deferred-update timers (injected for tests).
+	Clock clock.Clock
+	// Window is the minimum spacing between updates to one peer.
+	Window time.Duration
+	// Send ships one update and reports success. Called outside the
+	// coalescer's lock; the callback reads the live state itself, so an
+	// update is never staler than its send instant. On failure the
+	// coalescer re-touches itself, so the window timer retries instead of
+	// silently losing the change.
+	Send func() bool
+}
+
+// UpdateCoalescer rate-limits state-summary announcements toward one peer —
+// the send-side sibling of the AckCoalescer's leading/cumulative state
+// machine, used by the fabric hierarchy's digest announcements: interest
+// churn from mobility must not re-announce a subtree summary per change.
+//
+//   - the first announcement after quiet leaves immediately (the leading
+//     edge, so a fresh interest reaches the hierarchy at interactive
+//     latency);
+//   - further changes within Window coalesce into one deferred
+//     announcement carrying the then-current state — the summary is
+//     whole-state (like a cumulative credit figure), so every suppressed
+//     intermediate is subsumed by the one that leaves;
+//   - a change landing after the window re-opens ships immediately again.
+//
+// Construct with NewUpdateCoalescer; safe for concurrent use.
+type UpdateCoalescer struct {
+	cfg UpdateConfig
+
+	mu      sync.Mutex
+	pending bool
+	timer   clock.Timer
+	last    time.Time // when the last update left
+	stopped bool
+}
+
+// NewUpdateCoalescer builds an UpdateCoalescer.
+func NewUpdateCoalescer(cfg UpdateConfig) *UpdateCoalescer {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	return &UpdateCoalescer{cfg: cfg}
+}
+
+// Touch records that the announced state changed and an update is now owed,
+// shipping or deferring it per the contract above.
+func (u *UpdateCoalescer) Touch() {
+	u.mu.Lock()
+	if u.stopped {
+		u.mu.Unlock()
+		return
+	}
+	u.pending = true
+	now := u.cfg.Clock.Now()
+	var due time.Duration
+	if !u.last.IsZero() {
+		due = u.cfg.Window - now.Sub(u.last)
+	}
+	if due <= 0 {
+		u.mu.Unlock()
+		u.Flush()
+		return
+	}
+	if u.timer == nil {
+		u.timer = u.cfg.Clock.AfterFunc(due, u.Flush)
+	}
+	u.mu.Unlock()
+}
+
+// Flush ships the pending update (the timer path, and Touch's immediate
+// path). A no-op when nothing is pending; a failed send re-touches so the
+// window timer retries (takeLocked just refreshed `last`, so the retry
+// defers rather than looping).
+func (u *UpdateCoalescer) Flush() {
+	u.mu.Lock()
+	ok := u.takeLocked()
+	u.mu.Unlock()
+	if ok && !u.cfg.Send() {
+		u.Touch()
+	}
+}
+
+// takeLocked resets the coalescing state for an update that is about to
+// leave. Callers hold u.mu.
+func (u *UpdateCoalescer) takeLocked() bool {
+	if !u.pending || u.stopped {
+		return false
+	}
+	u.pending = false
+	u.last = u.cfg.Clock.Now()
+	if u.timer != nil {
+		u.timer.Stop()
+		u.timer = nil
+	}
+	return true
+}
+
+// Stop disarms the timer and refuses further updates (peer departed or
+// owner closing).
+func (u *UpdateCoalescer) Stop() {
+	u.mu.Lock()
+	u.stopped = true
+	u.pending = false
+	if u.timer != nil {
+		u.timer.Stop()
+		u.timer = nil
+	}
+	u.mu.Unlock()
+}

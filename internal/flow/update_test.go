@@ -1,0 +1,94 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sci/internal/clock"
+)
+
+func TestUpdateCoalescerLeadingEdgeThenWindow(t *testing.T) {
+	clk := clock.NewManual(time.Date(2003, 6, 17, 0, 0, 0, 0, time.UTC))
+	var sent atomic.Int64
+	u := NewUpdateCoalescer(UpdateConfig{
+		Clock:  clk,
+		Window: 100 * time.Millisecond,
+		Send:   func() bool { sent.Add(1); return true },
+	})
+
+	// Leading edge: first change ships immediately.
+	u.Touch()
+	if got := sent.Load(); got != 1 {
+		t.Fatalf("leading touch sent %d updates, want 1", got)
+	}
+
+	// A burst of changes inside the window coalesces into one deferred
+	// update at the window boundary.
+	for i := 0; i < 10; i++ {
+		u.Touch()
+	}
+	if got := sent.Load(); got != 1 {
+		t.Fatalf("burst inside window sent %d updates, want still 1", got)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if got := sent.Load(); got != 2 {
+		t.Fatalf("window expiry sent %d updates, want 2", got)
+	}
+
+	// After a quiet window the next change is a fresh leading edge.
+	clk.Advance(150 * time.Millisecond)
+	u.Touch()
+	if got := sent.Load(); got != 3 {
+		t.Fatalf("post-quiet touch sent %d updates, want 3", got)
+	}
+}
+
+func TestUpdateCoalescerRetriesFailedSend(t *testing.T) {
+	clk := clock.NewManual(time.Date(2003, 6, 17, 0, 0, 0, 0, time.UTC))
+	var mu sync.Mutex
+	fail := true
+	sent := 0
+	u := NewUpdateCoalescer(UpdateConfig{
+		Clock:  clk,
+		Window: 50 * time.Millisecond,
+		Send: func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if fail {
+				return false
+			}
+			sent++
+			return true
+		},
+	})
+	u.Touch() // leading send fails, re-touched onto the window timer
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	clk.Advance(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if sent != 1 {
+		t.Fatalf("failed leading update retried %d times, want 1", sent)
+	}
+}
+
+func TestUpdateCoalescerStop(t *testing.T) {
+	clk := clock.NewManual(time.Date(2003, 6, 17, 0, 0, 0, 0, time.UTC))
+	var sent atomic.Int64
+	u := NewUpdateCoalescer(UpdateConfig{
+		Clock:  clk,
+		Window: 50 * time.Millisecond,
+		Send:   func() bool { sent.Add(1); return true },
+	})
+	u.Touch()
+	u.Touch() // deferred
+	u.Stop()
+	clk.Advance(time.Second)
+	u.Touch()
+	if got := sent.Load(); got != 1 {
+		t.Fatalf("stopped coalescer sent %d updates, want only the pre-stop leading edge", got)
+	}
+}

@@ -17,6 +17,12 @@ import (
 // climb to the lowest common ancestor, so nodes near the root relay a
 // disproportionate share of the traffic. Experiment E1 measures exactly
 // that concentration.
+//
+// The same tree shape also powers live routing now: PlanTree computes the
+// per-node attachment spec (parent, children, level mates) that the SCINET
+// fabric hierarchy (scinet.HierarchyConfig) wires into super-peer digest
+// routing, so the Section-3 topology and the grid-scale interest hierarchy
+// cannot drift apart.
 type TreeNode struct {
 	id      guid.GUID
 	parent  guid.GUID // nil at the root
@@ -99,6 +105,62 @@ func BuildTree(net transport.Network, ids []guid.GUID, branching int, deliver fu
 		parent.children[child] = sub
 	}
 	return t, nil
+}
+
+// TreeSpec is one node's place in a planned hierarchy: who it attaches to,
+// which nodes attach to it, and which nodes share its parent (its level
+// mates — the peers a super-peer exchanges level-wise digests with when the
+// plan is a forest of roots).
+type TreeSpec struct {
+	// Parent is the node's super-peer (nil at a root).
+	Parent guid.GUID
+	// Children are the nodes attached directly below, in plan order.
+	Children []guid.GUID
+	// Peers are the other nodes at the same level sharing Parent (for
+	// roots: the other roots). A single-rooted plan needs no root peers;
+	// forests exchange digests across the root clique.
+	Peers []guid.GUID
+	// Level is the distance from the root (0 at a root).
+	Level int
+}
+
+// PlanTree lays ids out as the same complete k-ary tree BuildTree wires —
+// ids[0] the root, level order, branching children per node — but returns
+// only the attachment plan instead of constructing TreeNodes: the caller
+// (the SCINET fabric hierarchy, the E16 simulation) attaches content
+// routing to the shape. Branching below 2 is raised to 2.
+func PlanTree(ids []guid.GUID, branching int) map[guid.GUID]TreeSpec {
+	if branching < 2 {
+		branching = 2
+	}
+	plan := make(map[guid.GUID]TreeSpec, len(ids))
+	level := func(i int) int {
+		l := 0
+		for i > 0 {
+			i = (i - 1) / branching
+			l++
+		}
+		return l
+	}
+	for i, id := range ids {
+		spec := TreeSpec{Level: level(i)}
+		if i > 0 {
+			spec.Parent = ids[(i-1)/branching]
+		}
+		for c := i*branching + 1; c <= i*branching+branching && c < len(ids); c++ {
+			spec.Children = append(spec.Children, ids[c])
+		}
+		for j, other := range ids {
+			if j == i || level(j) != spec.Level {
+				continue
+			}
+			if i == 0 || (j-1)/branching == (i-1)/branching {
+				spec.Peers = append(spec.Peers, other)
+			}
+		}
+		plan[id] = spec
+	}
+	return plan
 }
 
 // Close detaches every node.

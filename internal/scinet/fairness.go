@@ -27,10 +27,15 @@ type interestEntry struct {
 
 // refreshInterestSnapLocked rebuilds the snapshot from the live table,
 // sorted by owner for deterministic recipient order. Called under f.mu at
-// every point the interest table changes.
+// every point the interest table changes. Entries with no filters are
+// skipped — they can never match, and a fleet's worth of empty rows would
+// tax every flush and relay for nothing.
 func (f *Fabric) refreshInterestSnapLocked() {
 	snap := make([]interestEntry, 0, len(f.interests))
 	for owner, flts := range f.interests {
+		if len(flts) == 0 {
+			continue
+		}
 		snap = append(snap, interestEntry{owner: owner, filters: flts})
 	}
 	sort.Slice(snap, func(i, j int) bool { return guid.Less(snap[i].owner, snap[j].owner) })
@@ -128,6 +133,7 @@ func (f *Fabric) relayTo(to guid.GUID, payload []byte, batch *wire.NativeBatch) 
 			rq.mu.Unlock()
 			if f.node.RouteBatch(to, appEventBatch, payload, batch) == nil {
 				f.BatchesRelayed.Inc()
+				f.noteSubtreeForward(to)
 			}
 			return
 		}
@@ -168,6 +174,7 @@ func (f *Fabric) drainRelay(to guid.GUID, rq *relayQueue) {
 	for _, it := range pending {
 		if f.node.RouteBatch(to, appEventBatch, it.payload, it.batch) == nil {
 			f.BatchesRelayed.Inc()
+			f.noteSubtreeForward(to)
 		}
 	}
 	rq.mu.Lock()

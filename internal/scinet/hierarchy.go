@@ -1,0 +1,811 @@
+package scinet
+
+// Grid-scale interest routing: the hierarchical digest layer.
+//
+// Flat interest gossip re-announces every fabric's full filter set to every
+// peer — O(fleet²) messages per interest change and O(fleet) interest state
+// per fabric, the wide-area scaling wall grid middleware hit at hundreds of
+// sites. The hierarchy replaces that with summarized digests along a
+// configured super-peer tree (overlay.PlanTree supplies the shape):
+//
+//   - a leaf announces its interests only to its super-peer, as a
+//     wire.Digest (coarsened ctxtype prefixes + a Bloom filter over full
+//     filter types) rather than as filters;
+//   - a super-peer merges its children's digests with its own interests
+//     into one subtree digest, announced up to its parent and level-wise to
+//     its peer super-peers; it also sends each child a downward digest
+//     summarizing the rest of the fleet (everything reachable *not* through
+//     that child), which is what the child's tap demand and upward
+//     forwarding gate on;
+//   - event batches route along the links whose digest admits them
+//     (false-positive tolerant: a digest may over-claim, never under-claim;
+//     leaves count non-matching arrivals as spillover), with the existing
+//     Via hop set and BatchID window providing exactly-once delivery, and
+//     each hop reusing the per-link coalescer, relay backlog and credit
+//     acks unchanged — PR 5/6 flow semantics hold per link;
+//   - digest updates are whole-state summaries, rate-limited per link by a
+//     flow.UpdateCoalescer (leading edge immediate, churn coalesced per
+//     window) and suppressed entirely when the summary is unchanged, with
+//     a per-announcer generation so reordered updates are discarded.
+//
+// An unknown digest (a link whose summary has not arrived yet) admits
+// everything: staleness degrades to extra traffic, never to silent loss.
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/flow"
+	"sci/internal/guid"
+	"sci/internal/overlay"
+	"sci/internal/wire"
+)
+
+// App kinds of the hierarchy protocol.
+const (
+	// appDigest carries a wire.Digest interest summary along a hierarchy
+	// link (child → parent, parent → child, or super-peer → super-peer).
+	appDigest = "scinet.digest"
+	// appInterestSync asks an interest owner to re-announce its full
+	// filter set (a delta-generation gap was detected).
+	appInterestSync = "scinet.interest_sync"
+)
+
+// defaultDigestWindow spaces digest re-announcements per link when the
+// HierarchyConfig does not say otherwise: wide enough that mobility-grade
+// interest churn coalesces, short enough that a fresh interest reaches the
+// whole fleet at interactive latency (leading edges always ship at once).
+const defaultDigestWindow = 100 * time.Millisecond
+
+// HierarchyConfig attaches a fabric to a super-peer interest hierarchy.
+// The zero value means flat (existing behavior): every field is opt-in, so
+// small fleets run exactly the PR 3 flood protocol. Plans typically come
+// from overlay.PlanTree.
+type HierarchyConfig struct {
+	// Parent is the super-peer this fabric announces its subtree digest
+	// to (nil at a root).
+	Parent guid.GUID
+	// SuperPeer marks this fabric as an aggregation point: it accepts
+	// children's digests and forwards batches into matching subtrees.
+	SuperPeer bool
+	// Peers are fellow super-peers exchanged with level-wise (for a forest
+	// of roots: the other roots). Digests and batches cross the top of the
+	// hierarchy through them.
+	Peers []guid.GUID
+	// Level is this fabric's distance from its root (informational,
+	// surfaced through the per-level stats gauges).
+	Level int
+	// MinFleet keeps the fabric flat until it knows at least this many
+	// fabrics (itself included): auto-flat for small fleets. Once reached
+	// the hierarchy latches on. Zero activates immediately.
+	MinFleet int
+	// DigestWindow rate-limits digest updates per link (default
+	// defaultDigestWindow).
+	DigestWindow time.Duration
+}
+
+// digestMsg is one hierarchy digest announcement. Exactly one of
+// Child/Down/Peer states the sender's relation to the receiver, so the
+// receiver files the digest in the right table; Remove withdraws the
+// sender's digest (departure).
+//
+// To names the link the update is for. Digest links are point-to-point but
+// ride a DHT overlay whose Route falls back to closest-node delivery while
+// the fleet is still converging (including looping a pre-Join send straight
+// back to the sender) — and a misdelivered digest would otherwise latch the
+// sender's sent-state and suppress every retry. A receiver that is not To
+// bounces a Nak to the owner, which unlatches the link and retries on the
+// window timer.
+type digestMsg struct {
+	Owner  guid.GUID `json:"owner"`
+	To     guid.GUID `json:"to"`
+	Nak    bool      `json:"nak,omitempty"`
+	Child  bool      `json:"child,omitempty"`
+	Down   bool      `json:"down,omitempty"`
+	Peer   bool      `json:"peer,omitempty"`
+	Remove bool      `json:"remove,omitempty"`
+	// Digest is the wire.EncodeDigest binary form (absent with Remove and
+	// Nak).
+	Digest []byte `json:"digest,omitempty"`
+}
+
+// interestSyncMsg asks the receiving fabric to re-announce its full
+// interest set to From (delta-generation gap recovery).
+type interestSyncMsg struct {
+	From guid.GUID `json:"from"`
+}
+
+// hierLink is one hierarchy neighbor in the routing snapshot. A nil digest
+// means the link's summary is unknown and the link admits every batch
+// (conservative: never a false negative).
+type hierLink struct {
+	id     guid.GUID
+	digest *wire.Digest
+}
+
+// hierView is the lock-free snapshot of the hierarchy the fan-out and
+// relay paths route by, rebuilt under f.mu whenever hierarchy state
+// changes (digest arrival, activation, peer departure, close).
+type hierView struct {
+	active   bool
+	parent   guid.GUID
+	up       *wire.Digest // parent's downward digest; nil = unknown
+	children []hierLink
+	peers    []hierLink
+}
+
+// SetHierarchy attaches the fabric to a super-peer hierarchy (call before
+// or after Join; reconfiguration replaces the previous attachment). With
+// MinFleet unsatisfied the fabric stays flat until enough peers are known.
+func (f *Fabric) SetHierarchy(cfg HierarchyConfig) {
+	if cfg.DigestWindow <= 0 {
+		cfg.DigestWindow = defaultDigestWindow
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.hier = cfg
+	f.hierSet = true
+	register := !f.hierStatsOn
+	f.hierStatsOn = true
+	f.refreshHierSnapLocked()
+	f.mu.Unlock()
+	if register {
+		f.rng.AddStatsSource(f.hierarchyStats)
+	}
+	f.maybeActivateHierarchy()
+}
+
+// maybeActivateHierarchy latches the hierarchy on once the configured
+// fleet size is reached. Activation withdraws this fabric's flat interest
+// announcements (peers reach it through the hierarchy now) and starts the
+// digest exchange.
+func (f *Fabric) maybeActivateHierarchy() {
+	fleet := len(f.node.Known()) + 1
+	f.mu.Lock()
+	if f.closed || !f.hierSet || f.hierOn || (f.hier.MinFleet > 0 && fleet < f.hier.MinFleet) {
+		f.mu.Unlock()
+		return
+	}
+	f.hierOn = true
+	withdraw := len(f.local) > 0
+	f.refreshHierSnapLocked()
+	f.mu.Unlock()
+	if withdraw {
+		f.withdrawFlatAnnouncements()
+	}
+	f.touchDigestAnnouncements()
+	f.reconcileTaps()
+}
+
+// hierSnapshot returns the current hierarchy routing view (nil while never
+// configured — the flat fast path).
+func (f *Fabric) hierSnapshot() *hierView {
+	return f.hierSnap.Load()
+}
+
+// hierarchyActive reports whether hierarchical routing is latched on.
+func (f *Fabric) hierarchyActive() bool {
+	h := f.hierSnapshot()
+	return h != nil && h.active
+}
+
+// refreshHierSnapLocked rebuilds the lock-free hierarchy view. Callers
+// hold f.mu. The digests stored in the view are the immutable instances
+// from the live tables (they are never mutated after construction), so
+// sharing them lock-free is safe.
+func (f *Fabric) refreshHierSnapLocked() {
+	if !f.hierSet {
+		return
+	}
+	v := &hierView{
+		active: f.hierOn && !f.closed,
+		parent: f.hier.Parent,
+		up:     f.upDigest,
+	}
+	v.children = make([]hierLink, 0, len(f.childDigests))
+	for id, d := range f.childDigests {
+		v.children = append(v.children, hierLink{id: id, digest: d})
+	}
+	sort.Slice(v.children, func(i, j int) bool { return guid.Less(v.children[i].id, v.children[j].id) })
+	v.peers = make([]hierLink, 0, len(f.hier.Peers))
+	for _, id := range f.hier.Peers {
+		v.peers = append(v.peers, hierLink{id: id, digest: f.peerDigests[id]})
+	}
+	f.hierSnap.Store(v)
+}
+
+// ----- digest computation -----
+
+// localDigestInto folds this fabric's own interest filters into d. Callers
+// hold f.mu. A filter with no concrete type widens to a wildcard.
+func (f *Fabric) localDigestIntoLocked(d *wire.Digest) {
+	for i := range f.local {
+		d.AddType(string(f.local[i].flt.Type))
+	}
+}
+
+// subtreeDigestLocked summarizes everything below and including this
+// fabric: its own interests merged with every child's subtree digest — the
+// summary announced up to the parent and level-wise to peer super-peers.
+// Callers hold f.mu.
+func (f *Fabric) subtreeDigestLocked() *wire.Digest {
+	d := wire.NewDigest(0)
+	f.localDigestIntoLocked(d)
+	for _, cd := range f.childDigests {
+		d.MergeFrom(cd)
+	}
+	return d
+}
+
+// downDigestLocked summarizes the rest of the fleet as seen by one child:
+// this fabric's own interests, every *other* child's subtree, every peer
+// super-peer's subtree, and the world above the parent. Unknown components
+// (a peer or parent whose digest has not arrived) widen to a wildcard —
+// the child must keep forwarding up rather than silently dropping.
+// Callers hold f.mu.
+func (f *Fabric) downDigestLocked(child guid.GUID) *wire.Digest {
+	d := wire.NewDigest(0)
+	f.localDigestIntoLocked(d)
+	for id, cd := range f.childDigests {
+		if id != child {
+			d.MergeFrom(cd)
+		}
+	}
+	if !f.hier.Parent.IsNil() {
+		if f.upDigest == nil {
+			d.SetWildcard()
+		} else {
+			d.MergeFrom(f.upDigest)
+		}
+	}
+	for _, id := range f.hier.Peers {
+		if pd := f.peerDigests[id]; pd == nil {
+			d.SetWildcard()
+		} else {
+			d.MergeFrom(pd)
+		}
+	}
+	return d
+}
+
+// ----- digest announcements -----
+
+// hierLinkIDsLocked lists every hierarchy neighbor an announcement could be
+// owed to: the parent, the configured peer super-peers, and every known
+// child. Callers hold f.mu.
+func (f *Fabric) hierLinkIDsLocked() []guid.GUID {
+	out := make([]guid.GUID, 0, 1+len(f.hier.Peers)+len(f.childDigests))
+	if !f.hier.Parent.IsNil() {
+		out = append(out, f.hier.Parent)
+	}
+	out = append(out, f.hier.Peers...)
+	for id := range f.childDigests {
+		out = append(out, id)
+	}
+	return out
+}
+
+// digestCoalLocked returns the per-link digest update coalescer, creating
+// it on first use. Callers hold f.mu.
+func (f *Fabric) digestCoalLocked(to guid.GUID) *flow.UpdateCoalescer {
+	c := f.digestCoal[to]
+	if c == nil {
+		c = flow.NewUpdateCoalescer(flow.UpdateConfig{
+			Clock:  f.clk,
+			Window: f.hier.DigestWindow,
+			Send:   func() bool { return f.sendDigestTo(to) },
+		})
+		f.digestCoal[to] = c
+	}
+	return c
+}
+
+// touchDigestAnnouncements wakes the update coalescer of every hierarchy
+// link: any of their summaries may have changed. Unchanged summaries are
+// suppressed at send time, so over-touching costs no wire traffic.
+func (f *Fabric) touchDigestAnnouncements() {
+	f.mu.Lock()
+	if f.closed || !f.hierOn {
+		f.mu.Unlock()
+		return
+	}
+	links := f.hierLinkIDsLocked()
+	coals := make([]*flow.UpdateCoalescer, 0, len(links))
+	for _, id := range links {
+		coals = append(coals, f.digestCoalLocked(id))
+	}
+	f.mu.Unlock()
+	for _, c := range coals {
+		c.Touch()
+	}
+}
+
+// isHierPeerLocked reports whether id is a configured peer super-peer.
+// Callers hold f.mu.
+func (f *Fabric) isHierPeerLocked(id guid.GUID) bool {
+	for _, p := range f.hier.Peers {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sendDigestTo builds and routes the digest owed to one hierarchy link,
+// stamped with the next generation. An unchanged summary is suppressed
+// (the delta behavior: churn that cancels out never reaches the wire).
+// Reports success; a false return makes the update coalescer retry on its
+// window timer.
+func (f *Fabric) sendDigestTo(to guid.GUID) bool {
+	f.mu.Lock()
+	if f.closed || !f.hierOn {
+		f.mu.Unlock()
+		return true
+	}
+	msg := digestMsg{Owner: f.node.ID(), To: to}
+	var d *wire.Digest
+	switch {
+	case to == f.hier.Parent:
+		msg.Child = true
+		d = f.subtreeDigestLocked()
+	case f.isHierPeerLocked(to):
+		msg.Peer = true
+		d = f.subtreeDigestLocked()
+	case f.childDigests[to] != nil:
+		msg.Down = true
+		d = f.downDigestLocked(to)
+	default:
+		f.mu.Unlock()
+		return true // link disappeared between touch and send
+	}
+	if prev := f.digestSent[to]; prev != nil && prev.Equal(d) {
+		f.mu.Unlock()
+		return true
+	}
+	f.hierGen++
+	d.Gen = f.hierGen
+	f.digestSent[to] = d
+	f.mu.Unlock()
+	msg.Digest = wire.EncodeDigest(d)
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return true // unencodable: dropping the update is all we can do
+	}
+	if f.node.Route(to, appDigest, payload) != nil {
+		f.mu.Lock()
+		if f.digestSent[to] == d {
+			delete(f.digestSent, to)
+		}
+		f.mu.Unlock()
+		return false
+	}
+	f.DigestUpdatesSent.Inc()
+	return true
+}
+
+// refreshDigestLinks unlatches every digest link and re-touches them —
+// called when a new fleet member's coverage arrives. Routes that fell back
+// to closest-node delivery before may reach their true target now that the
+// overlay knows strictly more, and this also recovers the rare update whose
+// bounce was itself misrouted. Steady fleets never take this path.
+func (f *Fabric) refreshDigestLinks() {
+	f.mu.Lock()
+	if f.closed || !f.hierOn {
+		f.mu.Unlock()
+		return
+	}
+	for id := range f.digestSent {
+		delete(f.digestSent, id)
+	}
+	f.mu.Unlock()
+	f.touchDigestAnnouncements()
+}
+
+// retryDigestLink unlatches one link's sent-state after a bounced or
+// looped-back update, so the next window-timer firing resends it.
+func (f *Fabric) retryDigestLink(to guid.GUID) {
+	if to.IsNil() {
+		return
+	}
+	f.mu.Lock()
+	if f.closed || !f.hierOn || f.digestSent[to] == nil {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.digestSent, to)
+	c := f.digestCoalLocked(to)
+	f.mu.Unlock()
+	c.Touch()
+}
+
+// handleDigest ingests one hierarchy digest announcement: it is filed by
+// the sender's declared relation (child subtree, peer subtree, or the
+// parent's downward rest-of-fleet summary), stale generations are
+// discarded, and a change re-summarizes this fabric's own announcements
+// and tap demand.
+func (f *Fabric) handleDigest(d overlay.Delivery) {
+	var msg digestMsg
+	if json.Unmarshal(d.Payload, &msg) != nil {
+		return
+	}
+	if msg.Nak || msg.Owner == f.node.ID() {
+		// A wrong receiver bounced our update, or our own send looped back
+		// (pre-Join routing with an empty table delivers locally): unlatch
+		// the link so the window timer retries it.
+		f.retryDigestLink(msg.To)
+		return
+	}
+	if msg.To != f.node.ID() {
+		// Misdelivered: the overlay routed the owner's update to us because
+		// it did not know the real target yet. Bounce it so the owner
+		// retries instead of believing the link is up to date.
+		if nak, err := json.Marshal(digestMsg{Owner: f.node.ID(), To: msg.To, Nak: true}); err == nil {
+			_ = f.node.Route(msg.Owner, appDigest, nak)
+		}
+		return
+	}
+	var dig *wire.Digest
+	if !msg.Remove {
+		var err error
+		if dig, err = wire.DecodeDigest(msg.Digest); err != nil {
+			return
+		}
+	}
+	f.mu.Lock()
+	if f.closed || !f.hierSet {
+		f.mu.Unlock()
+		return
+	}
+	if dig != nil {
+		if last := f.digestGens[msg.Owner]; dig.Gen <= last {
+			f.mu.Unlock()
+			return // reordered update older than what we hold
+		}
+		f.digestGens[msg.Owner] = dig.Gen
+	}
+	changed := false
+	switch {
+	case msg.Child && f.hier.SuperPeer:
+		if msg.Remove {
+			if _, ok := f.childDigests[msg.Owner]; ok {
+				delete(f.childDigests, msg.Owner)
+				changed = true
+			}
+		} else if !dig.Equal(f.childDigests[msg.Owner]) {
+			f.childDigests[msg.Owner] = dig
+			changed = true
+		} else {
+			f.childDigests[msg.Owner] = dig
+		}
+	case msg.Peer && f.isHierPeerLocked(msg.Owner):
+		if msg.Remove {
+			if _, ok := f.peerDigests[msg.Owner]; ok {
+				delete(f.peerDigests, msg.Owner)
+				changed = true
+			}
+		} else if !dig.Equal(f.peerDigests[msg.Owner]) {
+			f.peerDigests[msg.Owner] = dig
+			changed = true
+		} else {
+			f.peerDigests[msg.Owner] = dig
+		}
+	case msg.Down && msg.Owner == f.hier.Parent:
+		if msg.Remove {
+			if f.upDigest != nil {
+				f.upDigest = nil
+				changed = true
+			}
+		} else if !dig.Equal(f.upDigest) {
+			f.upDigest = dig
+			changed = true
+		} else {
+			f.upDigest = dig
+		}
+	default:
+		// Role mismatch (a digest from a node that is not a configured
+		// relation): ignored rather than filed somewhere it could route.
+	}
+	if changed {
+		f.refreshHierSnapLocked()
+	}
+	f.mu.Unlock()
+	if changed {
+		f.reconcileTaps()
+		f.touchDigestAnnouncements()
+	}
+}
+
+// ----- routing -----
+
+// digestAdmits reports whether a link digest may cover any of the events:
+// a candidate filter type is the event's type, any of its dotted
+// ancestors, or any declared equivalence-class member — exactly the type
+// forms Filter.MatchesIn accepts, so digest routing can over-deliver
+// (false positive, counted as spillover downstream) but never starve a
+// filter the flat protocol would have served. A nil digest admits
+// everything (the summary has not arrived yet).
+func digestAdmits(d *wire.Digest, events []event.Event, reg *ctxtype.Registry) bool {
+	if d == nil || d.Wildcard() {
+		return true
+	}
+	if d.Empty() {
+		return false
+	}
+	for i := range events {
+		for cur := events[i].Type; cur != ""; cur = cur.Parent() {
+			if d.MightMatch(string(cur)) {
+				return true
+			}
+		}
+		if reg != nil {
+			for _, u := range reg.EquivSet(events[i].Type) {
+				if d.MightMatch(string(u)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// forwardTargets computes a batch's next hops, excluding via members: the
+// flat-announced interested peers (exact filter match against the
+// copy-on-write snapshot) plus, when the hierarchy is active, every
+// hierarchy link whose digest admits the batch — up to the parent, down
+// into matching subtrees, across to matching peer super-peers.
+func (f *Fabric) forwardTargets(events []event.Event, via guid.Set) []guid.GUID {
+	var out []guid.GUID
+	taken := guid.NewSet()
+	take := func(id guid.GUID) {
+		taken.Add(id)
+		out = append(out, id)
+	}
+	for _, ent := range f.interestSnapshot() {
+		if via.Has(ent.owner) || taken.Has(ent.owner) {
+			continue
+		}
+		if matchAny(ent.filters, events, f.rng) {
+			take(ent.owner)
+		}
+	}
+	h := f.hierSnapshot()
+	if h != nil && h.active {
+		reg := f.rng.Types()
+		if !h.parent.IsNil() && !via.Has(h.parent) && !taken.Has(h.parent) && digestAdmits(h.up, events, reg) {
+			take(h.parent)
+		}
+		for _, l := range h.children {
+			if !via.Has(l.id) && !taken.Has(l.id) && digestAdmits(l.digest, events, reg) {
+				take(l.id)
+			}
+		}
+		for _, l := range h.peers {
+			if !via.Has(l.id) && !taken.Has(l.id) && digestAdmits(l.digest, events, reg) {
+				take(l.id)
+			}
+		}
+	}
+	return out
+}
+
+// noteSubtreeForward attributes one forwarded batch to the child subtree
+// it entered, for the per-subtree gauges. Free on flat fabrics.
+func (f *Fabric) noteSubtreeForward(to guid.GUID) {
+	if f.hierSnapshot() == nil {
+		return
+	}
+	f.mu.Lock()
+	if _, ok := f.childDigests[to]; ok {
+		f.childFwd[to]++
+	}
+	f.mu.Unlock()
+}
+
+// tapDemandLocked derives the mediator tap demand. Flat: the announced
+// interest table, as before. Hierarchical: the flat table plus a prefix
+// filter per digest prefix of every hierarchy link — a fabric must tap any
+// local publish some subtree, peer super-peer, or the upward rest-of-fleet
+// may want forwarded. An unknown or wildcard link digest forces the
+// residual tap (never under-tap). Callers hold f.mu.
+func (f *Fabric) tapDemandLocked() (types []ctxtype.Type, wildcard bool) {
+	reg := f.rng.Types()
+	if !f.hierOn {
+		return desiredTapTypesLocked(f.interests, reg)
+	}
+	merged := make(map[guid.GUID][]event.Filter, len(f.interests)+len(f.childDigests)+len(f.hier.Peers)+1)
+	for id, flts := range f.interests {
+		merged[id] = flts
+	}
+	// addDigest folds one link digest into the demand map (as fresh filter
+	// slices — never appended onto the live table's shared slices) and
+	// reports whether it forces the residual tap.
+	addDigest := func(id guid.GUID, d *wire.Digest) bool {
+		if d == nil || d.Wildcard() {
+			return true
+		}
+		flts := append([]event.Filter(nil), merged[id]...)
+		for _, p := range d.Prefixes() {
+			flts = append(flts, event.Filter{Type: ctxtype.Type(p)})
+		}
+		merged[id] = flts
+		return false
+	}
+	if !f.hier.Parent.IsNil() {
+		if addDigest(f.hier.Parent, f.upDigest) {
+			return nil, true
+		}
+	}
+	for id, d := range f.childDigests {
+		if addDigest(id, d) {
+			return nil, true
+		}
+	}
+	for _, id := range f.hier.Peers {
+		if addDigest(id, f.peerDigests[id]) {
+			return nil, true
+		}
+	}
+	return desiredTapTypesLocked(merged, reg)
+}
+
+// withdrawFlatAnnouncements retracts this fabric's flat interest entries
+// from every known peer — called once at hierarchy activation, after which
+// peers reach this fabric's interests through digests only.
+func (f *Fabric) withdrawFlatAnnouncements() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.announceGen++
+	gen := f.announceGen
+	msg := interestMsg{Owner: f.node.ID(), Gen: gen, Full: true, Remove: true}
+	f.mu.Unlock()
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	for _, peer := range f.node.Known() {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		f.sentGen[peer] = gen
+		f.mu.Unlock()
+		_ = f.node.Route(peer, appInterest, payload)
+	}
+}
+
+// ----- delta-gap recovery -----
+
+// handleInterestSync re-announces this fabric's full interest set to a
+// peer that detected a delta-generation gap (or holds a ghost entry: the
+// reply is Full even when empty, clearing it).
+func (f *Fabric) handleInterestSync(d overlay.Delivery) {
+	var msg interestSyncMsg
+	if json.Unmarshal(d.Payload, &msg) != nil || msg.From.IsNil() {
+		return
+	}
+	f.announceFullTo(msg.From)
+}
+
+// ----- diagnostics and gauges -----
+
+// InterestStateSize reports the per-fabric interest routing state: flat
+// interest-table entries (non-empty ones — what fan-out actually scans)
+// plus hierarchy digest links. The E16 sublinearity experiment plots this
+// against fleet size.
+func (f *Fabric) InterestStateSize() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, flts := range f.interests {
+		if len(flts) > 0 {
+			n++
+		}
+	}
+	n += len(f.childDigests) + len(f.peerDigests)
+	if f.upDigest != nil {
+		n++
+	}
+	return n
+}
+
+// HierarchyCounts reports how much of the hierarchy this fabric has heard
+// from: known child digests, known peer digests, and whether the parent's
+// downward digest has arrived (convergence checks in tests and sims).
+func (f *Fabric) HierarchyCounts() (children, peers int, upKnown bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.childDigests), len(f.peerDigests), f.upDigest != nil
+}
+
+// OverlayCounters reports the overlay node's delivered/relayed message
+// counts. Summed across a fleet they measure total overlay traffic —
+// E16's messages-per-publish metric.
+func (f *Fabric) OverlayCounters() (delivered, relayed uint64) {
+	return f.node.Delivered(), f.node.Relayed()
+}
+
+// maxSubtreeGauges bounds the per-subtree forwarding gauges, top-K plus an
+// "other" bucket — same contract as the Range's per-source gauges.
+const maxSubtreeGauges = 8
+
+// subtreeCount is one per-subtree gauge entry: the child's short id (or
+// "other" for the aggregated remainder) and its forwarded-batch count.
+type subtreeCount struct {
+	key string
+	n   uint64
+}
+
+// topSubtreeForwards folds the per-child forward counts into at most
+// maxSubtreeGauges labelled entries plus an "other" remainder. Callers
+// hold f.mu.
+//
+//lint:bounded
+func (f *Fabric) topSubtreeForwardsLocked() []subtreeCount {
+	type kv struct {
+		id guid.GUID
+		n  uint64
+	}
+	all := make([]kv, 0, len(f.childFwd))
+	for id, n := range f.childFwd {
+		all = append(all, kv{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return guid.Less(all[i].id, all[j].id)
+	})
+	out := make([]subtreeCount, 0, maxSubtreeGauges+1)
+	var other uint64
+	for i, e := range all {
+		if i < maxSubtreeGauges {
+			out = append(out, subtreeCount{key: e.id.Short(), n: e.n})
+			continue
+		}
+		other += e.n
+	}
+	if other > 0 {
+		out = append(out, subtreeCount{key: "other", n: other})
+	}
+	return out
+}
+
+// hierarchyStats is the Range stats-source contributor registered by
+// SetHierarchy: per-level hierarchy gauges under scinet.hier.*, with the
+// per-subtree forwarding counts bounded through topSubtreeForwards.
+func (f *Fabric) hierarchyStats() map[string]float64 {
+	f.mu.Lock()
+	out := map[string]float64{
+		"scinet.hier.active":           b2f(f.hierOn),
+		"scinet.hier.super":            b2f(f.hier.SuperPeer),
+		"scinet.hier.level":            float64(f.hier.Level),
+		"scinet.hier.children":         float64(len(f.childDigests)),
+		"scinet.hier.peers":            float64(len(f.peerDigests)),
+		"scinet.hier.gen":              float64(f.hierGen),
+		"scinet.hier.interest_entries": float64(len(f.interests)),
+	}
+	for _, e := range f.topSubtreeForwardsLocked() {
+		out["scinet.hier.subtree."+e.key+".forwarded"] = float64(e.n)
+	}
+	f.mu.Unlock()
+	out["scinet.hier.spillover"] = float64(f.SpilloverDropped.Value())
+	out["scinet.hier.digest_updates"] = float64(f.DigestUpdatesSent.Value())
+	return out
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

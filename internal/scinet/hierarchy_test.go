@@ -1,0 +1,509 @@
+package scinet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sci/internal/ctxtype"
+	"sci/internal/event"
+	"sci/internal/guid"
+	"sci/internal/location"
+	"sci/internal/overlay"
+	"sci/internal/server"
+	"sci/internal/transport"
+	"sci/internal/wire"
+)
+
+// hierNet is an n-fabric SCINET attached to a super-peer hierarchy. Unlike
+// fanNet it runs on the real clock: digest windows, batch delays and relay
+// timers elapse on their own, so the big race test below can publish from
+// many goroutines without anyone driving a manual clock.
+type hierNet struct {
+	net     *transport.Memory
+	ranges  []*server.Range
+	fabrics []*Fabric
+}
+
+// newHierNet builds n fabrics, applies the hierarchy spec (called with every
+// fabric's node id and the fabric's index), then joins everyone through
+// fabric 0.
+func newHierNet(t testing.TB, n, batchMax int, spec func(ids []guid.GUID, i int) HierarchyConfig) *hierNet {
+	t.Helper()
+	net := transport.NewMemory(transport.MemoryConfig{})
+	hn := &hierNet{net: net}
+	for i := 0; i < n; i++ {
+		rng := server.New(server.Config{
+			Name:           fmt.Sprintf("h%d", i),
+			Coverage:       location.Path(fmt.Sprintf("campus/h%d", i)),
+			BatchMaxEvents: batchMax,
+			BatchMaxDelay:  2 * time.Millisecond,
+		})
+		f, err := NewFabric(rng, net, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hn.ranges = append(hn.ranges, rng)
+		hn.fabrics = append(hn.fabrics, f)
+	}
+	ids := make([]guid.GUID, n)
+	for i, f := range hn.fabrics {
+		ids[i] = f.NodeID()
+	}
+	for i, f := range hn.fabrics {
+		f.SetHierarchy(spec(ids, i))
+	}
+	for i, f := range hn.fabrics {
+		if i > 0 {
+			if err := f.Join(hn.fabrics[0].NodeID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return hn
+}
+
+func (hn *hierNet) close() {
+	for _, f := range hn.fabrics {
+		_ = f.Close()
+	}
+	for _, r := range hn.ranges {
+		r.Close()
+	}
+	_ = hn.net.Close()
+}
+
+// digestMatches reports whether a held digest admits typ (nil = unknown =
+// not yet converged, for the convergence waits below).
+func digestMatches(d *wire.Digest, typ ctxtype.Type) bool {
+	return d != nil && (d.Wildcard() || d.MightMatch(string(typ)))
+}
+
+func (f *Fabric) upMatches(typ ctxtype.Type) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return digestMatches(f.upDigest, typ)
+}
+
+func (f *Fabric) childMatches(child guid.GUID, typ ctxtype.Type) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return digestMatches(f.childDigests[child], typ)
+}
+
+// TestHierarchyExactlyOnceAcrossSuperPeers runs a 100-fabric fleet through
+// a two-super-level hierarchy — one root, nine mid-level super-peers, ninety
+// leaves — with concurrent publishers on leaves under different mids, and
+// asserts every subscriber sees every event exactly once: the digest routing
+// plus the Via hop set and BatchID window must not duplicate or lose a
+// single delivery even while batches climb two levels and fan back down.
+func TestHierarchyExactlyOnceAcrossSuperPeers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-fabric fleet: skipped in -short")
+	}
+	const (
+		mids   = 9
+		leaves = 90
+		total  = 1 + mids + leaves
+		perPub = 25
+	)
+	topic := ctxtype.Type("grid.load")
+	hn := newHierNet(t, total, 0, func(ids []guid.GUID, i int) HierarchyConfig {
+		cfg := HierarchyConfig{DigestWindow: 5 * time.Millisecond}
+		switch {
+		case i == 0:
+			cfg.SuperPeer = true
+		case i <= mids:
+			cfg.SuperPeer = true
+			cfg.Parent = ids[0]
+			cfg.Level = 1
+		default:
+			cfg.Parent = ids[1+(i-1-mids)%mids]
+			cfg.Level = 2
+		}
+		return cfg
+	})
+	defer hn.close()
+
+	root := hn.fabrics[0]
+	midOf := func(leafIdx int) *Fabric { return hn.fabrics[1+(leafIdx-1-mids)%mids] }
+
+	// Six subscribers on leaves under six different mids; four publishers on
+	// other leaves, one of them sharing a mid with a subscriber so the
+	// sibling short-path (leaf → mid → leaf, never reaching the root) is
+	// exercised alongside the full two-level climb.
+	subIdx := []int{10, 11, 12, 13, 14, 15}
+	pubIdx := []int{19, 20, 21, 22}
+	counters := make([]*counter, len(subIdx))
+	for i, si := range subIdx {
+		counters[i] = newCounter()
+		c := counters[i]
+		if _, err := hn.fabrics[si].SubscribeRemote(guid.New(guid.KindEntity), event.Filter{Type: topic}, c.handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Convergence: the root has heard from every mid, each mid from its ten
+	// leaves, and the digest chain for the topic is complete along every
+	// routing segment a published batch will traverse.
+	waitFor(t, func() bool {
+		if c, _, _ := root.HierarchyCounts(); c != mids {
+			return false
+		}
+		for m := 1; m <= mids; m++ {
+			if c, _, _ := hn.fabrics[m].HierarchyCounts(); c != leaves/mids {
+				return false
+			}
+			if !hn.fabrics[m].upMatches(topic) {
+				return false
+			}
+		}
+		for _, si := range subIdx {
+			mid := midOf(si)
+			if !mid.childMatches(hn.fabrics[si].NodeID(), topic) {
+				return false
+			}
+			if !root.childMatches(mid.NodeID(), topic) {
+				return false
+			}
+		}
+		for _, pi := range pubIdx {
+			if !hn.fabrics[pi].upMatches(topic) || !hn.fabrics[pi].hasTap() {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The subscribers never flat-announced: their interests travel as
+	// digests only, so publishers must not hold flat entries for them.
+	for _, pi := range pubIdx {
+		for _, si := range subIdx {
+			if hn.fabrics[pi].knowsInterest(hn.fabrics[si].NodeID()) {
+				t.Fatalf("publisher %d holds a flat interest entry for subscriber %d: hierarchy did not replace flat announcements", pi, si)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, pi := range pubIdx {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			src := guid.New(guid.KindDevice)
+			for k := 0; k < perPub; k++ {
+				e := event.New(topic, src, uint64(k+1), time.Now(), map[string]any{"k": k})
+				if err := hn.ranges[pi].Publish(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(pi)
+	}
+	wg.Wait()
+
+	want := len(pubIdx) * perPub
+	for i := range counters {
+		c := counters[i]
+		waitFor(t, func() bool { return c.exactlyOnce(want) })
+	}
+	// Late duplicates would arrive after the count is first reached: give
+	// the fleet a moment and re-assert.
+	time.Sleep(50 * time.Millisecond)
+	for i, c := range counters {
+		if !c.exactlyOnce(want) {
+			t.Fatalf("subscriber %d: %d events delivered across %d ids, want %d exactly once",
+				i, c.total(), len(c.seen), want)
+		}
+	}
+}
+
+// TestHierarchySpilloverCounted forces a digest false positive — a leaf
+// whose 70 distinct interest prefixes overflow the digest into a wildcard —
+// and asserts the resulting unwanted forward is dropped and counted as
+// spillover, while genuinely matching events keep flowing. False positives
+// must cost traffic, never correctness.
+func TestHierarchySpilloverCounted(t *testing.T) {
+	hn := newHierNet(t, 3, 0, func(ids []guid.GUID, i int) HierarchyConfig {
+		cfg := HierarchyConfig{DigestWindow: 5 * time.Millisecond}
+		if i == 0 {
+			cfg.SuperPeer = true
+		} else {
+			cfg.Parent = ids[0]
+			cfg.Level = 1
+		}
+		return cfg
+	})
+	defer hn.close()
+	sub, pub := hn.fabrics[1], hn.fabrics[2]
+
+	c := newCounter()
+	for i := 0; i < 70; i++ {
+		flt := event.Filter{Type: ctxtype.Type(fmt.Sprintf("w%d.x", i))}
+		if _, err := sub.SubscribeRemote(guid.New(guid.KindEntity), flt, c.handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The overflowed digest reaches the publisher as a wildcard upward
+	// summary (root's downward digest folds the subscriber's subtree in).
+	waitFor(t, func() bool {
+		pub.mu.Lock()
+		wild := pub.upDigest != nil && pub.upDigest.Wildcard()
+		pub.mu.Unlock()
+		return wild && pub.hasTap()
+	})
+
+	src := guid.New(guid.KindDevice)
+	if err := hn.ranges[2].Publish(event.New("nobody.cares", src, 1, time.Now(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sub.SpilloverDropped.Value() >= 1 })
+	if got := c.total(); got != 0 {
+		t.Fatalf("unmatched event delivered %d times, want spillover drop", got)
+	}
+
+	// A matching publish still lands exactly once despite the wildcard.
+	if err := hn.ranges[2].Publish(event.New("w3.x", src, 2, time.Now(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.exactlyOnce(1) })
+	if pub.DigestUpdatesSent.Value() == 0 && sub.DigestUpdatesSent.Value() == 0 {
+		t.Fatal("no digest updates counted anywhere")
+	}
+}
+
+// TestHierarchyMinFleetActivation keeps a configured hierarchy flat below
+// MinFleet — flat interest announcements and fan-out as before — then
+// latches it on when the fleet grows, withdrawing the flat entries and
+// carrying later publishes through digests.
+func TestHierarchyMinFleetActivation(t *testing.T) {
+	topic := ctxtype.Type("grid.volt")
+	net := transport.NewMemory(transport.MemoryConfig{})
+	defer func() { _ = net.Close() }()
+	var ranges []*server.Range
+	var fabrics []*Fabric
+	defer func() {
+		for _, f := range fabrics {
+			_ = f.Close()
+		}
+		for _, r := range ranges {
+			r.Close()
+		}
+	}()
+	mk := func(i int) *Fabric {
+		rng := server.New(server.Config{
+			Name:           fmt.Sprintf("h%d", i),
+			Coverage:       location.Path(fmt.Sprintf("campus/h%d", i)),
+			BatchMaxDelay:  2 * time.Millisecond,
+			BatchMaxEvents: 0,
+		})
+		f, err := NewFabric(rng, net, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges = append(ranges, rng)
+		fabrics = append(fabrics, f)
+		return f
+	}
+	root := mk(0)
+	leaf := mk(1)
+	leaf.SetHierarchy(HierarchyConfig{Parent: root.NodeID(), MinFleet: 3, DigestWindow: 5 * time.Millisecond})
+	root.SetHierarchy(HierarchyConfig{SuperPeer: true, MinFleet: 3, DigestWindow: 5 * time.Millisecond})
+	if err := leaf.Join(root.NodeID()); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newCounter()
+	if _, err := leaf.SubscribeRemote(guid.New(guid.KindEntity), event.Filter{Type: topic}, c.handle); err != nil {
+		t.Fatal(err)
+	}
+	// Two fabrics < MinFleet 3: still flat, interest flat-announced.
+	waitFor(t, func() bool { return root.knowsInterest(leaf.NodeID()) })
+	if root.hierarchyActive() || leaf.hierarchyActive() {
+		t.Fatal("hierarchy active below MinFleet")
+	}
+	src := guid.New(guid.KindDevice)
+	if err := ranges[0].Publish(event.New(topic, src, 1, time.Now(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.exactlyOnce(1) })
+
+	// A third fabric reaches MinFleet: everyone latches on, the leaf
+	// withdraws its flat entry, and the digest chain replaces it.
+	third := mk(2)
+	third.SetHierarchy(HierarchyConfig{Parent: root.NodeID(), MinFleet: 3, DigestWindow: 5 * time.Millisecond})
+	if err := third.Join(root.NodeID()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return root.hierarchyActive() && leaf.hierarchyActive() && third.hierarchyActive()
+	})
+	waitFor(t, func() bool {
+		return !root.knowsInterest(leaf.NodeID()) && root.childMatches(leaf.NodeID(), topic)
+	})
+	waitFor(t, func() bool { return third.upMatches(topic) && third.hasTap() })
+	if err := ranges[2].Publish(event.New(topic, src, 2, time.Now(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.exactlyOnce(2) })
+}
+
+// interestRecorder is a bare overlay node on the fabric's memory network
+// that records the appInterest announcements one fabric routes to it
+// directly — the wire-level witness for the delta protocol tests.
+// Re-gossiped copies relayed by other fabrics are ignored (same payload,
+// different origin).
+type interestRecorder struct {
+	node *overlay.Node
+	mu   sync.Mutex
+	msgs []interestMsg
+}
+
+func newInterestRecorder(t *testing.T, fn *fanNet, from guid.GUID) *interestRecorder {
+	t.Helper()
+	rec := &interestRecorder{}
+	node, err := overlay.NewNode(overlay.Config{
+		Network: fn.net,
+		Clock:   fn.clk,
+		Deliver: func(d overlay.Delivery) {
+			if d.AppKind != appInterest || d.Origin != from {
+				return
+			}
+			var msg interestMsg
+			if json.Unmarshal(d.Payload, &msg) != nil || msg.Owner != from {
+				return
+			}
+			rec.mu.Lock()
+			rec.msgs = append(rec.msgs, msg)
+			rec.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.node = node
+	if err := node.Join(fn.fabrics[0].NodeID()); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func (r *interestRecorder) recorded() []interestMsg {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]interestMsg(nil), r.msgs...)
+}
+
+// TestInterestDeltaAnnouncements watches the wire: after first contact
+// establishes a generation-stamped full set, later single-filter changes
+// must travel as deltas (Add/Del with Prev chaining), not as re-announced
+// full sets.
+func TestInterestDeltaAnnouncements(t *testing.T) {
+	fn := newFanNet(t, 2, 0)
+	defer fn.close()
+	waitCoverage(t, fn)
+	fb := fn.fabrics[1]
+
+	rec := newInterestRecorder(t, fn, fb.NodeID())
+	// Tell fb the recorder understands generations (a Gen-stamped hello),
+	// as any delta-aware fabric would have.
+	hello, err := json.Marshal(interestMsg{
+		Owner: rec.node.ID(), Gen: 1, Full: true,
+		Filters: []event.Filter{{Type: "hello.x"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.node.Route(fb.NodeID(), appInterest, hello); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return fb.knowsInterest(rec.node.ID()) })
+
+	fltA := event.Filter{Type: "d.a"}
+	fltB := event.Filter{Type: "d.b"}
+	fb.AddInterest(fltA)
+	waitFor(t, func() bool { return len(rec.recorded()) >= 1 })
+	fb.AddInterest(fltB)
+	waitFor(t, func() bool { return len(rec.recorded()) >= 2 })
+	fb.RemoveInterest(fltA)
+	waitFor(t, func() bool { return len(rec.recorded()) >= 3 })
+
+	msgs := rec.recorded()
+	if !msgs[0].Full || msgs[0].Gen != 1 || len(msgs[0].Filters) != 1 || msgs[0].Filters[0] != fltA {
+		t.Fatalf("first announcement not the gen-1 full set: %+v", msgs[0])
+	}
+	if msgs[1].Full || msgs[1].Gen != 2 || msgs[1].Prev != 1 ||
+		len(msgs[1].Add) != 1 || msgs[1].Add[0] != fltB || len(msgs[1].Del) != 0 {
+		t.Fatalf("second announcement not the gen-2 add delta: %+v", msgs[1])
+	}
+	if msgs[2].Full || msgs[2].Gen != 3 || msgs[2].Prev != 2 ||
+		len(msgs[2].Del) != 1 || msgs[2].Del[0] != fltA || len(msgs[2].Add) != 0 {
+		t.Fatalf("third announcement not the gen-3 del delta: %+v", msgs[2])
+	}
+}
+
+// TestInterestDeltaGapResync breaks a delta chain on purpose — the holder's
+// generation is rolled back as if an announcement was lost — and asserts the
+// next delta triggers a full resync from the owner instead of a blind apply.
+func TestInterestDeltaGapResync(t *testing.T) {
+	fn := newFanNet(t, 2, 0)
+	defer fn.close()
+	waitCoverage(t, fn)
+	fa, fb := fn.fabrics[0], fn.fabrics[1]
+
+	// fa announces once so fb knows it is delta-aware (gossip flows both
+	// ways in this fleet).
+	fa.AddInterest(event.Filter{Type: "x.only"})
+	fltA := event.Filter{Type: "g.a"}
+	fltB := event.Filter{Type: "g.b"}
+	fltC := event.Filter{Type: "g.c"}
+	fb.AddInterest(fltA)
+	waitFor(t, func() bool {
+		fb.mu.Lock()
+		aware := fb.deltaAware[fa.NodeID()]
+		fb.mu.Unlock()
+		return aware && len(fa.Interests()[fb.NodeID()]) == 1
+	})
+	fb.AddInterest(fltB)
+	waitFor(t, func() bool { return len(fa.Interests()[fb.NodeID()]) == 2 })
+
+	// Roll fa back to generation 1 holding only fltA: to fa the gen-2 delta
+	// now looks lost.
+	fa.mu.Lock()
+	fa.interestGen[fb.NodeID()] = 1
+	fa.interests[fb.NodeID()] = []event.Filter{fltA}
+	fa.refreshInterestSnapLocked()
+	fa.mu.Unlock()
+
+	// The next delta (gen 3, prev 2) hits the gap; fa must ask fb for the
+	// full set and converge on all three filters at generation 3.
+	fb.AddInterest(fltC)
+	waitFor(t, func() bool {
+		fa.mu.Lock()
+		defer fa.mu.Unlock()
+		return len(fa.interests[fb.NodeID()]) == 3 && fa.interestGen[fb.NodeID()] == 3
+	})
+}
+
+// TestInterestSnapshotSkipsEmptyEntries pins the copy-on-write snapshot
+// optimization: an entry with no filters can never match and must not cost
+// fan-out and relay a scan slot.
+func TestInterestSnapshotSkipsEmptyEntries(t *testing.T) {
+	fn := newFanNet(t, 1, 0)
+	defer fn.close()
+	f := fn.fabrics[0]
+	empty := guid.New(guid.KindServer)
+	full := guid.New(guid.KindServer)
+	f.mu.Lock()
+	f.interests[empty] = []event.Filter{}
+	f.interests[full] = []event.Filter{{Type: "s.t"}}
+	f.refreshInterestSnapLocked()
+	f.mu.Unlock()
+	snap := f.interestSnapshot()
+	if len(snap) != 1 || snap[0].owner != full {
+		t.Fatalf("snapshot holds %d entries, want only the non-empty one", len(snap))
+	}
+}

@@ -33,6 +33,29 @@
 // (two relays covering the same gap in a sender's knowledge). An event
 // published in Range A and relayed via B to C is therefore delivered
 // exactly once and never returns to A, even on cyclic topologies.
+//
+// # Hierarchical interest routing
+//
+// Flat interest gossip costs O(fleet²) messages per interest change and
+// O(fleet) interest state per fabric. Fleets beyond a few dozen fabrics
+// attach to a super-peer hierarchy (SetHierarchy, typically planned with
+// overlay.PlanTree): a leaf announces its interests only to its
+// super-peer, as a compact digest (coarse ctxtype prefixes plus a Bloom
+// filter — wire.Digest) rather than as filters; a super-peer aggregates
+// its children's digests with its own interests and announces the summary
+// upward and level-wise to its peer super-peers, and sends each child a
+// downward digest of the rest of the fleet. Event batches follow the
+// links whose digest admits them. Digests only over-approximate —
+// coarsening, Bloom collisions and prefix overflow all widen, never
+// narrow — so routing tolerates false positives (a batch that crosses a
+// hop for nobody is counted as spillover and dropped there) and never
+// loses a delivery to a false negative. Digest updates are rate-limited
+// per link by a flow.UpdateCoalescer, suppressed when unchanged, and
+// generation-stamped against reordering; staleness (an unknown digest)
+// admits everything. The exactly-once machinery above — hop sets,
+// batch-id dedup, echo drops — applies unchanged, and every hierarchy hop
+// keeps the same per-link coalescing, credit acks and relay shedding as a
+// flat link. See hierarchy.go.
 package scinet
 
 import (
@@ -104,6 +127,8 @@ const (
 	// appLeave announces a clean fabric departure so peers tear down
 	// per-peer state (proxies, interests, coalescers) immediately.
 	appLeave = "scinet.leave"
+	// appDigest and appInterestSync belong to the hierarchical interest
+	// layer; see hierarchy.go.
 	// appStats / appStatsResult carry the fleet-wide dispatch.stats rollup.
 	appStats       = "scinet.stats"
 	appStatsResult = "scinet.stats_result"
@@ -158,14 +183,34 @@ type eventBatchMsg struct {
 	Events  []json.RawMessage `json:"events"`
 }
 
-// interestMsg announces the full current interest set of one fabric.
-// Receivers replace their table entry for Owner and re-gossip changes, so
-// records cross partially connected topologies.
+// interestMsg announces one fabric's cross-range interests. Receivers
+// update their table entry for Owner and re-gossip changes, so records
+// cross partially connected topologies.
+//
+// Two forms share the message. The legacy wholesale form (Gen zero)
+// carries the owner's full set in Filters and replaces the entry. The
+// generation-stamped form orders announcements per owner: Full carries
+// the complete set (sent on first contact, on resync, and whenever the
+// receiver's delta chain broke), while Add/Del carry only the change
+// since Prev — a receiver applies a delta only when Prev equals the
+// generation it holds, and otherwise asks the owner for a full
+// re-announce (appInterestSync). Stale generations are discarded, so
+// reordered gossip cannot roll an entry back.
 type interestMsg struct {
 	Owner   guid.GUID      `json:"owner"`
-	Filters []event.Filter `json:"filters"`
-	// Remove withdraws all of Owner's interests (departure).
+	Filters []event.Filter `json:"filters,omitempty"`
+	// Remove withdraws all of Owner's interests (departure, or a Full
+	// announcement of an empty set).
 	Remove bool `json:"remove,omitempty"`
+	// Gen orders announcements per owner (zero = legacy wholesale form).
+	Gen uint64 `json:"gen,omitempty"`
+	// Prev is the generation a delta applies on top of.
+	Prev uint64 `json:"prev,omitempty"`
+	// Full marks a complete-set announcement (Filters is authoritative).
+	Full bool `json:"full,omitempty"`
+	// Add/Del are the delta form's changes since Prev.
+	Add []event.Filter `json:"add,omitempty"`
+	Del []event.Filter `json:"del,omitempty"`
 }
 
 // eventBatchAckMsg is a receiver's flow-credit report for event_batch
@@ -323,10 +368,33 @@ type Fabric struct {
 	seenPos   int                               // guarded by mu
 	closed    bool                              // guarded by mu
 
+	// Hierarchical interest routing state (hierarchy.go).
+	hier         HierarchyConfig                     // guarded by mu
+	hierSet      bool                                // guarded by mu; SetHierarchy was called
+	hierOn       bool                                // guarded by mu; hierarchical routing latched active
+	hierGen      uint64                              // guarded by mu; generation stamp of outgoing digests
+	hierStatsOn  bool                                // guarded by mu; stats source registered
+	childDigests map[guid.GUID]*wire.Digest          // guarded by mu; child → its subtree digest
+	peerDigests  map[guid.GUID]*wire.Digest          // guarded by mu; peer super-peer → its subtree digest
+	upDigest     *wire.Digest                        // guarded by mu; parent's downward rest-of-fleet digest
+	digestGens   map[guid.GUID]uint64                // guarded by mu; last digest generation seen per announcer
+	digestSent   map[guid.GUID]*wire.Digest          // guarded by mu; last digest shipped per link (suppression)
+	digestCoal   map[guid.GUID]*flow.UpdateCoalescer // guarded by mu; per-link digest update pacing
+	childFwd     map[guid.GUID]uint64                // guarded by mu; batches forwarded into each child subtree
+
+	// Delta interest-announcement state.
+	announceGen uint64               // guarded by mu; local interest-set generation
+	sentGen     map[guid.GUID]uint64 // guarded by mu; last generation announced per peer
+	deltaAware  map[guid.GUID]bool   // guarded by mu; peers known to speak the generation-stamped form
+	interestGen map[guid.GUID]uint64 // guarded by mu; last generation applied per interest owner
+
 	// interestSnap is the lock-free copy-on-write view of interests that
 	// fanOut and relay match against; rebuilt under mu whenever the live
 	// table changes.
 	interestSnap atomic.Pointer[[]interestEntry]
+	// hierSnap is the lock-free hierarchy routing view (nil until
+	// SetHierarchy); rebuilt under mu whenever hierarchy state changes.
+	hierSnap atomic.Pointer[hierView]
 
 	// BatchesForwarded / EventsForwarded count the fan-out and routed-query
 	// batches this fabric originated (one batch per overlay message per
@@ -352,6 +420,13 @@ type Fabric struct {
 	// AcksSent counts flow-credit ack frames this fabric put on the wire
 	// (fan-path, routed-query, and legacy per-batch forms alike).
 	AcksSent metrics.Counter
+	// SpilloverDropped counts hierarchy-routed batches that crossed this
+	// hop for nobody — digest false positives (matched no local filter and
+	// relayed nowhere). The tolerated cost of summarized routing.
+	SpilloverDropped metrics.Counter
+	// DigestUpdatesSent counts hierarchy digest announcements actually put
+	// on the wire (coalesced and unchanged-suppressed updates excluded).
+	DigestUpdatesSent metrics.Counter
 }
 
 // seenWindow bounds the duplicate-suppression window: how many recently
@@ -397,6 +472,16 @@ func NewFabric(rng *server.Range, net transport.Network, clk clock.Clock) (*Fabr
 		relays:    make(map[guid.GUID]*relayQueue),
 		statsWait: make(map[guid.GUID]chan statsResultMsg),
 		seen:      guid.NewSet(),
+
+		childDigests: make(map[guid.GUID]*wire.Digest),
+		peerDigests:  make(map[guid.GUID]*wire.Digest),
+		digestGens:   make(map[guid.GUID]uint64),
+		digestSent:   make(map[guid.GUID]*wire.Digest),
+		digestCoal:   make(map[guid.GUID]*flow.UpdateCoalescer),
+		childFwd:     make(map[guid.GUID]uint64),
+		sentGen:      make(map[guid.GUID]uint64),
+		deltaAware:   make(map[guid.GUID]bool),
+		interestGen:  make(map[guid.GUID]uint64),
 	}
 	f.refreshInterestSnapLocked()
 	if f.ackWindow <= 0 {
@@ -446,8 +531,13 @@ func (f *Fabric) Join(bootstrap guid.GUID) error {
 	if err := f.node.Join(bootstrap); err != nil {
 		return err
 	}
+	f.maybeActivateHierarchy()
 	f.AnnounceCoverage(true)
-	f.announceInterests()
+	if f.hierarchyActive() {
+		f.touchDigestAnnouncements()
+	} else {
+		f.announceInterests()
+	}
 	return nil
 }
 
@@ -665,6 +755,10 @@ func (f *Fabric) deliver(d overlay.Delivery) {
 		f.handleBatchAck(d)
 	case appInterest:
 		f.handleInterest(d)
+	case appDigest:
+		f.handleDigest(d)
+	case appInterestSync:
+		f.handleInterestSync(d)
 	case appLeave:
 		var msg leaveMsg
 		if json.Unmarshal(d.Payload, &msg) != nil {
@@ -700,9 +794,16 @@ func (f *Fabric) handleCoverage(d overlay.Delivery) {
 	f.coverage[msg.Origin] = coverageMsg{Origin: msg.Origin, Coverage: msg.Coverage, Name: msg.Name}
 	f.mu.Unlock()
 	if !known {
+		// The fleet grew: a configured hierarchy may now reach its minimum.
+		f.maybeActivateHierarchy()
 		// A newly learned fabric also needs our interests (a joiner's
-		// interest announcements may have raced ahead of its coverage).
+		// interest announcements may have raced ahead of its coverage) —
+		// flat announcements when flat, digest announcements when
+		// hierarchical (unchanged summaries are suppressed at send time).
 		f.announceInterestsTo(msg.Origin)
+		if f.hierarchyActive() {
+			f.refreshDigestLinks()
+		}
 	}
 	if msg.Echo && !known {
 		// Reply with our own coverage so the joiner learns us.
@@ -871,20 +972,29 @@ func (f *Fabric) AddInterest(flt event.Filter) {
 			break
 		}
 	}
+	var gen uint64
+	hier := false
 	if !found {
 		f.local = append(f.local, localInterest{flt: flt, refs: 1})
+		f.announceGen++
+		gen = f.announceGen
+		hier = f.hierOn
 	}
 	f.mu.Unlock()
 	if !found {
-		f.announceInterests()
+		if hier {
+			f.touchDigestAnnouncements()
+		} else {
+			f.announceChange(gen, []event.Filter{flt}, nil)
+		}
 	}
 }
 
 // RemoveInterest drops one reference to a previously added interest. The
 // filter is withdrawn from peers only when its last reference goes — two
 // SubscribeRemote calls sharing one filter survive the first withdrawal.
-// When the whole set empties, peers drop this fabric's entry entirely;
-// otherwise the shrunken set is re-announced.
+// Delta-aware peers get just the withdrawal; a withdrawal that empties the
+// whole set makes peers drop this fabric's entry entirely.
 func (f *Fabric) RemoveInterest(flt event.Filter) {
 	f.mu.Lock()
 	changed := false
@@ -898,26 +1008,23 @@ func (f *Fabric) RemoveInterest(flt event.Filter) {
 			break
 		}
 	}
-	empty := len(f.local) == 0
 	closed := f.closed
+	var gen uint64
+	hier := false
+	if changed && !closed {
+		f.announceGen++
+		gen = f.announceGen
+		hier = f.hierOn
+	}
 	f.mu.Unlock()
-	if !changed {
+	if !changed || closed {
 		return
 	}
-	if closed {
+	if hier {
+		f.touchDigestAnnouncements()
 		return
 	}
-	if !empty {
-		f.announceInterests()
-		return
-	}
-	payload, err := json.Marshal(interestMsg{Owner: f.node.ID(), Remove: true})
-	if err != nil {
-		return
-	}
-	for _, peer := range f.node.Known() {
-		_ = f.node.Route(peer, appInterest, payload)
-	}
+	f.announceChange(gen, nil, []event.Filter{flt})
 }
 
 // SubscribeRemote subscribes owner to events matching flt published
@@ -973,11 +1080,57 @@ func (f *Fabric) Interests() map[guid.GUID][]event.Filter {
 }
 
 // announceInterests sends this fabric's full interest set to every known
-// peer.
+// peer (join-time anti-entropy; no-op while the hierarchy is active).
 func (f *Fabric) announceInterests() {
 	for _, peer := range f.node.Known() {
 		f.announceInterestsTo(peer)
 	}
+}
+
+// announceChange propagates one local interest change to every known peer:
+// a delta to peers whose chain is intact, a full set otherwise.
+func (f *Fabric) announceChange(gen uint64, add, del []event.Filter) {
+	for _, peer := range f.node.Known() {
+		f.announceChangeTo(peer, gen, add, del)
+	}
+}
+
+// announceChangeTo ships one interest change to one peer. The delta form
+// goes only when the peer is known to understand generations and holds
+// exactly the previous one; any doubt — first contact, a skipped or failed
+// announcement, out-of-order change goroutines — falls back to the full
+// set stamped with the current generation. A change already covered by a
+// newer announcement to this peer is skipped outright.
+func (f *Fabric) announceChangeTo(peer guid.GUID, gen uint64, add, del []event.Filter) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	msg := interestMsg{Owner: f.node.ID()}
+	switch {
+	case f.deltaAware[peer] && gen > 1 && f.sentGen[peer] == gen-1:
+		msg.Gen = gen
+		msg.Prev = gen - 1
+		msg.Add = add
+		msg.Del = del
+		f.sentGen[peer] = gen
+	case gen > f.sentGen[peer]:
+		msg.Gen = f.announceGen
+		msg.Full = true
+		msg.Filters = f.localFiltersLocked()
+		msg.Remove = len(msg.Filters) == 0
+		f.sentGen[peer] = msg.Gen
+	default:
+		f.mu.Unlock()
+		return // a newer announcement already covered this change
+	}
+	f.mu.Unlock()
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	_ = f.node.Route(peer, appInterest, payload)
 }
 
 // localFiltersLocked snapshots this fabric's own interest filters (one
@@ -990,15 +1143,34 @@ func (f *Fabric) localFiltersLocked() []event.Filter {
 	return out
 }
 
+// announceInterestsTo sends the full set to one peer on first contact —
+// skipped when there is nothing to say, and in hierarchy mode (digests
+// replace flat announcements there).
 func (f *Fabric) announceInterestsTo(peer guid.GUID) {
+	f.announceFull(peer, false)
+}
+
+// announceFullTo force-sends the full set to one peer — the resync reply,
+// sent even when empty so a ghost entry at the peer is cleared.
+func (f *Fabric) announceFullTo(peer guid.GUID) {
+	f.announceFull(peer, true)
+}
+
+func (f *Fabric) announceFull(peer guid.GUID, force bool) {
 	f.mu.Lock()
 	filters := f.localFiltersLocked()
-	closed := f.closed
+	skip := f.closed || f.hierOn || (!force && len(filters) == 0)
+	gen := f.announceGen
+	if !skip {
+		f.sentGen[peer] = gen
+	}
 	f.mu.Unlock()
-	if closed || len(filters) == 0 {
+	if skip {
 		return
 	}
-	payload, err := json.Marshal(interestMsg{Owner: f.node.ID(), Filters: filters})
+	msg := interestMsg{Owner: f.node.ID(), Gen: gen, Full: true, Filters: filters}
+	msg.Remove = len(filters) == 0
+	payload, err := json.Marshal(msg)
 	if err != nil {
 		return
 	}
@@ -1007,7 +1179,10 @@ func (f *Fabric) announceInterestsTo(peer guid.GUID) {
 
 // handleInterest ingests an interest announcement, establishes or tears
 // down the local mediator tap, and re-gossips changed records to other
-// peers so interests cross partially connected topologies.
+// peers so interests cross partially connected topologies. Generation-
+// stamped announcements are ordered per owner: stale ones are discarded,
+// deltas apply only on top of exactly the generation they name, and a gap
+// triggers a full resync from the owner instead of a blind apply.
 func (f *Fabric) handleInterest(d overlay.Delivery) {
 	var msg interestMsg
 	if json.Unmarshal(d.Payload, &msg) != nil {
@@ -1017,20 +1192,78 @@ func (f *Fabric) handleInterest(d overlay.Delivery) {
 		return // our own record, echoed back
 	}
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	if msg.Gen > 0 {
+		f.deltaAware[msg.Owner] = true
+	}
 	changed := false
-	if msg.Remove || len(msg.Filters) == 0 {
-		if _, ok := f.interests[msg.Owner]; ok {
-			delete(f.interests, msg.Owner)
+	resync := false
+	switch {
+	case msg.Gen > 0 && msg.Gen <= f.interestGen[msg.Owner]:
+		// Stale or duplicate generation: nothing to apply or re-gossip.
+	case msg.Gen == 0 || msg.Full || msg.Remove:
+		// Legacy wholesale announcement (Gen zero) or a generation-stamped
+		// full set: replace or delete outright.
+		if msg.Gen > 0 {
+			f.interestGen[msg.Owner] = msg.Gen
+		}
+		if msg.Remove || len(msg.Filters) == 0 {
+			if _, ok := f.interests[msg.Owner]; ok {
+				delete(f.interests, msg.Owner)
+				changed = true
+			}
+		} else if !filtersEqual(f.interests[msg.Owner], msg.Filters) {
+			f.interests[msg.Owner] = append([]event.Filter(nil), msg.Filters...)
 			changed = true
 		}
-	} else if !filtersEqual(f.interests[msg.Owner], msg.Filters) {
-		f.interests[msg.Owner] = append([]event.Filter(nil), msg.Filters...)
+	case msg.Prev != f.interestGen[msg.Owner]:
+		// A delta whose base we do not hold: the chain broke (lost or
+		// reordered announcement) — ask the owner for the full set.
+		resync = true
+	default:
+		// In-sequence delta: remove Del, add Add, drop the entry if empty
+		// (an empty entry would cost snapshot scans for nothing).
+		cur := f.interests[msg.Owner]
+		next := make([]event.Filter, 0, len(cur)+len(msg.Add))
+	keep:
+		for _, fl := range cur {
+			for _, dl := range msg.Del {
+				if fl == dl {
+					continue keep
+				}
+			}
+			next = append(next, fl)
+		}
+	add:
+		for _, al := range msg.Add {
+			for _, fl := range next {
+				if fl == al {
+					continue add
+				}
+			}
+			next = append(next, al)
+		}
+		f.interestGen[msg.Owner] = msg.Gen
+		if len(next) == 0 {
+			delete(f.interests, msg.Owner)
+		} else {
+			f.interests[msg.Owner] = next
+		}
 		changed = true
 	}
 	if changed {
 		f.refreshInterestSnapLocked()
 	}
 	f.mu.Unlock()
+	if resync {
+		if payload, err := json.Marshal(interestSyncMsg{From: f.node.ID()}); err == nil {
+			_ = f.node.Route(msg.Owner, appInterestSync, payload)
+		}
+		return
+	}
 	f.reconcileTaps()
 	if !changed {
 		return
@@ -1154,7 +1387,7 @@ func (f *Fabric) reconcileTaps() {
 			f.mu.Unlock()
 			return
 		}
-		types, wildcard := desiredTapTypesLocked(f.interests, f.rng.Types())
+		types, wildcard := f.tapDemandLocked()
 		want := make(map[ctxtype.Type]bool, len(types)+1)
 		if wildcard {
 			want[ctxtype.Wildcard] = true
@@ -1241,23 +1474,17 @@ func (f *Fabric) forwardLocal(events []event.Event) {
 }
 
 // fanOut ships one already-bounded chunk of locally published events to
-// every interested peer, stamped with this fabric as origin and a hop set
-// covering origin plus all recipients — the loop-suppression contract that
-// lets relays extend coverage without ever duplicating or echoing.
+// every next hop that wants it — flat-announced interested peers plus, in
+// hierarchy mode, the hierarchy links whose digest admits the batch —
+// stamped with this fabric as origin and a hop set covering origin plus
+// all recipients: the loop-suppression contract that lets relays extend
+// coverage without ever duplicating or echoing.
 func (f *Fabric) fanOut(events []event.Event) {
-	// Interest matching runs against the lock-free snapshot: a wide table
+	// Interest matching runs against the lock-free snapshots: a wide table
 	// of per-peer filters must not serialize every flush behind f.mu. Close
-	// empties the snapshot, so a closed fabric matches nothing.
+	// empties both snapshots, so a closed fabric matches nothing.
 	self := f.node.ID()
-	var recips []guid.GUID
-	for _, ent := range f.interestSnapshot() {
-		if ent.owner == self {
-			continue
-		}
-		if matchAny(ent.filters, events, f.rng) {
-			recips = append(recips, ent.owner)
-		}
-	}
+	recips := f.forwardTargets(events, guid.NewSet(self))
 	if len(recips) == 0 {
 		return
 	}
@@ -1285,6 +1512,7 @@ func (f *Fabric) fanOut(events []event.Event) {
 		if f.node.RouteBatch(to, appEventBatch, payload, batch) == nil {
 			f.BatchesForwarded.Inc()
 			f.EventsForwarded.Add(uint64(len(owned)))
+			f.noteSubtreeForward(to)
 		}
 	}
 }
@@ -1381,11 +1609,17 @@ func (f *Fabric) handleEventBatch(d overlay.Delivery) {
 	// batch's; coalesced per peer so a relayed burst answers with one
 	// frame, not one per message.
 	f.noteFanAck(d.Origin, got)
-	if len(events) == 0 {
-		return
-	}
 	// Relays match against the full batch: peers' filters differ from ours.
-	f.relay(msg, events, d.Batch)
+	relayed := 0
+	if len(events) > 0 {
+		relayed = f.relay(msg, events, d.Batch)
+	}
+	// A hierarchy-routed batch that crossed this hop for nobody — matched
+	// no local filter, relayed nowhere — is a digest false positive:
+	// tolerated spillover, counted so E16 can bound its rate.
+	if len(events) > 0 && len(keep) == 0 && relayed == 0 && f.hierarchyActive() {
+		f.SpilloverDropped.Inc()
+	}
 }
 
 // nativeEvents applies decodeFrames' validation and loop-safety rules to a
@@ -1637,29 +1871,24 @@ func (f *Fabric) handleBatchAck(d overlay.Delivery) {
 	f.fan.NoteCredit(delta, msg.QueueFree)
 }
 
-// relay re-forwards an ingested batch to interested peers outside its hop
-// set — the case where the origin did not know an interested fabric that
-// this one does — extending the hop set with every new recipient.
-// When the batch arrived natively, the same shared batch pointer rides the
-// relayed copies — events stay un-serialized across the whole relay chain
-// unless a legacy hop forces a fold.
-func (f *Fabric) relay(msg eventBatchMsg, events []event.Event, batch *wire.NativeBatch) {
+// relay re-forwards an ingested batch to next hops outside its hop set —
+// interested peers the origin did not know, and in hierarchy mode the
+// links whose digest admits the batch (up toward the parent, down into
+// matching subtrees, across to matching peer super-peers) — extending the
+// hop set with every new recipient. When the batch arrived natively, the
+// same shared batch pointer rides the relayed copies — events stay
+// un-serialized across the whole relay chain unless a legacy hop forces a
+// fold. It returns the number of next hops taken (zero means the batch
+// terminated here).
+func (f *Fabric) relay(msg eventBatchMsg, events []event.Event, batch *wire.NativeBatch) int {
 	via := guid.NewSet(msg.Via...)
 	via.Add(msg.Origin)
 	via.Add(f.node.ID())
-	// Interest matching runs against the lock-free snapshot, same as fanOut:
-	// relays sit on the ingest path and must not serialize behind f.mu.
-	var extra []guid.GUID
-	for _, ent := range f.interestSnapshot() {
-		if via.Has(ent.owner) {
-			continue
-		}
-		if matchAny(ent.filters, events, f.rng) {
-			extra = append(extra, ent.owner)
-		}
-	}
+	// Matching runs against the lock-free snapshots, same as fanOut: relays
+	// sit on the ingest path and must not serialize behind f.mu.
+	extra := f.forwardTargets(events, via)
 	if len(extra) == 0 {
-		return
+		return 0
 	}
 	for _, id := range extra {
 		via.Add(id)
@@ -1674,7 +1903,7 @@ func (f *Fabric) relay(msg eventBatchMsg, events []event.Event, batch *wire.Nati
 	}
 	payload, err := json.Marshal(out)
 	if err != nil {
-		return
+		return 0
 	}
 	// Forwarding honors this fabric's own credit state: while the fan-out
 	// penalty is engaged, relayed batches queue into a bounded drop-oldest
@@ -1683,6 +1912,7 @@ func (f *Fabric) relay(msg eventBatchMsg, events []event.Event, batch *wire.Nati
 	for _, to := range extra {
 		f.relayTo(to, payload, batch)
 	}
+	return len(extra)
 }
 
 // matchAny reports whether any filter accepts any event, using the Range's
@@ -1831,6 +2061,33 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 		f.refreshInterestSnapLocked()
 	}
 	delete(f.peerDrops, peer)
+	delete(f.sentGen, peer)
+	delete(f.deltaAware, peer)
+	delete(f.interestGen, peer)
+	// Hierarchy state for the departed peer: its digests no longer route.
+	hierChanged := false
+	if _, ok := f.childDigests[peer]; ok {
+		delete(f.childDigests, peer)
+		hierChanged = true
+	}
+	if _, ok := f.peerDigests[peer]; ok {
+		delete(f.peerDigests, peer)
+		hierChanged = true
+	}
+	if f.hierSet && peer == f.hier.Parent && f.upDigest != nil {
+		// The parent's downward summary died with it: route upward
+		// conservatively until a parent speaks again.
+		f.upDigest = nil
+		hierChanged = true
+	}
+	delete(f.digestGens, peer)
+	delete(f.digestSent, peer)
+	delete(f.childFwd, peer)
+	dcoal := f.digestCoal[peer]
+	delete(f.digestCoal, peer)
+	if hierChanged {
+		f.refreshHierSnapLocked()
+	}
 	// The departed peer's downstream account (downObs) is deliberately
 	// retained: figures reported to the remaining peers must stay
 	// monotone, and max-merge makes a stale account harmless.
@@ -1869,12 +2126,19 @@ func (f *Fabric) peerGone(peer guid.GUID) {
 	if relay != nil {
 		relay.discard()
 	}
+	if dcoal != nil {
+		dcoal.Stop()
+	}
 	for _, q := range drop {
 		q.Discard()
 	}
 	guid.Sort(gone)
 	for _, qid := range gone {
 		f.dropServed(qid)
+	}
+	if hierChanged {
+		// Remaining links' summaries just changed (a subtree vanished).
+		f.touchDigestAnnouncements()
 	}
 	f.reconcileTaps()
 }
@@ -2052,12 +2316,53 @@ func (f *Fabric) Close() error {
 		relays = append(relays, rq)
 	}
 	f.relays = make(map[guid.GUID]*relayQueue)
+	dcoals := make([]*flow.UpdateCoalescer, 0, len(f.digestCoal))
+	for _, c := range f.digestCoal {
+		dcoals = append(dcoals, c)
+	}
+	f.digestCoal = make(map[guid.GUID]*flow.UpdateCoalescer)
+	var hierLinks []guid.GUID
+	hierParent := f.hier.Parent
+	hierPeers := append([]guid.GUID(nil), f.hier.Peers...)
+	if f.hierOn {
+		hierLinks = f.hierLinkIDsLocked()
+	}
+	f.hierOn = false
+	if f.hierSet {
+		f.hierSnap.Store(&hierView{}) // inactive: hierarchy routing matches nothing
+	}
 	f.mu.Unlock()
 	for _, a := range acks {
 		a.Stop()
 	}
 	for _, rq := range relays {
 		rq.discard()
+	}
+	for _, c := range dcoals {
+		c.Stop()
+	}
+	// Withdraw this fabric's digests so hierarchy neighbors stop routing
+	// through it at once instead of waiting for the overlay to forget it.
+	if len(hierLinks) > 0 {
+		self := f.node.ID()
+		isPeer := make(map[guid.GUID]bool, len(hierPeers))
+		for _, p := range hierPeers {
+			isPeer[p] = true
+		}
+		for _, to := range hierLinks {
+			msg := digestMsg{Owner: self, Remove: true}
+			switch {
+			case to == hierParent:
+				msg.Child = true
+			case isPeer[to]:
+				msg.Peer = true
+			default:
+				msg.Down = true
+			}
+			if payload, err := json.Marshal(msg); err == nil {
+				_ = f.node.Route(to, appDigest, payload)
+			}
+		}
 	}
 
 	guid.Sort(taps)

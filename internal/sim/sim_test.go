@@ -349,3 +349,42 @@ func TestRunE14Shape(t *testing.T) {
 		t.Fatal("empty table")
 	}
 }
+
+func TestRunE16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two four-fleet E16 builds in -short mode")
+	}
+	rows, err := RunE16([]int{28, 40}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want flat+hier at each size", len(rows))
+	}
+	for _, r := range rows {
+		// Delivery correctness holds at every scale and in both modes; the
+		// sublinearity and 0.5× bars need the full 32→128 sweep (scibench
+		// -exp e16, enforced by E16Check in CI) to be meaningful.
+		if r.Lost != 0 || r.Dups != 0 {
+			t.Fatalf("%s/%d lost %d dups %d: %+v", r.Mode, r.Fabrics, r.Lost, r.Dups, r)
+		}
+		if r.Mode == "hier" && r.DigestUpdates == 0 {
+			t.Fatalf("hier/%d exchanged no digests: %+v", r.Fabrics, r)
+		}
+	}
+	// At equal fleet size the hierarchy must hold less interest state than
+	// flat flooding — the structural claim, scale-independent.
+	for i := 0; i+1 < len(rows); i += 2 {
+		flat, hier := rows[i], rows[i+1]
+		if hier.AvgInterestEntries >= flat.AvgInterestEntries {
+			t.Fatalf("hier %d holds %.1f entries/fabric vs flat %.1f",
+				hier.Fabrics, hier.AvgInterestEntries, flat.AvgInterestEntries)
+		}
+	}
+	if E16Table(rows).String() == "" {
+		t.Fatal("empty table")
+	}
+	if err := E16Check(rows[:3]); err == nil {
+		t.Fatal("E16Check accepted unpaired rows")
+	}
+}

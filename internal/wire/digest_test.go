@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randType builds a random dotted context type from a small alphabet of
+// segments, 1–4 levels deep.
+func randType(rng *rand.Rand) string {
+	segs := rng.Intn(4) + 1
+	var b bytes.Buffer
+	for i := 0; i < segs; i++ {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "s%d", rng.Intn(50))
+	}
+	return b.String()
+}
+
+// TestDigestNoFalseNegatives is the digest's load-bearing property: across
+// randomized filter sets — including merges and codec round trips — every
+// type that was ever added must keep answering MightMatch true. A false
+// positive is tolerated spillover; a false negative is a lost delivery.
+func TestDigestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(120) + 1
+		added := make(map[string]bool, n)
+		d := NewDigest(uint64(trial))
+		for i := 0; i < n; i++ {
+			typ := randType(rng)
+			added[typ] = true
+			d.AddType(typ)
+		}
+		check := func(d *Digest, stage string) {
+			for typ := range added {
+				if !d.MightMatch(typ) {
+					t.Fatalf("trial %d (%s): false negative for %q (wildcard=%v)", trial, stage, typ, d.Wildcard())
+				}
+			}
+		}
+		check(d, "fresh")
+
+		// Round trip through the binary codec.
+		dec, err := DecodeDigest(EncodeDigest(d))
+		if err != nil {
+			t.Fatalf("trial %d: round trip: %v", trial, err)
+		}
+		if !dec.Equal(d) || dec.Gen != d.Gen {
+			t.Fatalf("trial %d: round trip changed digest", trial)
+		}
+		check(dec, "decoded")
+
+		// Merge with a second random digest: everything from both sides
+		// must survive.
+		other := NewDigest(0)
+		for i, m := 0, rng.Intn(80); i < m; i++ {
+			typ := randType(rng)
+			added[typ] = true
+			other.AddType(typ)
+		}
+		d.MergeFrom(other)
+		check(d, "merged")
+	}
+}
+
+// TestDigestFalsePositiveRate bounds the other side: at realistic set
+// sizes the digest must stay selective. With 2048 Bloom bits, k=4 and 120
+// distinct types the analytic rate is ~0.4%; the test allows 2% across
+// randomized sets (and requires the aggregate across trials to stay under
+// 1%) so the fleet-level acceptance bar of <5% spillover has real margin.
+func TestDigestFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Deeper types drawn from a handful of type families, so the coarse
+	// prefix tier stays within DigestMaxPrefixes — the realistic fleet
+	// shape (filter families share prefixes) and the Bloom tier's worst
+	// case, since the prefix gate alone cannot reject the probes.
+	familyType := func() string {
+		return fmt.Sprintf("f%d.g%d.t%d.u%d", rng.Intn(6), rng.Intn(8), rng.Intn(40), rng.Intn(40))
+	}
+	var probes, fps int
+	for trial := 0; trial < 50; trial++ {
+		added := make(map[string]bool)
+		d := NewDigest(0)
+		for i := 0; i < 120; i++ {
+			typ := familyType()
+			added[typ] = true
+			d.AddType(typ)
+		}
+		if d.Wildcard() {
+			t.Fatalf("trial %d: 120 types overflowed to wildcard", trial)
+		}
+		trialProbes, trialFPs := 0, 0
+		for i := 0; i < 2000; i++ {
+			// Probe with types sharing the added population's prefixes but
+			// (mostly) absent from the set — the worst case for the Bloom
+			// tier, since the prefix gate passes.
+			typ := familyType() + ".x"
+			if added[typ] {
+				continue
+			}
+			trialProbes++
+			if d.MightMatch(typ) {
+				trialFPs++
+			}
+		}
+		probes += trialProbes
+		fps += trialFPs
+		if rate := float64(trialFPs) / float64(trialProbes); rate > 0.02 {
+			t.Fatalf("trial %d: false-positive rate %.4f > 0.02", trial, rate)
+		}
+	}
+	if rate := float64(fps) / float64(probes); rate > 0.01 {
+		t.Fatalf("aggregate false-positive rate %.4f > 0.01 (%d/%d)", rate, fps, probes)
+	}
+}
+
+func TestDigestWildcardAndOverflow(t *testing.T) {
+	d := NewDigest(3)
+	d.AddType("a.b.c")
+	d.AddType("") // unbounded interest
+	if !d.Wildcard() || !d.MightMatch("anything.at.all") {
+		t.Fatal("empty type must widen the digest to a wildcard")
+	}
+	dec, err := DecodeDigest(EncodeDigest(d))
+	if err != nil || !dec.Wildcard() || dec.Gen != 3 {
+		t.Fatalf("wildcard round trip: %v wildcard=%v gen=%d", err, dec.Wildcard(), dec.Gen)
+	}
+
+	// Prefix overflow degrades to wildcard instead of dropping entries.
+	d = NewDigest(0)
+	for i := 0; i <= DigestMaxPrefixes; i++ {
+		d.AddType(fmt.Sprintf("p%d.leaf", i))
+	}
+	if !d.Wildcard() {
+		t.Fatal("prefix overflow must degrade to wildcard")
+	}
+
+	// Merging past the bound degrades the same way.
+	a, b := NewDigest(0), NewDigest(0)
+	for i := 0; i < DigestMaxPrefixes; i++ {
+		a.AddType(fmt.Sprintf("a%d.leaf", i))
+		b.AddType(fmt.Sprintf("b%d.leaf", i))
+	}
+	a.MergeFrom(b)
+	if !a.Wildcard() {
+		t.Fatal("merge overflow must degrade to wildcard")
+	}
+}
+
+func TestDigestEmptyAndEqual(t *testing.T) {
+	var empty Digest
+	if !empty.Empty() || empty.MightMatch("a.b") {
+		t.Fatal("zero digest must match nothing")
+	}
+	dec, err := DecodeDigest(EncodeDigest(&empty))
+	if err != nil || !dec.Empty() {
+		t.Fatalf("empty round trip: %v", err)
+	}
+
+	a, b := NewDigest(1), NewDigest(2)
+	a.AddType("x.y.z")
+	b.AddType("x.y.z")
+	if !a.Equal(b) {
+		t.Fatal("Equal must ignore generations")
+	}
+	b.AddType("q.r")
+	if a.Equal(b) {
+		t.Fatal("Equal must see the widened digest")
+	}
+}
+
+func TestDecodeDigestRejectsMalformed(t *testing.T) {
+	good := func() *Digest {
+		d := NewDigest(9)
+		d.AddType("a.b.c")
+		return d
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      {0x00, digestVersion, 0},
+		"bad version":    {digestMagic, 0x7f, 0},
+		"truncated":      EncodeDigest(good())[:5],
+		"trailing":       append(EncodeDigest(good()), 0xff),
+		"missing bloom":  {digestMagic, digestVersion, 0, 0 /*gen*/, 1 /*nprefixes*/, 1, 'a'},
+		"overlong count": {digestMagic, digestVersion, 0, 0, 0xff, 0xff, 0x03},
+	}
+	for name, raw := range cases {
+		if _, err := DecodeDigest(raw); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzDigestDecode pairs the round-trip property with decoder robustness:
+// a valid encoding must survive unchanged, and arbitrary bytes must never
+// panic or produce a digest that forgets a declared type.
+func FuzzDigestDecode(f *testing.F) {
+	seedDigest := NewDigest(42)
+	seedDigest.AddType("building.floor3.temperature")
+	seedDigest.AddType("badge.seen")
+	f.Add(EncodeDigest(seedDigest))
+	f.Add(EncodeDigest(NewDigest(0)))
+	f.Add([]byte{digestMagic, digestVersion, 0})
+	f.Add([]byte{digestMagic, digestVersion, digestFlagWildcard, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDigest(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode to an equal digest.
+		back, err := DecodeDigest(EncodeDigest(d))
+		if err != nil {
+			t.Fatalf("re-decode of valid digest failed: %v", err)
+		}
+		if !back.Equal(d) || back.Gen != d.Gen {
+			t.Fatal("re-encode changed the digest")
+		}
+	})
+}

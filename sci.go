@@ -329,6 +329,13 @@ type (
 	FleetStats = scinet.FleetStats
 	// FleetRangeStats is one Range's snapshot inside a FleetStats rollup.
 	FleetRangeStats = scinet.RangeStats
+	// HierarchyConfig attaches a Fabric to the super-peer interest
+	// hierarchy (Fabric.SetHierarchy): leaves summarize their interests
+	// into Bloom/prefix digests announced only to their super-peer, and
+	// super-peers aggregate and route event batches along the tree, so
+	// grid-scale fleets keep per-fabric interest state and per-publish
+	// message cost sublinear in fleet size. Auto-flat below MinFleet.
+	HierarchyConfig = scinet.HierarchyConfig
 )
 
 // NewFabric attaches a Range to a SCINET over a transport network.
