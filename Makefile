@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lint test fuzz-smoke check
+.PHONY: build vet fmt lint lint-stats test fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,15 @@ fmt:
 	test -z "$$(gofmt -l . | tee /dev/stderr)"
 
 # The repository's invariant analyzers (clockcheck, batchshare, guardedby,
-# gaugekey). Any diagnostic fails the build; see internal/analysis/doc.go.
+# gaugekey, lockorder, leakcheck, hotpath). Any diagnostic fails the build;
+# see internal/analysis/doc.go.
 lint:
 	$(GO) run ./cmd/scilint ./...
+
+# Finding/suppression counts as JSON, for the CI artifact that tracks the
+# lint surface over time. Always exits 0; `make lint` is the gate.
+lint-stats:
+	$(GO) run ./cmd/scilint -stats ./... | tee lint-stats.json
 
 test:
 	$(GO) test -race -shuffle=on ./...

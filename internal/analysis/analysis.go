@@ -25,10 +25,42 @@ type Analyzer struct {
 	// The returned error aborts the whole scilint run (loader faults,
 	// not findings).
 	Run func(pass *Pass) error
+	// RunProgram, when set, runs once per load with every matched package
+	// visible, after the per-package Run calls. It is how the
+	// interprocedural analyzers (lockorder, leakcheck, hotpath) see call
+	// edges that cross package boundaries. Either Run or RunProgram (or
+	// both) may be set.
+	RunProgram func(prog *Program) error
 	// Packages optionally restricts the analyzer to packages whose import
-	// path's last element is in the list. The driver applies the filter;
-	// analysistest ignores it so fixtures can use any package name.
+	// path's last element is in the list. The driver applies the filter
+	// for Run; RunProgram analyzers receive every package and consult
+	// Program.InScope for their reporting scope. analysistest ignores the
+	// filter so fixtures can use any package name.
 	Packages []string
+}
+
+// Program carries every loaded package through one whole-program analyzer.
+type Program struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// applyFilter mirrors the driver/analysistest distinction: fixtures
+	// ignore the analyzer's package filter.
+	applyFilter bool
+	report      func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Program) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// InScope reports whether diagnostics rooted in pkg are within the
+// analyzer's package filter. Whole-program analyzers see every package (a
+// lock edge may cross any boundary) but report only inside their scope.
+func (p *Program) InScope(pkg *Package) bool {
+	return !p.applyFilter || p.Analyzer.appliesTo(pkg.Path)
 }
 
 // Pass carries one type-checked package through one analyzer.

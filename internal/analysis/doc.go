@@ -54,6 +54,74 @@
 // source names) makes the registry grow without bound — PR 6's shedding
 // work specifically bounds per-source gauges to a top-K.
 //
+// # Whole-program analyzers
+//
+// The three analyzers below run through Analyzer.RunProgram over every
+// loaded package at once, propagating per-function summaries across call
+// edges (internal/analysis/interproc keys functions by symbol —
+// pkgpath.Recv.Name — so identities survive the per-package export-data
+// universes). They report only into packages matched by the load pattern.
+//
+// lockorder — builds the global lock-ordering graph: an edge a → b is
+// recorded whenever a Lock/RLock of b happens while a is held, including
+// through call chains (each function's summary lists the locks its body
+// and callees may take; function literals are excluded from summaries
+// because callbacks run on their own stack later, not at the call site).
+// Any cycle in the graph is a potential deadlock and is reported with one
+// witness site per edge. The discipline is documented in source with
+//
+//	//lint:lockorder <a> < <b> <reason>
+//
+// assertions; a lock acquisition that contradicts a declared order is a
+// hard error even when no full cycle exists yet, and an assertion naming
+// locks that are never observed is flagged as a typo. The repository's
+// declared order catalogue:
+//
+//	flow.Coalescer.sendMu < flow.Coalescer.mu
+//	    doFlush extracts under mu while holding the flush serialisation
+//	    lock; the reverse direction would deadlock a timer flush racing a
+//	    size flush.
+//	flow.Coalescer.sendMu < scinet.Fabric.mu
+//	    Coalescer send callbacks run under the flush lock and take f.mu to
+//	    route; calling Flush/Touch/Stop/Discard while holding f.mu would
+//	    invert it. scinet releases f.mu before every flow entry point.
+//	eventbus.Subscription.mu < eventbus.shard.dropMu
+//	    drop attribution runs under a subscription's lock; dropMu is a
+//	    leaf that takes nothing.
+//
+// leakcheck — every `go` statement in the core packages must have a
+// lifecycle owner: either a sync.WaitGroup.Add precedes the launch in the
+// same body, or the goroutine's body provably parks on a channel
+// (receive, range, select) or calls WaitGroup.Done — searched through up
+// to three call hops when the body delegates to a named function.
+// Rationale: an unowned goroutine outlives its owner's Close, and the
+// failure mode is a handler running against freed state (the
+// Connector.Close/deliverLoop join fixed alongside this analyzer).
+// Dynamic dispatch (interface method launches) cannot be proven and is
+// flagged; tie the goroutine to an owner or justify with //lint:allow.
+// The runtime half is internal/leak.Check, wired into the heaviest race
+// suites: it snapshots goroutines at test start and fails the test if
+// goroutines born during it are still alive at the end.
+//
+// hotpath — a function annotated
+//
+//	//lint:hotpath
+//
+// in its doc comment must be allocation-free in steady state: composite
+// literals, make/new, closures, go statements, string concatenation,
+// string↔[]byte conversions, fmt calls, interface boxing of non-pointer
+// values, method values outside call position and appends that may grow a
+// foreign slice are all flagged, and calls are followed interprocedurally
+// (a call into a function whose summary may allocate is reported with the
+// full chain). Exempt idioms: self-append (x = append(x, ...)), buffer
+// reuse (x = append(x[:0], ...)) and the append-helper tail form (return
+// append(b, ...)). Calls into other annotated functions are trusted.
+// Every annotation must be backed by a testing.AllocsPerRun check in its
+// package, registered in internal/analysis/hotpath's allocChecks table —
+// the static analyzer bounds what the code can do, the runtime check
+// proves the //lint:allow escapes were justified, and the registry test
+// keeps the two in lockstep.
+//
 // # Suppressions
 //
 // A deliberate exception is written as
@@ -61,9 +129,13 @@
 //	//lint:allow <analyzer> <reason>
 //
 // on the flagged line or the line immediately above. The reason is
-// mandatory — a bare allow is itself a diagnostic — and an allow that no
-// longer suppresses anything is reported as unused so suppressions cannot
-// outlive the code they excused.
+// mandatory and must carry more than ten characters of justification — a
+// bare or perfunctory allow is itself a diagnostic — and an allow that no
+// longer suppresses anything is reported as unused (scoped to the
+// analyzers that actually ran, so -only selections do not misfire) so
+// suppressions cannot outlive the code they excused. CI publishes the
+// finding and suppression counts per analyzer as the lint-stats artifact
+// (`make lint-stats`), so the suppression surface is tracked over time.
 //
 // # Writing a new analyzer
 //
@@ -71,5 +143,9 @@
 // Pass.TypesInfo, report through Pass.Reportf, restrict it to the packages
 // whose contract it checks via Packages, add it to cmd/scilint and the
 // self-test, and give it positive and negative fixtures under
-// testdata/<dir> driven by analysistest.Run.
+// testdata/<dir> driven by analysistest.Run. An invariant that crosses
+// package boundaries implements RunProgram instead: it receives every
+// loaded package with a shared interproc call-graph view, joins
+// per-function summaries bottom-up, and filters reports with
+// Program.InScope.
 package analysis

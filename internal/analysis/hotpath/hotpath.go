@@ -1,0 +1,443 @@
+// Package hotpath enforces that functions annotated //lint:hotpath stay
+// allocation-free. The dispatch, encode and flush paths run per event;
+// one hidden allocation there turns into GC pressure proportional to the
+// publish rate, which is exactly the cost the zero-alloc wire path was
+// built to avoid.
+//
+// Inside an annotated function the analyzer flags every construct the
+// compiler lowers to a heap allocation:
+//
+//   - map and slice composite literals, &T{} literals, make and new
+//   - function literals and method values (closure allocation)
+//   - fmt calls (interface boxing plus formatting state)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface boxing: converting or passing a non-pointer-shaped value
+//     to an interface; pointers, channels, maps and funcs are stored in
+//     the interface word directly and stay free
+//   - append whose destination is not the slice being appended to
+//     (x = append(y, ...)): growth is unprovable, while self-append to a
+//     reused buffer — x = append(x, ...), x = append(x[:0], ...), and the
+//     append-helper tail `return append(b, ...)` whose caller reassigns
+//     over the same buffer — is the amortised idiom the benchmarks vouch
+//     for
+//   - go statements (a new goroutine is never free)
+//
+// Calls are checked interprocedurally: a call to another in-program
+// function is traversed (to a bounded depth) and flagged when its body
+// may allocate, unless the callee is itself annotated //lint:hotpath —
+// then it is checked in its own right and trusted here. Calls that
+// cannot be resolved statically (stdlib, interface methods, function
+// values) are assumed clean; that unsoundness is deliberate and is
+// backstopped by the AllocsPerRun benchmark cross-check, which measures
+// every annotated function end to end (see hotpath_bench_test.go).
+//
+// Deliberate exceptions — a cold branch that builds a table once, a
+// method value handed to a timer — carry //lint:allow hotpath <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/interproc"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "hotpath",
+	Doc:        "functions annotated //lint:hotpath must not allocate",
+	RunProgram: run,
+}
+
+// marker is the annotation line, in doc comments of hot functions.
+const marker = "//lint:hotpath"
+
+func run(prog *analysis.Program) error {
+	c := &checker{
+		prog:      prog,
+		ip:        interproc.Build(prog.Packages),
+		annotated: make(map[string]*interproc.Func),
+		memo:      make(map[string]string),
+		inProg:    make(map[string]bool),
+	}
+	// Pass 1: index every annotated function, in scope or not, so calls
+	// into them are trusted rather than re-traversed.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !isAnnotated(fd) {
+					continue
+				}
+				if fd.Body == nil {
+					continue
+				}
+				if fn := c.ip.FuncOf(pkg, fd); fn != nil {
+					c.annotated[fn.Key] = fn
+				}
+			}
+		}
+	}
+	// Pass 2: check each annotated body.
+	for _, fn := range sortedFuncs(c.annotated) {
+		if !prog.InScope(fn.Pkg) {
+			continue
+		}
+		c.scan(fn.Pkg, fn.Decl.Body, func(pos token.Pos, msg string) {
+			prog.Reportf(pos, "%s in //lint:hotpath function %s", msg, fn.Decl.Name.Name)
+		})
+	}
+	return nil
+}
+
+// Annotated returns the symbol keys of every //lint:hotpath function in
+// the program, sorted. The benchmark cross-check uses this to tie each
+// annotation to an AllocsPerRun measurement.
+func Annotated(pkgs []*analysis.Package) []string {
+	ip := interproc.Build(pkgs)
+	var keys []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !isAnnotated(fd) || fd.Body == nil {
+					continue
+				}
+				if fn := ip.FuncOf(pkg, fd); fn != nil {
+					keys = append(keys, fn.Key)
+				}
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func isAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	prog      *analysis.Program
+	ip        *interproc.Program
+	annotated map[string]*interproc.Func
+	memo      map[string]string // symbol key -> first alloc reason, "" = clean
+	inProg    map[string]bool   // recursion guard for mayAlloc
+}
+
+// scan walks body and reports every allocating construct. Calls are
+// followed per the interprocedural policy in the package doc.
+func (c *checker) scan(pkg *analysis.Package, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
+	info := pkg.TypesInfo
+	selfAppends := selfAppendCalls(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			switch info.Types[x].Type.Underlying().(type) {
+			case *types.Map:
+				report(x.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(x.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			report(x.Pos(), "function literal allocates a closure")
+			return false // its body runs later, on someone else's budget
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(info, x) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(info, x.Lhs[0]) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			// A method value outside call position is a closure.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal && !isCallFun(body, x) {
+				report(x.Pos(), "method value allocates a closure")
+			}
+		case *ast.CallExpr:
+			c.call(pkg, x, selfAppends, report)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: conversion, builtin, fmt,
+// in-program callee, or opaque.
+func (c *checker) call(pkg *analysis.Package, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, report func(pos token.Pos, msg string)) {
+	info := pkg.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(info, call, tv.Type, report)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if !selfAppends[call] {
+					report(call.Pos(), "append to a different slice may grow past capacity and allocate")
+				}
+			}
+			return
+		}
+	}
+	if obj := interproc.CalleeObj(pkg, call); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt."+obj.Name()+" allocates")
+		return
+	}
+	c.boxedArgs(info, call, report)
+	if callee := c.ip.Callee(pkg, call); callee != nil {
+		if _, ok := c.annotated[callee.Key]; ok {
+			return // checked in its own right
+		}
+		if reason := c.mayAlloc(callee, interproc.MaxDepth); reason != "" {
+			report(call.Pos(), "call to "+callee.Key+" allocates ("+reason+")")
+		}
+	}
+}
+
+// conversion flags allocating type conversions: string<->[]byte/[]rune
+// and boxing into an interface.
+func (c *checker) conversion(info *types.Info, call *ast.CallExpr, to types.Type, report func(pos token.Pos, msg string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := info.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	if isStringSlicePair(toU, fromU) || isStringSlicePair(fromU, toU) {
+		report(call.Pos(), "string/slice conversion copies and allocates")
+		return
+	}
+	if _, ok := toU.(*types.Interface); ok && boxes(from) {
+		report(call.Pos(), "conversion boxes a non-pointer value into an interface")
+	}
+}
+
+// boxedArgs flags arguments whose static type must be boxed to satisfy
+// an interface parameter.
+func (c *checker) boxedArgs(info *types.Info, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || !boxes(at) {
+			continue
+		}
+		report(arg.Pos(), "argument boxes a non-pointer value into an interface parameter")
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// requires a heap allocation. Pointer-shaped types (pointers, channels,
+// maps, funcs, unsafe.Pointer) live in the interface word directly;
+// interfaces re-box nothing; everything else allocates.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		if t.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+// mayAlloc reports the first allocating construct reachable from fn
+// through resolvable, unannotated callees, or "" when the body is clean.
+// Unresolvable calls are assumed clean (the benchmark cross-check is the
+// backstop); recursion breaks optimistically.
+func (c *checker) mayAlloc(fn *interproc.Func, depth int) string {
+	if reason, ok := c.memo[fn.Key]; ok {
+		return reason
+	}
+	if c.inProg[fn.Key] || depth <= 0 || fn.Decl.Body == nil {
+		return ""
+	}
+	c.inProg[fn.Key] = true
+	defer delete(c.inProg, fn.Key)
+
+	reason := ""
+	pkg := fn.Pkg
+	selfAppends := selfAppendCalls(fn.Decl.Body)
+	info := pkg.TypesInfo
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		note := func(_ token.Pos, msg string) {
+			if reason == "" {
+				reason = msg + " in " + fn.Key
+			}
+		}
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			switch info.Types[x].Type.Underlying().(type) {
+			case *types.Map, *types.Slice:
+				note(x.Pos(), "composite literal")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					note(x.Pos(), "&composite literal")
+				}
+			}
+		case *ast.FuncLit:
+			note(x.Pos(), "function literal")
+			return false
+		case *ast.GoStmt:
+			note(x.Pos(), "go statement")
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(info, x) {
+				note(x.Pos(), "string concatenation")
+			}
+		case *ast.CallExpr:
+			c.call(pkg, x, selfAppends, note)
+		}
+		return reason == ""
+	})
+	c.memo[fn.Key] = reason
+	return reason
+}
+
+// selfAppendCalls returns the append calls of the amortised self-append
+// form x = append(x, ...) (including the x = append(x[:n], ...) reuse
+// idiom) plus the append-helper tail form `return append(b, ...)` where b
+// is a plain variable — the caller reassigns the result over the same
+// buffer (b = h.appendFoo(b, ...)), so it is self-append one frame up.
+// Both are exempt; growth past capacity is the benchmark's to catch.
+func selfAppendCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	self := make(map[*ast.CallExpr]bool)
+	appendDst := func(e ast.Expr) (ast.Expr, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return nil, false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			return nil, false
+		}
+		dst := call.Args[0]
+		if sl, ok := ast.Unparen(dst).(*ast.SliceExpr); ok {
+			dst = sl.X // append(buf[:0], ...) reuses buf's storage
+		}
+		return dst, true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if dst, ok := appendDst(rhs); ok && types.ExprString(st.Lhs[i]) == types.ExprString(dst) {
+					self[ast.Unparen(rhs).(*ast.CallExpr)] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if dst, ok := appendDst(res); ok {
+					if _, isIdent := ast.Unparen(dst).(*ast.Ident); isIdent {
+						self[ast.Unparen(res).(*ast.CallExpr)] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return self
+}
+
+// isCallFun reports whether sel appears as the Fun of some call in body
+// (a direct method call, not a method value).
+func isCallFun(body *ast.BlockStmt, sel *ast.SelectorExpr) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringSlicePair(a, b types.Type) bool {
+	ab, ok := a.(*types.Basic)
+	if !ok || ab.Info()&types.IsString == 0 {
+		return false
+	}
+	_, isSlice := b.(*types.Slice)
+	return isSlice
+}
+
+func sortedFuncs(m map[string]*interproc.Func) []*interproc.Func {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fns := make([]*interproc.Func, len(keys))
+	for i, k := range keys {
+		fns[i] = m[k]
+	}
+	return fns
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	analysistest.Run(t, "testdata/hot", hotpath.Analyzer)
+}

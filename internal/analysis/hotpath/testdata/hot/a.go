@@ -1,0 +1,114 @@
+// Package hot fixtures: every allocating construct inside an annotated
+// function is flagged, the amortised idioms stay clean, calls are
+// followed interprocedurally, and unannotated functions are untouched.
+package hot
+
+import "fmt"
+
+// T is a carrier for method-based cases.
+type T struct {
+	buf  []byte
+	n    int
+	ch   chan int
+	dict map[string]int
+}
+
+//lint:hotpath
+func (t *T) clean(p *T, b []byte) {
+	t.n += len(b)                   // arithmetic: free
+	t.buf = append(t.buf, b...)     // self-append: amortised, exempt
+	t.buf = append(t.buf[:0], b...) // buffer-reuse append: exempt
+	t.ch <- t.n                     // channel send: free
+	t.n = t.dict["k"]               // map read: free
+	sinkPtr(p)                      // pointer into interface: stays in the word
+	t.leafClean()                   // resolvable clean callee
+}
+
+//lint:hotpath
+func literals(t *T) {
+	t.dict = map[string]int{} // want `map literal allocates`
+	t.buf = []byte{1}         // want `slice literal allocates`
+	_ = &T{}                  // want `&composite literal allocates`
+	t.buf = make([]byte, 8)   // want `make allocates`
+	_ = new(T)                // want `new allocates`
+	_ = func() {}             // want `function literal allocates a closure`
+	go t.leafClean()          // want `go statement allocates a goroutine`
+}
+
+//lint:hotpath
+func strings2(s string, b []byte) {
+	_ = s + s         // want `string concatenation allocates`
+	_ = []byte(s)     // want `string/slice conversion copies and allocates`
+	_ = string(b)     // want `string/slice conversion copies and allocates`
+	_ = fmt.Sprint(s) // want `fmt.Sprint allocates`
+}
+
+//lint:hotpath
+func boxing(t *T, v int) {
+	sinkAny(v)      // want `argument boxes a non-pointer value into an interface parameter`
+	sinkPtr(t)      // pointer: clean
+	_ = any(v)      // want `conversion boxes a non-pointer value into an interface`
+	_ = any(t)      // pointer conversion: clean
+	_ = t.leafClean // want `method value allocates a closure`
+}
+
+//lint:hotpath
+func growsForeign(dst, src []byte) []byte {
+	out := append(dst, src...) // want `append to a different slice may grow past capacity and allocate`
+	return out
+}
+
+// the append-helper tail form is self-append one frame up: exempt, both
+// directly and through the interprocedural summary.
+//
+//lint:hotpath
+func appendHelper(b []byte, v byte) []byte {
+	return append(b, v)
+}
+
+//lint:hotpath
+func usesHelper(t *T) {
+	t.buf = appendHelper(t.buf, 1)
+}
+
+//lint:hotpath
+func returnsForeign(b []byte) []byte {
+	return append([]byte(nil), b...) // want `append to a different slice may grow past capacity and allocate`
+}
+
+// interprocedural: the allocation is one call away.
+//
+//lint:hotpath
+func callsAllocating(t *T) {
+	t.allocHelper() // want `call to .*\.T\.allocHelper allocates \(composite literal`
+}
+
+// calls into another annotated function are trusted, not re-traversed.
+//
+//lint:hotpath
+func callsAnnotated(t *T, p *T, b []byte) {
+	t.clean(p, b)
+}
+
+//lint:hotpath
+func escaped(t *T) {
+	//lint:allow hotpath cold branch: dictionary built once per connection
+	t.dict = map[string]int{}
+}
+
+func (t *T) allocHelper() {
+	t.dict = map[string]int{}
+}
+
+func (t *T) leafClean() {
+	t.n++
+}
+
+// unannotated functions allocate freely.
+func unannotated() *T {
+	return &T{dict: map[string]int{}, buf: make([]byte, 0, 8)}
+}
+
+func sinkAny(v any) { _ = v }
+
+func sinkPtr(v any) { _ = v }

@@ -1,0 +1,134 @@
+package interproc_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/interproc"
+)
+
+const (
+	ipaPath = "sci/internal/analysis/interproc/testdata/src/ipa"
+	ipbPath = "sci/internal/analysis/interproc/testdata/src/ipb"
+)
+
+// loadFixtures loads the two cross-package fixture packages through the
+// real loader, so edges cross a genuine package (and type-checking
+// universe) boundary exactly as they do in a ./... run.
+func loadFixtures(t *testing.T) *interproc.Program {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	pkgs, err := analysis.Load(".", []string{"./testdata/src/ipa", "./testdata/src/ipb"})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	return interproc.Build(pkgs)
+}
+
+// funcByKey fails the test when the program is missing key.
+func funcByKey(t *testing.T, p *interproc.Program, key string) *interproc.Func {
+	t.Helper()
+	f := p.Funcs[key]
+	if f == nil {
+		var have []string
+		for k := range p.Funcs {
+			have = append(have, k)
+		}
+		t.Fatalf("program has no %s (have %s)", key, strings.Join(have, ", "))
+	}
+	return f
+}
+
+// firstCall returns the first call expression in f's body.
+func firstCall(t *testing.T, f *interproc.Func) *ast.CallExpr {
+	t.Helper()
+	var call *ast.CallExpr
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && call == nil {
+			call = c
+		}
+		return call == nil
+	})
+	if call == nil {
+		t.Fatalf("no call in %s", f.Key)
+	}
+	return call
+}
+
+func TestBuildIndexesDeclarations(t *testing.T) {
+	p := loadFixtures(t)
+	for _, key := range []string{
+		ipaPath + ".Direct",
+		ipaPath + ".T.M",
+		ipaPath + ".mutual",
+		ipbPath + ".Helper",
+		ipbPath + ".leaf",
+	} {
+		funcByKey(t, p, key)
+	}
+}
+
+func TestCalleeResolution(t *testing.T) {
+	p := loadFixtures(t)
+	cases := []struct {
+		in   string // function whose first call is resolved
+		want string // expected callee key; "" = must not resolve
+	}{
+		{ipaPath + ".Direct", ipaPath + ".T.M"},      // concrete method
+		{ipaPath + ".Cross", ipbPath + ".Helper"},    // cross-package edge
+		{ipaPath + ".MethodValue", ipaPath + ".T.M"}, // go t.M()
+		{ipaPath + ".MethodExpr", ipaPath + ".T.M"},  // (*T).M(&t)
+		{ipaPath + ".Recur", ipaPath + ".mutual"},    // mutual recursion
+		{ipaPath + ".Dyn", ""},                       // interface dispatch
+		{ipaPath + ".Val", ""},                       // function value
+	}
+	for _, tc := range cases {
+		f := funcByKey(t, p, tc.in)
+		got := p.Callee(f.Pkg, firstCall(t, f))
+		switch {
+		case tc.want == "" && got != nil:
+			t.Errorf("%s: first call resolved to %s, want unresolvable", tc.in, got.Key)
+		case tc.want != "" && got == nil:
+			t.Errorf("%s: first call did not resolve, want %s", tc.in, tc.want)
+		case tc.want != "" && got.Key != tc.want:
+			t.Errorf("%s: first call resolved to %s, want %s", tc.in, got.Key, tc.want)
+		}
+	}
+}
+
+func TestVisitTerminatesOnRecursion(t *testing.T) {
+	p := loadFixtures(t)
+	root := funcByKey(t, p, ipaPath+".Recur")
+	visits := map[string]int{}
+	p.Visit(root, 0, func(f *interproc.Func) { visits[f.Key]++ })
+	if visits[ipaPath+".Recur"] != 1 || visits[ipaPath+".mutual"] != 1 {
+		t.Fatalf("recursive visit counts = %v, want each exactly once", visits)
+	}
+}
+
+func TestVisitDepthBound(t *testing.T) {
+	p := loadFixtures(t)
+	root := funcByKey(t, p, ipaPath+".Cross")
+
+	shallow := map[string]bool{}
+	p.Visit(root, 1, func(f *interproc.Func) { shallow[f.Key] = true })
+	if !shallow[ipbPath+".Helper"] {
+		t.Fatalf("depth 1 should reach ipb.Helper; visited %v", shallow)
+	}
+	if shallow[ipbPath+".leaf"] {
+		t.Fatalf("depth 1 must not reach ipb.leaf; visited %v", shallow)
+	}
+
+	deep := map[string]bool{}
+	p.Visit(root, 0, func(f *interproc.Func) { deep[f.Key] = true })
+	if !deep[ipbPath+".leaf"] {
+		t.Fatalf("default depth should reach ipb.leaf; visited %v", deep)
+	}
+}

@@ -1,0 +1,55 @@
+// Package ipa exercises the interproc resolution cases: direct calls,
+// concrete-receiver methods, method values and expressions, mutual
+// recursion, cross-package edges, and the unresolvable forms (interface
+// dispatch, function values).
+package ipa
+
+import "sci/internal/analysis/interproc/testdata/src/ipb"
+
+// T is a concrete receiver type.
+type T struct{ n int }
+
+// M is resolvable through values, pointers, method values and method
+// expressions.
+func (t *T) M() int { return t.n }
+
+// Direct calls a method on a concrete receiver.
+func Direct() int {
+	t := &T{}
+	return t.M()
+}
+
+// Cross calls across the package boundary.
+func Cross() { ipb.Helper() }
+
+// Recur and mutual recurse into each other; Visit must terminate and see
+// each exactly once.
+func Recur(n int) {
+	if n > 0 {
+		mutual(n - 1)
+	}
+}
+
+func mutual(n int) { Recur(n - 1) }
+
+// I makes Dyn an interface dispatch site: unresolvable.
+type I interface{ M() int }
+
+// Dyn must not resolve its call.
+func Dyn(i I) int { return i.M() }
+
+// Val must not resolve its call.
+func Val(f func()) { f() }
+
+// MethodValue launches a bound method value; the go statement's call must
+// resolve to T.M.
+func MethodValue() {
+	t := &T{}
+	go t.M()
+}
+
+// MethodExpr calls through a method expression; must resolve to T.M.
+func MethodExpr() int {
+	t := T{}
+	return (*T).M(&t)
+}

@@ -1,0 +1,7 @@
+// Package ipb is the far side of the interproc cross-package fixtures.
+package ipb
+
+// Helper is called from the ipa fixture across the package boundary.
+func Helper() { leaf() }
+
+func leaf() {}

@@ -1,0 +1,204 @@
+// Package leakcheck enforces goroutine ownership: every `go` statement in
+// the core packages must be tied to a lifecycle owner, so no goroutine can
+// outlive the Fabric/Host/Bus/Network that launched it. A goroutine counts
+// as owned when either
+//
+//   - the launch is registered: a sync.WaitGroup Add call appears earlier
+//     in the launching function (the wg.Add(1)-before-go /
+//     defer-wg.Done-inside idiom, waited on a Close path), or
+//   - the goroutine body — the function literal, or the statically
+//     resolved callee for `go x.loop()` forms, searched transitively
+//     through resolvable calls to a bounded depth — parks on something its
+//     owner controls: a channel receive (<-done, a select case, or a
+//     for-range over a channel, all of which a Close can unblock by
+//     closing the channel), or a sync.WaitGroup Done call.
+//
+// A fire-and-forget goroutine with none of these is a finding: it will
+// survive its owner's Close, hold captured state alive, and show up as a
+// leak in the runtime cross-check (internal/leak) only when a test happens
+// to trip it — the static rule makes the ownership contract hold
+// everywhere, not just under test. Genuinely unowned goroutines (a
+// self-terminating one-shot helper) carry //lint:allow leakcheck <reason>.
+//
+// The check is conservative at dynamic dispatch: a body that delegates its
+// lifecycle through an interface or function value is invisible and gets
+// flagged — annotate those with the reason the lifecycle is sound.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/astutil"
+	"sci/internal/analysis/interproc"
+)
+
+// Analyzer is the leakcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "leakcheck",
+	Doc:        "every go statement in the core packages must be tied to a lifecycle owner (WaitGroup or stop/done channel)",
+	Packages:   []string{"eventbus", "flow", "rangesvc", "scinet", "wire", "transport", "overlay"},
+	RunProgram: run,
+}
+
+// signalDepth bounds how deep the body search follows call edges; the
+// repository's deepest ownership chain (go c.deliverLoop → range c.dqWake)
+// is one hop.
+const signalDepth = 3
+
+func run(prog *analysis.Program) error {
+	ip := interproc.Build(prog.Packages)
+	for _, pkg := range prog.Packages {
+		if !prog.InScope(pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(prog, ip, pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects every go statement launched (directly or inside
+// nested function literals) by fd.
+func checkFunc(prog *analysis.Program, ip *interproc.Program, pkg *analysis.Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if registeredBefore(pkg, fd.Body, gs) {
+			return true
+		}
+		if bodyHasLifecycleSignal(ip, pkg, gs.Call) {
+			return true
+		}
+		prog.Reportf(gs.Pos(), "goroutine has no lifecycle owner: no WaitGroup.Add before launch and its body never parks on a channel or calls WaitGroup.Done; tie it to its owner's Close/WaitGroup (or //lint:allow leakcheck <reason>)")
+		return true
+	})
+}
+
+// registeredBefore reports whether a sync.WaitGroup Add call appears in
+// body at a position before the go statement — the launch-side half of the
+// Add/Done protocol. Position order stands in for dominance; the idiom
+// puts the Add directly above the launch, usually under the same lock.
+func registeredBefore(pkg *analysis.Package, body *ast.BlockStmt, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() < gs.Pos() && isWaitGroupCall(pkg.TypesInfo, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyHasLifecycleSignal looks for an ownership signal inside the launched
+// body: the function literal itself, or the resolved callee of a
+// `go x.loop()` form, searched through statically resolvable calls.
+func bodyHasLifecycleSignal(ip *interproc.Program, pkg *analysis.Package, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if hasSignal(pkg.TypesInfo, lit.Body) {
+			return true
+		}
+		// The literal may delegate: go func() { c.loop() }().
+		return literalDelegates(ip, pkg, lit)
+	}
+	callee := ip.Callee(pkg, call)
+	if callee == nil {
+		return false
+	}
+	return calleeHasSignal(ip, callee, signalDepth)
+}
+
+// literalDelegates searches the literal's resolvable callees for a signal.
+func literalDelegates(ip *interproc.Program, pkg *analysis.Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if callee := ip.Callee(pkg, inner); callee != nil && calleeHasSignal(ip, callee, signalDepth) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeHasSignal reports whether fn or any resolvable callee to depth
+// carries an ownership signal.
+func calleeHasSignal(ip *interproc.Program, fn *interproc.Func, depth int) bool {
+	found := false
+	ip.Visit(fn, depth, func(f *interproc.Func) {
+		if !found && hasSignal(f.Pkg.TypesInfo, f.Decl.Body) {
+			found = true
+		}
+	})
+	return found
+}
+
+// hasSignal scans one body for a lifecycle signal: any channel receive
+// (unary <-, a select comm case, a range over a channel) or a
+// sync.WaitGroup Done call. Nested function literals are included: a
+// deferred cleanup closure calling wg.Done counts.
+func hasSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[x.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(info, x, "Done") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call is <wg>.<method>() on a
+// sync.WaitGroup (through pointers and fields).
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync" && astutil.IsNamed(s.Recv(), "sync", "WaitGroup")
+}

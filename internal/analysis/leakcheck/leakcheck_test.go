@@ -1,0 +1,15 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/leakcheck"
+)
+
+func TestLeakCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	analysistest.Run(t, "testdata/leak", leakcheck.Analyzer)
+}

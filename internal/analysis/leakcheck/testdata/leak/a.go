@@ -1,0 +1,114 @@
+// Package leak fixtures: owned goroutines via WaitGroup registration,
+// channel parking (direct, select, range, interprocedural), and the
+// unowned fire-and-forget forms that must be flagged.
+package leak
+
+import "sync"
+
+// Owner ties goroutines to a lifecycle with a WaitGroup and a done
+// channel, matching the repository idiom.
+type Owner struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+// addBeforeGo registers the goroutine before launch: clean.
+func (o *Owner) addBeforeGo() {
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		busy()
+	}()
+}
+
+// doneInBody carries only the Done half inside the body: clean (the body
+// signal alone proves a Wait observes exit).
+func (o *Owner) doneInBody() {
+	go func() {
+		defer o.wg.Done()
+		busy()
+	}()
+}
+
+// rangeOverChannel parks on the work channel; Close unblocks it by
+// closing work: clean.
+func (o *Owner) rangeOverChannel() {
+	go func() {
+		for v := range o.work {
+			_ = v
+		}
+	}()
+}
+
+// selectOnDone parks on the done channel in a select: clean.
+func (o *Owner) selectOnDone() {
+	go func() {
+		for {
+			select {
+			case <-o.done:
+				return
+			case v := <-o.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// methodLaunch launches a named method whose body parks: the signal is
+// found interprocedurally. Clean.
+func (o *Owner) methodLaunch() {
+	go o.loop()
+}
+
+func (o *Owner) loop() {
+	for range o.work {
+	}
+}
+
+// delegated wraps the parking method in a literal: the literal's callee
+// is searched. Clean.
+func (o *Owner) delegated() {
+	go func() {
+		o.loop()
+	}()
+}
+
+// deepLaunch reaches the signal two hops down, inside signalDepth. Clean.
+func (o *Owner) deepLaunch() {
+	go o.hop1()
+}
+
+func (o *Owner) hop1() { o.hop2() }
+
+func (o *Owner) hop2() { <-o.done }
+
+// fireAndForget has no registration and never parks: flagged.
+func (o *Owner) fireAndForget() {
+	go func() { // want `goroutine has no lifecycle owner`
+		for {
+			busy()
+		}
+	}()
+}
+
+// namedNoSignal launches a resolvable callee with no signal: flagged.
+func (o *Owner) namedNoSignal() {
+	go busy() // want `goroutine has no lifecycle owner`
+}
+
+// Runner hides the body behind an interface; the analyzer cannot see the
+// lifecycle and must flag it.
+type Runner interface{ Run() }
+
+func dynamicLaunch(r Runner) {
+	go r.Run() // want `goroutine has no lifecycle owner`
+}
+
+// allowed is a genuinely unowned one-shot; the suppression documents why.
+func allowed() {
+	//lint:allow leakcheck one-shot helper exits on its own after busy returns
+	go busy()
+}
+
+func busy() {}

@@ -1,0 +1,709 @@
+// Package lockorder builds a whole-program lock-ordering graph and reports
+// potential deadlocks: an edge A → B is recorded whenever an instance of
+// lock B is acquired while an instance of lock A is held, directly or
+// through any chain of statically resolvable calls, and any cycle in that
+// graph is a lock-ordering inversion two goroutines can interleave into a
+// deadlock.
+//
+// Locks are identified by declaration, not by instance: the key for a
+// mutex field is pkg.Type.field (flow.Coalescer.mu), for a package-level
+// mutex pkg.var. Two instances of the same lock therefore merge, which
+// makes the analysis instance-insensitive: acquiring an instance of a lock
+// while an instance of the same lock is held is itself reported (it is a
+// self-deadlock unless instances are strictly ordered, which the analyzer
+// cannot prove — suppress with //lint:allow lockorder <reason> stating the
+// instance order).
+//
+// Held sets propagate through call edges via per-function summaries: each
+// function's transitively-acquired lock set (bounded depth, memoised) is
+// joined into edges at every call site made while locks are held. Calls
+// through interfaces and function values contribute nothing — the
+// documented conservative boundary; callback-driven inversions are out of
+// scope (and the reason Send-style callbacks must not re-enter their
+// owner, see flow.Config.Send).
+//
+// Intended orderings are documented in-code as
+//
+//	//lint:lockorder <a> < <b> <reason>
+//
+// e.g. //lint:lockorder flow.Coalescer.sendMu < flow.Coalescer.mu flushes
+// take the serialiser first. An observed edge that contradicts a declared
+// ordering is a hard error even when no full cycle is visible, so the
+// documented order is enforced, not advisory. Assertions naming locks the
+// program never acquires are reported (typo guard).
+//
+// An //lint:allow lockorder <reason> on the line of the offending
+// acquisition (or call) removes that edge from the graph before cycle
+// detection, so one blessed edge does not keep an entire cycle reported.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sci/internal/analysis"
+	"sci/internal/analysis/astutil"
+	"sci/internal/analysis/interproc"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "lock acquisitions must agree on one global order; cycles in the acquired-while-holding graph are potential deadlocks",
+	RunProgram: run,
+}
+
+// edge is one observed acquired-while-holding pair, with the site that
+// created it (for diagnostics and for allow-based edge removal).
+type edge struct {
+	from, to string
+	pos      token.Pos // the acquisition (or call) that added `to`
+	heldAt   token.Pos // where `from` was acquired
+	via      string    // non-empty: the callee chain that introduced the edge
+	pkg      *analysis.Package
+}
+
+// assertion is one parsed //lint:lockorder a < b reason directive.
+type assertion struct {
+	before, after string
+	reason        string
+	pos           token.Pos
+	pkg           *analysis.Package
+}
+
+type checker struct {
+	prog    *analysis.Program
+	ip      *interproc.Program
+	edges   []edge
+	touched map[*interproc.Func][]string // memoised transitive acquisition sets
+	inProg  map[*interproc.Func]bool     // recursion guard for touched
+	allowed map[string]map[int]bool      // file → lines carrying //lint:allow lockorder
+}
+
+func run(prog *analysis.Program) error {
+	c := &checker{
+		prog:    prog,
+		ip:      interproc.Build(prog.Packages),
+		touched: make(map[*interproc.Func][]string),
+		inProg:  make(map[*interproc.Func]bool),
+		allowed: make(map[string]map[int]bool),
+	}
+	c.collectAllows()
+	asserts := c.collectAssertions()
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					c.function(pkg, fd)
+				}
+			}
+		}
+	}
+	c.report(asserts)
+	return nil
+}
+
+// collectAllows indexes //lint:allow lockorder lines so blessed edges can
+// be removed before cycle detection. Each removal reports a diagnostic on
+// the allow's own line, which the driver's suppression step then eats and
+// counts — keeping the allow "used" without surfacing anything.
+func (c *checker) collectAllows() {
+	for _, pkg := range c.prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					rest, ok := strings.CutPrefix(cm.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 || fields[0] != "lockorder" {
+						continue
+					}
+					p := pkg.Fset.Position(cm.Pos())
+					if c.allowed[p.Filename] == nil {
+						c.allowed[p.Filename] = make(map[int]bool)
+					}
+					c.allowed[p.Filename][p.Line] = true
+				}
+			}
+		}
+	}
+}
+
+// isAllowed reports whether pos sits on (or directly under) an
+// //lint:allow lockorder line.
+func (c *checker) isAllowed(pkg *analysis.Package, pos token.Pos) bool {
+	p := pkg.Fset.Position(pos)
+	lines := c.allowed[p.Filename]
+	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+}
+
+var assertRx = "//lint:lockorder"
+
+// collectAssertions parses every //lint:lockorder a < b reason directive.
+func (c *checker) collectAssertions() []assertion {
+	var out []assertion
+	for _, pkg := range c.prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					rest, ok := strings.CutPrefix(cm.Text, assertRx)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 4 || fields[1] != "<" {
+						c.prog.Reportf(cm.Pos(), "malformed assertion: want //lint:lockorder <a> < <b> <reason>")
+						continue
+					}
+					out = append(out, assertion{
+						before: fields[0],
+						after:  fields[2],
+						reason: strings.Join(fields[3:], " "),
+						pos:    cm.Pos(),
+						pkg:    pkg,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockKey renders the declaration-level identity of the mutex behind expr,
+// or "" when the expression does not denote a trackable lock (a local
+// mutex variable, an unresolvable chain).
+func lockKey(pkg *analysis.Package, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch x := expr.(type) {
+	case *ast.Ident:
+		obj, _ := pkg.TypesInfo.Uses[x].(*types.Var)
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.IsField() {
+			// Embedded mutex promoted through a receiver named like the
+			// field: fall through to field handling via type.
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return pkgBase(obj.Pkg().Path()) + "." + obj.Name()
+		}
+		return "" // local mutex: instances are untrackable
+	case *ast.SelectorExpr:
+		sel, ok := pkg.TypesInfo.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		named := astutil.Named(sel.Recv())
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + x.Sel.Name
+	}
+	return ""
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// lockOp decodes a call as a lock operation: the lock key, whether it
+// acquires, and whether it was a mutex Lock/Unlock at all. Both direct
+// fields (c.mu.Lock()) and embedded mutexes (t.Lock()) are handled.
+func lockOp(pkg *analysis.Package, call *ast.CallExpr) (key string, acquires, isOp bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquires = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	// The receiver must be (or embed) a sync mutex for this to be a lock
+	// operation rather than a same-named method.
+	s, ok := pkg.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	recv := ast.Unparen(sel.X)
+	if key = lockKey(pkg, recv); key != "" {
+		return key, acquires, true
+	}
+	// t.Lock() on a type embedding sync.Mutex: identify the lock as the
+	// embedded field of the receiver's named type.
+	if named := astutil.Named(pkg.TypesInfo.Types[recv].Type); named != nil && named.Obj().Pkg() != nil {
+		embedded := "Mutex"
+		if strings.HasPrefix(sel.Sel.Name, "R") {
+			embedded = "RWMutex"
+		}
+		return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + embedded, acquires, true
+	}
+	return "", acquires, true // untrackable lock; still a lock op
+}
+
+// acquisition records where a held lock was taken.
+type acquisition struct {
+	key string
+	pos token.Pos
+}
+
+type heldSet []acquisition
+
+func (h heldSet) clone() heldSet { return append(heldSet(nil), h...) }
+
+func (h heldSet) has(key string) bool {
+	for _, a := range h {
+		if a.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// function simulates one function body with an empty entry held set,
+// recording edges. Caller-held context is accounted for at call sites via
+// the callee's transitive acquisition summary, so an empty entry set here
+// is not a loss of coverage — every function is simulated as a root.
+func (c *checker) function(pkg *analysis.Package, fd *ast.FuncDecl) {
+	c.stmts(pkg, fd.Body.List, heldSet{})
+}
+
+// addEdge records from→to unless the creating site is blessed by an
+// //lint:allow lockorder line.
+func (c *checker) addEdge(pkg *analysis.Package, from acquisition, to string, pos token.Pos, via string) {
+	if c.isAllowed(pkg, pos) {
+		// Report on the allow's line so the driver marks it used, then
+		// suppresses the diagnostic; the edge itself is dropped.
+		c.prog.Reportf(pos, "edge %s -> %s blessed by suppression", from.key, to)
+		return
+	}
+	c.edges = append(c.edges, edge{from: from.key, to: to, pos: pos, heldAt: from.pos, via: via, pkg: pkg})
+}
+
+// acquire applies one acquisition: edges from everything held, including
+// the instance-insensitive self-edge, then joins the lock into held.
+func (c *checker) acquire(pkg *analysis.Package, held *heldSet, key string, pos token.Pos) {
+	for _, h := range *held {
+		c.addEdge(pkg, h, key, pos, "")
+	}
+	if !held.has(key) {
+		*held = append(*held, acquisition{key: key, pos: pos})
+	}
+}
+
+// call applies a call expression's effect: direct lock operations mutate
+// held; anything else resolved in-program joins its transitive acquisition
+// set as edges from every held lock.
+func (c *checker) call(pkg *analysis.Package, call *ast.CallExpr, held *heldSet) {
+	if key, acquires, isOp := lockOp(pkg, call); isOp {
+		if key == "" {
+			return
+		}
+		if acquires {
+			c.acquire(pkg, held, key, call.Pos())
+			return
+		}
+		for i, a := range *held {
+			if a.key == key {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if len(*held) == 0 {
+		return
+	}
+	callee := c.ip.Callee(pkg, call)
+	if callee == nil {
+		return
+	}
+	for _, lk := range c.touchedLocks(callee, 0) {
+		for _, h := range *held {
+			// h.key == lk included: calling something that reacquires a
+			// held lock is the re-entrant self-deadlock, Go mutexes are
+			// not recursive.
+			c.addEdge(pkg, h, lk, call.Pos(), callee.Key)
+		}
+	}
+}
+
+// touchedLocks returns the set of lock keys fn may acquire, transitively
+// through statically resolvable calls, memoised and bounded.
+func (c *checker) touchedLocks(fn *interproc.Func, depth int) []string {
+	if got, ok := c.touched[fn]; ok {
+		return got
+	}
+	if c.inProg[fn] || depth > interproc.MaxDepth {
+		return nil // recursion cut: the cycle's other members contribute theirs
+	}
+	c.inProg[fn] = true
+	set := map[string]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A literal defined here (a timer callback, a Send closure)
+			// does not run at call time; when it eventually runs it starts
+			// on its own stack with nothing held.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acquires, isOp := lockOp(fn.Pkg, call); isOp {
+			if acquires && key != "" {
+				set[key] = true
+			}
+			return true
+		}
+		if callee := c.ip.Callee(fn.Pkg, call); callee != nil {
+			for _, k := range c.touchedLocks(callee, depth+1) {
+				set[k] = true
+			}
+		}
+		return true
+	})
+	delete(c.inProg, fn)
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	c.touched[fn] = out
+	return out
+}
+
+// stmts walks straight-line statements, threading the held set. The
+// control-flow approximation matches guardedby: branch bodies run on a
+// clone, loop bodies run twice (so a lock still held after iteration N is
+// seen by iteration N+1's acquisitions — the defer-in-loop trap), deferred
+// unlocks are ignored (held to return).
+func (c *checker) stmts(pkg *analysis.Package, list []ast.Stmt, held heldSet) heldSet {
+	for _, s := range list {
+		held = c.stmt(pkg, s, held)
+	}
+	return held
+}
+
+func (c *checker) stmt(pkg *analysis.Package, s ast.Stmt, held heldSet) heldSet {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		c.exprCalls(pkg, st.X, &held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			c.exprCalls(pkg, e, &held)
+		}
+		for _, e := range st.Lhs {
+			c.exprCalls(pkg, e, &held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.exprCalls(pkg, v, &held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			c.exprCalls(pkg, e, &held)
+		}
+	case *ast.IncDecStmt:
+		c.exprCalls(pkg, st.X, &held)
+	case *ast.SendStmt:
+		c.exprCalls(pkg, st.Chan, &held)
+		c.exprCalls(pkg, st.Value, &held)
+	case *ast.IfStmt:
+		held = c.stmt(pkg, st.Init, held)
+		c.exprCalls(pkg, st.Cond, &held)
+		c.stmts(pkg, st.Body.List, held.clone())
+		if st.Else != nil {
+			c.stmt(pkg, st.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		held = c.stmt(pkg, st.Init, held)
+		if st.Cond != nil {
+			c.exprCalls(pkg, st.Cond, &held)
+		}
+		body := held.clone()
+		for range 2 { // twice: expose carried-over state to iteration 2
+			body = c.stmts(pkg, st.Body.List, body)
+			if st.Post != nil {
+				body = c.stmt(pkg, st.Post, body)
+			}
+		}
+	case *ast.RangeStmt:
+		c.exprCalls(pkg, st.X, &held)
+		body := held.clone()
+		for range 2 {
+			body = c.stmts(pkg, st.Body.List, body)
+		}
+	case *ast.SwitchStmt:
+		held = c.stmt(pkg, st.Init, held)
+		if st.Tag != nil {
+			c.exprCalls(pkg, st.Tag, &held)
+		}
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				h := held.clone()
+				for _, e := range clause.List {
+					c.exprCalls(pkg, e, &h)
+				}
+				c.stmts(pkg, clause.Body, h)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		held = c.stmt(pkg, st.Init, held)
+		held = c.stmt(pkg, st.Assign, held)
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(pkg, clause.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				h := held.clone()
+				h = c.stmt(pkg, clause.Comm, h)
+				c.stmts(pkg, clause.Body, h)
+			}
+		}
+	case *ast.BlockStmt:
+		held = c.stmts(pkg, st.List, held)
+	case *ast.LabeledStmt:
+		held = c.stmt(pkg, st.Stmt, held)
+	case *ast.DeferStmt:
+		if _, _, isOp := lockOp(pkg, st.Call); isOp {
+			return held // defer mu.Unlock(): held to return
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			for _, a := range st.Call.Args {
+				c.exprCalls(pkg, a, &held)
+			}
+			c.stmts(pkg, lit.Body.List, held.clone())
+			return held
+		}
+		h := held.clone()
+		c.call(pkg, st.Call, &h)
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			c.exprCalls(pkg, a, &held)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(pkg, lit.Body.List, heldSet{}) // new goroutine: nothing held
+		}
+	}
+	return held
+}
+
+// exprCalls finds calls inside e in evaluation order (approximately:
+// Inspect order) and applies them to held. Function literals are analyzed
+// with an empty held set — they run elsewhere — except that arguments are
+// walked in the current context first.
+func (c *checker) exprCalls(pkg *analysis.Package, e ast.Expr, held *heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(pkg, x.Body.List, heldSet{})
+			return false
+		case *ast.CallExpr:
+			// Arguments first (inner calls happen before the outer one).
+			for _, a := range x.Args {
+				c.exprCalls(pkg, a, held)
+			}
+			if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+				c.exprCalls(pkg, fun.X, held)
+			}
+			c.call(pkg, x, held)
+			return false
+		}
+		return true
+	})
+}
+
+// report runs assertion checks and cycle detection over the edge graph.
+func (c *checker) report(asserts []assertion) {
+	// Deduplicate edges per (from,to), keeping the first site.
+	type pair struct{ from, to string }
+	firstEdge := make(map[pair]edge)
+	adj := make(map[string][]string)
+	observed := make(map[string]bool) // lock keys seen anywhere
+	for _, e := range c.edges {
+		observed[e.from], observed[e.to] = true, true
+		p := pair{e.from, e.to}
+		if _, ok := firstEdge[p]; !ok {
+			firstEdge[p] = e
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+
+	// Assertion violations are hard errors even without a visible cycle.
+	declared := make(map[pair]assertion)
+	for _, a := range asserts {
+		declared[pair{a.before, a.after}] = a
+	}
+	for _, a := range asserts {
+		if !observed[a.before] && !observed[a.after] {
+			// Neither side is ever acquired-while-held: likely a typo in
+			// the key (the catalogue must track the code).
+			if !c.anyAcquisition(a.before) && !c.anyAcquisition(a.after) {
+				c.prog.Reportf(a.pos, "lockorder assertion names locks never acquired in the program: %s, %s", a.before, a.after)
+			}
+		}
+		if rev, ok := declared[pair{a.after, a.before}]; ok && a.before < a.after {
+			c.prog.Reportf(a.pos, "contradictory lockorder assertions: %s < %s here, but %s < %s at %s",
+				a.before, a.after, rev.before, rev.after, c.prog.Fset.Position(rev.pos))
+		}
+	}
+	violated := make(map[pair]bool)
+	for p, e := range firstEdge {
+		if a, ok := declared[pair{p.to, p.from}]; ok {
+			violated[p] = true
+			c.diagEdge(e, fmt.Sprintf("violates the documented order %q < %q (%s, declared at %s)",
+				a.before, a.after, a.reason, c.prog.Fset.Position(a.pos)))
+		}
+	}
+
+	// Cycles: Tarjan SCC over the deduplicated graph; every edge inside a
+	// multi-node SCC (or a self-loop) is part of at least one cycle.
+	inCycle := sccCyclic(adj)
+	var cyclic []edge
+	for p, e := range firstEdge {
+		if p.from == p.to || (inCycle[p.from] != 0 && inCycle[p.from] == inCycle[p.to]) {
+			if violated[p] {
+				continue // already a hard error above
+			}
+			if _, ok := declared[p]; ok {
+				// The documented direction: report only its partner(s).
+				continue
+			}
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool { return cyclic[i].pos < cyclic[j].pos })
+	for _, e := range cyclic {
+		if e.from == e.to {
+			c.diagEdge(e, "already held (instance-insensitive self-deadlock unless instances are strictly ordered)")
+			continue
+		}
+		c.diagEdge(e, fmt.Sprintf("completes a lock-order cycle (some path acquires %s while holding %s)", e.from, e.to))
+	}
+}
+
+// diagEdge renders one edge finding at its creating site.
+func (c *checker) diagEdge(e edge, why string) {
+	where := ""
+	if e.via != "" {
+		where = fmt.Sprintf(" via call to %s", e.via)
+	}
+	c.prog.Reportf(e.pos, "%s acquired%s while holding %s (held since %s): %s",
+		e.to, where, e.from, c.prog.Fset.Position(e.heldAt), why)
+}
+
+// anyAcquisition reports whether key is ever acquired anywhere (even with
+// nothing held), used to validate assertions against reality.
+func (c *checker) anyAcquisition(key string) bool {
+	for _, pkg := range c.prog.Packages {
+		for _, f := range pkg.Files {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if k, acq, isOp := lockOp(pkg, call); isOp && acq && k == key {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sccCyclic returns a component id per node for nodes in multi-node
+// strongly connected components (0 = not in one), via iterative Tarjan.
+func sccCyclic(adj map[string][]string) map[string]int {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string]int)
+	next, compID := 1, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	var nodes []string
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if index[v] == 0 {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

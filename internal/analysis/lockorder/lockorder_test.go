@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sci/internal/analysis/analysistest"
+	"sci/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool; skipped in -short")
+	}
+	analysistest.Run(t, "testdata/lockorder", lockorder.Analyzer)
+}

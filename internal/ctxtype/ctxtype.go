@@ -89,7 +89,10 @@ func (t Type) HasAncestor(anc Type) bool {
 	if anc == Wildcard || t == anc {
 		return true
 	}
-	return strings.HasPrefix(string(t), string(anc)+".")
+	// Boundary check instead of HasPrefix(t, anc+"."): this runs per event
+	// per residual subscription, and the concatenation would allocate.
+	return len(t) > len(anc) && t[len(anc)] == '.' &&
+		strings.HasPrefix(string(t), string(anc))
 }
 
 // Depth returns the number of segments in the name.

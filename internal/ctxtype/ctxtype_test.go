@@ -257,3 +257,14 @@ func TestPropSatisfiesIffScorePositive(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHasAncestorDoesNotAllocate: ancestry checks run per event per
+// residual subscription on the dispatch hot path; the old implementation
+// concatenated anc+"." per call. Regression test for the zero-alloc form.
+func TestHasAncestorDoesNotAllocate(t *testing.T) {
+	ty := Type("location.sighting.badge")
+	anc := Type("location.sighting")
+	if n := testing.AllocsPerRun(100, func() { _ = ty.HasAncestor(anc) }); n != 0 {
+		t.Fatalf("HasAncestor allocates %v times per call, want 0", n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/event"
 	"sci/internal/guid"
+	"sci/internal/leak"
 )
 
 func TestPublishAllDeliversAcrossTypeRuns(t *testing.T) {
@@ -214,6 +215,7 @@ func TestPublishAllDropAccounting(t *testing.T) {
 // TestConcurrentPublishAllAndChurn races batched publishes against
 // subscription churn and equivalence-generation changes; run with -race.
 func TestConcurrentPublishAllAndChurn(t *testing.T) {
+	defer leak.Check(t)()
 	reg := ctxtype.NewRegistry()
 	b := New(reg, WithShards(4))
 	defer b.Close()

@@ -164,6 +164,8 @@ type shard struct {
 	// drop during an overload storm costs one pointer load, one map read
 	// and one atomic add, no lock and no allocation; only the first drop
 	// from a new publisher takes dropMu to install a fresh table.
+	//
+	//lint:lockorder eventbus.Subscription.mu < eventbus.shard.dropMu drop attribution runs under a subscription's lock; dropMu is a leaf and takes nothing
 	dropMu  sync.Mutex // guards table installs only
 	dropTab atomic.Pointer[srcDropTable]
 
@@ -186,6 +188,8 @@ type srcDropTable struct {
 // installing it on first use (beyond maxDropSources, the nil-GUID overflow
 // bucket). Safe to call under a subscription's lock: the fast path is
 // lock-free and the install path takes only dropMu, a leaf lock.
+//
+//lint:hotpath
 func (sh *shard) dropCounter(src guid.GUID) *atomic.Uint64 {
 	if t := sh.dropTab.Load(); t != nil {
 		if c, ok := t.counts[src]; ok {
@@ -208,12 +212,15 @@ func (sh *shard) dropCounter(src guid.GUID) *atomic.Uint64 {
 		}
 		key = guid.Nil // overflow bucket
 	}
+	//lint:allow hotpath cold install path: once per new publisher per stripe, behind the lock-free table hit
 	nm := make(map[guid.GUID]*atomic.Uint64, len(old)+1)
 	for k, v := range old {
 		nm[k] = v
 	}
+	//lint:allow hotpath cold install path: one counter per new publisher, never per drop
 	c := &atomic.Uint64{}
 	nm[key] = c
+	//lint:allow hotpath cold install path: one table copy per new publisher per stripe
 	sh.dropTab.Store(&srcDropTable{counts: nm})
 	return c
 }
@@ -469,6 +476,8 @@ func (b *Bus) subscribe(f event.Filter, h BatchHandler, opts []SubOption) (*Subs
 // t itself, each ancestor in the dotted hierarchy, and the members of t's
 // declared equivalence class. The result is memoised per registry
 // generation, so the hot path is a single map probe with no allocation.
+//
+//lint:hotpath
 func (b *Bus) lookupKeys(t ctxtype.Type) []ctxtype.Type {
 	var gen uint64
 	if b.reg != nil {
@@ -480,7 +489,9 @@ func (b *Bus) lookupKeys(t ctxtype.Type) []ctxtype.Type {
 			return ks
 		}
 	}
+	//lint:allow hotpath cache miss: once per new event type per registry generation
 	ks := computeKeys(t, b.reg)
+	//lint:allow hotpath cache miss: copy-on-write rebuild, amortised over every later hit
 	nm := make(map[ctxtype.Type][]ctxtype.Type, 8)
 	if kt != nil && kt.gen == gen && len(kt.keys) < maxKeyCacheTypes {
 		for k, v := range kt.keys {
@@ -490,6 +501,7 @@ func (b *Bus) lookupKeys(t ctxtype.Type) []ctxtype.Type {
 	nm[t] = ks
 	// A concurrent miss may overwrite this install; the loser's entry is
 	// simply recomputed on its next publish.
+	//lint:allow hotpath cache miss: the installed table is what makes the hit path allocation-free
 	b.keys.Store(&keyTable{gen: gen, keys: nm})
 	return ks
 }
@@ -687,6 +699,8 @@ func (b *Bus) PublishAllOwnedFrom(pub guid.GUID, events []event.Event) error {
 // dispatchRuns walks a validated, bus-owned batch in type-runs and fans
 // each run out to its matching subscriptions, attributing eventual drops to
 // pub (nil: to each event's own Source).
+//
+//lint:hotpath
 func (b *Bus) dispatchRuns(shared []event.Event, pub guid.GUID) {
 	tp := targetPool.Get().(*[]*Subscription)
 	targets := (*tp)[:0]
@@ -747,6 +761,7 @@ func (b *Bus) dispatchRuns(shared []event.Event, pub guid.GUID) {
 					// Partial match: materialise this target's subset. It is
 					// retained by the ring, so it cannot come from a reused
 					// scratch buffer.
+					//lint:allow hotpath partial-match subset is retained by the ring and must be owned memory
 					ms := make([]event.Event, 0, nmatch)
 					for k := range run {
 						if s.matchesEvent(run[k], b.reg) {
@@ -1096,6 +1111,8 @@ func (s *Subscription) enqueue(e event.Event) int {
 // retained by the ring and must never be written to again. It returns the
 // number of events discarded; a closed subscription admits nothing and
 // drops nothing.
+//
+//lint:hotpath
 func (s *Subscription) enqueueRun(run []event.Event, pub guid.GUID) int {
 	if len(run) == 0 {
 		return 0
@@ -1103,6 +1120,7 @@ func (s *Subscription) enqueueRun(run []event.Event, pub guid.GUID) int {
 	// dropRun attributes a clipped stretch of the incoming run: one counter
 	// add when the whole ingest carries an attribution key, per-event
 	// Source otherwise.
+	//lint:allow hotpath non-escaping closure, stack-allocated; the benchmark holds it to zero
 	dropRun := func(clipped []event.Event) {
 		if !pub.IsNil() {
 			s.shard.dropCounter(pub).Add(uint64(len(clipped)))

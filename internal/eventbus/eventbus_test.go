@@ -9,6 +9,7 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/event"
 	"sci/internal/guid"
+	"sci/internal/leak"
 )
 
 var t0 = time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC)
@@ -264,6 +265,7 @@ func TestSemanticEquivalenceDelivery(t *testing.T) {
 }
 
 func TestConcurrentPublishersAndSubscribers(t *testing.T) {
+	defer leak.Check(t)()
 	b := New(nil)
 	defer b.Close()
 	const pubs, perPub = 8, 200

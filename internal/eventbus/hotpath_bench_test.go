@@ -1,0 +1,113 @@
+package eventbus
+
+// Allocation cross-checks for this package's //lint:hotpath annotations
+// (Bus.dispatchRuns, Bus.lookupKeys, Subscription.enqueueRun,
+// shard.dropCounter). The static hotpath analyzer proves the absence of
+// allocating constructs up to its //lint:allow escapes; these tests prove
+// the escapes were justified — the warmed steady-state publish path really
+// is allocation-free. internal/analysis/hotpath's registry test fails if an
+// annotation exists without a covering check here.
+
+import (
+	"sync"
+	"testing"
+
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+// parkedBus builds a bus with one exact-tier match-all subscription whose
+// delivery loop is parked inside the handler, so nothing races the
+// measured publisher, and returns the warmed batch to publish. cleanup
+// unparks the handler and closes the bus.
+func parkedBus(t testing.TB) (b *Bus, run []event.Event, pub guid.GUID) {
+	t.Helper()
+	b = New(nil)
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	var once sync.Once
+	_, err := b.SubscribeBatch(event.Filter{Type: "bench.hot"}, func([]event.Event) {
+		once.Do(func() { close(entered) })
+		<-block
+	}, WithQueueLen(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		close(block)
+		b.Close()
+	})
+
+	pub = guid.New(guid.KindApplication)
+	run = make([]event.Event, 4)
+	for i := range run {
+		run[i] = event.New("bench.hot", pub, uint64(i+1), t0, nil)
+	}
+	// Warm every install path the measured loop touches: the lookup-key
+	// memo, the drop-counter table (the ring must be full so steady state
+	// is the eviction path), the target-slice pool, and park the delivery
+	// loop so drains never interleave with the measurement.
+	for i := 0; i < 12; i++ {
+		if err := b.PublishAllOwnedFrom(pub, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-entered
+	return b, run, pub
+}
+
+// TestHotpathPublishZeroAlloc drives the full publish fan-out —
+// dispatchRuns → lookupKeys → enqueueRun → dropCounter — through the
+// exported owned-batch API and requires the warmed path to allocate
+// nothing per batch.
+func TestHotpathPublishZeroAlloc(t *testing.T) {
+	b, run, pub := parkedBus(t)
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := b.PublishAllOwnedFrom(pub, run); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("publish path allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestHotpathLookupKeysZeroAlloc pins the memoised hit path of lookupKeys.
+func TestHotpathLookupKeysZeroAlloc(t *testing.T) {
+	b, _, _ := parkedBus(t)
+	allocs := testing.AllocsPerRun(500, func() {
+		if ks := b.lookupKeys("bench.hot"); len(ks) == 0 {
+			t.Fatal("no keys for warmed type")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lookupKeys hit path allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestHotpathDropCounterZeroAlloc pins the lock-free table hit of
+// dropCounter once a publisher's counter is installed.
+func TestHotpathDropCounterZeroAlloc(t *testing.T) {
+	b, _, pub := parkedBus(t)
+	sh := b.typeShard("bench.hot")
+	if sh.dropCounter(pub) == nil {
+		t.Fatal("no drop counter after warm-up")
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		sh.dropCounter(pub).Add(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("dropCounter hit path allocates %.1f times, want 0", allocs)
+	}
+}
+
+func BenchmarkHotpathPublishOwned(b *testing.B) {
+	bus, run, pub := parkedBus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bus.PublishAllOwnedFrom(pub, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

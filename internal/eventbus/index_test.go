@@ -15,6 +15,7 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/event"
 	"sci/internal/guid"
+	"sci/internal/leak"
 )
 
 func TestIndexedHierarchicalDelivery(t *testing.T) {
@@ -153,6 +154,7 @@ func TestWithShardsRounding(t *testing.T) {
 // from many goroutines at once across exact and residual tiers; run under
 // -race it is the core data-race check for the sharded index.
 func TestConcurrentLifecycleChurn(t *testing.T) {
+	defer leak.Check(t)()
 	b := New(nil, WithShards(4))
 	defer b.Close()
 	types := []ctxtype.Type{
@@ -284,6 +286,7 @@ func TestCloseDuringChurn(t *testing.T) {
 // memo's copy-on-write invalidation while publishes race with
 // DeclareEquivalent calls.
 func TestPublishConcurrentWithEquivalenceChanges(t *testing.T) {
+	defer leak.Check(t)()
 	reg := &ctxtype.Registry{}
 	b := New(reg)
 	defer b.Close()

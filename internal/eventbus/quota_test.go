@@ -10,6 +10,7 @@ import (
 	"sci/internal/ctxtype"
 	"sci/internal/event"
 	"sci/internal/guid"
+	"sci/internal/leak"
 )
 
 func mkEventFrom(src guid.GUID, seq uint64) event.Event {
@@ -117,6 +118,7 @@ func TestQuotaNilPublisherChargesPerSource(t *testing.T) {
 // sources race the bucket table; every source admits exactly its burst
 // (frozen clock) and offered == admitted + rejected for each.
 func TestQuotaConcurrentFloodConservation(t *testing.T) {
+	defer leak.Check(t)()
 	const (
 		sources  = 8
 		perG     = 500

@@ -195,6 +195,8 @@ type Coalescer struct {
 	// sendMu serialises flushes: a timer flush and a size flush may race,
 	// and sending outside the extraction lock without ordering them could
 	// deliver batches out of per-producer order.
+	//
+	//lint:lockorder flow.Coalescer.sendMu < flow.Coalescer.mu doFlush extracts under mu while holding the flush serialisation lock
 	sendMu sync.Mutex
 
 	mu      sync.Mutex
@@ -380,6 +382,8 @@ func (c *Coalescer) Flush() { c.doFlush(true) }
 // each flush fires as pending reaches the effective batch — while a
 // surprise burst against an idle endpoint still rides ceiling-sized
 // chunks (⌈burst/MaxBatch⌉ sends) instead of one message per event.
+//
+//lint:hotpath
 func (c *Coalescer) doFlush(all bool) {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -395,6 +399,7 @@ func (c *Coalescer) doFlush(all bool) {
 		if !all {
 			cut -= cut % eff
 		}
+		//lint:allow hotpath fair mode ships an owned slice once per flush, amortised across the batch
 		send = c.extractFairLocked(cut)
 	} else {
 		batch := c.pending
@@ -413,6 +418,7 @@ func (c *Coalescer) doFlush(all bool) {
 		c.timer = nil
 	}
 	if rest > 0 && c.timer == nil && !c.dead {
+		//lint:allow hotpath timer re-arm happens once per held-back tail, not per event
 		c.timer = c.cfg.Clock.AfterFunc(c.flushDelayLocked(), c.Flush)
 	}
 	c.mu.Unlock()

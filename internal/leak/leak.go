@@ -1,0 +1,163 @@
+// Package leak is the runtime half of the goroutine-ownership contract
+// that internal/analysis/leakcheck enforces statically: leakcheck proves
+// every `go` statement is tied to a lifecycle owner, and this package
+// proves, in the heaviest concurrency suites, that the owners actually
+// reap their goroutines — Close really joins, done channels really fire.
+//
+// Usage, first line of a test:
+//
+//	defer leak.Check(t)()
+//
+// Check snapshots the live goroutines, and the returned function (run at
+// the test's end, after the test's own defers tore everything down)
+// re-snapshots and fails the test if goroutines born during the test are
+// still alive. Termination is asynchronous — a joined goroutine's stack
+// may linger a few scheduler ticks after the Wait returns — so the diff
+// retries with backoff before declaring a leak.
+//
+// The comparison is by goroutine id against the baseline, so pre-existing
+// goroutines (the test runner's, a shared fixture's) never trip it, and
+// stacks created by the runtime or the testing framework itself are
+// filtered out by origin.
+package leak
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxWait bounds how long Check waits for straggler goroutines to finish
+// before declaring them leaked.
+const maxWait = 4 * time.Second
+
+// goroutine is one parsed stack dump entry.
+type goroutine struct {
+	id    int
+	state string // "running", "chan receive", ...
+	stack string // full text, for reports and filtering
+}
+
+// ignored reports whether g is infrastructure that no test owns: runtime
+// helpers, the testing framework, and this package's own collector.
+func ignored(g goroutine) bool {
+	for _, marker := range []string{
+		"runtime.goexit0",  // dying; will be gone momentarily
+		"testing.(*T).Run", // test runner frames
+		"testing.RunTests",
+		"testing.Main",
+		"testing.runTests",
+		"runtime/trace",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.timerRunning",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"sci/internal/leak.snapshot", // ourselves
+	} {
+		if strings.Contains(g.stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the live goroutines by id.
+func snapshot() map[int]goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[int]goroutine)
+	for _, dump := range strings.Split(string(buf), "\n\n") {
+		g, ok := parse(dump)
+		if !ok || ignored(g) {
+			continue
+		}
+		out[g.id] = g
+	}
+	return out
+}
+
+// parse decodes one "goroutine N [state]:\n<frames>" block.
+func parse(dump string) (goroutine, bool) {
+	head, rest, ok := strings.Cut(dump, "\n")
+	if !ok || !strings.HasPrefix(head, "goroutine ") {
+		return goroutine{}, false
+	}
+	head = strings.TrimPrefix(head, "goroutine ")
+	idStr, state, ok := strings.Cut(head, " ")
+	if !ok {
+		return goroutine{}, false
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return goroutine{}, false
+	}
+	return goroutine{
+		id:    id,
+		state: strings.Trim(state, "[]:"),
+		stack: rest,
+	}, true
+}
+
+// TB is the subset of testing.TB Check needs (avoids importing testing
+// into non-test binaries that link this package).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutines and returns the verification
+// function; defer it first so it runs after the test's own cleanup:
+//
+//	defer leak.Check(t)()
+//
+// The verifier retries until the deadline, so goroutines whose owners
+// joined them just before returning are never false positives.
+func Check(t TB) func() {
+	base := snapshot()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(maxWait)
+		delay := time.Millisecond
+		var extra []goroutine
+		for {
+			extra = extra[:0]
+			for id, g := range snapshot() {
+				if _, ok := base[id]; !ok {
+					extra = append(extra, g)
+				}
+			}
+			if len(extra) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(delay)
+			if delay < 100*time.Millisecond {
+				delay *= 2
+			}
+		}
+		var b strings.Builder
+		for _, g := range extra {
+			fmt.Fprintf(&b, "\n  goroutine %d [%s]:\n%s\n", g.id, g.state, indent(g.stack))
+		}
+		t.Errorf("leak: %d goroutine(s) created during the test are still running after %v:%s",
+			len(extra), maxWait, b.String())
+	}
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}

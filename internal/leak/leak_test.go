@@ -1,0 +1,110 @@
+package leak
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf output so we can probe Check without failing
+// the real test.
+type recorder struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgs = append(r.msgs, format)
+}
+
+func (r *recorder) failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs) > 0
+}
+
+func TestCheckPassesWhenGoroutinesAreJoined(t *testing.T) {
+	rec := &recorder{}
+	verify := Check(rec)
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer wg.Done()
+			time.Sleep(5 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+
+	verify()
+	if rec.failed() {
+		t.Fatalf("Check reported a leak for joined goroutines: %v", rec.msgs)
+	}
+}
+
+func TestCheckDetectsParkedGoroutine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("leak detection waits out the full retry deadline")
+	}
+	rec := &recorder{}
+	verify := Check(rec)
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release // parked for the whole verification window
+	}()
+
+	verify()
+	if !rec.failed() {
+		t.Fatal("Check did not report the parked goroutine")
+	}
+	if !strings.Contains(rec.msgs[0], "still running") {
+		t.Fatalf("unexpected report: %q", rec.msgs[0])
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+func TestCheckIgnoresPreexistingGoroutines(t *testing.T) {
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release
+	}()
+
+	// Baseline taken while the goroutine above is already alive: it must
+	// not be attributed to the checked region.
+	rec := &recorder{}
+	Check(rec)()
+	if rec.failed() {
+		t.Fatalf("Check blamed a pre-existing goroutine: %v", rec.msgs)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+func TestParse(t *testing.T) {
+	g, ok := parse("goroutine 42 [chan receive]:\nmain.worker()\n\t/tmp/x.go:10 +0x1")
+	if !ok {
+		t.Fatal("parse rejected a well-formed dump")
+	}
+	if g.id != 42 || g.state != "chan receive" {
+		t.Fatalf("parsed id=%d state=%q", g.id, g.state)
+	}
+	if _, ok := parse("not a goroutine header"); ok {
+		t.Fatal("parse accepted garbage")
+	}
+}

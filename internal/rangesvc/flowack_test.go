@@ -14,6 +14,7 @@ import (
 
 	"sci/internal/event"
 	"sci/internal/guid"
+	"sci/internal/leak"
 	"sci/internal/mediator"
 	"sci/internal/profile"
 	"sci/internal/transport"
@@ -280,7 +281,6 @@ func TestConnectorCloseCountsQueuedDrops(t *testing.T) {
 	r := batchRig(t, 4, 50*time.Millisecond)
 	defer r.close()
 	gate := make(chan struct{})
-	defer close(gate)
 	entered := make(chan struct{}, 1)
 	var first atomic.Bool
 	c, err := NewConnector(guid.New(guid.KindApplication), "doomed", r.net, func(event.Event) {
@@ -302,11 +302,26 @@ func TestConnectorCloseCountsQueuedDrops(t *testing.T) {
 	}
 	c.enqueueDeliveries(events)
 
-	if err := c.Close(); err != nil {
-		t.Fatal(err)
+	// Close joins the drain goroutine, and the handler is still parked on
+	// gate — run Close concurrently, observe the queued events get
+	// dropped, then release the handler so Close can finish the join.
+	closed := make(chan error, 1)
+	go func() { closed <- c.Close() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.DeliveryDrops() != 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("DeliveryDrops = %d, want the 5 queued events", c.DeliveryDrops())
+		}
+		time.Sleep(time.Millisecond)
 	}
-	if got := c.DeliveryDrops(); got != 5 {
-		t.Fatalf("DeliveryDrops after close = %d, want the 5 queued events", got)
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a handler invocation was still in flight")
+	default:
+	}
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatal(err)
 	}
 	// Stable: post-close enqueues neither deliver nor mutate the counter.
 	c.enqueueDeliveries(events)
@@ -319,6 +334,7 @@ func TestConnectorCloseCountsQueuedDrops(t *testing.T) {
 // the drain goroutine must exit (not park on a non-empty queue) and the
 // drop accounting must stay consistent.
 func TestConnectorCloseVsDrainRace(t *testing.T) {
+	defer leak.Check(t)()
 	for round := 0; round < 20; round++ {
 		net := transport.NewMemory(transport.MemoryConfig{})
 		var consumed atomic.Int64

@@ -774,24 +774,25 @@ type Connector struct {
 	ep   transport.Endpoint
 	clk  clock.Clock
 
-	mu        sync.Mutex
-	server    guid.GUID     // guarded by mu
-	lease     time.Duration // guarded by mu
-	announced chan announceBody
-	waiters   map[guid.GUID]chan wire.Message // guarded by mu
-	onEvent   func(event.Event)
-	onBatch   func([]event.Event)
-	dq        []event.Event // guarded by mu; bounded delivery queue (onEvent/onBatch != nil)
-	dqCap     int           // guarded by mu
-	dqWake    chan struct{}
-	dqDropped uint64            // guarded by mu; cumulative overflow drops, reported in acks
-	dqRate    *flow.RateTracker // guarded by mu; non-nil: adaptive queue sizing
-	dqMin     int               // guarded by mu
-	dqMax     int               // guarded by mu
-	credit    wire.BatchCredit  // guarded by mu
-	hasCredit bool              // guarded by mu
-	hbTimer   clock.Timer       // guarded by mu
-	closed    bool              // guarded by mu
+	mu          sync.Mutex
+	server      guid.GUID     // guarded by mu
+	lease       time.Duration // guarded by mu
+	announced   chan announceBody
+	waiters     map[guid.GUID]chan wire.Message // guarded by mu
+	onEvent     func(event.Event)
+	onBatch     func([]event.Event)
+	dq          []event.Event // guarded by mu; bounded delivery queue (onEvent/onBatch != nil)
+	dqCap       int           // guarded by mu
+	dqWake      chan struct{}
+	deliverDone chan struct{}     // non-nil iff deliverLoop was started; closed when it exits
+	dqDropped   uint64            // guarded by mu; cumulative overflow drops, reported in acks
+	dqRate      *flow.RateTracker // guarded by mu; non-nil: adaptive queue sizing
+	dqMin       int               // guarded by mu
+	dqMax       int               // guarded by mu
+	credit      wire.BatchCredit  // guarded by mu
+	hasCredit   bool              // guarded by mu
+	hbTimer     clock.Timer       // guarded by mu
+	closed      bool              // guarded by mu
 
 	// Coalesced ack state, one flow.AckCoalescer per delivering endpoint
 	// (acks answer the sender of the batch they cover).
@@ -861,6 +862,7 @@ func newConnector(id guid.GUID, name string, net transport.Network, onEvent func
 	}
 	c.ep = ep
 	if onEvent != nil || onBatch != nil {
+		c.deliverDone = make(chan struct{})
 		go c.deliverLoop()
 	}
 	return c, nil
@@ -1058,6 +1060,7 @@ func (c *Connector) enqueueDeliveries(events []event.Event) {
 // batch handler when one is set (one slice per drain, the mediator's
 // batch-fed edge), or event by event into onEvent.
 func (c *Connector) deliverLoop() {
+	defer close(c.deliverDone)
 	var buf []event.Event
 	for range c.dqWake {
 		for {
@@ -1285,6 +1288,14 @@ func (c *Connector) Close() error {
 	c.dq = nil
 	close(c.dqWake)
 	c.mu.Unlock()
+	// Join the delivery goroutine before tearing the endpoint down: a
+	// Close must guarantee no handler invocation is in flight (or will
+	// start) once it returns. The loop exits promptly — Close already
+	// emptied the queue and closed the wakeup channel — so this waits
+	// only for an in-flight handler call to finish.
+	if c.deliverDone != nil {
+		<-c.deliverDone
+	}
 	for _, a := range acks {
 		a.Stop()
 	}

@@ -395,3 +395,54 @@ func TestHostRejectsSpoofedEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestConnectorCloseJoinsDeliverLoop: Close must not return while a
+// delivery-handler invocation is still in flight — the goroutine-lifecycle
+// contract leakcheck enforces statically. Regression test for the
+// unjoined deliverLoop: Close used to only close the wakeup channel and
+// return, leaving the handler racing the caller's teardown.
+func TestConnectorCloseJoinsDeliverLoop(t *testing.T) {
+	net := transport.NewMemory(transport.MemoryConfig{})
+	entered := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	handlerDone := make(chan struct{})
+	c, err := NewConnector(guid.New(guid.KindApplication), "joined", net, func(event.Event) {
+		entered <- struct{}{}
+		<-gate
+		close(handlerDone)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.enqueueDeliveries([]event.Event{mkReading(guid.New(guid.KindDevice), 0)})
+	<-entered // the handler is now in flight
+
+	closed := make(chan struct{})
+	go func() {
+		if err := c.Close(); err != nil {
+			t.Error(err)
+		}
+		close(closed)
+	}()
+	// Close has no way to finish before the handler does; give it room to
+	// return early if the join regresses.
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-closed:
+		t.Fatal("Close returned while the delivery handler was still running")
+	default:
+	}
+
+	close(gate)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the handler finished")
+	}
+	select {
+	case <-handlerDone:
+	default:
+		t.Fatal("Close returned before the in-flight handler invocation completed")
+	}
+}

@@ -346,6 +346,12 @@ type Fabric struct {
 	adaptive  flow.Adaptive
 	ackWindow time.Duration
 
+	// Flow-layer callbacks (Coalescer send paths) run while the coalescer
+	// holds its flush lock and may take f.mu downstream, so no flow entry
+	// point (Flush, Touch, Stop, Discard) may ever be called with f.mu
+	// held — collect under the lock, call after unlocking.
+	//
+	//lint:lockorder flow.Coalescer.sendMu < scinet.Fabric.mu send callbacks run under the flush lock and take f.mu; flushing under f.mu inverts it
 	mu        sync.Mutex
 	coverage  map[guid.GUID]coverageMsg         // guarded by mu; fabric node → its coverage
 	waiters   map[guid.GUID]chan queryResultMsg // guarded by mu

@@ -9,6 +9,7 @@ import (
 
 	"sci/internal/clock"
 	"sci/internal/guid"
+	"sci/internal/leak"
 	"sci/internal/wire"
 )
 
@@ -241,6 +242,7 @@ func TestMemoryNetworkClose(t *testing.T) {
 }
 
 func TestMemoryConcurrentSenders(t *testing.T) {
+	defer leak.Check(t)()
 	n := NewMemory(MemoryConfig{})
 	defer n.Close()
 	dst := guid.New(guid.KindServer)
@@ -386,6 +388,7 @@ func TestTCPSendAfterPeerRestart(t *testing.T) {
 }
 
 func TestTCPConcurrentSenders(t *testing.T) {
+	defer leak.Check(t)()
 	n := NewTCP(nil)
 	defer n.Close()
 	dst := guid.New(guid.KindServer)

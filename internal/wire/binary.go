@@ -91,6 +91,11 @@ var kindIDs = func() map[Kind]byte {
 
 // ----- encoding -----
 
+// appendBinary serialises one message into b. Per-event cost on the
+// steady-state wire path: it must stay allocation-free so encode cost is
+// bounded by the copy, not the collector.
+//
+//lint:hotpath
 func (e *Encoder) appendBinary(b []byte, m Message) ([]byte, error) {
 	var flags byte
 	if !m.Corr.IsNil() {
@@ -129,6 +134,7 @@ func (e *Encoder) appendBinary(b []byte, m Message) ([]byte, error) {
 	return b, nil
 }
 
+//lint:hotpath
 func (e *Encoder) appendBatch(b []byte, nb *NativeBatch) ([]byte, error) {
 	if nb.Credit != nil {
 		b = append(b, 1)
@@ -144,7 +150,9 @@ func (e *Encoder) appendBatch(b []byte, nb *NativeBatch) ([]byte, error) {
 	// events that reference it. Both sides append in stream order, so the
 	// index spaces stay aligned on an ordered connection.
 	if e.types == nil {
+		//lint:allow hotpath dictionary maps built once per connection, before the first batch
 		e.types = make(map[string]uint32)
+		//lint:allow hotpath dictionary maps built once per connection, before the first batch
 		e.guids = make(map[guid.GUID]uint32)
 	}
 	e.newTypes = e.newTypes[:0]
@@ -176,6 +184,7 @@ func (e *Encoder) appendBatch(b []byte, nb *NativeBatch) ([]byte, error) {
 	return b, nil
 }
 
+//lint:hotpath
 func (e *Encoder) appendEvent(b []byte, ev *event.Event) ([]byte, error) {
 	var fl byte
 	if !ev.Time.IsZero() {
@@ -205,6 +214,7 @@ func (e *Encoder) appendEvent(b []byte, ev *event.Event) ([]byte, error) {
 			e.payloadBuf = poolGetBuf()
 		}
 		var err error
+		//lint:allow hotpath the summary sees appendJSONFloat's fmt.Errorf, which fires only on malformed payloads
 		e.payloadBuf, err = e.appendJSONMap(e.payloadBuf[:0], ev.Payload, 0)
 		if err != nil {
 			return b, err

@@ -1,0 +1,95 @@
+package wire
+
+// Allocation cross-checks for this package's //lint:hotpath annotations
+// (Encoder.appendBinary, appendBatch, appendEvent). The static analyzer
+// proves the absence of allocating constructs up to the //lint:allow
+// escapes (the once-per-connection dictionary maps, the payload JSON
+// encoder's error path); these tests prove the escapes were justified —
+// once the dictionaries and scratch buffers are warm, encoding a batch
+// frame allocates nothing. internal/analysis/hotpath's registry test fails
+// if an annotation exists without a covering check here.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"sci/internal/event"
+	"sci/internal/guid"
+)
+
+// warmEncoder returns a binary encoder whose interning dictionaries and
+// scratch buffers have already seen msg, plus a frame buffer with room.
+func warmEncoder(t testing.TB) (*Encoder, Message, []byte) {
+	t.Helper()
+	src := guid.New(guid.KindServer)
+	dst := guid.New(guid.KindServer)
+	pub := guid.New(guid.KindApplication)
+	events := make([]event.Event, 4)
+	for i := range events {
+		events[i] = event.Event{
+			ID:      guid.New(guid.KindEvent),
+			Type:    "bench.wire.hot",
+			Source:  pub,
+			Range:   src,
+			Seq:     uint64(i + 1),
+			Time:    time.Date(2003, 6, 17, 9, 0, 0, 0, time.UTC),
+			Quality: 0.75,
+			Payload: map[string]any{"value": 21.5, "seq": i},
+		}
+	}
+	msg := Message{
+		Src:  src,
+		Dst:  dst,
+		Kind: KindEventBatch,
+		Batch: &NativeBatch{
+			Events: events,
+			Credit: &BatchCredit{Events: 4, Dropped: 0, QueueFree: 128},
+		},
+	}
+	e := NewEncoder(io.Discard, CodecBinary)
+	buf := make([]byte, 0, 4096)
+	// First encode interns the batch's types and GUIDs and takes the
+	// scratch buffers from the pool; everything after is steady state.
+	out, err := e.appendBinary(buf, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty frame")
+	}
+	e.commitDict()
+	return e, msg, buf
+}
+
+// TestHotpathEncodeZeroAlloc requires a warmed binary batch encode —
+// envelope, credit, dictionary refs, four events with payloads — to
+// allocate nothing.
+func TestHotpathEncodeZeroAlloc(t *testing.T) {
+	e, msg, buf := warmEncoder(t)
+	allocs := testing.AllocsPerRun(500, func() {
+		out, err := e.appendBinary(buf[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty frame")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed binary encode allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+func BenchmarkHotpathAppendBinary(b *testing.B) {
+	e, msg, buf := warmEncoder(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := e.appendBinary(buf[:0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
